@@ -1,0 +1,285 @@
+(* axml — command-line driver over the library.
+
+     axml validate  -s schema.axs doc.xml
+     axml check     -f sender.axs -t exchange.axs doc.xml [-k N] [--possible]
+     axml rewrite   -f sender.axs -t exchange.axs doc.xml [-k N] [--possible]
+                    [--oracle random|fail] [-o out.xml]
+     axml compat    -f sender.axs -t exchange.axs [-r root] [-k N]
+     axml schema    -s schema.axs [--to text|xml]
+
+   Schema files may use the compact textual syntax (see README) or the
+   XML Schema_int syntax; the format is auto-detected. Documents are
+   intensional XML with <int:fun> call nodes. The [rewrite] command
+   simulates services with honest random oracles drawn from the declared
+   signatures (or failing stubs with --oracle fail). *)
+
+open Cmdliner
+
+module Schema = Axml_schema.Schema
+module Schema_parser = Axml_schema.Schema_parser
+module D = Axml_core.Document
+module Validate = Axml_core.Validate
+module Rewriter = Axml_core.Rewriter
+module Generate = Axml_core.Generate
+module Schema_rewrite = Axml_core.Schema_rewrite
+module Syntax = Axml_peer.Syntax
+module Xml_schema_int = Axml_peer.Xml_schema_int
+module Enforcement = Axml_peer.Enforcement
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+exception Cli_error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Cli_error m)) fmt
+
+(* Auto-detect the schema syntax: XML starts with '<'. *)
+let load_schema path =
+  let text = read_file path in
+  let trimmed = String.trim text in
+  if String.length trimmed > 0 && trimmed.[0] = '<' then
+    try Xml_schema_int.of_string text
+    with Xml_schema_int.Schema_syntax_error m -> fail "%s: %s" path m
+  else
+    match Schema_parser.parse_result text with
+    | Ok s -> s
+    | Error e -> fail "%s: %s" path e
+
+let load_document path =
+  try Syntax.of_xml_string (read_file path)
+  with Syntax.Syntax_error m -> fail "%s: %s" path m
+
+let write_output out text =
+  match out with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out_bin path in
+    output_string oc text;
+    close_out oc
+
+let wrap f =
+  match f () with
+  | code -> code
+  | exception Cli_error m ->
+    Fmt.epr "error: %s@." m;
+    2
+  | exception Sys_error m ->
+    Fmt.epr "error: %s@." m;
+    2
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let doc_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"DOC.xml"
+         ~doc:"Intensional XML document.")
+
+let schema_arg flags docv doc =
+  Arg.(required & opt (some file) None & info flags ~docv ~doc)
+
+let sender_arg = schema_arg [ "f"; "from" ] "SCHEMA" "The sender schema (s0)."
+let target_arg = schema_arg [ "t"; "to" ] "SCHEMA" "The exchange schema."
+
+let k_arg =
+  Arg.(value & opt int 1 & info [ "k"; "depth" ] ~docv:"N"
+         ~doc:"Maximum rewriting depth (Definition 7).")
+
+let possible_arg =
+  Arg.(value & flag & info [ "possible" ]
+         ~doc:"Use possible rewriting instead of safe rewriting.")
+
+let engine_arg =
+  let engine_conv =
+    Arg.enum [ ("lazy", Rewriter.Lazy); ("eager", Rewriter.Eager) ]
+  in
+  Arg.(value & opt engine_conv Rewriter.Lazy & info [ "engine" ] ~docv:"ENGINE"
+         ~doc:"Analysis engine: $(b,lazy) (Section 7) or $(b,eager) (Figure 3).")
+
+(* ------------------------------------------------------------------ *)
+(* validate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let validate_cmd =
+  let run schema_path doc_path =
+    wrap (fun () ->
+        let schema = load_schema schema_path in
+        let doc = load_document doc_path in
+        let ctx = Validate.ctx schema in
+        match Validate.document_violations ctx doc with
+        | [] ->
+          Fmt.pr "valid: the document is an instance of the schema@.";
+          0
+        | violations ->
+          List.iter (Fmt.pr "%a@." Validate.pp_violation) violations;
+          1)
+  in
+  let schema = schema_arg [ "s"; "schema" ] "SCHEMA" "The schema to validate against." in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Check that a document is an instance of a schema.")
+    Term.(const run $ schema $ doc_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let run sender target k possible engine doc_path =
+    wrap (fun () ->
+        let s0 = load_schema sender in
+        let exchange = load_schema target in
+        let doc = load_document doc_path in
+        let rw = Rewriter.create ~k ~engine ~s0 ~target:exchange () in
+        let failures =
+          if possible then Rewriter.check_possible rw doc
+          else Rewriter.check_safe rw doc
+        in
+        match failures with
+        | [] ->
+          Fmt.pr "%s: the document rewrites into the exchange schema@."
+            (if possible then "possible" else "safe");
+          0
+        | fs ->
+          List.iter (Fmt.pr "%a@." Rewriter.pp_failure) fs;
+          1)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Decide whether a document safely (or possibly) rewrites into an \
+             exchange schema, without invoking anything.")
+    Term.(const run $ sender_arg $ target_arg $ k_arg $ possible_arg
+          $ engine_arg $ doc_arg)
+
+(* ------------------------------------------------------------------ *)
+(* rewrite                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let oracle_arg =
+  Arg.(value & opt (enum [ ("random", `Random); ("fail", `Fail) ]) `Random
+       & info [ "oracle" ] ~docv:"KIND"
+           ~doc:"Simulated services: $(b,random) honest outputs drawn from \
+                 the signatures, or $(b,fail) stubs that refuse every call.")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Where to write the materialized document (default stdout).")
+
+let rewrite_cmd =
+  let run sender target k possible engine oracle out doc_path =
+    wrap (fun () ->
+        let s0 = load_schema sender in
+        let exchange = load_schema target in
+        let doc = load_document doc_path in
+        let env = Schema.env_of_schemas s0 exchange in
+        let invoker =
+          match oracle with
+          | `Fail -> fun name _ -> fail "service %s is unavailable (--oracle fail)" name
+          | `Random ->
+            let g = Generate.create ~env s0 in
+            fun name _params -> Generate.output_instance g name
+        in
+        let config =
+          { Enforcement.default_config with
+            Enforcement.k; engine; fallback_possible = possible }
+        in
+        match Enforcement.enforce ~config ~s0 ~exchange ~invoker doc with
+        | Ok (doc', report) ->
+          Fmt.epr "%s; %d invocation(s)@."
+            (match report.Enforcement.action with
+             | Enforcement.Conformed -> "already conforms"
+             | Enforcement.Rewritten -> "safely rewritten"
+             | Enforcement.Rewritten_possible -> "rewritten (possible mode)")
+            (List.length report.Enforcement.invocations);
+          write_output out (Syntax.to_xml_string doc');
+          0
+        | Error e ->
+          Fmt.epr "%a@." Enforcement.pp_error e;
+          1)
+  in
+  Cmd.v
+    (Cmd.info "rewrite"
+       ~doc:"Materialize a document so it conforms to an exchange schema, \
+             using simulated services.")
+    Term.(const run $ sender_arg $ target_arg $ k_arg $ possible_arg
+          $ engine_arg $ oracle_arg $ out_arg $ doc_arg)
+
+(* ------------------------------------------------------------------ *)
+(* compat                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let compat_cmd =
+  let root_arg =
+    Arg.(value & opt (some string) None & info [ "r"; "root" ] ~docv:"LABEL"
+           ~doc:"Root label (defaults to the sender schema's declared root).")
+  in
+  let run sender target k engine root =
+    wrap (fun () ->
+        let s0 = load_schema sender in
+        let exchange = load_schema target in
+        let root =
+          match root, s0.Schema.root with
+          | Some r, _ -> r
+          | None, Some r -> r
+          | None, None -> fail "no root label: pass --root or declare one in the schema"
+        in
+        let result = Schema_rewrite.check ~k ~engine ~s0 ~root ~target:exchange () in
+        List.iter
+          (fun (v : Schema_rewrite.label_verdict) ->
+            Fmt.pr "%-24s %s%s@." v.Schema_rewrite.label
+              (if v.Schema_rewrite.safe then "ok" else "FAIL")
+              (match v.Schema_rewrite.reason with
+               | Some r when not v.Schema_rewrite.safe -> ": " ^ r
+               | _ -> ""))
+          result.Schema_rewrite.verdicts;
+        if result.Schema_rewrite.compatible then begin
+          Fmt.pr "COMPATIBLE: every document of the sender schema safely \
+                  rewrites into the exchange schema@.";
+          0
+        end
+        else begin
+          Fmt.pr "INCOMPATIBLE@.";
+          1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "compat"
+       ~doc:"Schema-level safe rewriting (Section 6): can every document of \
+             one schema be safely rewritten into another?")
+    Term.(const run $ sender_arg $ target_arg $ k_arg $ engine_arg $ root_arg)
+
+(* ------------------------------------------------------------------ *)
+(* schema (convert / pretty-print)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let schema_cmd =
+  let to_arg =
+    Arg.(value & opt (enum [ ("text", `Text); ("xml", `Xml) ]) `Text
+         & info [ "to" ] ~docv:"FORMAT" ~doc:"Output format: $(b,text) or $(b,xml).")
+  in
+  let run schema_path fmt out =
+    wrap (fun () ->
+        let schema = load_schema schema_path in
+        (match fmt with
+         | `Text -> write_output out (Fmt.str "%a" Schema.pp schema)
+         | `Xml -> write_output out (Xml_schema_int.to_string schema));
+        0)
+  in
+  let schema = schema_arg [ "s"; "schema" ] "SCHEMA" "The schema to convert." in
+  Cmd.v
+    (Cmd.info "schema"
+       ~doc:"Parse a schema (textual or XML Schema_int) and print it in \
+             either syntax.")
+    Term.(const run $ schema $ to_arg $ out_arg)
+
+let () =
+  let info =
+    Cmd.info "axml" ~version:"1.0.0"
+      ~doc:"Exchanging intensional XML data: validation, safe/possible \
+            rewriting, and schema compatibility (SIGMOD 2003)."
+  in
+  exit (Cmd.eval' (Cmd.group info
+                     [ validate_cmd; check_cmd; rewrite_cmd; compat_cmd; schema_cmd ]))

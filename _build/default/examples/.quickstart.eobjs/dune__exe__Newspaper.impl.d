@@ -1,0 +1,1 @@
+examples/newspaper.ml: Axml_core Axml_peer Axml_regex Axml_schema Axml_services Fmt List String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Axml_core Axml_peer Axml_regex Axml_schema Axml_services Fmt List

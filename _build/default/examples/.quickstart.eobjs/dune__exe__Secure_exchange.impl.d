@@ -1,0 +1,1 @@
+examples/secure_exchange.ml: Axml_core Axml_peer Axml_regex Axml_schema Axml_services Fmt

@@ -1,0 +1,93 @@
+(* Schema negotiation (Section 6 + the "negotiator" of the conclusion):
+   before any data flows, the sender checks — at the schema level, no
+   document in hand — which of the receiver's preference-ordered
+   proposals ALL its documents can be safely rewritten into, then
+   exchanges under the agreed schema.
+
+   Run with:  dune exec examples/negotiation.exe *)
+
+module R = Axml_regex.Regex
+module Schema = Axml_schema.Schema
+module Schema_parser = Axml_schema.Schema_parser
+module D = Axml_core.Document
+module Service = Axml_services.Service
+module Registry = Axml_services.Registry
+module Oracle = Axml_services.Oracle
+module Negotiation = Axml_peer.Negotiation
+module Enforcement = Axml_peer.Enforcement
+
+let parse_schema text =
+  match Schema_parser.parse_result text with
+  | Ok s -> s
+  | Error e -> Fmt.failwith "schema error: %s" e
+
+let common = {|
+element title = #data
+element date = #data
+element temp = #data
+element city = #data
+element exhibit = title.date
+element performance = title.date
+function Get_Temp : city -> temp
+function TimeOut : #data -> (exhibit | performance)*
+|}
+
+let sender_schema =
+  parse_schema
+    ({|
+root newspaper
+element newspaper = title.date.(Get_Temp | temp).(TimeOut | exhibit*)
+|} ^ common)
+
+(* The receiver's proposals, most restrictive first. *)
+let proposals =
+  [ { Negotiation.name = "fully-extensional (exhibits only)";
+      schema =
+        parse_schema
+          ({|
+root newspaper
+element newspaper = title.date.temp.exhibit*
+|} ^ common) };
+    { Negotiation.name = "temperature materialized";
+      schema =
+        parse_schema
+          ({|
+root newspaper
+element newspaper = title.date.temp.(TimeOut | exhibit*)
+|} ^ common) };
+    { Negotiation.name = "anything goes";
+      schema = sender_schema }
+  ]
+
+let () =
+  Fmt.pr "Negotiating an exchange schema for newspaper documents...@.";
+  match Negotiation.negotiate ~s0:sender_schema ~root:"newspaper" proposals with
+  | Error rejections ->
+    Fmt.pr "no agreement possible:@.";
+    List.iter (Fmt.pr "  %a@." Negotiation.pp_rejection) rejections
+  | Ok agreement ->
+    List.iter
+      (fun r -> Fmt.pr "rejected %a@." Negotiation.pp_rejection r)
+      agreement.Negotiation.rejected;
+    Fmt.pr "AGREED on: %s@." agreement.Negotiation.chosen.Negotiation.name;
+    (* now exchange a document under the agreed schema *)
+    let reg = Registry.create () in
+    Registry.register_all reg
+      [ Service.make "Get_Temp" ~input:(R.sym (Schema.A_label "city"))
+          ~output:(R.sym (Schema.A_label "temp"))
+          (Oracle.constant [ D.elem "temp" [ D.data "15 C" ] ]) ];
+    let doc =
+      D.elem "newspaper"
+        [ D.elem "title" [ D.data "The Sun" ];
+          D.elem "date" [ D.data "04/10/2002" ];
+          D.call "Get_Temp" [ D.elem "city" [ D.data "Paris" ] ];
+          D.call "TimeOut" [ D.data "exhibits" ] ]
+    in
+    (match
+       Enforcement.enforce ~s0:sender_schema
+         ~exchange:agreement.Negotiation.chosen.Negotiation.schema
+         ~invoker:(Registry.invoker reg) doc
+     with
+     | Ok (sent, _) ->
+       Fmt.pr "@.exchanged document: %a@." D.pp sent
+     | Error e -> Fmt.pr "enforcement failed: %a@." Enforcement.pp_error e)

@@ -1,0 +1,112 @@
+(* Quickstart: the paper's newspaper example, end to end.
+
+   Build an intensional document with two embedded service calls, agree
+   on an exchange schema that requires the temperature to be
+   materialized, and let the Schema Enforcement module figure out which
+   calls to invoke.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module R = Axml_regex.Regex
+module Schema = Axml_schema.Schema
+module Schema_parser = Axml_schema.Schema_parser
+module D = Axml_core.Document
+module Service = Axml_services.Service
+module Registry = Axml_services.Registry
+module Oracle = Axml_services.Oracle
+module Syntax = Axml_peer.Syntax
+module Enforcement = Axml_peer.Enforcement
+
+let parse_schema text =
+  match Schema_parser.parse_result text with
+  | Ok s -> s
+  | Error e -> Fmt.failwith "schema error: %s" e
+
+(* The sender's schema: the temperature may be intensional (a Get_Temp
+   call) or materialized; same for the culture listing. *)
+let sender_schema =
+  parse_schema
+    {|
+root newspaper
+element newspaper = title.date.(Get_Temp | temp).(TimeOut | exhibit*)
+element title = #data
+element date = #data
+element temp = #data
+element city = #data
+element exhibit = title.date
+element performance = title.date
+function Get_Temp : city -> temp
+function TimeOut : #data -> (exhibit | performance)*
+|}
+
+(* The agreed exchange schema: the receiver insists on a concrete
+   temperature but is happy to call TimeOut itself later. *)
+let exchange_schema =
+  parse_schema
+    {|
+root newspaper
+element newspaper = title.date.temp.(TimeOut | exhibit*)
+element title = #data
+element date = #data
+element temp = #data
+element city = #data
+element exhibit = title.date
+element performance = title.date
+function Get_Temp : city -> temp
+function TimeOut : #data -> (exhibit | performance)*
+|}
+
+(* The document of Figure 2.a. *)
+let front_page =
+  D.elem "newspaper"
+    [ D.elem "title" [ D.data "The Sun" ];
+      D.elem "date" [ D.data "04/10/2002" ];
+      D.call "Get_Temp" [ D.elem "city" [ D.data "Paris" ] ];
+      D.call "TimeOut" [ D.data "exhibits" ] ]
+
+(* Simulated Web services. *)
+let registry =
+  let reg = Registry.create () in
+  Registry.register_all reg
+    [ Service.make "Get_Temp"
+        ~input:(R.sym (Schema.A_label "city"))
+        ~output:(R.sym (Schema.A_label "temp"))
+        (Oracle.constant [ D.elem "temp" [ D.data "15 C" ] ]);
+      Service.make "TimeOut" ~input:(R.sym Schema.A_data)
+        ~output:
+          (R.star
+             (R.alt
+                (R.sym (Schema.A_label "exhibit"))
+                (R.sym (Schema.A_label "performance"))))
+        (Oracle.constant
+           [ D.elem "exhibit"
+               [ D.elem "title" [ D.data "Monet at Orsay" ];
+                 D.elem "date" [ D.data "June 2003" ] ] ])
+    ];
+  reg
+
+let () =
+  Fmt.pr "=== The document to send (intensional) ===@.%s@."
+    (Syntax.to_xml_string front_page);
+  match
+    Enforcement.enforce ~s0:sender_schema ~exchange:exchange_schema
+      ~invoker:(Registry.invoker registry) front_page
+  with
+  | Error e -> Fmt.epr "enforcement failed: %a@." Enforcement.pp_error e
+  | Ok (sent, report) ->
+    Fmt.pr "=== Enforcement decision ===@.";
+    (match report.Enforcement.action with
+     | Enforcement.Conformed -> Fmt.pr "already conforms, nothing invoked@."
+     | Enforcement.Rewritten ->
+       Fmt.pr "safe rewriting found; invoked:@.";
+       List.iter
+         (fun li ->
+           Fmt.pr "  - %s at %a@." li.Axml_core.Rewriter.invocation.Axml_core.Execute.inv_name
+             D.pp_path li.Axml_core.Rewriter.at)
+         report.Enforcement.invocations
+     | Enforcement.Rewritten_possible -> Fmt.pr "a possible rewriting succeeded@.");
+    Fmt.pr "@.=== The document as actually sent ===@.%s@."
+      (Syntax.to_xml_string sent);
+    Fmt.pr "(total service fees: %.2f, invocations: %d)@."
+      (Registry.total_cost registry)
+      (Registry.invocation_count registry)

@@ -1,0 +1,118 @@
+(* Security-oriented exchange (the Security and Capabilities motivations
+   of the introduction, with the function patterns of Section 2.1):
+
+   - the exchange schema uses a *function pattern* Forecast whose
+     predicates are answered by a UDDI-like directory (UDDIF) and an
+     access-control service (InACL);
+   - the receiver accepts a weather call only if it is published in the
+     directory AND the receiver may call it;
+   - everything else must be materialized by the sender — and the
+     sender's own registry enforces ACLs and a spending budget.
+
+   Run with:  dune exec examples/secure_exchange.exe *)
+
+module R = Axml_regex.Regex
+module Schema = Axml_schema.Schema
+module Schema_parser = Axml_schema.Schema_parser
+module D = Axml_core.Document
+module Service = Axml_services.Service
+module Registry = Axml_services.Registry
+module Oracle = Axml_services.Oracle
+module Directory = Axml_services.Directory
+module Enforcement = Axml_peer.Enforcement
+
+let parse_schema text =
+  match Schema_parser.parse_result text with
+  | Ok s -> s
+  | Error e -> Fmt.failwith "schema error: %s" e
+
+(* The sender may embed any of two concrete weather services. *)
+let sender_schema =
+  parse_schema
+    {|
+root report
+element report = city.(Good_Weather | Shady_Weather | temp)
+element city = #data
+element temp = #data
+function Good_Weather : city -> temp
+function Shady_Weather : city -> temp
+|}
+
+(* The receiver's schema: a weather call may remain intensional only if
+   it matches the Forecast pattern (directory-published + ACL-cleared). *)
+let receiver_schema =
+  parse_schema
+    {|
+root report
+element report = city.(Forecast | temp)
+element city = #data
+element temp = #data
+function Good_Weather : city -> temp
+function Shady_Weather : city -> temp
+pattern Forecast requires UDDIF InACL : city -> temp
+|}
+
+let directory =
+  let dir = Directory.create () in
+  Directory.publish dir ~provider:"forecast.com" ~categories:[ "weather" ]
+    "Good_Weather";
+  (* Shady_Weather is NOT published *)
+  Directory.install_standard_predicates dir
+    ~acl_of:(fun f -> f = "Good_Weather");
+  dir
+
+let registry =
+  let reg = Registry.create ~principal:"newspaper.com" () in
+  Registry.register_all reg
+    [ Service.make "Good_Weather" ~cost:0.5
+        ~input:(R.sym (Schema.A_label "city"))
+        ~output:(R.sym (Schema.A_label "temp"))
+        (Oracle.constant [ D.elem "temp" [ D.data "21 C" ] ]);
+      Service.make "Shady_Weather" ~cost:0.1 ~acl:[ "newspaper.com" ]
+        ~input:(R.sym (Schema.A_label "city"))
+        ~output:(R.sym (Schema.A_label "temp"))
+        (Oracle.constant [ D.elem "temp" [ D.data "19 C (allegedly)" ] ]) ];
+  reg
+
+let exchange doc =
+  match
+    Enforcement.enforce
+      ~predicate:(Directory.predicate directory)
+      ~s0:sender_schema ~exchange:receiver_schema
+      ~invoker:(Registry.invoker registry) doc
+  with
+  | Ok (sent, report) ->
+    Fmt.pr "  -> %s: %a@."
+      (match report.Enforcement.action with
+       | Enforcement.Conformed -> "accepted as-is"
+       | Enforcement.Rewritten -> "materialized where required"
+       | Enforcement.Rewritten_possible -> "rewritten (possible)")
+      D.pp sent
+  | Error e -> Fmt.pr "  -> REFUSED: %a@." Enforcement.pp_error e
+
+let () =
+  let report call =
+    D.elem "report" [ D.elem "city" [ D.data "Paris" ]; call ]
+  in
+  Fmt.pr "A call to the published, ACL-cleared Good_Weather may stay \
+          intensional:@.";
+  exchange (report (D.call "Good_Weather" [ D.elem "city" [ D.data "Paris" ] ]));
+
+  Fmt.pr "@.A call to the unpublished Shady_Weather does NOT match the \
+          Forecast pattern: the sender must invoke it before sending:@.";
+  exchange (report (D.call "Shady_Weather" [ D.elem "city" [ D.data "Paris" ] ]));
+
+  Fmt.pr "@.Budgets guard the sender against expensive materialization: \
+          with a 0.05 budget the Good_Weather call cannot be afforded \
+          (but it can stay intensional anyway):@.";
+  Registry.set_budget registry (Some 0.05);
+  exchange (report (D.call "Good_Weather" [ D.elem "city" [ D.data "Paris" ] ]));
+  Registry.set_budget registry None;
+
+  Fmt.pr "@.ACLs on the sender's side: a stranger peer cannot fire \
+          Shady_Weather at all:@.";
+  Registry.set_principal registry "stranger";
+  (try exchange (report (D.call "Shady_Weather" [ D.elem "city" [ D.data "Paris" ] ]))
+   with Registry.Access_denied { service; principal } ->
+     Fmt.pr "  -> Access_denied: %s may not call %s@." principal service);
+  Fmt.pr "@.Total fees paid by the sender: %.2f@." (Registry.total_cost registry)

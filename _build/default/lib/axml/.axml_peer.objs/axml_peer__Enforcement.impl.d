@@ -1,0 +1,1 @@
+lib/axml/enforcement.ml: Axml_core Axml_schema Fmt List

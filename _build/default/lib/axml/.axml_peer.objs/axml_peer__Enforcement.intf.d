@@ -1,0 +1,1 @@
+lib/axml/enforcement.mli: Axml_core Axml_schema Fmt

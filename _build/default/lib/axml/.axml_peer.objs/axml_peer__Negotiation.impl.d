@@ -1,0 +1,1 @@
+lib/axml/negotiation.ml: Axml_core Axml_schema Fmt List Option

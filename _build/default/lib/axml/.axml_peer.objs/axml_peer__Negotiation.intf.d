@@ -1,0 +1,1 @@
+lib/axml/negotiation.mli: Axml_core Axml_schema Fmt

@@ -1,0 +1,1 @@
+lib/axml/peer.ml: Axml_core Axml_schema Axml_services Axml_xml Enforcement Fmt Hashtbl List Printexc Soap String Syntax

@@ -1,0 +1,1 @@
+lib/axml/peer.mli: Axml_core Axml_schema Axml_services Enforcement

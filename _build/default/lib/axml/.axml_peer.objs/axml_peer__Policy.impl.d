@@ -1,0 +1,1 @@
+lib/axml/policy.ml: Axml_regex Axml_schema

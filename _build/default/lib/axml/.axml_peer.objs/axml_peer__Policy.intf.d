@@ -1,0 +1,1 @@
+lib/axml/policy.mli: Axml_schema

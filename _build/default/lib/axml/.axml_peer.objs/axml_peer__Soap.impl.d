@@ -1,0 +1,1 @@
+lib/axml/soap.ml: Axml_core Axml_xml List Syntax

@@ -1,0 +1,1 @@
+lib/axml/soap.mli: Axml_core

@@ -1,0 +1,1 @@
+lib/axml/storage.ml: Axml_core Buffer Char Filename Fmt List Peer String Syntax Sys Xml_schema_int

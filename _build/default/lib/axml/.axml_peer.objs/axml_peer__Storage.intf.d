@@ -1,0 +1,1 @@
+lib/axml/storage.mli: Axml_core Enforcement Peer

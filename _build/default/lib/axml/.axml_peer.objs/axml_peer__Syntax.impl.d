@@ -1,0 +1,1 @@
+lib/axml/syntax.ml: Axml_core Axml_xml List String

@@ -1,0 +1,1 @@
+lib/axml/syntax.mli: Axml_core Axml_xml

@@ -1,0 +1,1 @@
+lib/axml/wsdl.ml: Axml_regex Axml_schema Axml_services Axml_xml Fmt List Xml_schema_int

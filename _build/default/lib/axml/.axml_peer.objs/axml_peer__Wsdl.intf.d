@@ -1,0 +1,1 @@
+lib/axml/wsdl.mli: Axml_schema Axml_services Axml_xml

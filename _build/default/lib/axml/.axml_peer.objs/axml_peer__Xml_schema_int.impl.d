@@ -1,0 +1,1 @@
+lib/axml/xml_schema_int.ml: Axml_regex Axml_schema Axml_xml Fmt List String

@@ -1,0 +1,1 @@
+lib/axml/xml_schema_int.mli: Axml_schema Axml_xml

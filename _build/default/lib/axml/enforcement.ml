@@ -1,0 +1,95 @@
+(* The Schema Enforcement module (Section 7): the component that sits on
+   every peer's communication path and guarantees that exchanged data
+   matches the agreed (WSDL_int / exchange) schema. Its three steps:
+     (i)   verify that the data conforms to the schema;
+     (ii)  if not, try to rewrite it into the required structure —
+           safely if it can, optionally falling back to a possible
+           rewriting, optionally pre-firing cheap calls (mixed);
+     (iii) if this fails, report an error. *)
+
+module Schema = Axml_schema.Schema
+module Document = Axml_core.Document
+module Validate = Axml_core.Validate
+module Rewriter = Axml_core.Rewriter
+module Execute = Axml_core.Execute
+
+type config = {
+  k : int;
+  engine : Rewriter.engine;
+  fallback_possible : bool;
+    (* when the safe rewriting does not exist, attempt a possible one *)
+  eager_calls : (string -> bool) option;
+    (* mixed approach: services to invoke up-front (Section 5) *)
+}
+
+let default_config = {
+  k = 1;
+  engine = Rewriter.Lazy;
+  fallback_possible = false;
+  eager_calls = None;
+}
+
+type action =
+  | Conformed            (* step (i): already an instance, nothing to do *)
+  | Rewritten            (* step (ii): safe rewriting *)
+  | Rewritten_possible   (* step (ii): possible rewriting that succeeded *)
+
+type report = {
+  action : action;
+  invocations : Rewriter.located_invocation list;
+}
+
+type error =
+  | Rejected of Rewriter.failure list       (* step (iii) *)
+  | Attempt_failed of Rewriter.failure list (* a possible rewriting failed at run time *)
+
+let pp_error ppf = function
+  | Rejected fs ->
+    Fmt.pf ppf "rejected: %a" Fmt.(list ~sep:(any "; ") Rewriter.pp_failure) fs
+  | Attempt_failed fs ->
+    Fmt.pf ppf "attempt failed: %a" Fmt.(list ~sep:(any "; ") Rewriter.pp_failure) fs
+
+(* Enforce [exchange] on [doc]. [s0] is the local schema (it brings the
+   WSDL declarations of the functions the document may embed). *)
+let enforce ?(config = default_config) ?predicate ~s0 ~exchange
+    ~(invoker : Execute.invoker) (doc : Document.t) :
+    (Document.t * report, error) result =
+  let env = Schema.env_of_schemas ?predicate s0 exchange in
+  (* step (i): validation *)
+  let ctx = Validate.ctx ~env exchange in
+  if Validate.document_violations ctx doc = [] then
+    Ok (doc, { action = Conformed; invocations = [] })
+  else begin
+    (* step (ii): rewriting *)
+    let rw =
+      Rewriter.create ~k:config.k ~engine:config.engine ?predicate ~s0
+        ~target:exchange ()
+    in
+    let doc, pre_invocations =
+      match config.eager_calls with
+      | Some eager -> Rewriter.pre_materialize rw ~eager_calls:eager ~invoker doc
+      | None -> (doc, [])
+    in
+    match Rewriter.materialize ~mode:Rewriter.Safe rw ~invoker doc with
+    | Ok (doc', invs) ->
+      Ok (doc', { action = Rewritten; invocations = pre_invocations @ invs })
+    | Error safe_failures ->
+      if not config.fallback_possible then Error (Rejected safe_failures)
+      else begin
+        match Rewriter.materialize ~mode:Rewriter.Possible_mode rw ~invoker doc with
+        | Ok (doc', invs) ->
+          Ok (doc',
+              { action = Rewritten_possible;
+                invocations = pre_invocations @ invs })
+        | Error fs ->
+          let runtime =
+            List.exists
+              (fun f ->
+                match f.Rewriter.reason with
+                | Rewriter.Execution_failed _ -> true
+                | _ -> false)
+              fs
+          in
+          if runtime then Error (Attempt_failed fs) else Error (Rejected fs)
+      end
+  end

@@ -1,0 +1,40 @@
+(** The Schema Enforcement module (Section 7): the component on every
+    peer's communication path that guarantees exchanged data matches the
+    agreed schema. Its three steps: (i) verify; (ii) if needed, rewrite —
+    safely, optionally falling back to a possible rewriting, optionally
+    pre-firing cheap calls (mixed); (iii) otherwise report an error. *)
+
+type config = {
+  k : int;
+  engine : Axml_core.Rewriter.engine;
+  fallback_possible : bool;
+    (** attempt a possible rewriting when no safe one exists *)
+  eager_calls : (string -> bool) option;
+    (** mixed approach: services to invoke up-front (Section 5) *)
+}
+
+val default_config : config
+(** [k = 1], lazy engine, no fallback, no eager calls. *)
+
+type action =
+  | Conformed           (** already an instance, nothing invoked *)
+  | Rewritten           (** safe rewriting *)
+  | Rewritten_possible  (** possible rewriting that succeeded *)
+
+type report = {
+  action : action;
+  invocations : Axml_core.Rewriter.located_invocation list;
+}
+
+type error =
+  | Rejected of Axml_core.Rewriter.failure list
+  | Attempt_failed of Axml_core.Rewriter.failure list
+    (** a possible rewriting failed at run time *)
+
+val pp_error : error Fmt.t
+
+val enforce :
+  ?config:config -> ?predicate:(string -> string -> bool) ->
+  s0:Axml_schema.Schema.t -> exchange:Axml_schema.Schema.t ->
+  invoker:Axml_core.Execute.invoker -> Axml_core.Document.t ->
+  (Axml_core.Document.t * report, error) result

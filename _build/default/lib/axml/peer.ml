@@ -1,0 +1,271 @@
+(* An ActiveXML peer (Section 7): a repository of intensional documents,
+   a set of provided Web services defined declaratively over the
+   repository, a registry of remote services it can call, and the Schema
+   Enforcement module on every communication path.
+
+   Peers talk through the SOAP wire format of [Soap] even in-process, so
+   every exchange exercises the full serialize / parse / validate path. *)
+
+module Schema = Axml_schema.Schema
+module Document = Axml_core.Document
+module Validate = Axml_core.Validate
+module Rewriter = Axml_core.Rewriter
+module Registry = Axml_services.Registry
+module Service = Axml_services.Service
+
+exception Peer_error of string
+
+type query =
+  | Const of Document.forest
+  | Repository_doc of string
+      (* return the named repository document *)
+  | Repository_path of { doc : string; path : string }
+      (* path query over a repository document *)
+  | Compute of (Document.forest -> Document.forest)
+
+type provided = {
+  p_name : string;
+  p_input : Schema.content;
+  p_output : Schema.content;
+  p_body : query;
+  p_cost : float;
+}
+
+type t = {
+  name : string;
+  mutable schema : Schema.t;  (* the peer's own schema, incl. known WSDLs *)
+  repository : (string, Document.t) Hashtbl.t;
+  registry : Registry.t;      (* remote services this peer can invoke *)
+  provided : (string, provided) Hashtbl.t;
+  mutable enforcement : Enforcement.config;
+  mutable trusted_peers : string list;
+}
+
+let create ?(enforcement = Enforcement.default_config) ~name ~schema () = {
+  name;
+  schema;
+  repository = Hashtbl.create 8;
+  registry = Registry.create ~principal:name ();
+  provided = Hashtbl.create 8;
+  enforcement;
+  trusted_peers = [];
+}
+
+let schema t = t.schema
+let registry t = t.registry
+let set_enforcement t config = t.enforcement <- config
+
+(* ------------------------------------------------------------------ *)
+(* Repository                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let store t name doc = Hashtbl.replace t.repository name doc
+
+let fetch t name =
+  match Hashtbl.find_opt t.repository name with
+  | Some doc -> doc
+  | None -> raise (Peer_error (Fmt.str "peer %s: no document named %S" t.name name))
+
+let documents t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.repository [] |> List.sort compare
+
+(* Path queries over repository documents go through the XML view of the
+   document, so intensional nodes traverse as ordinary <int:fun>
+   elements. *)
+let select t ~doc ~path : Document.forest =
+  let xml = Syntax.to_xml (fetch t doc) in
+  Axml_xml.Xml_path.select path xml
+  |> List.concat_map (Syntax.xml_to_node Axml_xml.Xml_ns.empty_env)
+
+(* ------------------------------------------------------------------ *)
+(* Provided services                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let provide t ?(cost = 0.) ~name ~input ~output body =
+  Hashtbl.replace t.provided name
+    { p_name = name; p_input = input; p_output = output; p_body = body;
+      p_cost = cost };
+  (* the provided service becomes part of the peer's schema (its WSDL) *)
+  match Schema.find_function t.schema name with
+  | Some _ -> ()
+  | None ->
+    t.schema <-
+      Schema.add_function t.schema
+        (Schema.func name ~endpoint:("axml://" ^ t.name) ~input ~output)
+
+let provided_names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.provided [] |> List.sort compare
+
+let eval_query t (q : query) (params : Document.forest) : Document.forest =
+  match q with
+  | Const forest -> forest
+  | Repository_doc name -> [ fetch t name ]
+  | Repository_path { doc; path } -> select t ~doc ~path
+  | Compute f -> f params
+
+(* Serve one call locally, running the Schema Enforcement module on both
+   the parameters and the result (Section 7: "before an ActiveXML
+   service returns its answer, the module performs the same three steps
+   on the returned data"). *)
+let serve t ~method_name (params : Document.forest) : Document.forest =
+  match Hashtbl.find_opt t.provided method_name with
+  | None -> raise (Peer_error (Fmt.str "peer %s provides no service %S" t.name method_name))
+  | Some p ->
+    (* (i)-(iii) on the parameters, against tau_in *)
+    let params =
+      let wrapper_name = "#params" in
+      let s_in =
+        Schema.with_root (Schema.add_element t.schema wrapper_name p.p_input)
+          wrapper_name
+      in
+      let wrapper = Document.elem wrapper_name params in
+      let ctx = Validate.ctx ~env:(Schema.env_of_schema s_in) s_in in
+      if Validate.violations ctx wrapper = [] then params
+      else begin
+        let rw =
+          Rewriter.create ~k:t.enforcement.Enforcement.k
+            ~engine:t.enforcement.Enforcement.engine ~s0:s_in ~target:s_in ()
+        in
+        match
+          Rewriter.materialize rw ~invoker:(Registry.invoker t.registry) wrapper
+        with
+        | Ok (Document.Elem { children; _ }, _) -> children
+        | Ok _ -> raise (Peer_error "parameter enforcement changed the wrapper")
+        | Error fs ->
+          raise
+            (Peer_error
+               (Fmt.str "peer %s: parameters of %s rejected: %a" t.name method_name
+                  Fmt.(list ~sep:(any "; ") Rewriter.pp_failure)
+                  fs))
+      end
+    in
+    let result = eval_query t p.p_body params in
+    (* (i)-(iii) on the result, against tau_out *)
+    let wrapper_name = "#result" in
+    let s_out =
+      Schema.with_root (Schema.add_element t.schema wrapper_name p.p_output)
+        wrapper_name
+    in
+    let wrapper = Document.elem wrapper_name result in
+    let ctx = Validate.ctx ~env:(Schema.env_of_schema s_out) s_out in
+    if Validate.violations ctx wrapper = [] then result
+    else begin
+      let rw =
+        Rewriter.create ~k:t.enforcement.Enforcement.k
+          ~engine:t.enforcement.Enforcement.engine ~s0:s_out ~target:s_out ()
+      in
+      match
+        Rewriter.materialize rw ~invoker:(Registry.invoker t.registry) wrapper
+      with
+      | Ok (Document.Elem { children; _ }, _) -> children
+      | Ok _ -> raise (Peer_error "result enforcement changed the wrapper")
+      | Error fs ->
+        raise
+          (Peer_error
+             (Fmt.str "peer %s: result of %s rejected: %a" t.name method_name
+                Fmt.(list ~sep:(any "; ") Rewriter.pp_failure)
+                fs))
+    end
+
+(* The SOAP endpoint of the peer: a request envelope in, a response (or
+   fault) envelope out. *)
+let handle_wire t (wire : string) : string =
+  match Soap.decode wire with
+  | Soap.Request { method_name; params } ->
+    (try Soap.encode (Soap.Response { method_name; result = serve t ~method_name params })
+     with
+     | Peer_error m -> Soap.encode (Soap.Fault { code = "Client"; reason = m })
+     | e ->
+       Soap.encode
+         (Soap.Fault { code = "Server"; reason = Printexc.to_string e }))
+  | Soap.Response _ | Soap.Fault _ ->
+    Soap.encode (Soap.Fault { code = "Client"; reason = "expected a request" })
+
+(* ------------------------------------------------------------------ *)
+(* Connecting peers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Make every service provided by [provider] callable from [t]: the
+   proxy serializes through SOAP so the exchange is a faithful
+   simulation of the wire protocol. Also imports the provider's WSDL
+   declarations (function signature + referenced element types) into
+   [t]'s schema. *)
+let connect t ~(provider : t) =
+  Hashtbl.iter
+    (fun name (p : provided) ->
+      let behaviour params =
+        let wire = Soap.encode (Soap.Request { method_name = name; params }) in
+        match Soap.decode (handle_wire provider wire) with
+        | Soap.Response { result; _ } -> result
+        | Soap.Fault { reason; _ } ->
+          raise (Peer_error (Fmt.str "remote fault from %s: %s" provider.name reason))
+        | Soap.Request _ -> raise (Peer_error "protocol violation")
+      in
+      let service =
+        Service.make
+          ~endpoint:("axml://" ^ provider.name)
+          ~namespace:"urn:axml:peer" ~cost:p.p_cost ~input:p.p_input
+          ~output:p.p_output name behaviour
+      in
+      Registry.register t.registry service;
+      (* import the WSDL declaration *)
+      (match Schema.find_function t.schema name with
+       | Some _ -> ()
+       | None ->
+         t.schema <-
+           Schema.add_function t.schema (Service.declaration service)))
+    provider.provided;
+  (* element types used by the provider's signatures *)
+  List.iter
+    (fun l ->
+      match Schema.find_element t.schema l, Schema.find_element provider.schema l with
+      | None, Some c -> t.schema <- Schema.add_element t.schema l c
+      | Some _, _ | None, None -> ())
+    (Schema.element_names provider.schema)
+
+(* Call a connected service by name, through the registry (and thus
+   through SOAP). *)
+let call t name params = Registry.invoke t.registry name params
+
+(* ------------------------------------------------------------------ *)
+(* Document exchange                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type exchange_outcome = {
+  sent : Document.t;             (* what went on the wire *)
+  report : Enforcement.report;   (* the sender-side enforcement report *)
+  wire_bytes : int;
+}
+
+(* Send [doc] to [receiver] under the agreed [exchange] schema: the
+   sender's enforcement module materializes what must be materialized,
+   the document crosses the (simulated) wire in XML, and the receiver
+   validates before storing it under [as_name]. *)
+let send t ~(receiver : t) ~exchange ?predicate ~as_name doc :
+    (exchange_outcome, Enforcement.error) result =
+  match
+    Enforcement.enforce ~config:t.enforcement ?predicate ~s0:t.schema ~exchange
+      ~invoker:(Registry.invoker t.registry) doc
+  with
+  | Error e -> Error e
+  | Ok (doc', report) ->
+    let wire = Syntax.to_xml_string ~pretty:false doc' in
+    let received = Syntax.of_xml_string wire in
+    (* receiver-side validation: never trust the sender *)
+    let env = Schema.env_of_schemas ?predicate receiver.schema exchange in
+    let ctx = Validate.ctx ~env exchange in
+    (match Validate.document_violations ctx received with
+     | [] ->
+       store receiver as_name received;
+       Ok { sent = doc'; report; wire_bytes = String.length wire }
+     | violations ->
+       Error
+         (Enforcement.Rejected
+            (List.map
+               (fun v ->
+                 { Rewriter.at = v.Validate.at;
+                   reason =
+                     Rewriter.Unsafe_word
+                       { context = Fmt.str "%a" Validate.pp_violation_kind v.Validate.kind;
+                         word = [] } })
+               violations)))

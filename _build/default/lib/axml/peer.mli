@@ -1,0 +1,84 @@
+(** An ActiveXML peer (Section 7): a repository of intensional
+    documents, a set of provided Web services defined declaratively over
+    the repository, a registry of remote services it can call, and the
+    Schema Enforcement module on every communication path.
+
+    Peers talk through the SOAP wire format of {!Soap} even in-process,
+    so every exchange exercises the full serialize / parse / validate
+    path. *)
+
+exception Peer_error of string
+
+type query =
+  | Const of Axml_core.Document.forest
+  | Repository_doc of string
+  | Repository_path of { doc : string; path : string }
+  | Compute of (Axml_core.Document.forest -> Axml_core.Document.forest)
+
+type t
+
+val create :
+  ?enforcement:Enforcement.config -> name:string ->
+  schema:Axml_schema.Schema.t -> unit -> t
+
+val schema : t -> Axml_schema.Schema.t
+val registry : t -> Axml_services.Registry.t
+val set_enforcement : t -> Enforcement.config -> unit
+
+(** {1 Repository} *)
+
+val store : t -> string -> Axml_core.Document.t -> unit
+val fetch : t -> string -> Axml_core.Document.t
+(** @raise Peer_error on unknown names. *)
+
+val documents : t -> string list
+
+val select : t -> doc:string -> path:string -> Axml_core.Document.forest
+(** Path query over a repository document (through its XML view, so
+    intensional nodes traverse as <int:fun> elements). *)
+
+(** {1 Provided services} *)
+
+val provide :
+  t -> ?cost:float -> name:string -> input:Axml_schema.Schema.content ->
+  output:Axml_schema.Schema.content -> query -> unit
+(** Declare a service; it becomes part of the peer's schema (its WSDL). *)
+
+val provided_names : t -> string list
+
+val serve : t -> method_name:string -> Axml_core.Document.forest ->
+  Axml_core.Document.forest
+(** Serve one call locally, running the enforcement module on both the
+    parameters and the result (the "three steps", Section 7).
+    @raise Peer_error on rejection. *)
+
+val handle_wire : t -> string -> string
+(** The peer's SOAP endpoint: request envelope in, response or fault
+    envelope out. *)
+
+(** {1 Connecting peers} *)
+
+val connect : t -> provider:t -> unit
+(** Make every service provided by [provider] callable from the peer
+    (through SOAP), importing the provider's WSDL declarations into the
+    peer's schema. *)
+
+val call : t -> string -> Axml_core.Document.forest -> Axml_core.Document.forest
+(** Call a connected service by name (through the registry, with full
+    accounting). *)
+
+(** {1 Document exchange} *)
+
+type exchange_outcome = {
+  sent : Axml_core.Document.t;           (** what went on the wire *)
+  report : Enforcement.report;
+  wire_bytes : int;
+}
+
+val send :
+  t -> receiver:t -> exchange:Axml_schema.Schema.t ->
+  ?predicate:(string -> string -> bool) -> as_name:string ->
+  Axml_core.Document.t -> (exchange_outcome, Enforcement.error) result
+(** Sender-side enforcement, wire crossing in XML, receiver-side
+    validation, then storage under [as_name] in the receiver's
+    repository. *)

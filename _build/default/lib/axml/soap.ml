@@ -1,0 +1,95 @@
+(* SOAP-style envelopes for peer-to-peer exchanges: every call between
+   peers serializes its (possibly intensional) parameters and results
+   through this wire format, exercising the same marshalling path a real
+   ActiveXML deployment would. *)
+
+module D = Axml_core.Document
+module T = Axml_xml.Xml_tree
+
+let soap_ns = "http://schemas.xmlsoap.org/soap/envelope/"
+
+exception Protocol_error of string
+
+type message =
+  | Request of { method_name : string; params : D.forest }
+  | Response of { method_name : string; result : D.forest }
+  | Fault of { code : string; reason : string }
+
+let envelope body =
+  T.element
+    ~attrs:[ T.attr "xmlns:soap" soap_ns; T.attr "xmlns:int" Syntax.axml_ns ]
+    "soap:Envelope"
+    [ T.element "soap:Body" [ body ] ]
+
+let wrap_forest tag (forest : D.forest) =
+  T.element tag
+    (List.map (fun d -> Syntax.node_to_xml ~locate:Syntax.default_locator d) forest)
+
+let encode message : string =
+  let body =
+    match message with
+    | Request { method_name; params } ->
+      T.element ~attrs:[ T.attr "method" method_name ] "int:request"
+        [ wrap_forest "int:args" params ]
+    | Response { method_name; result } ->
+      T.element ~attrs:[ T.attr "method" method_name ] "int:response"
+        [ wrap_forest "int:result" result ]
+    | Fault { code; reason } ->
+      T.element "soap:Fault"
+        [ T.element "faultcode" [ T.text code ];
+          T.element "faultstring" [ T.text reason ] ]
+  in
+  Axml_xml.Xml_print.to_string (envelope body)
+
+let forest_of_children env children : D.forest =
+  List.concat_map (Syntax.xml_to_node env) children
+
+let decode (wire : string) : message =
+  let tree =
+    match Axml_xml.Xml_parser.parse_result wire with
+    | Ok t -> t
+    | Error e -> raise (Protocol_error ("malformed envelope: " ^ e))
+  in
+  let root = match tree with
+    | T.Element e -> e
+    | _ -> raise (Protocol_error "envelope is not an element")
+  in
+  let env = Axml_xml.Xml_ns.extend Axml_xml.Xml_ns.empty_env root in
+  let body =
+    match T.child_element root "soap:Body" with
+    | Some b -> b
+    | None -> raise (Protocol_error "no soap:Body")
+  in
+  match T.child_elements body with
+  | [ { T.name = "int:request"; _ } as e ] ->
+    let method_name =
+      match T.attr_value e "method" with
+      | Some m -> m
+      | None -> raise (Protocol_error "request without a method")
+    in
+    let params =
+      match T.child_element e "int:args" with
+      | Some args -> forest_of_children env args.T.children
+      | None -> []
+    in
+    Request { method_name; params }
+  | [ { T.name = "int:response"; _ } as e ] ->
+    let method_name =
+      match T.attr_value e "method" with
+      | Some m -> m
+      | None -> raise (Protocol_error "response without a method")
+    in
+    let result =
+      match T.child_element e "int:result" with
+      | Some r -> forest_of_children env r.T.children
+      | None -> []
+    in
+    Response { method_name; result }
+  | [ { T.name = "soap:Fault"; _ } as e ] ->
+    let text name =
+      match T.child_element e name with
+      | Some el -> T.text_content el
+      | None -> ""
+    in
+    Fault { code = text "faultcode"; reason = text "faultstring" }
+  | _ -> raise (Protocol_error "unrecognized body")

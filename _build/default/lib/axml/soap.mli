@@ -1,0 +1,16 @@
+(** SOAP-style envelopes for peer-to-peer exchanges: every call between
+    peers serializes its (possibly intensional) parameters and results
+    through this wire format. *)
+
+val soap_ns : string
+
+exception Protocol_error of string
+
+type message =
+  | Request of { method_name : string; params : Axml_core.Document.forest }
+  | Response of { method_name : string; result : Axml_core.Document.forest }
+  | Fault of { code : string; reason : string }
+
+val encode : message -> string
+val decode : string -> message
+(** @raise Protocol_error on malformed envelopes. *)

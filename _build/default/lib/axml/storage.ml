@@ -1,0 +1,135 @@
+(* Persistent storage for intensional documents (Section 1: the
+   ActiveXML system "provides persistent storage for intensional
+   documents with embedded calls to Web services").
+
+   A peer's state is a directory:
+
+     <dir>/schema.axml          the peer schema, in XML Schema_int syntax
+     <dir>/docs/<name>.xml      one intensional document per entry
+     <dir>/MANIFEST             one repository entry name per line
+
+   Document file names are percent-encoded so arbitrary repository names
+   round-trip safely. *)
+
+module Document = Axml_core.Document
+
+exception Storage_error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Storage_error m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Name encoding                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let is_safe_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '-' || c = '_' || c = '.'
+
+let encode_name name =
+  let buf = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      if is_safe_char c then Buffer.add_char buf c
+      else Buffer.add_string buf (Fmt.str "%%%02X" (Char.code c)))
+    name;
+  Buffer.contents buf
+
+let decode_name encoded =
+  let buf = Buffer.create (String.length encoded) in
+  let n = String.length encoded in
+  let rec go i =
+    if i < n then begin
+      if encoded.[i] = '%' && i + 2 < n then begin
+        (match int_of_string_opt ("0x" ^ String.sub encoded (i + 1) 2) with
+         | Some code -> Buffer.add_char buf (Char.chr code)
+         | None -> fail "bad escape in stored name %S" encoded);
+        go (i + 3)
+      end
+      else begin
+        Buffer.add_char buf encoded.[i];
+        go (i + 1)
+      end
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* File helpers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  (try output_string oc contents
+   with e -> close_out_noerr oc; raise e);
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let ensure_dir path =
+  if not (Sys.file_exists path) then Sys.mkdir path 0o755
+  else if not (Sys.is_directory path) then fail "%s exists and is not a directory" path
+
+(* ------------------------------------------------------------------ *)
+(* Save / load                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let docs_dir dir = Filename.concat dir "docs"
+let schema_file dir = Filename.concat dir "schema.axml"
+let manifest_file dir = Filename.concat dir "MANIFEST"
+
+(* Save the peer's schema and repository under [dir]. *)
+let save_peer ~dir (peer : Peer.t) =
+  ensure_dir dir;
+  ensure_dir (docs_dir dir);
+  write_file (schema_file dir) (Xml_schema_int.to_string (Peer.schema peer));
+  let names = Peer.documents peer in
+  List.iter
+    (fun name ->
+      let doc = Peer.fetch peer name in
+      write_file
+        (Filename.concat (docs_dir dir) (encode_name name ^ ".xml"))
+        (Syntax.to_xml_string doc))
+    names;
+  write_file (manifest_file dir) (String.concat "\n" names ^ "\n")
+
+(* Load a peer saved by [save_peer]; [name] is the new peer's name. *)
+let load_peer ?enforcement ~dir ~name () : Peer.t =
+  if not (Sys.file_exists (schema_file dir)) then
+    fail "%s does not contain a stored peer (no schema.axml)" dir;
+  let schema =
+    try Xml_schema_int.of_string (read_file (schema_file dir))
+    with Xml_schema_int.Schema_syntax_error m -> fail "stored schema: %s" m
+  in
+  let peer = Peer.create ?enforcement ~name ~schema () in
+  let manifest =
+    if Sys.file_exists (manifest_file dir) then
+      read_file (manifest_file dir)
+      |> String.split_on_char '\n'
+      |> List.filter (fun l -> String.trim l <> "")
+    else []
+  in
+  List.iter
+    (fun doc_name ->
+      let path = Filename.concat (docs_dir dir) (encode_name doc_name ^ ".xml") in
+      if not (Sys.file_exists path) then
+        fail "manifest mentions %S but %s is missing" doc_name path;
+      let doc =
+        try Syntax.of_xml_string (read_file path)
+        with Syntax.Syntax_error m -> fail "stored document %S: %s" doc_name m
+      in
+      Peer.store peer doc_name doc)
+    manifest;
+  peer
+
+(* Standalone document save/load, for ad-hoc use. *)
+let save_document ~path doc = write_file path (Syntax.to_xml_string doc)
+
+let load_document ~path =
+  try Syntax.of_xml_string (read_file path)
+  with Syntax.Syntax_error m -> fail "%s: %s" path m

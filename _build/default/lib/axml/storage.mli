@@ -1,0 +1,21 @@
+(** Persistent storage for intensional documents: a peer's schema and
+    repository serialize to a directory ([schema.axml] in XML Schema_int
+    syntax, one intensional XML file per document, plus a [MANIFEST]).
+    Repository names are percent-encoded into file names, so arbitrary
+    names round-trip. *)
+
+exception Storage_error of string
+
+val encode_name : string -> string
+val decode_name : string -> string
+
+val save_peer : dir:string -> Peer.t -> unit
+(** Creates [dir] (and [dir]/docs) as needed. Services and registry
+    contents are NOT persisted — they are live code. *)
+
+val load_peer :
+  ?enforcement:Enforcement.config -> dir:string -> name:string -> unit -> Peer.t
+(** @raise Storage_error on missing or malformed state. *)
+
+val save_document : path:string -> Axml_core.Document.t -> unit
+val load_document : path:string -> Axml_core.Document.t

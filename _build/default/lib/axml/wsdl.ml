@@ -1,0 +1,101 @@
+(* WSDL_int descriptors (Section 7): self-contained XML descriptions of a
+   service's intensional signature. A descriptor is an XML Schema_int
+   document holding the <function> declaration plus the (transitively)
+   referenced element types, so the receiving peer can type-check calls
+   without any other context. *)
+
+module R = Axml_regex.Regex
+module Schema = Axml_schema.Schema
+module T = Axml_xml.Xml_tree
+module Service = Axml_services.Service
+
+exception Wsdl_error of string
+
+(* Element labels referenced transitively by [contents] in [types]. *)
+let referenced_labels (types : Schema.t) contents =
+  let seen = ref Schema.String_set.empty in
+  let rec visit_content c =
+    List.iter
+      (fun atom ->
+        match atom with
+        | Schema.A_label l -> visit_label l
+        | Schema.A_fun _ | Schema.A_pattern _ | Schema.A_data
+        | Schema.A_any_element | Schema.A_any_fun -> ())
+      (Schema.atoms_of_content c)
+  and visit_label l =
+    if not (Schema.String_set.mem l !seen) then begin
+      seen := Schema.String_set.add l !seen;
+      match Schema.find_element types l with
+      | Some c -> visit_content c
+      | None -> ()
+    end
+  in
+  List.iter visit_content contents;
+  Schema.String_set.elements !seen
+
+(* The WSDL_int document of [service], with element types drawn from
+   [types]. *)
+let describe ~(types : Schema.t) (service : Service.t) : T.t =
+  let decl = Service.declaration service in
+  let labels =
+    referenced_labels types [ decl.Schema.f_input; decl.Schema.f_output ]
+  in
+  let schema =
+    List.fold_left
+      (fun s l ->
+        match Schema.find_element types l with
+        | Some c -> Schema.add_element s l c
+        | None -> raise (Wsdl_error (Fmt.str "type %S is not declared" l)))
+      Schema.empty labels
+  in
+  let schema = Schema.add_function schema decl in
+  Xml_schema_int.to_xml schema
+
+let describe_string ?(pretty = true) ~types service =
+  let xml = describe ~types service in
+  if pretty then Axml_xml.Xml_print.to_pretty_string ~xml_decl:true xml
+  else Axml_xml.Xml_print.to_string xml
+
+(* Parse a WSDL_int descriptor back into the function declaration plus
+   the element types it carries. *)
+let parse (tree : T.t) : Schema.func * Schema.t =
+  let schema =
+    try Xml_schema_int.of_xml tree
+    with Xml_schema_int.Schema_syntax_error m -> raise (Wsdl_error m)
+  in
+  match Schema.function_names schema with
+  | [ name ] ->
+    (match Schema.find_function schema name with
+     | Some f -> (f, schema)
+     | None -> assert false)
+  | [] -> raise (Wsdl_error "descriptor declares no function")
+  | _ -> raise (Wsdl_error "descriptor declares several functions")
+
+let parse_string input =
+  match Axml_xml.Xml_parser.parse_result input with
+  | Ok tree -> parse tree
+  | Error e -> raise (Wsdl_error ("malformed XML: " ^ e))
+
+(* Import a parsed descriptor into a schema: add the function and any
+   missing element types (existing declarations win). *)
+let import (schema : Schema.t) (f, types) =
+  let schema =
+    List.fold_left
+      (fun s l ->
+        match Schema.find_element s l, Schema.find_element types l with
+        | Some _, _ -> s
+        | None, Some c -> Schema.add_element s l c
+        | None, None -> s)
+      schema (Schema.element_names types)
+  in
+  match Schema.find_function schema f.Schema.f_name with
+  | Some existing ->
+    if R.equal (fun a b -> a = b) existing.Schema.f_input f.Schema.f_input
+       && R.equal (fun a b -> a = b) existing.Schema.f_output f.Schema.f_output
+    then schema
+    else
+      raise
+        (Wsdl_error
+           (Fmt.str "function %S is already declared with another signature"
+              f.Schema.f_name))
+  | None -> Schema.add_function schema f

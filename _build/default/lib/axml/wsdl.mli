@@ -1,0 +1,31 @@
+(** WSDL_int descriptors (Section 7): self-contained XML descriptions of
+    a service's intensional signature — the function declaration plus
+    the transitively referenced element types, so the receiving peer can
+    type-check calls without any other context. *)
+
+exception Wsdl_error of string
+
+val referenced_labels :
+  Axml_schema.Schema.t -> Axml_schema.Schema.content list -> string list
+
+val describe :
+  types:Axml_schema.Schema.t -> Axml_services.Service.t -> Axml_xml.Xml_tree.t
+(** @raise Wsdl_error when a referenced element type is missing from
+    [types]. *)
+
+val describe_string :
+  ?pretty:bool -> types:Axml_schema.Schema.t -> Axml_services.Service.t -> string
+
+val parse :
+  Axml_xml.Xml_tree.t -> Axml_schema.Schema.func * Axml_schema.Schema.t
+(** The function declaration and the element types it carries. *)
+
+val parse_string : string -> Axml_schema.Schema.func * Axml_schema.Schema.t
+
+val import :
+  Axml_schema.Schema.t ->
+  Axml_schema.Schema.func * Axml_schema.Schema.t ->
+  Axml_schema.Schema.t
+(** Add the function and any missing element types to a schema; existing
+    element declarations win. @raise Wsdl_error on a signature
+    conflict. *)

@@ -1,0 +1,355 @@
+(* XML Schema_int (Section 7): the XML syntax for intensional schemas —
+   XML Schema restricted to the constructs the paper uses, extended with
+   <function> and <functionPattern> declarations and references.
+
+     <schema root="newspaper">
+       <element name="newspaper">
+         <sequence>
+           <element ref="title"/>
+           <element ref="date"/>
+           <choice>
+             <functionPattern ref="Forecast"/>
+             <element ref="temp"/>
+           </choice>
+           <choice>
+             <function ref="TimeOut"/>
+             <element ref="exhibit" minOccurs="0" maxOccurs="unbounded"/>
+           </choice>
+         </sequence>
+       </element>
+       <element name="title"><data/></element>
+       <function name="Get_Temp" endpointURL="..." namespaceURI="...">
+         <params><param><element ref="city"/></param></params>
+         <return><element ref="temp"/></return>
+       </function>
+       <functionPattern id="Forecast" predicates="UDDIF InACL">
+         <params><param><element ref="city"/></param></params>
+         <return><element ref="temp"/></return>
+       </functionPattern>
+     </schema>
+
+   Particles: element / function / functionPattern references, <data/>,
+   <any/>, <anyFunction/>, and the compositors <sequence>, <choice>,
+   <all>; every particle takes minOccurs (default 1) and maxOccurs
+   (default 1, or "unbounded"). <complexType> wrappers are accepted and
+   transparent, as in the paper's examples. *)
+
+module R = Axml_regex.Regex
+module Schema = Axml_schema.Schema
+module T = Axml_xml.Xml_tree
+
+exception Schema_syntax_error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Schema_syntax_error m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let occurs (e : T.element) =
+  let min =
+    match T.attr_value e "minOccurs" with
+    | None -> 1
+    | Some v ->
+      (try int_of_string v with Failure _ -> fail "bad minOccurs %S" v)
+  in
+  let max =
+    match T.attr_value e "maxOccurs" with
+    | None -> Some 1
+    | Some "unbounded" -> None
+    | Some v ->
+      (try Some (int_of_string v) with Failure _ -> fail "bad maxOccurs %S" v)
+  in
+  (min, max)
+
+let with_occurs e regex =
+  let min, max = occurs e in
+  R.repeat ~min ~max regex
+
+(* All permutations of a list (for <all>; guarded small). *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y != x) l in
+        List.map (fun p -> x :: p) (permutations rest))
+      l
+
+let rec particle (node : T.t) : Schema.content option =
+  match node with
+  | T.Text s when T.is_whitespace s -> None
+  | T.Comment _ | T.Pi _ -> None
+  | T.Text _ | T.Cdata _ -> fail "unexpected character data in a content model"
+  | T.Element e ->
+    let ref_name what =
+      match T.attr_value e "ref" with
+      | Some r -> r
+      | None -> fail "<%s> inside a content model needs a ref attribute" what
+    in
+    let base =
+      match e.T.name with
+      | "element" -> R.sym (Schema.A_label (ref_name "element"))
+      | "function" -> R.sym (Schema.A_fun (ref_name "function"))
+      | "functionPattern" -> R.sym (Schema.A_pattern (ref_name "functionPattern"))
+      | "data" -> R.sym Schema.A_data
+      | "any" -> R.sym Schema.A_any_element
+      | "anyFunction" -> R.sym Schema.A_any_fun
+      | "empty" -> R.epsilon
+      | "sequence" -> R.seq_list (particles e.T.children)
+      | "choice" ->
+        (match particles e.T.children with
+         | [] -> fail "<choice> needs at least one alternative"
+         | ps -> R.alt_list ps)
+      | "all" ->
+        let ps = particles e.T.children in
+        if List.length ps > 5 then
+          fail "<all> supports at most 5 children (compiled via permutations)";
+        R.alt_list (List.map R.seq_list (permutations ps))
+      | other -> fail "unknown content particle <%s>" other
+    in
+    Some (with_occurs e base)
+
+and particles children = List.filter_map particle children
+
+(* The single content particle of a declaration, looking through an
+   optional <complexType> wrapper; a missing particle means empty
+   content. *)
+let content_of (e : T.element) : Schema.content =
+  let children =
+    match T.child_element e "complexType" with
+    | Some ct -> ct.T.children
+    | None -> e.T.children
+  in
+  match particles children with
+  | [] -> R.epsilon
+  | [ p ] -> p
+  | ps -> R.seq_list ps  (* tolerate an implicit sequence *)
+
+let signature_of (e : T.element) : Schema.content * Schema.content =
+  let input =
+    match T.child_element e "params" with
+    | None -> R.epsilon
+    | Some params ->
+      R.seq_list
+        (List.filter_map
+           (function
+             | T.Element pe when pe.T.name = "param" ->
+               (match particles pe.T.children with
+                | [ p ] -> Some p
+                | [] -> fail "<param> needs a content particle"
+                | ps -> Some (R.seq_list ps))
+             | T.Text s when T.is_whitespace s -> None
+             | T.Comment _ | T.Pi _ -> None
+             | _ -> fail "<params> may only contain <param> elements")
+           params.T.children)
+  in
+  let output =
+    match T.child_element e "return", T.child_element e "result" with
+    | Some r, _ | None, Some r ->
+      (match particles r.T.children with
+       | [] -> R.epsilon
+       | [ p ] -> p
+       | ps -> R.seq_list ps)
+    | None, None -> R.epsilon
+  in
+  (input, output)
+
+let bool_attr e name default =
+  match T.attr_value e name with
+  | None -> default
+  | Some "true" -> true
+  | Some "false" -> false
+  | Some v -> fail "bad boolean attribute %s=%S" name v
+
+let of_xml (tree : T.t) : Schema.t =
+  let root_elem =
+    match tree with
+    | T.Element e when e.T.name = "schema" -> e
+    | T.Element e -> fail "expected a <schema> root, found <%s>" e.T.name
+    | _ -> fail "expected a <schema> root element"
+  in
+  let schema = ref Schema.empty in
+  (match T.attr_value root_elem "root" with
+   | Some r -> schema := Schema.with_root !schema r
+   | None -> ());
+  List.iter
+    (fun node ->
+      match node with
+      | T.Element e ->
+        (match e.T.name with
+         | "element" ->
+           let name =
+             match T.attr_value e "name" with
+             | Some n -> n
+             | None -> fail "top-level <element> needs a name"
+           in
+           schema := Schema.add_element !schema name (content_of e)
+         | "function" ->
+           let name =
+             match T.attr_value e "name", T.attr_value e "methodName" with
+             | Some n, _ -> n
+             | None, Some n -> n
+             | None, None -> fail "top-level <function> needs a name"
+           in
+           let input, output = signature_of e in
+           let invocable = bool_attr e "invocable" true in
+           schema :=
+             Schema.add_function !schema
+               (Schema.func ~invocable
+                  ?endpoint:(T.attr_value e "endpointURL")
+                  ?namespace:(T.attr_value e "namespaceURI")
+                  name ~input ~output)
+         | "functionPattern" ->
+           let name =
+             match T.attr_value e "id", T.attr_value e "name" with
+             | Some n, _ -> n
+             | None, Some n -> n
+             | None, None -> fail "top-level <functionPattern> needs an id"
+           in
+           let input, output = signature_of e in
+           let invocable = bool_attr e "invocable" true in
+           let predicates =
+             match T.attr_value e "predicates" with
+             | None -> []
+             | Some p ->
+               String.split_on_char ' ' p |> List.filter (fun s -> s <> "")
+           in
+           schema :=
+             Schema.add_pattern !schema
+               (Schema.pattern ~invocable ~predicates name ~input ~output)
+         | other -> fail "unknown top-level declaration <%s>" other)
+      | T.Text s when T.is_whitespace s -> ()
+      | T.Comment _ | T.Pi _ -> ()
+      | _ -> fail "unexpected content at the top level of the schema")
+    root_elem.T.children;
+  (try Schema.check !schema
+   with Schema.Schema_error e -> fail "%a" Schema.pp_error e);
+  !schema
+
+let of_string input =
+  match Axml_xml.Xml_parser.parse_result input with
+  | Ok tree -> of_xml tree
+  | Error e -> fail "malformed XML: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let atom_particle = function
+  | Schema.A_label l -> T.element ~attrs:[ T.attr "ref" l ] "element" []
+  | Schema.A_fun f -> T.element ~attrs:[ T.attr "ref" f ] "function" []
+  | Schema.A_pattern p -> T.element ~attrs:[ T.attr "ref" p ] "functionPattern" []
+  | Schema.A_data -> T.element "data" []
+  | Schema.A_any_element -> T.element "any" []
+  | Schema.A_any_fun -> T.element "anyFunction" []
+
+let with_attr name value (node : T.t) =
+  match node with
+  | T.Element e -> T.Element { e with attrs = e.T.attrs @ [ T.attr name value ] }
+  | other -> other
+
+let rec content_to_particle (c : Schema.content) : T.t =
+  match c with
+  | R.Empty -> fail "cannot serialize an empty-language content model"
+  | R.Epsilon -> T.element "empty" []
+  | R.Sym a -> atom_particle a
+  | R.Seq _ ->
+    let rec flatten = function
+      | R.Seq (a, b) -> flatten a @ flatten b
+      | r -> [ content_to_particle r ]
+    in
+    T.element "sequence" (flatten c)
+  | R.Alt _ ->
+    let rec flatten = function
+      | R.Alt (a, b) -> flatten a @ flatten b
+      | r -> [ content_to_particle r ]
+    in
+    T.element "choice" (flatten c)
+  | R.Star r -> wrap_occurs "0" "unbounded" r
+  | R.Plus r -> wrap_occurs "1" "unbounded" r
+  | R.Opt r -> wrap_occurs "0" "1" r
+
+and wrap_occurs min max (r : Schema.content) : T.t =
+  match r with
+  | R.Sym a ->
+    atom_particle a |> with_attr "minOccurs" min |> with_attr "maxOccurs" max
+  | _ ->
+    T.element
+      ~attrs:[ T.attr "minOccurs" min; T.attr "maxOccurs" max ]
+      "sequence"
+      [ content_to_particle r ]
+
+let signature_children input output =
+  let params =
+    match (input : Schema.content) with
+    | R.Epsilon -> []
+    | _ ->
+      let rec split = function
+        | R.Seq (a, b) -> split a @ split b
+        | r -> [ r ]
+      in
+      [ T.element "params"
+          (List.map
+             (fun p -> T.element "param" [ content_to_particle p ])
+             (split input)) ]
+  in
+  let ret =
+    match (output : Schema.content) with
+    | R.Epsilon -> []
+    | _ -> [ T.element "return" [ content_to_particle output ] ]
+  in
+  params @ ret
+
+let to_xml (s : Schema.t) : T.t =
+  let decls = ref [] in
+  Schema.String_map.iter
+    (fun name content ->
+      let body =
+        match (content : Schema.content) with
+        | R.Epsilon -> []
+        | c -> [ content_to_particle c ]
+      in
+      decls := T.element ~attrs:[ T.attr "name" name ] "element" body :: !decls)
+    s.Schema.elements;
+  Schema.String_map.iter
+    (fun name (f : Schema.func) ->
+      let attrs =
+        [ T.attr "name" name ]
+        @ (match f.Schema.f_endpoint with
+           | Some e -> [ T.attr "endpointURL" e ]
+           | None -> [])
+        @ (match f.Schema.f_namespace with
+           | Some n -> [ T.attr "namespaceURI" n ]
+           | None -> [])
+        @ (if f.Schema.f_invocable then [] else [ T.attr "invocable" "false" ])
+      in
+      decls :=
+        T.element ~attrs "function"
+          (signature_children f.Schema.f_input f.Schema.f_output)
+        :: !decls)
+    s.Schema.functions;
+  Schema.String_map.iter
+    (fun name (p : Schema.pattern) ->
+      let attrs =
+        [ T.attr "id" name ]
+        @ (if p.Schema.p_predicates = [] then []
+           else [ T.attr "predicates" (String.concat " " p.Schema.p_predicates) ])
+        @ (if p.Schema.p_invocable then [] else [ T.attr "invocable" "false" ])
+      in
+      decls :=
+        T.element ~attrs "functionPattern"
+          (signature_children p.Schema.p_input p.Schema.p_output)
+        :: !decls)
+    s.Schema.patterns;
+  let attrs =
+    match s.Schema.root with
+    | Some r -> [ T.attr "root" r ]
+    | None -> []
+  in
+  T.element ~attrs "schema" (List.rev !decls)
+
+let to_string ?(pretty = true) s =
+  let xml = to_xml s in
+  if pretty then Axml_xml.Xml_print.to_pretty_string ~xml_decl:true xml
+  else Axml_xml.Xml_print.to_string xml

@@ -1,0 +1,26 @@
+(** XML Schema_int (Section 7): the XML syntax for intensional schemas —
+    XML Schema restricted to the constructs the paper uses, extended
+    with [<function>] and [<functionPattern>] declarations and
+    references.
+
+    Particles: [<element ref>], [<function ref>],
+    [<functionPattern ref>], [<data/>], [<any/>], [<anyFunction/>], and
+    the compositors [<sequence>], [<choice>], [<all>] (compiled through
+    permutations, at most 5 children); every particle takes [minOccurs]
+    (default 1) and [maxOccurs] (default 1, or ["unbounded"]).
+    [<complexType>] wrappers are accepted and transparent. Functions and
+    patterns declare their signature with [<params><param>…] and
+    [<return>…]. *)
+
+exception Schema_syntax_error of string
+
+val of_xml : Axml_xml.Xml_tree.t -> Axml_schema.Schema.t
+(** @raise Schema_syntax_error (also on well-formedness violations). *)
+
+val of_string : string -> Axml_schema.Schema.t
+
+val to_xml : Axml_schema.Schema.t -> Axml_xml.Xml_tree.t
+(** Inverse up to language equivalence of every content model
+    (property-tested). *)
+
+val to_string : ?pretty:bool -> Axml_schema.Schema.t -> string

@@ -1,0 +1,1 @@
+lib/core/bitvec.ml: Bytes Char

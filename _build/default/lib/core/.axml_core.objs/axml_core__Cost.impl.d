@@ -1,0 +1,1 @@
+lib/core/cost.ml: Array Axml_schema Bitvec Float Fork_automaton Hashtbl List Marking Option Possible Product Queue Set

@@ -1,0 +1,1 @@
+lib/core/cost.mli: Fork_automaton Marking Possible

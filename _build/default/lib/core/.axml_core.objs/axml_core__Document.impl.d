@@ -1,0 +1,1 @@
+lib/core/document.ml: Axml_schema Fmt List String

@@ -1,0 +1,1 @@
+lib/core/document.mli: Axml_schema Fmt

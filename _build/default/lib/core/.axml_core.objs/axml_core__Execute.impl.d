@@ -1,0 +1,1 @@
+lib/core/execute.ml: Axml_schema Document Float Fork_automaton Hashtbl List Marking Option Possible Product

@@ -1,0 +1,1 @@
+lib/core/execute.mli: Document Marking Possible

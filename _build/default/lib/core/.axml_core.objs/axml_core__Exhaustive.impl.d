@@ -1,0 +1,1 @@
+lib/core/exhaustive.ml: Axml_regex Axml_schema Hashtbl List

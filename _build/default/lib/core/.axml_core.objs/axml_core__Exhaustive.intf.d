@@ -1,0 +1,1 @@
+lib/core/exhaustive.mli: Axml_regex Axml_schema

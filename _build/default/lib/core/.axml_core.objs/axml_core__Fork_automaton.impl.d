@@ -1,0 +1,1 @@
+lib/core/fork_automaton.ml: Array Axml_regex Axml_schema Fmt Hashtbl List Option Vec

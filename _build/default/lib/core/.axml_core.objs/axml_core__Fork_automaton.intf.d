@@ -1,0 +1,1 @@
+lib/core/fork_automaton.mli: Axml_schema Fmt

@@ -1,0 +1,1 @@
+lib/core/generate.ml: Array Axml_regex Axml_schema Document Fmt List Random

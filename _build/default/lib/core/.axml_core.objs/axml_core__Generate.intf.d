@@ -1,0 +1,1 @@
+lib/core/generate.mli: Axml_regex Axml_schema Document

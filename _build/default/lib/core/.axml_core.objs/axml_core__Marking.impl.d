@@ -1,0 +1,1 @@
+lib/core/marking.ml: Array Bitvec Fork_automaton Hashtbl List Product Queue Vec

@@ -1,0 +1,1 @@
+lib/core/possible.ml: Bitvec Hashtbl List Product Queue

@@ -1,0 +1,1 @@
+lib/core/possible.mli: Bitvec Product

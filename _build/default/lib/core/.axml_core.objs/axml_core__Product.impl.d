@@ -1,0 +1,1 @@
+lib/core/product.ml: Axml_schema Fork_automaton Hashtbl List Map Vec

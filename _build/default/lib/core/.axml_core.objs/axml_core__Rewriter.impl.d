@@ -1,0 +1,1 @@
+lib/core/rewriter.ml: Axml_regex Axml_schema Document Execute Fmt Fork_automaton Hashtbl List Marking Option Possible Product String

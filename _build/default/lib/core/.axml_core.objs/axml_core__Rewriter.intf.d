@@ -1,0 +1,1 @@
+lib/core/rewriter.mli: Axml_regex Axml_schema Document Execute Fmt Marking Possible Product

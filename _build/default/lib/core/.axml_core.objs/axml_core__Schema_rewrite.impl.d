@@ -1,0 +1,1 @@
+lib/core/schema_rewrite.ml: Axml_regex Axml_schema Fmt List Queue Rewriter

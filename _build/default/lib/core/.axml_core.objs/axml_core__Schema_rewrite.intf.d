@@ -1,0 +1,1 @@
+lib/core/schema_rewrite.mli: Axml_schema Rewriter

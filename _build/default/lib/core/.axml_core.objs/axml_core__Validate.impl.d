@@ -1,0 +1,1 @@
+lib/core/validate.ml: Axml_regex Axml_schema Document Fmt Hashtbl List Option String

@@ -1,0 +1,30 @@
+(* A growable bit vector; reads beyond the current size are false. *)
+
+type t = { mutable data : Bytes.t }
+
+let create () = { data = Bytes.make 16 '\000' }
+
+let ensure t i =
+  let needed = (i / 8) + 1 in
+  if needed > Bytes.length t.data then begin
+    let bigger = Bytes.make (max needed (2 * Bytes.length t.data)) '\000' in
+    Bytes.blit t.data 0 bigger 0 (Bytes.length t.data);
+    t.data <- bigger
+  end
+
+let get t i =
+  let byte = i / 8 in
+  if byte >= Bytes.length t.data then false
+  else Char.code (Bytes.get t.data byte) land (1 lsl (i mod 8)) <> 0
+
+let set t i =
+  ensure t i;
+  let byte = i / 8 in
+  Bytes.set t.data byte
+    (Char.chr (Char.code (Bytes.get t.data byte) lor (1 lsl (i mod 8))))
+
+let clear t i =
+  ensure t i;
+  let byte = i / 8 in
+  Bytes.set t.data byte
+    (Char.chr (Char.code (Bytes.get t.data byte) land lnot (1 lsl (i mod 8)) land 0xff))

@@ -1,0 +1,8 @@
+(** A growable bit vector; reads beyond the current size are [false]. *)
+
+type t
+
+val create : unit -> t
+val get : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit

@@ -1,0 +1,26 @@
+(** Invocation-cost planning — Figure 3 step 23 and Figure 9 step (d):
+    "to minimize the rewriting cost, chose a path with minimal
+    number/cost of function invocations". *)
+
+type fn = string -> float
+(** The fee of invoking a function (e.g. [Service.cost] via the
+    registry); [fun _ -> 1.] counts invocations. *)
+
+val edge_weight : Fork_automaton.t -> cost:fn -> int -> float
+(** Fee paid when taking the given A_w^k edge: the service fee on a
+    fork's invoke option, [0.] elsewhere. *)
+
+val possible_costs : Possible.t -> cost:fn -> int -> float
+(** Per product node, the minimal total fee of reaching acceptance
+    ([infinity] when none is reachable), by Dijkstra on the product. *)
+
+val possible_min_cost : Possible.t -> cost:fn -> float option
+(** Cheapest total fee of a successful rewriting, assuming services
+    cooperate; [None] when the rewriting is impossible. *)
+
+val safe_worst_cost : Marking.t -> cost:fn -> float option
+(** [None] when the word is not safely rewritable; otherwise the
+    guaranteed worst-case fee bound of the rewriter's best strategy,
+    over all honest service behaviours. [Some infinity] when the
+    adversary can force unboundedly many paid invocations (e.g. a
+    starred output whose every element must be invoked). *)

@@ -1,0 +1,57 @@
+(** Intensional documents (Definition 1): ordered labeled trees whose
+    nodes are either data nodes (elements and atomic values) or function
+    nodes (embedded service calls). The children of a function node are
+    its call parameters; invoking the call replaces the node by the
+    returned forest (Definition 4, footnote 3). *)
+
+type t =
+  | Elem of { label : string; children : t list }
+  | Data of string
+  | Call of { name : string; params : t list }
+
+type forest = t list
+
+val elem : string -> t list -> t
+val data : string -> t
+val call : string -> t list -> t
+
+val symbol : t -> Axml_schema.Symbol.t
+(** The letter a node contributes to its parent's children word. *)
+
+val word : forest -> Axml_schema.Symbol.t list
+
+val children : t -> t list
+(** Children of an element, parameters of a call, [[]] for data. *)
+
+val count_nodes : t -> int
+val count_calls : t -> int
+val is_extensional : t -> bool
+(** No embedded call anywhere. *)
+
+val depth : t -> int
+val equal : t -> t -> bool
+val equal_forest : forest -> forest -> bool
+
+(** {1 Paths} — node addresses as child-index sequences from the root *)
+
+type path = int list
+
+val pp_path : path Fmt.t
+val get : t -> path -> t option
+
+val splice : t -> path -> forest -> t
+(** Replace the node at [path] by a forest (the semantics of invoking a
+    call node). @raise Invalid_argument on an empty or dangling path. *)
+
+val calls_with_paths : t -> (path * string) list
+(** Every function node, in document order. *)
+
+val call_nesting : t -> int
+(** Nesting depth of calls inside call parameters; [0] when no call has
+    a call among its parameters. *)
+
+(** {1 Printing} — a compact term-like form: [newspaper[title["x"], @F(p)]] *)
+
+val pp : t Fmt.t
+val pp_forest : forest Fmt.t
+val to_string : t -> string

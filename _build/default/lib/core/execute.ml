@@ -1,0 +1,201 @@
+(* Executing a word-level rewriting against real services (steps 19-23 of
+   Figure 3 and steps 7-10 of Figure 9).
+
+   The materializer walks the concrete children forest left-to-right
+   while tracking the corresponding product node. At every function
+   occurrence the strategy decides between the two fork options:
+     - SAFE mode follows only unmarked nodes; the game guarantees the
+       walk cannot get stuck, whatever the services return;
+     - POSSIBLE mode follows only live nodes and *backtracks* when a
+       call's actual return value leaves every live path (Figure 9c).
+   A call is invoked at most once per occurrence: its result is cached,
+   so backtracking re-examines recorded outputs rather than re-firing
+   side effects. Invocations are reported in chronological order.
+
+   When a service returns a forest that is not an output instance of its
+   declared type, the walk cannot step; SAFE mode reports this as
+   [Ill_typed_output] (it is a service contract violation, not a
+   rewriting failure). *)
+
+module Symbol = Axml_schema.Symbol
+module Auto = Axml_schema.Auto
+
+type invoker = string -> Document.forest -> Document.forest
+
+type invocation = {
+  inv_name : string;
+  inv_params : Document.forest;
+  inv_result : Document.forest;
+}
+
+type strategy =
+  | Follow_safe of Marking.t
+  | Follow_possible of Possible.t
+
+exception Ill_typed_output of { fname : string; returned : Document.forest }
+
+type outcome = {
+  materialized : Document.forest;
+  invocations : invocation list;
+}
+
+let product_of = function
+  | Follow_safe m -> m.Marking.product
+  | Follow_possible pos -> pos.Possible.product
+
+let good_of = function
+  | Follow_safe m -> fun nid -> not (Marking.is_marked m nid)
+  | Follow_possible pos -> fun nid -> Possible.is_live pos nid
+
+(* [run strategy invoker items] materializes the forest [items]; [None]
+   means a possible rewriting attempt failed (never happens in SAFE mode
+   with honest services).
+
+   [plan] optionally estimates, per product node, the remaining
+   invocation fees (e.g. [Cost.possible_costs]); when given, the
+   alternatives at each choice point are tried cheapest-estimate first
+   instead of the default keep-first order — the cost minimization of
+   Figure 3 step 23 / Figure 9 step d. [fee] prices an invoke option's
+   immediate cost (default free). *)
+let run ?plan ?(fee = fun _ -> 0.) strategy invoker (items : Document.forest) :
+    outcome option =
+  let p = product_of strategy in
+  let good = good_of strategy in
+  let fork = Product.fork p in
+  let invocations = ref [] in
+  let cache : (int, (int * Document.t) list) Hashtbl.t = Hashtbl.create 8 in
+  let counter = ref 0 in
+  let wrap forest =
+    List.map (fun d -> incr counter; (!counter, d)) forest
+  in
+  let step nid eid =
+    match List.assoc_opt eid (Product.succ p nid) with
+    | Some tgt -> tgt
+    | None -> assert false
+  in
+  let invoke_once id fname params =
+    match Hashtbl.find_opt cache id with
+    | Some wrapped -> wrapped
+    | None ->
+      let returned = invoker fname params in
+      invocations := { inv_name = fname; inv_params = params; inv_result = returned }
+                     :: !invocations;
+      let wrapped = wrap returned in
+      Hashtbl.add cache id wrapped;
+      wrapped
+  in
+  (* [process items nid stop k]: consume [items] from product node [nid];
+     when exhausted, require [stop q] and call [k emitted nid_end].
+     Returns true as soon as one alternative succeeds. *)
+  let rec process items nid stop k =
+    match items with
+    | [] -> stop (Product.node p nid).Product.q && k [] nid
+    | (id, item) :: rest ->
+      let sym = Document.symbol item in
+      let q = (Product.node p nid).Product.q in
+      let edges = Fork_automaton.out_edges fork q in
+      (* 1. keep moves: follow an edge labeled with this symbol *)
+      let keep_moves =
+        List.filter
+          (fun eid ->
+            match (Fork_automaton.edge fork eid).Fork_automaton.label with
+            | Some s -> Symbol.equal s sym
+            | None -> false)
+          edges
+      in
+      let try_keep eid =
+        let tgt = step nid eid in
+        good tgt
+        && process rest tgt stop (fun emitted nid' -> k (item :: emitted) nid')
+      in
+      (* 2. invoke moves: only for function occurrences with a fork here *)
+      let invoke_moves =
+        match sym with
+        | Symbol.Fun _ ->
+          List.filter_map
+            (fun eid ->
+              match Fork_automaton.fork_of_edge fork eid with
+              | Some f when eid = f.Fork_automaton.keep_edge -> Some f
+              | Some _ | None -> None)
+            keep_moves
+        | Symbol.Label _ | Symbol.Data -> []
+      in
+      let try_invoke (f : Fork_automaton.fork) =
+        let invoke_tgt = step nid f.Fork_automaton.invoke_edge in
+        good invoke_tgt
+        && begin
+          let params = Document.children item in
+          let wrapped = invoke_once id f.Fork_automaton.fname params in
+          let in_copy q = Auto.Int_set.mem q f.Fork_automaton.copy_finals in
+          process wrapped invoke_tgt in_copy (fun inner nid_end ->
+              let q_end = (Product.node p nid_end).Product.q in
+              match Fork_automaton.exit_edge fork f q_end with
+              | None -> false
+              | Some exit_eid ->
+                let exit_tgt = step nid_end exit_eid in
+                good exit_tgt
+                && process rest exit_tgt stop (fun emitted nid' ->
+                       k (inner @ emitted) nid'))
+        end
+      in
+      (match plan with
+       | None ->
+         (* default greedy order: prefer not invoking — fewer side
+            effects, and free *)
+         List.exists try_keep keep_moves
+         || List.exists try_invoke invoke_moves
+       | Some estimate ->
+         (* cost-guided order: cheapest estimated remainder first *)
+         let candidates =
+           List.map
+             (fun eid -> (estimate (step nid eid), `Keep eid))
+             keep_moves
+           @ List.map
+               (fun (f : Fork_automaton.fork) ->
+                 ( fee f.Fork_automaton.fname
+                   +. estimate (step nid f.Fork_automaton.invoke_edge),
+                   `Invoke f ))
+               invoke_moves
+         in
+         let ordered =
+           List.sort (fun (c1, _) (c2, _) -> Float.compare c1 c2) candidates
+         in
+         List.exists
+           (fun (_, move) ->
+             match move with
+             | `Keep eid -> try_keep eid
+             | `Invoke f -> try_invoke f)
+           ordered)
+  in
+  let result = ref None in
+  let top_stop q = q = fork.Fork_automaton.final in
+  let initial = Product.initial p in
+  let ok =
+    good initial
+    && process (wrap items) initial top_stop (fun emitted nid ->
+           if Product.good_accepting p nid then begin
+             result := Some emitted;
+             true
+           end
+           else false)
+  in
+  if ok then
+    Option.map
+      (fun materialized ->
+        { materialized; invocations = List.rev !invocations })
+      !result
+  else begin
+    (match strategy with
+     | Follow_safe _ ->
+       (* A safe verdict cannot fail unless a service broke its
+          contract: find the offending cached invocation for reporting. *)
+       let offender =
+         List.find_opt (fun _ -> true) !invocations
+       in
+       (match offender with
+        | Some inv ->
+          raise (Ill_typed_output { fname = inv.inv_name; returned = inv.inv_result })
+        | None -> ())
+     | Follow_possible _ -> ());
+    None
+  end

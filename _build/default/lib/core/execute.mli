@@ -1,0 +1,48 @@
+(** Executing a word-level rewriting against real services (steps 19-23
+    of Figure 3 and 7-10 of Figure 9).
+
+    The materializer walks the concrete children forest left-to-right,
+    tracking the corresponding product node. At every function
+    occurrence the strategy decides between the fork options:
+    - {!Follow_safe} follows only unmarked nodes; the game guarantees
+      the walk cannot get stuck, whatever honest services return;
+    - {!Follow_possible} follows only live nodes and backtracks when a
+      call's actual return leaves every live path.
+
+    A call fires at most once per occurrence: results are cached, so
+    backtracking re-examines recorded outputs instead of re-firing side
+    effects. *)
+
+type invoker = string -> Document.forest -> Document.forest
+(** [invoker name params] performs the service call. *)
+
+type invocation = {
+  inv_name : string;
+  inv_params : Document.forest;
+  inv_result : Document.forest;
+}
+
+type strategy =
+  | Follow_safe of Marking.t
+  | Follow_possible of Possible.t
+
+exception Ill_typed_output of { fname : string; returned : Document.forest }
+(** A service broke its WSDL contract during a safe execution. *)
+
+type outcome = {
+  materialized : Document.forest;
+  invocations : invocation list;  (** chronological *)
+}
+
+val run :
+  ?plan:(int -> float) -> ?fee:(string -> float) ->
+  strategy -> invoker -> Document.forest -> outcome option
+(** [None] means a possible-rewriting attempt failed at run time (it
+    cannot happen in safe mode with honest services —
+    @raise Ill_typed_output there instead).
+
+    [plan] optionally estimates, per product node, the remaining
+    invocation fees (e.g. [Cost.possible_costs]); alternatives are then
+    tried cheapest first — the cost minimization of Figure 3 step 23 /
+    Figure 9 step (d) — instead of the default keep-first greedy order.
+    [fee] prices an invoke option's immediate cost. *)

@@ -1,0 +1,41 @@
+(** Brute-force reference semantics for the rewriting games, usable when
+    every output type has a finite language (star-free signatures).
+
+    The automata engines are property-tested against {!safe} and
+    {!possible}; {!safe_arbitrary} plays the game with NO left-to-right
+    restriction, exhibiting the paper's Section 3 remark that the
+    restriction "can miss a successful rewriting". *)
+
+exception Not_star_free
+
+val enum_language :
+  Axml_schema.Symbol.t Axml_regex.Regex.t -> Axml_schema.Symbol.t list list
+(** The finite language of a star-free regex. @raise Not_star_free. *)
+
+val outputs_of_env :
+  Axml_schema.Schema.env ->
+  string -> Axml_schema.Symbol.t list list option
+(** Memoized finite output sets of the environment's functions; [None]
+    for non-invocable functions, unknown names and empty output
+    languages. *)
+
+val safe :
+  outputs:(string -> Axml_schema.Symbol.t list list option) ->
+  target_dfa:Axml_schema.Auto.Dfa.t -> k:int ->
+  Axml_schema.Symbol.t list -> bool
+(** The k-depth left-to-right SAFE game, by exhaustive search —
+    reference for [Marking]. *)
+
+val possible :
+  outputs:(string -> Axml_schema.Symbol.t list list option) ->
+  target_dfa:Axml_schema.Auto.Dfa.t -> k:int ->
+  Axml_schema.Symbol.t list -> bool
+(** Existential variant — reference for [Possible]. *)
+
+val safe_arbitrary :
+  outputs:(string -> Axml_schema.Symbol.t list list option) ->
+  target_dfa:Axml_schema.Auto.Dfa.t -> k:int ->
+  Axml_schema.Symbol.t list -> bool
+(** The k-depth game with invocations in ANY order: the rewriter may
+    probe a right sibling before committing on a left one. Implied by
+    {!safe}; strictly more permissive in general. *)

@@ -1,0 +1,180 @@
+(* The automaton A_w^k of Figure 3 (lines 5-10): a finite representation
+   of every word derivable from the children word [w] by a k-depth
+   left-to-right rewriting.
+
+   Construction: start from the linear automaton accepting [w] as a
+   single word; then, for k rounds, around every untreated edge labeled
+   with an invocable function [f], splice a fresh copy of the (Glushkov)
+   automaton of tau_out(f), linked by epsilon moves. The edge's source
+   becomes a "fork node": keeping the function edge means "do not invoke
+   f here", taking the epsilon edge into the copy means "invoke f and the
+   adversary (the service) picks a word of its output type". *)
+
+module R = Axml_regex.Regex
+module Schema = Axml_schema.Schema
+module Symbol = Axml_schema.Symbol
+module Auto = Axml_schema.Auto
+
+type edge = { src : int; label : Symbol.t option; dst : int }
+
+type fork = {
+  fork_node : int;
+  fname : string;
+  keep_edge : int;      (* id of the function-labeled edge (the "do not invoke" option) *)
+  invoke_edge : int;    (* id of the epsilon edge into the copy (the "invoke" option) *)
+  copy_finals : Auto.Int_set.t;  (* absolute ids of the copy's accepting states *)
+  exit_node : int;      (* the node u the copy exits to *)
+  round : int;          (* 1-based round (rewriting depth) that created the copy *)
+}
+
+type t = {
+  nstates : int;
+  start : int;
+  final : int;
+  edges : edge array;
+  out : int list array;             (* outgoing edge ids, by source node *)
+  forks : fork array;
+  forks_at : int list array;        (* fork indices, by fork node *)
+  fork_of_edge : int array;         (* edge id -> fork index, or -1 *)
+  word_length : int;
+}
+
+type stats = { states : int; edges : int; forks : int }
+
+let stats (t : t) = { states = t.nstates; edges = Array.length t.edges; forks = Array.length t.forks }
+
+(* [build ~env ~k w] builds A_w^k. Output types are taken from [env]
+   (the merged sender + exchange schemas, Section 4's assumption that
+   both agree on function definitions). Non-invocable functions and
+   functions with no known signature never fork: their edges stay as
+   plain letters. *)
+let build ~(env : Schema.env) ~k (w : Symbol.t list) =
+  let nstates = ref 0 in
+  let fresh () = let s = !nstates in incr nstates; s in
+  let edges : edge Vec.t = Vec.create ~dummy:{ src = 0; label = None; dst = 0 } in
+  let forks : fork Vec.t =
+    Vec.create
+      ~dummy:{ fork_node = 0; fname = ""; keep_edge = 0; invoke_edge = 0;
+               copy_finals = Auto.Int_set.empty; exit_node = 0; round = 0 }
+  in
+  let add_edge src label dst = Vec.push edges { src; label; dst } in
+  (* memoized compiled output NFAs per function name *)
+  let output_nfas : (string, Auto.Nfa.t option) Hashtbl.t = Hashtbl.create 8 in
+  let output_nfa fname =
+    match Hashtbl.find_opt output_nfas fname with
+    | Some cached -> cached
+    | None ->
+      let computed =
+        match Schema.String_map.find_opt fname env.Schema.env_functions with
+        | None -> None
+        | Some f ->
+          if not f.Schema.f_invocable then None
+          else begin
+            let regex = Schema.compile_content env f.Schema.f_output in
+            if R.is_empty_language regex then None
+            else Some (Auto.Nfa.glushkov regex)
+          end
+      in
+      Hashtbl.add output_nfas fname computed;
+      computed
+  in
+  (* the base word automaton *)
+  let start = fresh () in
+  let untreated = ref [] in
+  let final =
+    List.fold_left
+      (fun prev sym ->
+        let next = fresh () in
+        let eid = add_edge prev (Some sym) next in
+        (match sym with
+         | Symbol.Fun fname ->
+           if Option.is_some (output_nfa fname) then untreated := eid :: !untreated
+         | Symbol.Label _ | Symbol.Data -> ());
+        next)
+      start w
+  in
+  (* k expansion rounds *)
+  for round = 1 to k do
+    let batch = List.rev !untreated in
+    untreated := [];
+    List.iter
+      (fun keep_eid ->
+        let e = Vec.get edges keep_eid in
+        let fname =
+          match e.label with
+          | Some (Symbol.Fun f) -> f
+          | Some (Symbol.Label _ | Symbol.Data) | None -> assert false
+        in
+        match output_nfa fname with
+        | None -> ()
+        | Some nfa ->
+          let offset = !nstates in
+          for _ = 1 to nfa.Auto.Nfa.size do ignore (fresh ()) done;
+          (* copy the (epsilon-free) Glushkov edges *)
+          Auto.Int_map.iter
+            (fun src row ->
+              Auto.Sym_map.iter
+                (fun sym dsts ->
+                  Auto.Int_set.iter
+                    (fun dst ->
+                      let eid = add_edge (offset + src) (Some sym) (offset + dst) in
+                      (match sym with
+                       | Symbol.Fun g ->
+                         if round < k && Option.is_some (output_nfa g) then
+                           untreated := eid :: !untreated
+                       | Symbol.Label _ | Symbol.Data -> ());
+                      ())
+                    dsts)
+                row)
+            nfa.Auto.Nfa.delta;
+          let invoke_eid = add_edge e.src None (offset + nfa.Auto.Nfa.start) in
+          let copy_finals =
+            Auto.Int_set.map (fun q -> offset + q) nfa.Auto.Nfa.finals
+          in
+          Auto.Int_set.iter
+            (fun qf -> ignore (add_edge qf None e.dst))
+            copy_finals;
+          ignore
+            (Vec.push forks
+               { fork_node = e.src; fname; keep_edge = keep_eid;
+                 invoke_edge = invoke_eid; copy_finals; exit_node = e.dst; round }))
+      batch
+  done;
+  let nstates = !nstates in
+  let edges = Array.init (Vec.length edges) (Vec.get edges) in
+  let out = Array.make nstates [] in
+  Array.iteri (fun eid e -> out.(e.src) <- eid :: out.(e.src)) edges;
+  Array.iteri (fun s lst -> out.(s) <- List.rev lst) out;
+  let forks = Array.init (Vec.length forks) (Vec.get forks) in
+  let forks_at = Array.make nstates [] in
+  let fork_of_edge = Array.make (Array.length edges) (-1) in
+  Array.iteri
+    (fun fid f ->
+      forks_at.(f.fork_node) <- fid :: forks_at.(f.fork_node);
+      fork_of_edge.(f.keep_edge) <- fid;
+      fork_of_edge.(f.invoke_edge) <- fid)
+    forks;
+  { nstates; start; final; edges; out; forks; forks_at; fork_of_edge;
+    word_length = List.length w }
+
+(* Edge ids leaving [node]. *)
+let out_edges (t : t) node = t.out.(node)
+
+let edge (t : t) eid = t.edges.(eid)
+
+let fork_of_edge (t : t) eid =
+  let fid = t.fork_of_edge.(eid) in
+  if fid < 0 then None else Some t.forks.(fid)
+
+(* The exit epsilon-edge of [fork] leaving [node] (a copy final). *)
+let exit_edge (t : t) (f : fork) node =
+  List.find_opt
+    (fun eid ->
+      let e = t.edges.(eid) in
+      e.label = None && e.dst = f.exit_node && t.fork_of_edge.(eid) < 0)
+    t.out.(node)
+
+let pp ppf (t : t) =
+  let s = stats t in
+  Fmt.pf ppf "A_w^k: %d states, %d edges, %d forks (|w|=%d)"
+    s.states s.edges s.forks t.word_length

@@ -1,0 +1,53 @@
+(** The automaton A_w^k of Figure 3 (lines 5-10): a finite
+    representation of every word derivable from the children word [w] by
+    a k-depth left-to-right rewriting.
+
+    Construction: start from the linear automaton accepting [w]; for [k]
+    rounds, around every untreated edge labeled with an invocable
+    function [f], splice a fresh copy of the Glushkov automaton of
+    [tau_out f], linked by epsilon moves. The edge's source becomes a
+    {e fork node}: keeping the function edge means "do not invoke f
+    here"; the epsilon edge into the copy means "invoke f, and the
+    adversary (the service) picks a word of its output type". *)
+
+type edge = { src : int; label : Axml_schema.Symbol.t option; dst : int }
+(** [label = None] is an epsilon move. *)
+
+type fork = {
+  fork_node : int;
+  fname : string;
+  keep_edge : int;    (** the function-labeled edge ("do not invoke") *)
+  invoke_edge : int;  (** the epsilon edge into the copy ("invoke") *)
+  copy_finals : Axml_schema.Auto.Int_set.t;
+    (** absolute ids of the copy's accepting states *)
+  exit_node : int;    (** the node the copy exits to *)
+  round : int;        (** 1-based round (rewriting depth) of the copy *)
+}
+
+type t = {
+  nstates : int;
+  start : int;
+  final : int;
+  edges : edge array;
+  out : int list array;
+  forks : fork array;
+  forks_at : int list array;
+  fork_of_edge : int array;  (** edge id -> fork index, or -1 *)
+  word_length : int;
+}
+
+type stats = { states : int; edges : int; forks : int }
+
+val build : env:Axml_schema.Schema.env -> k:int -> Axml_schema.Symbol.t list -> t
+(** Output types come from [env] (the merged sender + exchange schemas).
+    Non-invocable functions, unknown functions and empty output
+    languages never fork. *)
+
+val stats : t -> stats
+val out_edges : t -> int -> int list
+val edge : t -> int -> edge
+val fork_of_edge : t -> int -> fork option
+val exit_edge : t -> fork -> int -> int option
+(** The exit epsilon-edge of a fork's copy leaving a given copy-final. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,33 @@
+(** Random instance generation: documents, output instances and words
+    drawn from a schema. Drives the property-based tests and the
+    honest-random service oracles ("the adversary picks any output
+    instance", Definition 4). *)
+
+exception Generation_failed of string
+
+type t
+
+val create :
+  ?seed:int -> ?max_depth:int -> ?call_probability:float ->
+  ?env:Axml_schema.Schema.env -> Axml_schema.Schema.t -> t
+(** [max_depth] is a hard recursion cutoff
+    (@raise Generation_failed beyond it, e.g. on unboundedly recursive
+    schemas). *)
+
+val sample_word :
+  t -> ?fuel:int -> Axml_schema.Symbol.t Axml_regex.Regex.t ->
+  Axml_schema.Symbol.t list
+(** A random word of a compiled content model; [fuel] bounds star
+    unrollings. *)
+
+val instance : t -> string -> Document.t
+(** A random instance of an element type. *)
+
+val document : t -> Document.t
+(** A random instance of the schema's distinguished root. *)
+
+val output_instance : t -> string -> Document.forest
+(** What an honest service implementing the signature may return. *)
+
+val input_instance : t -> string -> Document.forest
+(** Valid call parameters for the function. *)

@@ -1,0 +1,215 @@
+(* The marking game of Figure 3 (steps 15-18), deciding SAFE rewriting.
+
+   A product node is *marked* ("bad") when the adversary — the services,
+   which choose actual output words — can force the completed word out of
+   the target language no matter which invoke/keep choices the rewriter
+   makes:
+     - a node where the word is complete but not in the language is
+       marked (the accepting states of A_w^k x complement(R));
+     - a non-fork successor marked => the node is marked (the adversary
+       picks the letter);
+     - a fork whose BOTH options are marked => the node is marked (the
+       rewriter has no good choice left).
+   A safe rewriting exists iff the initial node is unmarked; the
+   rewriter's strategy is "always move to an unmarked node".
+
+   Two exploration policies build the same fixpoint:
+     - [analyze_eager]: materialize every reachable product node first,
+       then propagate marks — the literal algorithm of Figure 3;
+     - [analyze_lazy]: the optimized variant of Section 7 (Figure 12) —
+       construct on demand, mark complement-sink nodes immediately
+       (empty subsets), never expand nodes already known marked, and stop
+       as soon as the initial node is marked. *)
+
+type kind =
+  | Plain                       (* adversary edge *)
+  | Keep_half of int            (* rewriter fork, "do not invoke" option; pair id *)
+  | Invoke_half of int          (* rewriter fork, "invoke" option; pair id *)
+
+type pair = { owner : int; mutable keep_marked : bool; mutable invoke_marked : bool }
+
+type stats = {
+  explored_nodes : int;         (* product nodes whose successors were computed *)
+  discovered_nodes : int;       (* product nodes created *)
+  marked_nodes : int;
+  pruned : int;                 (* nodes never expanded thanks to pruning *)
+}
+
+type t = {
+  product : Product.t;
+  marked : Bitvec.t;
+  safe : bool;
+  stats : stats;
+}
+
+let is_marked t nid = Bitvec.get t.marked nid
+
+type builder = {
+  p : Product.t;
+  marks : Bitvec.t;
+  rev : (int, (int * kind) list ref) Hashtbl.t;
+  pairs : pair Vec.t;
+  pair_ids : (int * int, int) Hashtbl.t;  (* (node, fork id) -> pair id *)
+  work : int Queue.t;                     (* freshly marked nodes to propagate *)
+  mutable nmarked : int;
+}
+
+let new_builder p = {
+  p;
+  marks = Bitvec.create ();
+  rev = Hashtbl.create 256;
+  pairs = Vec.create ~dummy:{ owner = 0; keep_marked = false; invoke_marked = false };
+  pair_ids = Hashtbl.create 64;
+  work = Queue.create ();
+  nmarked = 0;
+}
+
+let rev_list b nid =
+  match Hashtbl.find_opt b.rev nid with
+  | Some l -> l
+  | None ->
+    let l = ref [] in
+    Hashtbl.add b.rev nid l;
+    l
+
+let rec mark b nid =
+  if not (Bitvec.get b.marks nid) then begin
+    Bitvec.set b.marks nid;
+    b.nmarked <- b.nmarked + 1;
+    Queue.add nid b.work;
+    drain b
+  end
+
+(* Apply the game rule for one incoming edge of a marked node. *)
+and apply_rule b (pred, kind) =
+  match kind with
+  | Plain -> mark b pred
+  | Keep_half pid ->
+    let pair = Vec.get b.pairs pid in
+    if not pair.keep_marked then begin
+      pair.keep_marked <- true;
+      if pair.invoke_marked then mark b pair.owner
+    end
+  | Invoke_half pid ->
+    let pair = Vec.get b.pairs pid in
+    if not pair.invoke_marked then begin
+      pair.invoke_marked <- true;
+      if pair.keep_marked then mark b pair.owner
+    end
+
+and drain b =
+  while not (Queue.is_empty b.work) do
+    let nid = Queue.take b.work in
+    match Hashtbl.find_opt b.rev nid with
+    | None -> ()
+    | Some preds -> List.iter (apply_rule b) !preds
+  done
+
+(* Register the product edge [pred --kind--> tgt]; if the target is
+   already marked the rule fires immediately. *)
+let register_edge b pred kind tgt =
+  let l = rev_list b tgt in
+  l := (pred, kind) :: !l;
+  if Bitvec.get b.marks tgt then apply_rule b (pred, kind)
+
+let pair_id b nid fid =
+  match Hashtbl.find_opt b.pair_ids (nid, fid) with
+  | Some pid -> pid
+  | None ->
+    let pid =
+      Vec.push b.pairs { owner = nid; keep_marked = false; invoke_marked = false }
+    in
+    Hashtbl.add b.pair_ids (nid, fid) pid;
+    pid
+
+(* Expand one node: compute successors and register reverse edges with
+   their game kinds. *)
+let expand b nid =
+  let fork = Product.fork b.p in
+  List.iter
+    (fun (eid, tgt) ->
+      let kind =
+        match Fork_automaton.fork_of_edge fork eid with
+        | None -> Plain
+        | Some f ->
+          let fid =
+            (* recover the fork index from the edge tables *)
+            fork.Fork_automaton.fork_of_edge.(eid)
+          in
+          let pid = pair_id b nid fid in
+          if eid = f.Fork_automaton.keep_edge then Keep_half pid
+          else Invoke_half pid
+      in
+      register_edge b nid kind tgt)
+    (Product.succ b.p nid)
+
+let finish b ~explored ~pruned =
+  let discovered = Product.node_count b.p in
+  { product = b.p;
+    marked = b.marks;
+    safe = not (Bitvec.get b.marks (Product.initial b.p));
+    stats = { explored_nodes = explored; discovered_nodes = discovered;
+              marked_nodes = b.nmarked; pruned } }
+
+(* ------------------------------------------------------------------ *)
+(* Eager: Figure 3 verbatim                                            *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_eager p =
+  let b = new_builder p in
+  let seen = Bitvec.create () in
+  let frontier = Queue.create () in
+  let discover nid =
+    if not (Bitvec.get seen nid) then begin
+      Bitvec.set seen nid;
+      if Product.bad_accepting p nid then mark b nid;
+      Queue.add nid frontier
+    end
+  in
+  discover (Product.initial p);
+  let explored = ref 0 in
+  while not (Queue.is_empty frontier) do
+    let nid = Queue.take frontier in
+    incr explored;
+    expand b nid;
+    List.iter (fun (_, tgt) -> discover tgt) (Product.succ p nid)
+  done;
+  finish b ~explored:!explored ~pruned:0
+
+(* ------------------------------------------------------------------ *)
+(* Lazy: Section 7's pruned construction                               *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_lazy p =
+  let b = new_builder p in
+  let seen = Bitvec.create () in
+  let frontier = Queue.create () in
+  let initial = Product.initial p in
+  let discover nid =
+    if not (Bitvec.get seen nid) then begin
+      Bitvec.set seen nid;
+      (* sink rule: an empty subset is the complement's accepting sink —
+         mark immediately, and never expand (pruning idea 1) *)
+      if Product.subset_is_dead p nid then mark b nid
+      else if Product.bad_accepting p nid then mark b nid;
+      Queue.add nid frontier
+    end
+  in
+  discover initial;
+  let explored = ref 0 in
+  let pruned = ref 0 in
+  (try
+     while not (Queue.is_empty frontier) do
+       if Bitvec.get b.marks initial then raise Exit;
+       let nid = Queue.take frontier in
+       if Bitvec.get b.marks nid then
+         (* pruning idea 2: no point exploring beyond a marked node *)
+         incr pruned
+       else begin
+         incr explored;
+         expand b nid;
+         List.iter (fun (_, tgt) -> discover tgt) (Product.succ p nid)
+       end
+     done
+   with Exit -> ());
+  finish b ~explored:!explored ~pruned:!pruned

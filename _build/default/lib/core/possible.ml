@@ -1,0 +1,78 @@
+(* POSSIBLE rewriting (Figure 9): does *some* choice of invocations and
+   some choice of service outputs turn the word into the target language?
+   In automata terms: is the intersection of A_w^k with the target
+   language non-empty — i.e. can the initial product node reach a node
+   where the word is complete and inside the language?
+
+   All edges are existential here (no adversary), so the analysis is a
+   plain backward reachability from the good-accepting nodes: [live]
+   nodes are those with some outgoing path to acceptance (step 5 of
+   Figure 9). The extracted rewriting only *may* succeed; execution
+   (Execute) backtracks when a call's actual return value falls off every
+   live path, as prescribed by step (c) of Figure 9. *)
+
+type stats = { discovered_nodes : int; live_nodes : int }
+
+type t = {
+  product : Product.t;
+  live : Bitvec.t;
+  possible : bool;
+  stats : stats;
+}
+
+let is_live t nid = Bitvec.get t.live nid
+
+let analyze p =
+  (* forward exploration of the full reachable product *)
+  let seen = Bitvec.create () in
+  let rev : (int, int list ref) Hashtbl.t = Hashtbl.create 256 in
+  let accepting = ref [] in
+  let frontier = Queue.create () in
+  let discover nid =
+    if not (Bitvec.get seen nid) then begin
+      Bitvec.set seen nid;
+      if Product.good_accepting p nid then accepting := nid :: !accepting;
+      Queue.add nid frontier
+    end
+  in
+  discover (Product.initial p);
+  while not (Queue.is_empty frontier) do
+    let nid = Queue.take frontier in
+    (* skip expanding dead subsets: nothing reachable from them accepts *)
+    if not (Product.subset_is_dead p nid) then
+      List.iter
+        (fun (_, tgt) ->
+          let l =
+            match Hashtbl.find_opt rev tgt with
+            | Some l -> l
+            | None ->
+              let l = ref [] in
+              Hashtbl.add rev tgt l;
+              l
+          in
+          l := nid :: !l;
+          discover tgt)
+        (Product.succ p nid)
+  done;
+  (* backward reachability from accepting nodes *)
+  let live = Bitvec.create () in
+  let nlive = ref 0 in
+  let back = Queue.create () in
+  let mark_live nid =
+    if not (Bitvec.get live nid) then begin
+      Bitvec.set live nid;
+      incr nlive;
+      Queue.add nid back
+    end
+  in
+  List.iter mark_live !accepting;
+  while not (Queue.is_empty back) do
+    let nid = Queue.take back in
+    match Hashtbl.find_opt rev nid with
+    | None -> ()
+    | Some preds -> List.iter mark_live !preds
+  done;
+  { product = p;
+    live;
+    possible = Bitvec.get live (Product.initial p);
+    stats = { discovered_nodes = Product.node_count p; live_nodes = !nlive } }

@@ -1,0 +1,136 @@
+(* The cartesian product of A_w^k with the target language automaton,
+   built on the fly.
+
+   Instead of materializing the complete deterministic complement of the
+   target schema (Figure 3, step c), the right-hand component is the
+   *subset* of target-NFA states reached so far — determinization on
+   demand. Every subset decision the complement DFA would make is
+   available locally:
+     - the empty subset is exactly the complement's accepting *sink*
+       (the first pruning idea of Section 7 / Figure 12);
+     - "complement-accepting" = the subset contains no final state;
+     - "target-accepting" (for possible rewriting, Figure 9) = the subset
+       contains a final state.
+   Both the eager algorithm of Figure 3 and the lazy variant of Section 7
+   drive this same structure; so does Figure 9's possible rewriting. *)
+
+module Symbol = Axml_schema.Symbol
+module Auto = Axml_schema.Auto
+
+module Subset_map = Map.Make (struct
+  type t = Auto.Int_set.t
+  let compare = Auto.Int_set.compare
+end)
+
+module Node_map = Map.Make (struct
+  type t = int * int
+  let compare = compare
+end)
+
+type node = { q : int; subset : int }
+
+type t = {
+  fork : Fork_automaton.t;
+  target : Auto.Nfa.t;
+  (* interned subsets of target states *)
+  subsets : Auto.Int_set.t Vec.t;
+  mutable subset_ids : int Subset_map.t;
+  subset_steps : (int * Symbol.t, int) Hashtbl.t;  (* memoized moves *)
+  (* interned product nodes *)
+  nodes : node Vec.t;
+  mutable node_ids : int Node_map.t;
+  succs : (int, (int * int) list) Hashtbl.t;  (* nid -> (edge id, target nid) *)
+  initial : int;
+}
+
+let intern_subset t set =
+  match Subset_map.find_opt set t.subset_ids with
+  | Some id -> id
+  | None ->
+    let id = Vec.push t.subsets set in
+    t.subset_ids <- Subset_map.add set id t.subset_ids;
+    id
+
+let intern_node t q subset =
+  match Node_map.find_opt (q, subset) t.node_ids with
+  | Some id -> id
+  | None ->
+    let id = Vec.push t.nodes { q; subset } in
+    t.node_ids <- Node_map.add (q, subset) id t.node_ids;
+    id
+
+let create ~fork ~target =
+  let t =
+    { fork; target;
+      subsets = Vec.create ~dummy:Auto.Int_set.empty;
+      subset_ids = Subset_map.empty;
+      subset_steps = Hashtbl.create 64;
+      nodes = Vec.create ~dummy:{ q = 0; subset = 0 };
+      node_ids = Node_map.empty;
+      succs = Hashtbl.create 64;
+      initial = 0 }
+  in
+  let start_set = Auto.Nfa.eps_closure target (Auto.Int_set.singleton target.Auto.Nfa.start) in
+  let sid = intern_subset t start_set in
+  let initial = intern_node t fork.Fork_automaton.start sid in
+  assert (initial = 0);
+  t
+
+let initial t = t.initial
+let node t nid = Vec.get t.nodes nid
+let node_count t = Vec.length t.nodes
+
+let subset_step t sid sym =
+  match Hashtbl.find_opt t.subset_steps (sid, sym) with
+  | Some id -> id
+  | None ->
+    let set = Vec.get t.subsets sid in
+    let next = Auto.Nfa.step_set t.target set sym in
+    let id = intern_subset t next in
+    Hashtbl.add t.subset_steps (sid, sym) id;
+    id
+
+(* Successors of a product node: one per A_w^k edge leaving its q.
+   Epsilon edges leave the subset untouched. Memoized. *)
+let succ t nid =
+  match Hashtbl.find_opt t.succs nid with
+  | Some s -> s
+  | None ->
+    let { q; subset } = Vec.get t.nodes nid in
+    let s =
+      List.map
+        (fun eid ->
+          let e = Fork_automaton.edge t.fork eid in
+          let subset' =
+            match e.Fork_automaton.label with
+            | None -> subset
+            | Some sym -> subset_step t subset sym
+          in
+          (eid, intern_node t e.Fork_automaton.dst subset'))
+        (Fork_automaton.out_edges t.fork q)
+    in
+    Hashtbl.add t.succs nid s;
+    s
+
+(* Word completed (q is the final state of A_w^k). *)
+let word_done t nid = (node t nid).q = t.fork.Fork_automaton.final
+
+(* Is the subset "dead": no continuation can reach the target language,
+   and the current prefix is not in it. This is the complement's
+   accepting sink. *)
+let subset_is_dead t nid =
+  Auto.Int_set.is_empty (Vec.get t.subsets (node t nid).subset)
+
+(* Does the current subset contain a target-accepting state? *)
+let subset_accepting t nid =
+  let set = Vec.get t.subsets (node t nid).subset in
+  not (Auto.Int_set.is_empty (Auto.Int_set.inter set t.target.Auto.Nfa.finals))
+
+(* Bad-accepting for SAFE rewriting: the word is complete but not in the
+   target language (an accepting state of A_w^k x complement(R)). *)
+let bad_accepting t nid = word_done t nid && not (subset_accepting t nid)
+
+(* Good-accepting for POSSIBLE rewriting: complete and in the language. *)
+let good_accepting t nid = word_done t nid && subset_accepting t nid
+
+let fork t = t.fork

@@ -1,0 +1,50 @@
+(** The cartesian product of A_w^k with the target language automaton,
+    built on the fly.
+
+    Instead of materializing the complete deterministic complement of
+    the target schema (Figure 3, step c), the right-hand component is
+    the {e subset} of target-NFA states reached so far — determinization
+    on demand. Every decision the complement DFA would make is available
+    locally:
+    - the empty subset is exactly the complement's accepting {e sink}
+      (the first pruning idea of Section 7 / Figure 12);
+    - "complement-accepting" = the subset contains no final state;
+    - "target-accepting" (for possible rewriting, Figure 9) = it does.
+
+    Both the eager algorithm of Figure 3 and the lazy variant of
+    Section 7 drive this same structure; so does Figure 9's possible
+    rewriting. *)
+
+type node = { q : int; subset : int }
+(** [q] is an A_w^k state; [subset] an interned set of target states. *)
+
+type t
+
+val create : fork:Fork_automaton.t -> target:Axml_schema.Auto.Nfa.t -> t
+
+val initial : t -> int
+val node : t -> int -> node
+val node_count : t -> int
+(** Product nodes discovered so far (the structure is lazy). *)
+
+val succ : t -> int -> (int * int) list
+(** Successors of a node: [(A_w^k edge id, target node id)] pairs, one
+    per edge leaving its [q]. Memoized; discovers new nodes. *)
+
+val word_done : t -> int -> bool
+(** Is [q] the final state of A_w^k (word complete)? *)
+
+val subset_is_dead : t -> int -> bool
+(** Empty subset: no continuation can reach the target language — the
+    complement's accepting sink. *)
+
+val subset_accepting : t -> int -> bool
+
+val bad_accepting : t -> int -> bool
+(** Complete but outside the language: an accepting state of
+    A_w^k x complement(R) (SAFE rewriting's bad states). *)
+
+val good_accepting : t -> int -> bool
+(** Complete and inside the language (POSSIBLE rewriting's goals). *)
+
+val fork : t -> Fork_automaton.t

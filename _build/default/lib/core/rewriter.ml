@@ -1,0 +1,273 @@
+(* The full rewriting engine of Sections 3-5: given a document (or a
+   word) of the sender schema [s0] and an agreed exchange schema
+   [target], decide safe / possible rewritability and materialize the
+   document accordingly.
+
+   Tree algorithm (Section 4): parameters of function nodes are handled
+   before the functions themselves (the recursion below materializes a
+   node's interior — parameter subtrees included — before rewriting its
+   children word, which yields exactly the paper's deepest-first order),
+   and every node's children word is rewritten against the content model
+   of its type; forests returned by invoked services are spliced in as-is
+   (footnote 5: since s0 and the exchange schema agree on function
+   signatures, returned data needs no further rewriting). *)
+
+module R = Axml_regex.Regex
+module Schema = Axml_schema.Schema
+module Symbol = Axml_schema.Symbol
+module Auto = Axml_schema.Auto
+
+type engine = Eager | Lazy
+
+type t = {
+  env : Schema.env;
+  s0 : Schema.t;
+  target : Schema.t;
+  k : int;
+  engine : engine;
+  element_regexes : (string, Symbol.t R.t option) Hashtbl.t;
+  input_regexes : (string, Symbol.t R.t option) Hashtbl.t;
+}
+
+let create ?(k = 1) ?(engine = Lazy) ?predicate ~s0 ~target () =
+  let env = Schema.env_of_schemas ?predicate s0 target in
+  { env; s0; target; k; engine;
+    element_regexes = Hashtbl.create 16;
+    input_regexes = Hashtbl.create 16 }
+
+let env t = t.env
+
+let memo table key compute =
+  match Hashtbl.find_opt table key with
+  | Some v -> v
+  | None ->
+    let v = compute () in
+    Hashtbl.add table key v;
+    v
+
+(* Content model of element [label] in the *target* schema. *)
+let element_regex t label =
+  memo t.element_regexes label (fun () ->
+      Option.map (Schema.compile_content t.env) (Schema.find_element t.target label))
+
+(* Input type of function [fname], from the merged environment (the WSDL
+   of every known service). *)
+let input_regex t fname =
+  memo t.input_regexes fname (fun () ->
+      Option.map
+        (fun (f : Schema.func) -> Schema.compile_content t.env f.Schema.f_input)
+        (Schema.String_map.find_opt fname t.env.Schema.env_functions))
+
+(* ------------------------------------------------------------------ *)
+(* Word-level interface                                                *)
+(* ------------------------------------------------------------------ *)
+
+let word_product t ~target_regex word =
+  let fork = Fork_automaton.build ~env:t.env ~k:t.k word in
+  let nfa = Auto.Nfa.glushkov target_regex in
+  Product.create ~fork ~target:nfa
+
+let word_safe_analysis t ~target_regex word =
+  let p = word_product t ~target_regex word in
+  match t.engine with
+  | Eager -> Marking.analyze_eager p
+  | Lazy -> Marking.analyze_lazy p
+
+let word_possible_analysis t ~target_regex word =
+  Possible.analyze (word_product t ~target_regex word)
+
+let word_is_safe t ~target_regex word =
+  (word_safe_analysis t ~target_regex word).Marking.safe
+
+let word_is_possible t ~target_regex word =
+  (word_possible_analysis t ~target_regex word).Possible.possible
+
+(* ------------------------------------------------------------------ *)
+(* Tree-level verdicts                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type reason =
+  | Unknown_element of string
+  | Unknown_function of string
+  | Unsafe_word of { context : string; word : Symbol.t list }
+  | Impossible_word of { context : string; word : Symbol.t list }
+  | Root_mismatch of { expected : string; found : string }
+  | Execution_failed of { context : string }
+
+type failure = { at : Document.path; reason : reason }
+
+let pp_word = Fmt.(list ~sep:(any ".") Symbol.pp)
+
+let pp_reason ppf = function
+  | Unknown_element l ->
+    Fmt.pf ppf "element type %S is not part of the exchange schema" l
+  | Unknown_function f -> Fmt.pf ppf "function %S has no known signature" f
+  | Unsafe_word { context; word } ->
+    Fmt.pf ppf "children of %s (%a) cannot be safely rewritten" context pp_word word
+  | Impossible_word { context; word } ->
+    Fmt.pf ppf "children of %s (%a) cannot possibly be rewritten" context pp_word word
+  | Root_mismatch { expected; found } ->
+    Fmt.pf ppf "root is <%s> but the exchange schema requires <%s>" found expected
+  | Execution_failed { context } ->
+    Fmt.pf ppf "a possible rewriting of the children of %s failed at run time" context
+
+let pp_failure ppf f =
+  Fmt.pf ppf "%a: %a" Document.pp_path f.at pp_reason f.reason
+
+type mode = Safe | Possible_mode
+
+let root_failures t doc =
+  match t.target.Schema.root, (doc : Document.t) with
+  | Some expected, Document.Elem { label; _ } when not (String.equal label expected) ->
+    [ { at = []; reason = Root_mismatch { expected; found = label } } ]
+  | Some expected, (Document.Data _ | Document.Call _) ->
+    [ { at = []; reason = Root_mismatch { expected; found = "(not an element)" } } ]
+  | _ -> []
+
+(* Static check: no invocation happens; every node's children word is
+   analyzed against its type. Returns the failures ([] = verdict holds). *)
+let check mode t (doc : Document.t) : failure list =
+  let acc = ref [] in
+  let push at reason = acc := { at; reason } :: !acc in
+  let rec visit path (node : Document.t) =
+    (match node with
+     | Document.Data _ -> ()
+     | Document.Elem { label; children } ->
+       (match element_regex t label with
+        | None -> push (List.rev path) (Unknown_element label)
+        | Some regex -> check_word path ("<" ^ label ^ ">") regex children)
+     | Document.Call { name; params } ->
+       (match input_regex t name with
+        | None -> push (List.rev path) (Unknown_function name)
+        | Some regex -> check_word path (name ^ "()") regex params));
+    List.iteri (fun i child -> visit (i :: path) child) (Document.children node)
+  and check_word path context regex forest =
+    let word = Document.word forest in
+    match mode with
+    | Safe ->
+      if not (word_is_safe t ~target_regex:regex word) then
+        push (List.rev path) (Unsafe_word { context; word })
+    | Possible_mode ->
+      if not (word_is_possible t ~target_regex:regex word) then
+        push (List.rev path) (Impossible_word { context; word })
+  in
+  visit [] doc;
+  root_failures t doc @ List.rev !acc
+
+let check_safe t doc = check Safe t doc
+let check_possible t doc = check Possible_mode t doc
+
+let is_safe t doc = check_safe t doc = []
+let is_possible t doc = check_possible t doc = []
+
+(* ------------------------------------------------------------------ *)
+(* Materialization                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type located_invocation = { at : Document.path; invocation : Execute.invocation }
+
+exception Failed of failure
+
+(* Materialize [doc] so that it conforms to the exchange schema,
+   invoking services through [invoker]. In [Safe] mode the rewriting is
+   guaranteed (exception [Failed] means the document is not safely
+   rewritable; [Execute.Ill_typed_output] means a service broke its
+   WSDL contract). In [Possible_mode] a run-time failure surfaces as
+   [Failed { reason = Execution_failed _; _ }]. *)
+let materialize ?(mode = Safe) t ~(invoker : Execute.invoker) (doc : Document.t) :
+    (Document.t * located_invocation list, failure list) result =
+  match root_failures t doc with
+  | _ :: _ as fs -> Error fs
+  | [] ->
+  let invocations = ref [] in
+  let rec interior path (node : Document.t) : Document.t =
+    match node with
+    | Document.Data v -> Document.Data v
+    | Document.Elem { label; children } ->
+      (match element_regex t label with
+       | None -> raise (Failed { at = List.rev path; reason = Unknown_element label })
+       | Some regex ->
+         Document.elem label (forest path ("<" ^ label ^ ">") regex children))
+    | Document.Call { name; params } ->
+      (match input_regex t name with
+       | None -> raise (Failed { at = List.rev path; reason = Unknown_function name })
+       | Some regex ->
+         Document.call name (forest path (name ^ "()") regex params))
+  and forest path context regex (children : Document.forest) : Document.forest =
+    (* deepest-first: materialize interiors (and hence parameters of
+       function children) before rewriting this children word *)
+    let children = List.mapi (fun i c -> interior (i :: path) c) children in
+    let word = Document.word children in
+    let strategy =
+      match mode with
+      | Safe ->
+        let analysis = word_safe_analysis t ~target_regex:regex word in
+        if not analysis.Marking.safe then
+          raise (Failed { at = List.rev path; reason = Unsafe_word { context; word } });
+        Execute.Follow_safe analysis
+      | Possible_mode ->
+        let analysis = word_possible_analysis t ~target_regex:regex word in
+        if not analysis.Possible.possible then
+          raise
+            (Failed { at = List.rev path; reason = Impossible_word { context; word } });
+        Execute.Follow_possible analysis
+    in
+    match Execute.run strategy invoker children with
+    | Some outcome ->
+      List.iter
+        (fun inv ->
+          invocations := { at = List.rev path; invocation = inv } :: !invocations)
+        outcome.Execute.invocations;
+      outcome.Execute.materialized
+    | None ->
+      raise (Failed { at = List.rev path; reason = Execution_failed { context } })
+  in
+  match interior [] doc with
+  | doc' -> Ok (doc', List.rev !invocations)
+  | exception Failed f -> Error [ f ]
+
+(* ------------------------------------------------------------------ *)
+(* The mixed approach (Section 5)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Invoke up-front every call whose function satisfies [eager_calls]
+   (e.g. side-effect-free or cheap services), splice the actual results,
+   then run the safe analysis on what remains. The actual outputs replace
+   the "full signature automaton" by concrete words, shrinking A_w^k. *)
+let pre_materialize t ~eager_calls ~(invoker : Execute.invoker) doc =
+  let invocations = ref [] in
+  let budget = ref (max 1 (t.k * 64)) in
+  let rec node_forest path (node : Document.t) : Document.forest =
+    match node with
+    | Document.Data v -> [ Document.Data v ]
+    | Document.Elem { label; children } ->
+      [ Document.elem label (forest path children) ]
+    | Document.Call { name; params } ->
+      let params = forest path params in
+      if eager_calls name && Schema.is_invocable t.env name && !budget > 0 then begin
+        decr budget;
+        let returned = invoker name params in
+        invocations :=
+          { at = List.rev path;
+            invocation = { Execute.inv_name = name; inv_params = params;
+                           inv_result = returned } }
+          :: !invocations;
+        forest path returned
+      end
+      else [ Document.call name params ]
+  and forest path children =
+    List.concat (List.mapi (fun i c -> node_forest (i :: path) c) children)
+  in
+  match node_forest [] doc with
+  | [ doc' ] -> (doc', List.rev !invocations)
+  | _ -> invalid_arg "pre_materialize: the root call returned a non-singleton forest"
+
+let materialize_mixed t ~eager_calls ~invoker doc =
+  let doc', pre = pre_materialize t ~eager_calls ~invoker doc in
+  match materialize ~mode:Safe t ~invoker doc' with
+  | Ok (doc'', invs) -> Ok (doc'', pre @ invs)
+  | Error fs -> Error fs
+
+let check_mixed t ~eager_calls ~invoker doc =
+  let doc', _pre = pre_materialize t ~eager_calls ~invoker doc in
+  check_safe t doc'

@@ -1,0 +1,111 @@
+(** The full rewriting engine of Sections 3-5: given a document (or a
+    word) of the sender schema [s0] and an agreed exchange schema
+    [target], decide safe / possible rewritability and materialize the
+    document accordingly.
+
+    The tree algorithm follows Section 4: parameters of function nodes
+    are rewritten against their [tau_in] before the function may fire
+    (deepest first); every node's children word is rewritten against the
+    content model of its type; forests returned by invoked services are
+    spliced in as-is (footnote 5). *)
+
+type engine =
+  | Eager  (** the literal algorithm of Figure 3 *)
+  | Lazy   (** the pruned on-the-fly variant of Section 7 *)
+
+type t
+
+val create :
+  ?k:int -> ?engine:engine -> ?predicate:(string -> string -> bool) ->
+  s0:Axml_schema.Schema.t -> target:Axml_schema.Schema.t -> unit -> t
+(** [k] is the rewriting depth (Definition 7, default 1); [predicate]
+    answers function-pattern predicates.
+    @raise Axml_schema.Schema.Schema_error when [s0] and [target]
+    disagree on a common function signature. *)
+
+val env : t -> Axml_schema.Schema.env
+
+val element_regex : t -> string -> Axml_schema.Symbol.t Axml_regex.Regex.t option
+(** Compiled content model of a label in the {e target} schema. *)
+
+val input_regex : t -> string -> Axml_schema.Symbol.t Axml_regex.Regex.t option
+(** Compiled input type of a function, from the merged environment. *)
+
+(** {1 Word level} *)
+
+val word_product :
+  t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
+  Axml_schema.Symbol.t list -> Product.t
+
+val word_safe_analysis :
+  t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
+  Axml_schema.Symbol.t list -> Marking.t
+
+val word_possible_analysis :
+  t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
+  Axml_schema.Symbol.t list -> Possible.t
+
+val word_is_safe :
+  t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
+  Axml_schema.Symbol.t list -> bool
+
+val word_is_possible :
+  t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
+  Axml_schema.Symbol.t list -> bool
+
+(** {1 Tree-level verdicts} *)
+
+type reason =
+  | Unknown_element of string
+  | Unknown_function of string
+  | Unsafe_word of { context : string; word : Axml_schema.Symbol.t list }
+  | Impossible_word of { context : string; word : Axml_schema.Symbol.t list }
+  | Root_mismatch of { expected : string; found : string }
+  | Execution_failed of { context : string }
+
+type failure = { at : Document.path; reason : reason }
+
+val pp_reason : reason Fmt.t
+val pp_failure : failure Fmt.t
+
+type mode = Safe | Possible_mode
+
+val check_safe : t -> Document.t -> failure list
+(** Static check, no invocation; [[]] means every node's children word
+    safely rewrites. *)
+
+val check_possible : t -> Document.t -> failure list
+val is_safe : t -> Document.t -> bool
+val is_possible : t -> Document.t -> bool
+
+(** {1 Materialization} *)
+
+type located_invocation = { at : Document.path; invocation : Execute.invocation }
+
+exception Failed of failure
+
+val materialize :
+  ?mode:mode -> t -> invoker:Execute.invoker -> Document.t ->
+  (Document.t * located_invocation list, failure list) result
+(** In [Safe] mode success is guaranteed once the check passes
+    ([Execute.Ill_typed_output] means a service broke its contract); in
+    [Possible_mode] a run-time failure surfaces as
+    [Execution_failed]. *)
+
+(** {1 The mixed approach (Section 5)} *)
+
+val pre_materialize :
+  t -> eager_calls:(string -> bool) -> invoker:Execute.invoker ->
+  Document.t -> Document.t * located_invocation list
+(** Invoke up-front every call whose function satisfies [eager_calls]
+    (recursively, budget-bounded), splicing actual results: the concrete
+    answers replace the signature automata, shrinking A_w^k. *)
+
+val materialize_mixed :
+  t -> eager_calls:(string -> bool) -> invoker:Execute.invoker ->
+  Document.t ->
+  (Document.t * located_invocation list, failure list) result
+
+val check_mixed :
+  t -> eager_calls:(string -> bool) -> invoker:Execute.invoker ->
+  Document.t -> failure list

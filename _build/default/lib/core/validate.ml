@@ -1,0 +1,154 @@
+(* Schema validation (Definition 3): a document is an instance of a
+   schema when every data node's children word is in the language of its
+   label's content model and every function node's parameter word is in
+   the language of its input type.
+
+   A [ctx] caches the compiled DFA of every content model so repeated
+   validations (the enforcement module validates every exchanged
+   document) cost one automaton construction per type. *)
+
+module R = Axml_regex.Regex
+module Schema = Axml_schema.Schema
+module Symbol = Axml_schema.Symbol
+module Auto = Axml_schema.Auto
+
+type violation_kind =
+  | Unknown_label of string
+  | Unknown_function of string
+  | Content_mismatch of { label : string; word : Symbol.t list }
+  | Input_mismatch of { fname : string; word : Symbol.t list }
+  | Root_mismatch of { expected : string; found : string }
+
+type violation = { at : Document.path; kind : violation_kind }
+
+let pp_word = Fmt.(list ~sep:(any ".") Symbol.pp)
+
+let pp_violation_kind ppf = function
+  | Unknown_label l -> Fmt.pf ppf "element type %S is not declared" l
+  | Unknown_function f -> Fmt.pf ppf "function %S is not declared" f
+  | Content_mismatch { label; word } ->
+    Fmt.pf ppf "children of <%s> form %a, outside its content model" label pp_word word
+  | Input_mismatch { fname; word } ->
+    Fmt.pf ppf "parameters of %s() form %a, outside its input type" fname pp_word word
+  | Root_mismatch { expected; found } ->
+    Fmt.pf ppf "root is <%s> but the schema requires <%s>" found expected
+
+let pp_violation ppf v =
+  Fmt.pf ppf "%a: %a" Document.pp_path v.at pp_violation_kind v.kind
+
+type ctx = {
+  env : Schema.env;
+  schema : Schema.t;
+  element_dfas : (string, Auto.Dfa.t option) Hashtbl.t;
+  input_dfas : (string, Auto.Dfa.t option) Hashtbl.t;
+  output_dfas : (string, Auto.Dfa.t option) Hashtbl.t;
+}
+
+let ctx ?env schema =
+  let env = match env with Some e -> e | None -> Schema.env_of_schema schema in
+  { env; schema;
+    element_dfas = Hashtbl.create 16;
+    input_dfas = Hashtbl.create 16;
+    output_dfas = Hashtbl.create 16 }
+
+let memo table key compute =
+  match Hashtbl.find_opt table key with
+  | Some v -> v
+  | None ->
+    let v = compute () in
+    Hashtbl.add table key v;
+    v
+
+let element_dfa ctx label =
+  memo ctx.element_dfas label (fun () ->
+      Option.map
+        (fun c -> Auto.Dfa.of_regex (Schema.compile_content ctx.env c))
+        (Schema.find_element ctx.schema label))
+
+(* Input/output types are looked up in the environment: the validating
+   peer knows the WSDL of every function, including ones declared only by
+   the other party's schema. *)
+let input_dfa ctx fname =
+  memo ctx.input_dfas fname (fun () ->
+      Option.map
+        (fun (f : Schema.func) ->
+          Auto.Dfa.of_regex (Schema.compile_content ctx.env f.Schema.f_input))
+        (Schema.String_map.find_opt fname ctx.env.Schema.env_functions))
+
+let output_dfa ctx fname =
+  memo ctx.output_dfas fname (fun () ->
+      Option.map
+        (fun (f : Schema.func) ->
+          Auto.Dfa.of_regex (Schema.compile_content ctx.env f.Schema.f_output))
+        (Schema.String_map.find_opt fname ctx.env.Schema.env_functions))
+
+(* Collect the violations of [doc] against the schema, prefix order. *)
+let violations ctx (doc : Document.t) : violation list =
+  let acc = ref [] in
+  let push at kind = acc := { at; kind } :: !acc in
+  let rec visit path node =
+    (match node with
+     | Document.Data _ -> ()
+     | Document.Elem { label; children } ->
+       (match element_dfa ctx label with
+        | None -> push (List.rev path) (Unknown_label label)
+        | Some dfa ->
+          let word = Document.word children in
+          if not (Auto.Dfa.accepts dfa word) then
+            push (List.rev path) (Content_mismatch { label; word }))
+     | Document.Call { name; params } ->
+       (match input_dfa ctx name with
+        | None -> push (List.rev path) (Unknown_function name)
+        | Some dfa ->
+          let word = Document.word params in
+          if not (Auto.Dfa.accepts dfa word) then
+            push (List.rev path) (Input_mismatch { fname = name; word })));
+    List.iteri (fun i child -> visit (i :: path) child) (Document.children node)
+  in
+  visit [] doc;
+  List.rev !acc
+
+let instance_of ctx doc = violations ctx doc = []
+
+(* As [violations], additionally requiring the schema's distinguished
+   root label (Definition 6 context). *)
+let document_violations ctx doc =
+  let root_violations =
+    match ctx.schema.Schema.root, doc with
+    | Some expected, Document.Elem { label; _ } when not (String.equal label expected) ->
+      [ { at = []; kind = Root_mismatch { expected; found = label } } ]
+    | Some expected, (Document.Data _ | Document.Call _) ->
+      [ { at = []; kind = Root_mismatch { expected; found = "(not an element)" } } ]
+    | _ -> []
+  in
+  root_violations @ violations ctx doc
+
+(* Output-instance check (Definition 3, second part): the forest a
+   service returned, against its declared output type. *)
+let output_instance ctx fname (forest : Document.forest) : violation list =
+  match output_dfa ctx fname with
+  | None -> [ { at = []; kind = Unknown_function fname } ]
+  | Some dfa ->
+    let word = Document.word forest in
+    let word_ok =
+      if Auto.Dfa.accepts dfa word then []
+      else [ { at = []; kind = Content_mismatch { label = fname ^ "() output"; word } } ]
+    in
+    word_ok
+    @ List.concat (List.mapi (fun i tree ->
+          List.map (fun v -> { v with at = i :: v.at }) (violations ctx tree))
+        forest)
+
+let input_instance ctx fname (forest : Document.forest) : violation list =
+  match input_dfa ctx fname with
+  | None -> [ { at = []; kind = Unknown_function fname } ]
+  | Some dfa ->
+    let word = Document.word forest in
+    let word_ok =
+      if Auto.Dfa.accepts dfa word then []
+      else [ { at = []; kind = Input_mismatch { fname; word } } ]
+    in
+    word_ok
+    @ List.concat (List.mapi (fun i tree ->
+          List.map (fun v -> { v with at = i :: v.at }) (violations ctx tree))
+        forest)

@@ -1,0 +1,1 @@
+lib/regex/automata.ml: Array Fmt Int List Map Option Queue Regex Set

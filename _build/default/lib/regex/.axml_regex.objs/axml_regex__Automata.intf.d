@@ -1,0 +1,1 @@
+lib/regex/automata.mli: Fmt Map Regex Set

@@ -1,0 +1,1 @@
+lib/regex/regex_parser.ml: Fmt List Regex Result String

@@ -1,0 +1,156 @@
+(* Regular expressions over an arbitrary symbol type.
+
+   These are the regular expressions of the paper's schemas (Definition 2):
+   content models of element types and input/output types of function
+   signatures. The type is polymorphic in the symbol so that the same
+   machinery serves plain-string tests and the schema symbol alphabet. *)
+
+type 'a t =
+  | Empty                    (* the empty language (no word at all) *)
+  | Epsilon                  (* the empty word *)
+  | Sym of 'a
+  | Seq of 'a t * 'a t
+  | Alt of 'a t * 'a t
+  | Star of 'a t
+  | Plus of 'a t
+  | Opt of 'a t
+
+(* Smart constructors performing the obvious simplifications; they keep
+   automata small and make [equal] more useful in tests. *)
+
+let empty = Empty
+let epsilon = Epsilon
+let sym a = Sym a
+
+let seq r1 r2 =
+  match r1, r2 with
+  | Empty, _ | _, Empty -> Empty
+  | Epsilon, r | r, Epsilon -> r
+  | _ -> Seq (r1, r2)
+
+let alt r1 r2 =
+  match r1, r2 with
+  | Empty, r | r, Empty -> r
+  | Epsilon, Opt r | Opt r, Epsilon -> Opt r
+  | Epsilon, Star r | Star r, Epsilon -> Star r
+  | _ -> if r1 = r2 then r1 else Alt (r1, r2)
+
+let star = function
+  | Empty | Epsilon -> Epsilon
+  | Star r -> Star r
+  | Plus r -> Star r
+  | Opt r -> Star r
+  | r -> Star r
+
+let plus = function
+  | Empty -> Empty
+  | Epsilon -> Epsilon
+  | Star r -> Star r
+  | r -> Plus r
+
+let opt = function
+  | Empty -> Epsilon
+  | Epsilon -> Epsilon
+  | Star r -> Star r
+  | Opt r -> Opt r
+  | r -> Opt r
+
+let seq_list rs = List.fold_right seq rs Epsilon
+let alt_list rs = List.fold_right alt rs Empty
+
+(* [repeat ~min ~max r]: XML-Schema style occurrence bounds.
+   [max = None] means unbounded. *)
+let repeat ~min ~max r =
+  let rec prefix n = if n <= 0 then Epsilon else seq r (prefix (n - 1)) in
+  match max with
+  | None -> seq (prefix min) (star r)
+  | Some max ->
+    if max < min then invalid_arg "Regex.repeat: max < min"
+    else
+      let rec optional n = if n <= 0 then Epsilon else opt (seq r (optional (n - 1))) in
+      seq (prefix min) (optional (max - min))
+
+let rec nullable = function
+  | Empty -> false
+  | Epsilon -> true
+  | Sym _ -> false
+  | Seq (r1, r2) -> nullable r1 && nullable r2
+  | Alt (r1, r2) -> nullable r1 || nullable r2
+  | Star _ -> true
+  | Plus r -> nullable r
+  | Opt _ -> true
+
+let rec is_empty_language = function
+  | Empty -> true
+  | Epsilon | Sym _ -> false
+  | Seq (r1, r2) -> is_empty_language r1 || is_empty_language r2
+  | Alt (r1, r2) -> is_empty_language r1 && is_empty_language r2
+  | Star _ | Opt _ -> false
+  | Plus r -> is_empty_language r
+
+let rec size = function
+  | Empty | Epsilon | Sym _ -> 1
+  | Seq (r1, r2) | Alt (r1, r2) -> 1 + size r1 + size r2
+  | Star r | Plus r | Opt r -> 1 + size r
+
+let rec map f = function
+  | Empty -> Empty
+  | Epsilon -> Epsilon
+  | Sym a -> Sym (f a)
+  | Seq (r1, r2) -> Seq (map f r1, map f r2)
+  | Alt (r1, r2) -> Alt (map f r1, map f r2)
+  | Star r -> Star (map f r)
+  | Plus r -> Plus (map f r)
+  | Opt r -> Opt (map f r)
+
+(* Substitute a whole expression for each symbol, simplifying as we go;
+   [subst (fun _ -> Empty)] erases symbols together with the alternatives
+   that depended on them. *)
+let rec subst f = function
+  | Empty -> Empty
+  | Epsilon -> Epsilon
+  | Sym a -> f a
+  | Seq (r1, r2) -> seq (subst f r1) (subst f r2)
+  | Alt (r1, r2) -> alt (subst f r1) (subst f r2)
+  | Star r -> star (subst f r)
+  | Plus r -> plus (subst f r)
+  | Opt r -> opt (subst f r)
+
+let rec fold_symbols f acc = function
+  | Empty | Epsilon -> acc
+  | Sym a -> f acc a
+  | Seq (r1, r2) | Alt (r1, r2) -> fold_symbols f (fold_symbols f acc r1) r2
+  | Star r | Plus r | Opt r -> fold_symbols f acc r
+
+let symbols r = List.rev (fold_symbols (fun acc a -> a :: acc) [] r)
+
+let rec equal eq r1 r2 =
+  match r1, r2 with
+  | Empty, Empty | Epsilon, Epsilon -> true
+  | Sym a, Sym b -> eq a b
+  | Seq (a1, a2), Seq (b1, b2) | Alt (a1, a2), Alt (b1, b2) ->
+    equal eq a1 b1 && equal eq a2 b2
+  | Star a, Star b | Plus a, Plus b | Opt a, Opt b -> equal eq a b
+  | (Empty | Epsilon | Sym _ | Seq _ | Alt _ | Star _ | Plus _ | Opt _), _ -> false
+
+(* Pretty-printing with minimal parentheses: alternation < concatenation
+   < postfix operators, as in the paper's notation [a.b.(c | d)*]. *)
+let pp pp_sym ppf r =
+  let rec go prec ppf r =
+    match r with
+    | Empty -> Fmt.string ppf "<empty>"
+    | Epsilon -> Fmt.string ppf "()"
+    | Sym a -> pp_sym ppf a
+    | Alt (r1, r2) ->
+      let doc ppf () = Fmt.pf ppf "%a | %a" (go 0) r1 (go 0) r2 in
+      if prec > 0 then Fmt.parens doc ppf () else doc ppf ()
+    | Seq (r1, r2) ->
+      let doc ppf () = Fmt.pf ppf "%a.%a" (go 1) r1 (go 1) r2 in
+      if prec > 1 then Fmt.parens doc ppf () else doc ppf ()
+    | Star r -> Fmt.pf ppf "%a*" (go 2) r
+    | Plus r -> Fmt.pf ppf "%a+" (go 2) r
+    | Opt r -> Fmt.pf ppf "%a?" (go 2) r
+  in
+  go 0 ppf r
+
+let to_string pp_sym r = Fmt.str "%a" (pp pp_sym) r

@@ -1,0 +1,74 @@
+(** Regular expressions over an arbitrary symbol type.
+
+    These are the regular expressions of the paper's schemas
+    (Definition 2): content models of element types and input/output
+    types of function signatures. The type is polymorphic in the symbol
+    so that the same machinery serves plain-string tests and the schema
+    alphabet. *)
+
+type 'a t =
+  | Empty          (** the empty language *)
+  | Epsilon        (** the empty word *)
+  | Sym of 'a
+  | Seq of 'a t * 'a t
+  | Alt of 'a t * 'a t
+  | Star of 'a t
+  | Plus of 'a t
+  | Opt of 'a t
+
+(** {1 Smart constructors}
+
+    They perform the obvious algebraic simplifications (e.g.
+    [seq Empty r = Empty], [alt r r = r], [star (star r) = star r]),
+    which keeps derived automata small. *)
+
+val empty : 'a t
+val epsilon : 'a t
+val sym : 'a -> 'a t
+val seq : 'a t -> 'a t -> 'a t
+val alt : 'a t -> 'a t -> 'a t
+val star : 'a t -> 'a t
+val plus : 'a t -> 'a t
+val opt : 'a t -> 'a t
+val seq_list : 'a t list -> 'a t
+val alt_list : 'a t list -> 'a t
+
+val repeat : min:int -> max:int option -> 'a t -> 'a t
+(** XML-Schema style occurrence bounds; [max = None] means unbounded.
+    @raise Invalid_argument when [max < min]. *)
+
+(** {1 Queries} *)
+
+val nullable : 'a t -> bool
+(** Does the language contain the empty word? *)
+
+val is_empty_language : 'a t -> bool
+(** Is the language empty (no word at all)? *)
+
+val size : 'a t -> int
+(** Number of AST nodes. *)
+
+val symbols : 'a t -> 'a list
+(** Symbol occurrences, left to right (with repetitions). *)
+
+val fold_symbols : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+
+(** {1 Transformations} *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val subst : ('a -> 'b t) -> 'a t -> 'b t
+(** Substitute a whole expression for each symbol, simplifying as it
+    goes; [subst (fun _ -> Empty)] erases symbols together with the
+    alternatives that depended on them. *)
+
+val equal : ('a -> 'a -> bool) -> 'a t -> 'a t -> bool
+(** Structural equality (not language equivalence). *)
+
+(** {1 Printing}
+
+    Minimal parentheses, in the paper's notation:
+    [a.b.(c | d)*]. *)
+
+val pp : 'a Fmt.t -> 'a t Fmt.t
+val to_string : 'a Fmt.t -> 'a t -> string

@@ -1,0 +1,137 @@
+(* Parser for the paper's textual regular-expression notation, e.g.
+   [title.date.(Get_Temp | temp).(TimeOut | exhibit* )].
+
+   Symbols are identifiers; [.] is concatenation, [|] alternation, and
+   [*], [+], [?] the usual postfix operators. [()] denotes the empty word.
+   The schema layer maps identifiers to labels / function names / data. *)
+
+exception Error of { pos : int; message : string }
+
+let error pos message = raise (Error { pos; message })
+
+type token =
+  | Ident of string
+  | Lparen
+  | Rparen
+  | Bar
+  | Dot
+  | Tstar
+  | Tplus
+  | Topt
+  | Eof
+
+let pp_token ppf = function
+  | Ident s -> Fmt.pf ppf "identifier %S" s
+  | Lparen -> Fmt.string ppf "'('"
+  | Rparen -> Fmt.string ppf "')'"
+  | Bar -> Fmt.string ppf "'|'"
+  | Dot -> Fmt.string ppf "'.'"
+  | Tstar -> Fmt.string ppf "'*'"
+  | Tplus -> Fmt.string ppf "'+'"
+  | Topt -> Fmt.string ppf "'?'"
+  | Eof -> Fmt.string ppf "end of input"
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '#'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '-'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let i = ref 0 in
+  let push tk pos = tokens := (tk, pos) :: !tokens in
+  while !i < n do
+    let c = input.[!i] in
+    let pos = !i in
+    (match c with
+     | ' ' | '\t' | '\n' | '\r' -> incr i
+     | '(' -> push Lparen pos; incr i
+     | ')' -> push Rparen pos; incr i
+     | '|' -> push Bar pos; incr i
+     | '.' -> push Dot pos; incr i
+     | '*' -> push Tstar pos; incr i
+     | '+' -> push Tplus pos; incr i
+     | '?' -> push Topt pos; incr i
+     | c when is_ident_start c ->
+       let start = !i in
+       while !i < n && is_ident_char input.[!i] do incr i done;
+       push (Ident (String.sub input start (!i - start))) start
+     | c -> error pos (Fmt.str "unexpected character %C" c))
+  done;
+  push Eof n;
+  List.rev !tokens
+
+(* Recursive-descent parser over the token list. *)
+type stream = { mutable toks : (token * int) list }
+
+let peek st =
+  match st.toks with
+  | [] -> (Eof, 0)
+  | tk :: _ -> tk
+
+let advance st =
+  match st.toks with
+  | [] -> ()
+  | _ :: rest -> st.toks <- rest
+
+let expect st tk =
+  let got, pos = peek st in
+  if got = tk then advance st
+  else error pos (Fmt.str "expected %a but found %a" pp_token tk pp_token got)
+
+let rec parse_alt st =
+  let left = parse_seq st in
+  match peek st with
+  | Bar, _ ->
+    advance st;
+    Regex.alt left (parse_alt st)
+  | _ -> left
+
+and parse_seq st =
+  let left = parse_postfix st in
+  match peek st with
+  | Dot, _ ->
+    advance st;
+    Regex.seq left (parse_seq st)
+  | _ -> left
+
+and parse_postfix st =
+  let atom = parse_atom st in
+  let rec apply acc =
+    match peek st with
+    | Tstar, _ -> advance st; apply (Regex.star acc)
+    | Tplus, _ -> advance st; apply (Regex.plus acc)
+    | Topt, _ -> advance st; apply (Regex.opt acc)
+    | _ -> acc
+  in
+  apply atom
+
+and parse_atom st =
+  match peek st with
+  | Ident name, _ -> advance st; Regex.sym name
+  | Lparen, _ ->
+    advance st;
+    (match peek st with
+     | Rparen, _ -> advance st; Regex.epsilon
+     | _ ->
+       let r = parse_alt st in
+       expect st Rparen;
+       r)
+  | tk, pos -> error pos (Fmt.str "expected a symbol or '(' but found %a" pp_token tk)
+
+(* [parse input] parses [input] into a regular expression over string
+   symbols, raising [Error] on malformed input. *)
+let parse input =
+  let st = { toks = tokenize input } in
+  let r = parse_alt st in
+  (match peek st with
+   | Eof, _ -> ()
+   | tk, pos -> error pos (Fmt.str "trailing input starting with %a" pp_token tk));
+  r
+
+let parse_result input =
+  match parse input with
+  | r -> Ok r
+  | exception Error { pos; message } -> Result.error (Fmt.str "at offset %d: %s" pos message)

@@ -1,0 +1,14 @@
+(** Parser for the paper's textual regular-expression notation, e.g.
+    [title.date.(Get_Temp | temp).(TimeOut | exhibit* )].
+
+    Symbols are identifiers (which may start with ['#'], as in [#data]);
+    [.] is concatenation, [|] alternation, [*], [+], [?] the usual
+    postfix operators, and [()] the empty word. *)
+
+exception Error of { pos : int; message : string }
+
+val parse : string -> string Regex.t
+(** @raise Error on malformed input, with a character offset. *)
+
+val parse_result : string -> (string Regex.t, string) result
+(** Exception-free variant; the error string embeds the offset. *)

@@ -1,0 +1,1 @@
+lib/schema/auto.ml: Axml_regex Symbol

@@ -1,0 +1,1 @@
+lib/schema/schema.ml: Auto Axml_regex Fmt List Map Option Seq Set String Symbol

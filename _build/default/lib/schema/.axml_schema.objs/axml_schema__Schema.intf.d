@@ -1,0 +1,1 @@
+lib/schema/schema.mli: Auto Axml_regex Fmt Map Set Symbol

@@ -1,0 +1,1 @@
+lib/schema/schema_parser.ml: Axml_regex Fmt List Result Schema String

@@ -1,0 +1,1 @@
+lib/schema/schema_parser.mli: Schema

@@ -1,0 +1,1 @@
+lib/schema/symbol.ml: Fmt String

@@ -1,0 +1,1 @@
+lib/schema/symbol.mli: Fmt

@@ -1,0 +1,4 @@
+(* The automata toolkit instantiated at the schema alphabet; every layer
+   above (validation, rewriting, enforcement) shares this instance. *)
+
+include Axml_regex.Automata.Make (Symbol)

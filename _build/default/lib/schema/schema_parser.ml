@@ -1,0 +1,153 @@
+(* A compact textual syntax for schemas, mirroring the paper's notation:
+
+     root newspaper
+     element newspaper = title.date.(Get_Temp | temp).(TimeOut | exhibit* )
+     element title = #data
+     function Get_Temp : city -> temp
+     noninvocable function TimeOut : #data -> (exhibit | performance)*
+     pattern Forecast requires UDDIF InACL : city -> temp
+
+   Lines starting with '#' (after trimming) and blank lines are ignored.
+   Names used in content models resolve to functions or patterns when
+   declared as such anywhere in the file, otherwise to element labels.
+   The XML-syntax schemas of Section 7 are handled separately by the
+   Active XML layer (Xml_schema_int). *)
+
+module R = Axml_regex.Regex
+
+exception Parse_error of { line : int; message : string }
+
+let fail line message = raise (Parse_error { line; message })
+
+type raw_decl =
+  | D_root of string
+  | D_element of string * string                          (* name, regex text *)
+  | D_function of { name : string; input : string; output : string; invocable : bool }
+  | D_pattern of { name : string; predicates : string list;
+                   input : string; output : string; invocable : bool }
+
+let split_words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+(* Find the first occurrence of "->" at top level of a signature text. *)
+let split_arrow line text =
+  let n = String.length text in
+  let rec find i =
+    if i + 1 >= n then fail line "expected '->' in signature"
+    else if text.[i] = '-' && text.[i + 1] = '>' then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  (String.trim (String.sub text 0 i), String.trim (String.sub text (i + 2) (n - i - 2)))
+
+let split_colon line text =
+  match String.index_opt text ':' with
+  | None -> fail line "expected ':' before the signature"
+  | Some i ->
+    (String.trim (String.sub text 0 i),
+     String.trim (String.sub text (i + 1) (String.length text - i - 1)))
+
+let parse_decl lineno line : raw_decl option =
+  let trimmed = String.trim line in
+  if trimmed = "" || trimmed.[0] = '#' then None
+  else begin
+    let invocable, rest =
+      match split_words trimmed with
+      | "noninvocable" :: rest -> (false, String.concat " " rest)
+      | _ -> (true, trimmed)
+    in
+    match split_words rest with
+    | "root" :: [ name ] -> Some (D_root name)
+    | "root" :: _ -> fail lineno "root takes exactly one name"
+    | "element" :: _ ->
+      let after = String.trim (String.sub rest 7 (String.length rest - 7)) in
+      (match String.index_opt after '=' with
+       | None -> fail lineno "element declaration needs '='"
+       | Some i ->
+         let name = String.trim (String.sub after 0 i) in
+         let body = String.trim (String.sub after (i + 1) (String.length after - i - 1)) in
+         if name = "" then fail lineno "element declaration needs a name";
+         Some (D_element (name, body)))
+    | "function" :: _ ->
+      let after = String.trim (String.sub rest 8 (String.length rest - 8)) in
+      let name, signature = split_colon lineno after in
+      let input, output = split_arrow lineno signature in
+      if name = "" then fail lineno "function declaration needs a name";
+      Some (D_function { name; input; output; invocable })
+    | "pattern" :: _ ->
+      let after = String.trim (String.sub rest 7 (String.length rest - 7)) in
+      let head, signature = split_colon lineno after in
+      let input, output = split_arrow lineno signature in
+      let name, predicates =
+        match split_words head with
+        | name :: "requires" :: preds when preds <> [] -> (name, preds)
+        | [ name ] -> (name, [])
+        | _ -> fail lineno "malformed pattern head (use: pattern NAME [requires P..] : IN -> OUT)"
+      in
+      Some (D_pattern { name; predicates; input; output; invocable })
+    | word :: _ -> fail lineno (Fmt.str "unknown declaration %S" word)
+    | [] -> None
+  end
+
+let parse_regex lineno text =
+  match Axml_regex.Regex_parser.parse_result text with
+  | Ok r -> r
+  | Error e -> fail lineno (Fmt.str "bad regular expression %S: %s" text e)
+
+(* [parse input] parses a whole schema file. *)
+let parse input : Schema.t =
+  let lines = String.split_on_char '\n' input in
+  let decls =
+    List.concat
+      (List.mapi
+         (fun i line ->
+           match parse_decl (i + 1) line with
+           | Some d -> [ (i + 1, d) ]
+           | None -> [])
+         lines)
+  in
+  (* Pass 1: which names are functions / patterns? *)
+  let functions, patterns =
+    List.fold_left
+      (fun (fs, ps) (_, d) ->
+        match d with
+        | D_function { name; _ } -> (Schema.String_set.add name fs, ps)
+        | D_pattern { name; _ } -> (fs, Schema.String_set.add name ps)
+        | D_root _ | D_element _ -> (fs, ps))
+      (Schema.String_set.empty, Schema.String_set.empty)
+      decls
+  in
+  let resolve lineno text =
+    Schema.resolve_content ~functions ~patterns (parse_regex lineno text)
+  in
+  (* Pass 2: build the schema. *)
+  let schema =
+    List.fold_left
+      (fun s (lineno, d) ->
+        try
+          match d with
+          | D_root name -> Schema.with_root s name
+          | D_element (name, body) -> Schema.add_element s name (resolve lineno body)
+          | D_function { name; input; output; invocable } ->
+            Schema.add_function s
+              (Schema.func ~invocable name
+                 ~input:(resolve lineno input)
+                 ~output:(resolve lineno output))
+          | D_pattern { name; predicates; input; output; invocable } ->
+            Schema.add_pattern s
+              (Schema.pattern ~invocable ~predicates name
+                 ~input:(resolve lineno input)
+                 ~output:(resolve lineno output))
+        with Schema.Schema_error e ->
+          fail lineno (Fmt.str "%a" Schema.pp_error e))
+      Schema.empty decls
+  in
+  (try Schema.check schema
+   with Schema.Schema_error e -> fail 0 (Fmt.str "%a" Schema.pp_error e));
+  schema
+
+let parse_result input =
+  match parse input with
+  | s -> Ok s
+  | exception Parse_error { line; message } ->
+    Result.error (Fmt.str "line %d: %s" line message)

@@ -1,0 +1,24 @@
+(** A compact textual syntax for schemas, mirroring the paper's
+    notation:
+
+    {v
+root newspaper
+element newspaper = title.date.(Get_Temp | temp).(TimeOut | exhibit* )
+element title = #data
+function Get_Temp : city -> temp
+noninvocable function TimeOut : #data -> (exhibit | performance)*
+pattern Forecast requires UDDIF InACL : city -> temp
+    v}
+
+    Lines starting with ['#'] and blank lines are ignored. Names used in
+    content models resolve to functions or patterns when declared as
+    such anywhere in the file, otherwise to element labels. The
+    XML-syntax schemas of Section 7 are handled by
+    [Axml_peer.Xml_schema_int]. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> Schema.t
+(** @raise Parse_error (line 0 carries whole-schema errors). *)
+
+val parse_result : string -> (Schema.t, string) result

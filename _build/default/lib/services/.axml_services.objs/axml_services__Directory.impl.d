@@ -1,0 +1,1 @@
+lib/services/directory.ml: Hashtbl List

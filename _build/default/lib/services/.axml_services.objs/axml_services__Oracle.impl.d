@@ -1,0 +1,1 @@
+lib/services/oracle.ml: Array Axml_core Axml_schema Service

@@ -1,0 +1,1 @@
+lib/services/oracle.mli: Axml_core Axml_schema Service

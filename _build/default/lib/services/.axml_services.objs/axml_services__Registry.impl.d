@@ -1,0 +1,1 @@
+lib/services/registry.ml: Axml_core Axml_schema Hashtbl List Service

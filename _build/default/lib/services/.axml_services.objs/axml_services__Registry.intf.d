@@ -1,0 +1,1 @@
+lib/services/registry.mli: Axml_core Axml_schema Service

@@ -1,0 +1,1 @@
+lib/services/service.ml: Axml_core Axml_schema Fmt List

@@ -1,0 +1,1 @@
+lib/services/service.mli: Axml_core Axml_schema Fmt

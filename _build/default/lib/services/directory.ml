@@ -1,0 +1,46 @@
+(* A UDDI-like service directory plus boolean predicate services — the
+   infrastructure behind function patterns (Section 2.1): a pattern's
+   predicates ("UDDIF", "InACL", ...) are implemented as services that
+   take a function name and answer true/false. *)
+
+type entry = {
+  name : string;
+  provider : string;
+  categories : string list;
+}
+
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  predicates : (string, string -> bool) Hashtbl.t;
+}
+
+let create () = { entries = Hashtbl.create 16; predicates = Hashtbl.create 8 }
+
+let publish t ?(provider = "unknown") ?(categories = []) name =
+  Hashtbl.replace t.entries name { name; provider; categories }
+
+let is_published t name = Hashtbl.mem t.entries name
+
+let find t name = Hashtbl.find_opt t.entries name
+
+let search t ~category =
+  Hashtbl.fold
+    (fun _ e acc -> if List.mem category e.categories then e :: acc else acc)
+    t.entries []
+  |> List.sort compare
+
+(* Register a boolean predicate service under [pname]. *)
+let register_predicate t pname pred = Hashtbl.replace t.predicates pname pred
+
+(* The standard predicates of the paper's example: UDDIF (is the service
+   registered here?) and InACL (does [principal] have access?). *)
+let install_standard_predicates t ~acl_of =
+  register_predicate t "UDDIF" (is_published t);
+  register_predicate t "InACL" acl_of
+
+(* The predicate oracle to plug into [Schema.env_of_schema ~predicate].
+   Unknown predicates reject every function (fail closed). *)
+let predicate t pname fname =
+  match Hashtbl.find_opt t.predicates pname with
+  | Some pred -> pred fname
+  | None -> false

@@ -1,0 +1,28 @@
+(** A UDDI-like service directory plus boolean predicate services — the
+    infrastructure behind function patterns (Section 2.1): a pattern's
+    predicates ("UDDIF", "InACL", ...) are services that take a function
+    name and answer true/false. *)
+
+type entry = {
+  name : string;
+  provider : string;
+  categories : string list;
+}
+
+type t
+
+val create : unit -> t
+val publish : t -> ?provider:string -> ?categories:string list -> string -> unit
+val is_published : t -> string -> bool
+val find : t -> string -> entry option
+val search : t -> category:string -> entry list
+
+val register_predicate : t -> string -> (string -> bool) -> unit
+
+val install_standard_predicates : t -> acl_of:(string -> bool) -> unit
+(** The paper's example predicates: [UDDIF] (is the service published
+    here?) and [InACL]. *)
+
+val predicate : t -> string -> string -> bool
+(** The oracle to plug into [Schema.env_of_schema ~predicate]; unknown
+    predicates reject every function (fail closed). *)

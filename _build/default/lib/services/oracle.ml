@@ -1,0 +1,50 @@
+(* Service behaviours for tests, benchmarks and simulations:
+   scripted replies, honest random output instances ("the adversary picks
+   any output instance of f", Definition 4), and misbehaving services for
+   failure injection. *)
+
+module Schema = Axml_schema.Schema
+module Document = Axml_core.Document
+module Generate = Axml_core.Generate
+
+(* Always return the same forest. *)
+let constant forest : Service.behaviour = fun _params -> forest
+
+(* Return the scripted replies in order; loops back to the start when
+   exhausted (real services answer every call). *)
+let scripted (replies : Document.forest list) : Service.behaviour =
+  if replies = [] then invalid_arg "Oracle.scripted: no replies";
+  let replies = Array.of_list replies in
+  let i = ref 0 in
+  fun _params ->
+    let r = replies.(!i mod Array.length replies) in
+    incr i;
+    r
+
+(* An honest random service: every call returns a fresh random output
+   instance of [fname]'s declared type. *)
+let honest_random ?(seed = 7) ?env schema fname : Service.behaviour =
+  let g = Generate.create ~seed ?env schema in
+  fun _params -> Generate.output_instance g fname
+
+(* Echo a parameter back (handy for identity-style services). *)
+let echo : Service.behaviour = fun params -> params
+
+(* Failure injection. *)
+let ill_typed forest : Service.behaviour = fun _params -> forest
+
+let failing message : Service.behaviour = fun _params -> failwith message
+
+(* Fails every [period]-th call, otherwise behaves like [inner]. *)
+let flaky ~period (inner : Service.behaviour) : Service.behaviour =
+  let count = ref 0 in
+  fun params ->
+    incr count;
+    if !count mod period = 0 then failwith "flaky service failure"
+    else inner params
+
+(* Count invocations of [inner] (for side-effect assertions). *)
+let counting (inner : Service.behaviour) =
+  let count = ref 0 in
+  let behaviour params = incr count; inner params in
+  (behaviour, fun () -> !count)

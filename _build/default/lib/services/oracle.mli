@@ -1,0 +1,32 @@
+(** Service behaviours for tests, benchmarks and simulations: scripted
+    replies, honest random output instances ("the adversary picks any
+    output instance of f", Definition 4), and misbehaving services for
+    failure injection. *)
+
+val constant : Axml_core.Document.forest -> Service.behaviour
+
+val scripted : Axml_core.Document.forest list -> Service.behaviour
+(** Replies in order, looping back to the start when exhausted.
+    @raise Invalid_argument on an empty script. *)
+
+val honest_random :
+  ?seed:int -> ?env:Axml_schema.Schema.env -> Axml_schema.Schema.t ->
+  string -> Service.behaviour
+(** Every call returns a fresh random output instance of the named
+    function's declared type. *)
+
+val echo : Service.behaviour
+
+(** {1 Failure injection} *)
+
+val ill_typed : Axml_core.Document.forest -> Service.behaviour
+(** Always returns the given (presumably contract-violating) forest. *)
+
+val failing : string -> Service.behaviour
+(** Raises [Failure] on every call. *)
+
+val flaky : period:int -> Service.behaviour -> Service.behaviour
+(** Fails every [period]-th call. *)
+
+val counting : Service.behaviour -> Service.behaviour * (unit -> int)
+(** Count the calls that reach the inner behaviour. *)

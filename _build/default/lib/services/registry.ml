@@ -1,0 +1,122 @@
+(* The service registry: name -> service resolution, invocation with
+   full accounting (invocation count, fees, side effects), optional
+   contract checking of inputs and outputs against the declared types,
+   and fault injection for the failure tests. *)
+
+module Schema = Axml_schema.Schema
+module Document = Axml_core.Document
+module Validate = Axml_core.Validate
+
+exception Unknown_service of string
+exception Access_denied of { service : string; principal : string }
+exception Contract_violation of { service : string; what : [ `Input | `Output ];
+                                  violations : Validate.violation list }
+exception Budget_exhausted of { service : string; budget : float }
+
+type record = {
+  seq : int;
+  service : string;
+  params : Document.forest;
+  result : Document.forest;
+  cost : float;
+}
+
+type check_mode =
+  | Trust            (* never check (the paper's default: types come from WSDL) *)
+  | Check_input
+  | Check_output
+  | Check_both
+
+type t = {
+  services : (string, Service.t) Hashtbl.t;
+  mutable log : record list;  (* newest first *)
+  mutable invocation_count : int;
+  mutable total_cost : float;
+  mutable budget : float option;   (* spending cap, if any *)
+  mutable check : check_mode;
+  mutable check_ctx : Validate.ctx option;  (* schema for contract checks *)
+  mutable principal : string;  (* the caller identity for ACL checks *)
+}
+
+let create ?(principal = "anonymous") () = {
+  services = Hashtbl.create 16;
+  log = [];
+  invocation_count = 0;
+  total_cost = 0.;
+  budget = None;
+  check = Trust;
+  check_ctx = None;
+  principal;
+}
+
+let register t (service : Service.t) =
+  Hashtbl.replace t.services service.Service.name service
+
+let register_all t services = List.iter (register t) services
+
+let find t name = Hashtbl.find_opt t.services name
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.services [] |> List.sort compare
+
+let set_check t ?ctx mode =
+  t.check <- mode;
+  (match ctx with Some c -> t.check_ctx <- Some c | None -> ())
+
+let set_budget t budget = t.budget <- budget
+let set_principal t principal = t.principal <- principal
+
+(* Declarations of every registered service, to extend a schema with
+   (the "WSDL description for each service being used" of Section 4). *)
+let declare_all t schema =
+  Hashtbl.fold
+    (fun name service schema ->
+      match Schema.find_function schema name with
+      | Some _ -> schema  (* already declared *)
+      | None -> Schema.add_function schema (Service.declaration service))
+    t.services schema
+
+let invocation_count t = t.invocation_count
+let total_cost t = t.total_cost
+let log t = List.rev t.log
+
+let reset_accounting t =
+  t.log <- [];
+  t.invocation_count <- 0;
+  t.total_cost <- 0.
+
+(* Invoke [name]: the registry is an [Execute.invoker]. *)
+let invoke t name params =
+  match find t name with
+  | None -> raise (Unknown_service name)
+  | Some service ->
+    if not (Service.allows service t.principal) then
+      raise (Access_denied { service = name; principal = t.principal });
+    (match t.budget with
+     | Some budget when t.total_cost +. service.Service.cost > budget ->
+       raise (Budget_exhausted { service = name; budget })
+     | Some _ | None -> ());
+    (match t.check, t.check_ctx with
+     | (Check_input | Check_both), Some ctx ->
+       (match Validate.input_instance ctx name params with
+        | [] -> ()
+        | violations ->
+          raise (Contract_violation { service = name; what = `Input; violations }))
+     | _ -> ());
+    let result = service.Service.behaviour params in
+    (match t.check, t.check_ctx with
+     | (Check_output | Check_both), Some ctx ->
+       (match Validate.output_instance ctx name result with
+        | [] -> ()
+        | violations ->
+          raise (Contract_violation { service = name; what = `Output; violations }))
+     | _ -> ());
+    t.invocation_count <- t.invocation_count + 1;
+    t.total_cost <- t.total_cost +. service.Service.cost;
+    t.log <-
+      { seq = t.invocation_count; service = name; params; result;
+        cost = service.Service.cost }
+      :: t.log;
+    result
+
+let invoker t : Axml_core.Execute.invoker = fun name params -> invoke t name params

@@ -1,0 +1,39 @@
+(* A simulated Web service: the in-process stand-in for the SOAP
+   services of the paper (see DESIGN.md, "Substitutions"). A service has
+   the WSDL-style typed signature the rewriting algorithms rely on, plus
+   the operational attributes that drive the materialization policies of
+   the introduction: invocation cost (fees), side effects (security), and
+   an access-control tag. *)
+
+module Schema = Axml_schema.Schema
+module Document = Axml_core.Document
+
+type behaviour = Document.forest -> Document.forest
+
+type t = {
+  name : string;
+  input : Schema.content;   (* tau_in *)
+  output : Schema.content;  (* tau_out *)
+  endpoint : string;        (* simulated endpointURL *)
+  namespace : string;       (* simulated namespaceURI *)
+  cost : float;             (* fee per invocation *)
+  side_effects : bool;
+  acl : string list;        (* principals allowed to call; [] = everyone *)
+  behaviour : behaviour;
+}
+
+let make ?(endpoint = "local:") ?(namespace = "urn:axml:local") ?(cost = 0.)
+    ?(side_effects = false) ?(acl = []) ~input ~output name behaviour =
+  { name; input; output; endpoint; namespace; cost; side_effects; acl; behaviour }
+
+(* The schema-level declaration of this service (its WSDL entry). *)
+let declaration ?(invocable = true) t =
+  Schema.func ~invocable ~endpoint:t.endpoint ~namespace:t.namespace t.name
+    ~input:t.input ~output:t.output
+
+let allows t principal = t.acl = [] || List.mem principal t.acl
+
+let pp ppf t =
+  Fmt.pf ppf "%s : %a -> %a [cost %.2f%s]" t.name Schema.pp_content t.input
+    Schema.pp_content t.output t.cost
+    (if t.side_effects then ", side-effects" else "")

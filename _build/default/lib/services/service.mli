@@ -1,0 +1,33 @@
+(** A simulated Web service: the in-process stand-in for the paper's
+    SOAP services (see DESIGN.md, "Substitutions"). A service has the
+    WSDL-style typed signature the rewriting algorithms rely on, plus
+    the operational attributes driving the materialization policies of
+    the introduction: invocation cost (fees), side effects (security),
+    and an access-control list. *)
+
+type behaviour = Axml_core.Document.forest -> Axml_core.Document.forest
+(** What the service computes: parameters in, result forest out. *)
+
+type t = {
+  name : string;
+  input : Axml_schema.Schema.content;   (** tau_in *)
+  output : Axml_schema.Schema.content;  (** tau_out *)
+  endpoint : string;
+  namespace : string;
+  cost : float;          (** fee per invocation *)
+  side_effects : bool;
+  acl : string list;     (** principals allowed to call; [[]] = everyone *)
+  behaviour : behaviour;
+}
+
+val make :
+  ?endpoint:string -> ?namespace:string -> ?cost:float ->
+  ?side_effects:bool -> ?acl:string list ->
+  input:Axml_schema.Schema.content -> output:Axml_schema.Schema.content ->
+  string -> behaviour -> t
+
+val declaration : ?invocable:bool -> t -> Axml_schema.Schema.func
+(** The schema-level (WSDL) declaration of this service. *)
+
+val allows : t -> string -> bool
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/xml/xml_ns.ml: List Map String Xml_tree

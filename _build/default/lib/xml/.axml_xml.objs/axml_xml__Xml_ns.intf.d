@@ -1,0 +1,1 @@
+lib/xml/xml_ns.mli: Xml_tree

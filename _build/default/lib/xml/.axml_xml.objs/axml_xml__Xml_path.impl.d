@@ -1,0 +1,1 @@
+lib/xml/xml_path.ml: List String Xml_tree

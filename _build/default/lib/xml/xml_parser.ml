@@ -1,0 +1,279 @@
+(* Hand-written XML parser covering the subset the Active XML layer needs:
+   prolog, elements, attributes, character data with entity references,
+   CDATA sections, comments and processing instructions. DOCTYPE
+   declarations are skipped. Positions are tracked for error reporting. *)
+
+type position = { line : int; column : int }
+
+exception Error of { pos : position; message : string }
+
+type cursor = {
+  input : string;
+  mutable offset : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of the beginning of the current line *)
+}
+
+let make_cursor input = { input; offset = 0; line = 1; bol = 0 }
+
+let position cur = { line = cur.line; column = cur.offset - cur.bol + 1 }
+
+let fail cur message = raise (Error { pos = position cur; message })
+
+let eof cur = cur.offset >= String.length cur.input
+
+let peek cur = if eof cur then '\000' else cur.input.[cur.offset]
+
+let peek2 cur =
+  if cur.offset + 1 >= String.length cur.input then '\000'
+  else cur.input.[cur.offset + 1]
+
+let advance cur =
+  if not (eof cur) then begin
+    if cur.input.[cur.offset] = '\n' then begin
+      cur.line <- cur.line + 1;
+      cur.bol <- cur.offset + 1
+    end;
+    cur.offset <- cur.offset + 1
+  end
+
+let advance_n cur n = for _ = 1 to n do advance cur done
+
+let looking_at cur prefix =
+  let n = String.length prefix in
+  cur.offset + n <= String.length cur.input
+  && String.sub cur.input cur.offset n = prefix
+
+let skip_whitespace cur =
+  while (not (eof cur))
+        && (match peek cur with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    advance cur
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let read_name cur =
+  if not (is_name_start (peek cur)) then
+    fail cur (Fmt.str "expected a name, found %C" (peek cur));
+  let start = cur.offset in
+  while (not (eof cur)) && is_name_char (peek cur) do advance cur done;
+  String.sub cur.input start (cur.offset - start)
+
+(* Decode a single entity reference starting at '&'. *)
+let read_entity cur =
+  advance cur; (* '&' *)
+  let start = cur.offset in
+  while (not (eof cur)) && peek cur <> ';' do advance cur done;
+  if eof cur then fail cur "unterminated entity reference";
+  let body = String.sub cur.input start (cur.offset - start) in
+  advance cur; (* ';' *)
+  match body with
+  | "amp" -> "&"
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "quot" -> "\""
+  | "apos" -> "'"
+  | _ ->
+    if String.length body > 1 && body.[0] = '#' then begin
+      let code =
+        try
+          if body.[1] = 'x' || body.[1] = 'X' then
+            int_of_string ("0x" ^ String.sub body 2 (String.length body - 2))
+          else int_of_string (String.sub body 1 (String.length body - 1))
+        with Failure _ -> fail cur (Fmt.str "bad character reference &%s;" body)
+      in
+      if code < 0x80 then String.make 1 (Char.chr code)
+      else begin
+        (* UTF-8 encode *)
+        let buf = Buffer.create 4 in
+        if code < 0x800 then begin
+          Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else if code < 0x10000 then begin
+          Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end
+        else begin
+          Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+          Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+        end;
+        Buffer.contents buf
+      end
+    end
+    else fail cur (Fmt.str "unknown entity &%s;" body)
+
+let read_quoted cur =
+  let quote = peek cur in
+  if quote <> '"' && quote <> '\'' then fail cur "expected a quoted value";
+  advance cur;
+  let buf = Buffer.create 16 in
+  while (not (eof cur)) && peek cur <> quote do
+    if peek cur = '&' then Buffer.add_string buf (read_entity cur)
+    else begin
+      Buffer.add_char buf (peek cur);
+      advance cur
+    end
+  done;
+  if eof cur then fail cur "unterminated attribute value";
+  advance cur;
+  Buffer.contents buf
+
+let read_attributes cur =
+  let attrs = ref [] in
+  let continue = ref true in
+  while !continue do
+    skip_whitespace cur;
+    match peek cur with
+    | '>' | '/' | '?' | '\000' -> continue := false
+    | _ ->
+      let name = read_name cur in
+      skip_whitespace cur;
+      if peek cur <> '=' then fail cur (Fmt.str "expected '=' after attribute %s" name);
+      advance cur;
+      skip_whitespace cur;
+      let value = read_quoted cur in
+      attrs := Xml_tree.attr name value :: !attrs
+  done;
+  List.rev !attrs
+
+let read_until cur terminator what =
+  let start = cur.offset in
+  let tlen = String.length terminator in
+  let rec scan () =
+    if eof cur then fail cur (Fmt.str "unterminated %s" what)
+    else if looking_at cur terminator then begin
+      let body = String.sub cur.input start (cur.offset - start) in
+      advance_n cur tlen;
+      body
+    end
+    else begin
+      advance cur;
+      scan ()
+    end
+  in
+  scan ()
+
+let skip_doctype cur =
+  (* skip until the matching '>' allowing one level of [...] *)
+  let depth = ref 1 in
+  while !depth > 0 do
+    if eof cur then fail cur "unterminated DOCTYPE";
+    (match peek cur with
+     | '<' -> incr depth
+     | '>' -> decr depth
+     | _ -> ());
+    advance cur
+  done
+
+let rec read_node cur : Xml_tree.t option =
+  if eof cur then None
+  else if looking_at cur "<!--" then begin
+    advance_n cur 4;
+    let body = read_until cur "-->" "comment" in
+    Some (Xml_tree.comment body)
+  end
+  else if looking_at cur "<![CDATA[" then begin
+    advance_n cur 9;
+    let body = read_until cur "]]>" "CDATA section" in
+    Some (Xml_tree.cdata body)
+  end
+  else if looking_at cur "<!DOCTYPE" then begin
+    advance_n cur 9;
+    skip_doctype cur;
+    read_node cur
+  end
+  else if looking_at cur "<?" then begin
+    advance_n cur 2;
+    let target = read_name cur in
+    skip_whitespace cur;
+    let content = read_until cur "?>" "processing instruction" in
+    Some (Xml_tree.pi target (String.trim content))
+  end
+  else if looking_at cur "</" then None (* caller handles the close tag *)
+  else if peek cur = '<' then Some (read_element cur)
+  else begin
+    (* character data *)
+    let buf = Buffer.create 32 in
+    while (not (eof cur)) && peek cur <> '<' do
+      if peek cur = '&' then Buffer.add_string buf (read_entity cur)
+      else begin
+        Buffer.add_char buf (peek cur);
+        advance cur
+      end
+    done;
+    Some (Xml_tree.text (Buffer.contents buf))
+  end
+
+and read_element cur : Xml_tree.t =
+  advance cur; (* '<' *)
+  let name = read_name cur in
+  let attrs = read_attributes cur in
+  skip_whitespace cur;
+  if peek cur = '/' && peek2 cur = '>' then begin
+    advance_n cur 2;
+    Xml_tree.element ~attrs name []
+  end
+  else if peek cur = '>' then begin
+    advance cur;
+    let children = ref [] in
+    let rec loop () =
+      if eof cur then fail cur (Fmt.str "unterminated element <%s>" name)
+      else if looking_at cur "</" then begin
+        advance_n cur 2;
+        let close = read_name cur in
+        skip_whitespace cur;
+        if peek cur <> '>' then fail cur "malformed close tag";
+        advance cur;
+        if not (String.equal close name) then
+          fail cur (Fmt.str "mismatched close tag </%s> for <%s>" close name)
+      end
+      else
+        match read_node cur with
+        | Some node -> children := node :: !children; loop ()
+        | None -> loop ()
+    in
+    loop ();
+    Xml_tree.element ~attrs name (List.rev !children)
+  end
+  else fail cur (Fmt.str "malformed start tag <%s>" name)
+
+(* [parse input] parses a whole document and returns its root element.
+   Leading/trailing comments, PIs and whitespace are allowed. *)
+let parse input : Xml_tree.t =
+  let cur = make_cursor input in
+  let root = ref None in
+  let rec loop () =
+    skip_whitespace cur;
+    if not (eof cur) then begin
+      (match read_node cur with
+       | Some (Xml_tree.Element _ as e) ->
+         (match !root with
+          | None -> root := Some e
+          | Some _ -> fail cur "multiple root elements")
+       | Some (Xml_tree.Text s) when Xml_tree.is_whitespace s -> ()
+       | Some (Xml_tree.Comment _ | Xml_tree.Pi _) -> ()
+       | Some (Xml_tree.Text _ | Xml_tree.Cdata _) ->
+         fail cur "character data outside the root element"
+       | None -> fail cur "unexpected close tag");
+      loop ()
+    end
+  in
+  loop ();
+  match !root with
+  | Some e -> e
+  | None -> fail cur "no root element"
+
+let parse_result input =
+  match parse input with
+  | tree -> Ok tree
+  | exception Error { pos; message } ->
+    Result.error (Fmt.str "line %d, column %d: %s" pos.line pos.column message)

@@ -1,0 +1,15 @@
+(** Hand-written XML parser covering the subset the Active XML layer
+    needs: prolog, elements, attributes, character data with entity
+    references, CDATA sections, comments, processing instructions.
+    DOCTYPE declarations are skipped. *)
+
+type position = { line : int; column : int }
+
+exception Error of { pos : position; message : string }
+
+val parse : string -> Xml_tree.t
+(** Parse a whole document and return its root element. Leading and
+    trailing comments, processing instructions and whitespace are
+    allowed. @raise Error with a line/column position otherwise. *)
+
+val parse_result : string -> (Xml_tree.t, string) result

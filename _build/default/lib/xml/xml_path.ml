@@ -1,0 +1,167 @@
+(* A small path query language over XML trees, used by the Active XML
+   peer to define declarative services over its repository (Section 7:
+   "Web services, defined declaratively as queries ... on top of the
+   repository documents").
+
+   Grammar:  path  ::= step+
+             step  ::= ("/" | "//") test pred*
+             test  ::= name | "*" | "text()"
+             pred  ::= "[" digits "]" | "[@" name "=" "'"value"'" "]"
+
+   Predicates select by 1-based position within each context node's
+   matches, or by attribute value.
+
+   "/" selects direct children, "//" selects descendants-or-self. The
+   query is evaluated against the root node; "/name" requires the root
+   element itself to be named [name] for the first step, matching the
+   usual document-node convention. *)
+
+type test = Name of string | Any | Text
+
+type axis = Child | Descendant
+
+type pred =
+  | Position of int                          (* [n], 1-based *)
+  | Attr_equals of { name : string; value : string }  (* [@a='v'] *)
+
+type step = { axis : axis; test : test; preds : pred list }
+
+type t = step list
+
+exception Parse_error of string
+
+let parse_test s =
+  if String.equal s "*" then Any
+  else if String.equal s "text()" then Text
+  else if String.length s = 0 then raise (Parse_error "empty step")
+  else Name s
+
+let parse_pred text =
+  (* text without the surrounding brackets *)
+  if String.length text = 0 then raise (Parse_error "empty predicate")
+  else if text.[0] = '@' then begin
+    match String.index_opt text '=' with
+    | None -> raise (Parse_error "attribute predicate needs '='")
+    | Some eq ->
+      let name = String.sub text 1 (eq - 1) in
+      let value = String.sub text (eq + 1) (String.length text - eq - 1) in
+      let value =
+        let n = String.length value in
+        if n >= 2
+           && ((value.[0] = '\'' && value.[n - 1] = '\'')
+               || (value.[0] = '"' && value.[n - 1] = '"'))
+        then String.sub value 1 (n - 2)
+        else raise (Parse_error "attribute value must be quoted")
+      in
+      if name = "" then raise (Parse_error "attribute predicate needs a name");
+      Attr_equals { name; value }
+  end
+  else
+    match int_of_string_opt text with
+    | Some n when n >= 1 -> Position n
+    | Some _ | None -> raise (Parse_error ("bad predicate [" ^ text ^ "]"))
+
+let parse path : t =
+  if String.length path = 0 || path.[0] <> '/' then
+    raise (Parse_error "a path must start with '/'");
+  let n = String.length path in
+  let steps = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let axis =
+      if !i + 1 < n && path.[!i] = '/' && path.[!i + 1] = '/' then begin
+        i := !i + 2;
+        Descendant
+      end
+      else begin
+        incr i;
+        Child
+      end
+    in
+    let start = !i in
+    while !i < n && path.[!i] <> '/' && path.[!i] <> '[' do incr i done;
+    let test = parse_test (String.sub path start (!i - start)) in
+    let preds = ref [] in
+    while !i < n && path.[!i] = '[' do
+      let close =
+        match String.index_from_opt path !i ']' with
+        | Some c -> c
+        | None -> raise (Parse_error "unterminated predicate")
+      in
+      preds := parse_pred (String.sub path (!i + 1) (close - !i - 1)) :: !preds;
+      i := close + 1
+    done;
+    steps := { axis; test; preds = List.rev !preds } :: !steps
+  done;
+  List.rev !steps
+
+let matches test (node : Xml_tree.t) =
+  match test, node with
+  | Name n, Element e -> String.equal e.name n
+  | Any, Element _ -> true
+  | Text, (Text _ | Cdata _) -> true
+  | (Name _ | Any | Text), _ -> false
+
+let rec descendants_or_self (node : Xml_tree.t) =
+  node
+  :: (match node with
+      | Element e -> List.concat_map descendants_or_self e.children
+      | Text _ | Cdata _ | Comment _ | Pi _ -> [])
+
+let children_of (node : Xml_tree.t) =
+  match node with
+  | Element e -> e.children
+  | Text _ | Cdata _ | Comment _ | Pi _ -> []
+
+(* Evaluate [steps] against [root]. For the first Child step the root
+   itself is the candidate (document-node convention). *)
+let satisfies_pred matched i (pred : pred) =
+  match pred with
+  | Position n -> i + 1 = n
+  | Attr_equals { name; value } ->
+    (match matched with
+     | Xml_tree.Element e ->
+       (match Xml_tree.attr_value e name with
+        | Some v -> String.equal v value
+        | None -> false)
+     | _ -> false)
+
+let select_steps steps root : Xml_tree.t list =
+  let initial =
+    match steps with
+    | { axis = Child; _ } :: _ -> [ `Self root ]
+    | _ -> [ `Node root ]
+  in
+  let apply candidates { axis; test; preds } =
+    candidates
+    |> List.concat_map (fun c ->
+           let pool =
+             match c, axis with
+             | `Self node, Child -> [ node ]  (* root element matches itself *)
+             | `Node node, Child -> children_of node
+             | (`Self node | `Node node), Descendant -> descendants_or_self node
+           in
+           let matched = List.filter (matches test) pool in
+           (* predicates apply in order; positions are relative to the
+              matches surviving the previous predicates, per context *)
+           let filtered =
+             List.fold_left
+               (fun ms pred ->
+                 List.filteri (fun i m -> satisfies_pred m i pred) ms)
+               matched preds
+           in
+           List.map (fun n -> `Node n) filtered)
+  in
+  List.fold_left apply initial steps
+  |> List.map (function `Node n | `Self n -> n)
+
+let select path root = select_steps (parse path) root
+
+(* Convenience: string values of selected nodes (text of elements,
+   contents of text nodes). *)
+let select_strings path root =
+  select path root
+  |> List.map (function
+       | Xml_tree.Element e -> Xml_tree.text_content e
+       | Xml_tree.Text s | Xml_tree.Cdata s -> s
+       | Xml_tree.Comment _ | Xml_tree.Pi _ -> "")

@@ -1,0 +1,114 @@
+(* Serialization of XML trees, compact or indented. *)
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_attrs buf attrs =
+  List.iter
+    (fun (a : Xml_tree.attribute) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf a.name;
+      Buffer.add_string buf "=\"";
+      Buffer.add_string buf (escape_attr a.value);
+      Buffer.add_char buf '"')
+    attrs
+
+let rec add_compact buf (node : Xml_tree.t) =
+  match node with
+  | Text s -> Buffer.add_string buf (escape_text s)
+  | Cdata s ->
+    Buffer.add_string buf "<![CDATA[";
+    Buffer.add_string buf s;
+    Buffer.add_string buf "]]>"
+  | Comment s ->
+    Buffer.add_string buf "<!--";
+    Buffer.add_string buf s;
+    Buffer.add_string buf "-->"
+  | Pi { target; content } ->
+    Buffer.add_string buf "<?";
+    Buffer.add_string buf target;
+    if content <> "" then begin
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf content
+    end;
+    Buffer.add_string buf "?>"
+  | Element e ->
+    Buffer.add_char buf '<';
+    Buffer.add_string buf e.name;
+    add_attrs buf e.attrs;
+    if e.children = [] then Buffer.add_string buf "/>"
+    else begin
+      Buffer.add_char buf '>';
+      List.iter (add_compact buf) e.children;
+      Buffer.add_string buf "</";
+      Buffer.add_string buf e.name;
+      Buffer.add_char buf '>'
+    end
+
+let to_string node =
+  let buf = Buffer.create 256 in
+  add_compact buf node;
+  Buffer.contents buf
+
+(* Indented output: safe only for "data-oriented" XML where surrounding
+   whitespace is not significant (always true for this system's trees). *)
+let rec add_pretty buf indent (node : Xml_tree.t) =
+  let pad () = Buffer.add_string buf (String.make (2 * indent) ' ') in
+  match node with
+  | Text s ->
+    pad ();
+    Buffer.add_string buf (escape_text s);
+    Buffer.add_char buf '\n'
+  | Cdata _ | Comment _ | Pi _ ->
+    pad ();
+    add_compact buf node;
+    Buffer.add_char buf '\n'
+  | Element e ->
+    pad ();
+    Buffer.add_char buf '<';
+    Buffer.add_string buf e.name;
+    add_attrs buf e.attrs;
+    (match e.children with
+     | [] -> Buffer.add_string buf "/>\n"
+     | [ Text s ] ->
+       Buffer.add_char buf '>';
+       Buffer.add_string buf (escape_text s);
+       Buffer.add_string buf "</";
+       Buffer.add_string buf e.name;
+       Buffer.add_string buf ">\n"
+     | children ->
+       Buffer.add_string buf ">\n";
+       List.iter (add_pretty buf (indent + 1)) children;
+       pad ();
+       Buffer.add_string buf "</";
+       Buffer.add_string buf e.name;
+       Buffer.add_string buf ">\n")
+
+let to_pretty_string ?(xml_decl = false) node =
+  let buf = Buffer.create 256 in
+  if xml_decl then Buffer.add_string buf "<?xml version=\"1.0\"?>\n";
+  add_pretty buf 0 node;
+  Buffer.contents buf
+
+let pp ppf node = Fmt.string ppf (to_string node)

@@ -1,0 +1,14 @@
+(** Serialization of XML trees. *)
+
+val escape_text : string -> string
+val escape_attr : string -> string
+
+val to_string : Xml_tree.t -> string
+(** Compact, single-line serialization. *)
+
+val to_pretty_string : ?xml_decl:bool -> Xml_tree.t -> string
+(** Indented serialization; safe for data-oriented XML where
+    surrounding whitespace is insignificant (always true for this
+    system's trees). *)
+
+val pp : Xml_tree.t Fmt.t

@@ -1,0 +1,99 @@
+(* The XML node tree used as carrier syntax for intensional documents
+   (Section 7 of the paper). Names are kept as written ("prefix:local");
+   namespace resolution is a separate pass in [Xml_ns]. *)
+
+type attribute = { name : string; value : string }
+
+type t =
+  | Element of element
+  | Text of string
+  | Cdata of string
+  | Comment of string
+  | Pi of { target : string; content : string }
+
+and element = { name : string; attrs : attribute list; children : t list }
+
+let element ?(attrs = []) name children = Element { name; attrs; children }
+let text s = Text s
+let cdata s = Cdata s
+let comment s = Comment s
+let pi target content = Pi { target; content }
+let attr name value = { name; value }
+
+let attr_value element name =
+  List.find_map
+    (fun (a : attribute) -> if String.equal a.name name then Some a.value else None)
+    element.attrs
+
+let has_attr element name = Option.is_some (attr_value element name)
+
+(* Direct children that are elements. *)
+let child_elements element =
+  List.filter_map
+    (function Element e -> Some e | Text _ | Cdata _ | Comment _ | Pi _ -> None)
+    element.children
+
+let child_element element name =
+  List.find_opt (fun e -> String.equal e.name name) (child_elements element)
+
+let children_named element name =
+  List.filter (fun e -> String.equal e.name name) (child_elements element)
+
+(* Concatenated character data of the direct children. *)
+let text_content element =
+  element.children
+  |> List.filter_map (function
+       | Text s | Cdata s -> Some s
+       | Element _ | Comment _ | Pi _ -> None)
+  |> String.concat ""
+
+let is_whitespace s = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s
+
+(* Remove whitespace-only text nodes and comments/PIs, recursively;
+   documents compare structurally after this normalization. *)
+let rec strip_layout node =
+  match node with
+  | Element e ->
+    let children =
+      e.children
+      |> List.filter (function
+           | Text s -> not (is_whitespace s)
+           | Comment _ | Pi _ -> false
+           | Element _ | Cdata _ -> true)
+      |> List.map strip_layout
+    in
+    Element { e with children }
+  | Text _ | Cdata _ | Comment _ | Pi _ -> node
+
+let rec equal n1 n2 =
+  match n1, n2 with
+  | Element e1, Element e2 ->
+    String.equal e1.name e2.name
+    && List.length e1.attrs = List.length e2.attrs
+    && List.for_all
+         (fun (a : attribute) ->
+           match attr_value e2 a.name with
+           | Some v -> String.equal v a.value
+           | None -> false)
+         e1.attrs
+    && List.length e1.children = List.length e2.children
+    && List.for_all2 equal e1.children e2.children
+  | Text s1, Text s2 | Cdata s1, Cdata s2 | Comment s1, Comment s2 ->
+    String.equal s1 s2
+  | Pi p1, Pi p2 -> String.equal p1.target p2.target && String.equal p1.content p2.content
+  | (Element _ | Text _ | Cdata _ | Comment _ | Pi _), _ -> false
+
+let rec count_nodes = function
+  | Element e -> 1 + List.fold_left (fun acc c -> acc + count_nodes c) 0 e.children
+  | Text _ | Cdata _ | Comment _ | Pi _ -> 1
+
+let rec depth = function
+  | Element e -> 1 + List.fold_left (fun acc c -> max acc (depth c)) 0 e.children
+  | Text _ | Cdata _ | Comment _ | Pi _ -> 1
+
+(* Fold over every node of the tree, prefix order. *)
+let rec fold f acc node =
+  let acc = f acc node in
+  match node with
+  | Element e -> List.fold_left (fold f) acc e.children
+  | Text _ | Cdata _ | Comment _ | Pi _ -> acc

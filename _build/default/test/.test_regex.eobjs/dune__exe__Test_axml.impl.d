@@ -1,0 +1,1 @@
+test/test_axml.ml: Alcotest Array Axml_core Axml_peer Axml_regex Axml_schema Axml_services Filename Fmt List Option QCheck QCheck_alcotest String Sys

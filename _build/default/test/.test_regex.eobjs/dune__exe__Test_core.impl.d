@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Axml_core Axml_regex Axml_schema Float Fmt List Printexc QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_document.ml: Alcotest Axml_core Axml_schema List

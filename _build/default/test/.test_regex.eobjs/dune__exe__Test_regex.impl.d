@@ -1,0 +1,1 @@
+test/test_regex.ml: Alcotest Axml_regex Fmt Gen List QCheck QCheck_alcotest Random String

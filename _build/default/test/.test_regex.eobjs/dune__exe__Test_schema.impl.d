@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Axml_regex Axml_schema List Option String

@@ -1,0 +1,1 @@
+test/test_services.ml: Alcotest Axml_core Axml_regex Axml_schema Axml_services List Option

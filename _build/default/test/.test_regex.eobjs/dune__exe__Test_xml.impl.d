@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Axml_xml List QCheck QCheck_alcotest String

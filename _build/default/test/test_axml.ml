@@ -1,0 +1,784 @@
+(* Tests for the Active XML layer (lib/axml): wire syntax, SOAP, XML
+   Schema_int, WSDL_int, policies, the Schema Enforcement module, and
+   peer-to-peer exchanges. *)
+
+module R = Axml_regex.Regex
+module Schema = Axml_schema.Schema
+module Schema_parser = Axml_schema.Schema_parser
+module Symbol = Axml_schema.Symbol
+module Auto = Axml_schema.Auto
+module D = Axml_core.Document
+module Validate = Axml_core.Validate
+module Rewriter = Axml_core.Rewriter
+module Service = Axml_services.Service
+module Registry = Axml_services.Registry
+module Oracle = Axml_services.Oracle
+module Syntax = Axml_peer.Syntax
+module Soap = Axml_peer.Soap
+module Xml_schema_int = Axml_peer.Xml_schema_int
+module Wsdl = Axml_peer.Wsdl
+module Policy = Axml_peer.Policy
+module Enforcement = Axml_peer.Enforcement
+module Peer = Axml_peer.Peer
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parse_schema text =
+  match Schema_parser.parse_result text with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "schema parse error: %s" e
+
+let common = {|
+element title = #data
+element date = #data
+element temp = #data
+element city = #data
+element exhibit = title.(Get_Date | date)
+element performance = title.date
+function Get_Temp : city -> temp
+function TimeOut : #data -> (exhibit | performance)*
+function Get_Date : title -> date
+|}
+
+let schema_star =
+  parse_schema
+    ({|
+root newspaper
+element newspaper = title.date.(Get_Temp | temp).(TimeOut | exhibit*)
+|} ^ common)
+
+let schema_star2 =
+  parse_schema
+    ({|
+root newspaper
+element newspaper = title.date.temp.(TimeOut | exhibit*)
+|} ^ common)
+
+let schema_star3 =
+  parse_schema
+    ({|
+root newspaper
+element newspaper = title.date.temp.exhibit*
+|} ^ common)
+
+let fig2a =
+  D.elem "newspaper"
+    [ D.elem "title" [ D.data "The Sun" ];
+      D.elem "date" [ D.data "04/10/2002" ];
+      D.call "Get_Temp" [ D.elem "city" [ D.data "Paris" ] ];
+      D.call "TimeOut" [ D.data "exhibits" ] ]
+
+(* ------------------------------------------------------------------ *)
+(* Wire syntax                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_syntax_roundtrip () =
+  let xml = Syntax.to_xml_string fig2a in
+  let back = Syntax.of_xml_string xml in
+  check "roundtrip" true (D.equal fig2a back)
+
+(* The example document of Section 7, as literal XML. *)
+let paper_xml = {|<?xml version="1.0"?>
+<newspaper xmlns:int="http://www.activexml.com/ns/int">
+  <title> The Sun </title>
+  <date> 04/10/2002 </date>
+  <int:fun endpointURL="http://www.forecast.com/soap"
+           methodName="Get_Temp"
+           namespaceURI="urn:xmethods-weather">
+    <int:params>
+      <int:param><city>Paris</city></int:param>
+    </int:params>
+  </int:fun>
+  <int:fun endpointURL="http://www.timeout.com/paris"
+           methodName="TimeOut"
+           namespaceURI="urn:timeout-program">
+    <int:params>
+      <int:param>exhibits</int:param>
+    </int:params>
+  </int:fun>
+</newspaper>|}
+
+let test_paper_xml_parses () =
+  let doc = Syntax.of_xml_string paper_xml in
+  (match doc with
+   | D.Elem { label = "newspaper"; children } ->
+     check_int "four children" 4 (List.length children);
+     (match children with
+      | [ _; _; D.Call { name = "Get_Temp"; params = [ D.Elem { label = "city"; _ } ] };
+          D.Call { name = "TimeOut"; params = [ D.Data _ ] } ] -> ()
+      | _ -> Alcotest.failf "unexpected structure: %a" D.pp doc)
+   | _ -> Alcotest.fail "expected a newspaper element")
+
+let test_syntax_custom_prefix_ns () =
+  (* a different prefix bound to the int namespace must still be a call *)
+  let xml = {|<doc xmlns:axml="http://www.activexml.com/ns/int">
+      <axml:fun methodName="F"/></doc>|} in
+  match Syntax.of_xml_string xml with
+  | D.Elem { children = [ D.Call { name = "F"; params = [] } ]; _ } -> ()
+  | d -> Alcotest.failf "unexpected: %a" D.pp d
+
+let test_syntax_errors () =
+  let no_method = {|<doc xmlns:int="http://www.activexml.com/ns/int">
+      <int:fun endpointURL="x"/></doc>|} in
+  (match Syntax.of_xml_string no_method with
+   | exception Syntax.Syntax_error _ -> ()
+   | _ -> Alcotest.fail "expected Syntax_error");
+  let bad_params = {|<doc xmlns:int="http://www.activexml.com/ns/int">
+      <int:fun methodName="F"><int:params><bogus/></int:params></int:fun></doc>|} in
+  (match Syntax.of_xml_string bad_params with
+   | exception Syntax.Syntax_error _ -> ()
+   | _ -> Alcotest.fail "expected Syntax_error")
+
+(* ------------------------------------------------------------------ *)
+(* SOAP                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_soap_roundtrip () =
+  let params = [ D.elem "city" [ D.data "Paris" ]; D.call "F" [ D.data "x" ] ] in
+  (match Soap.decode (Soap.encode (Soap.Request { method_name = "Get_Temp"; params })) with
+   | Soap.Request { method_name = "Get_Temp"; params = p } ->
+     check "params preserved" true (D.equal_forest params p)
+   | _ -> Alcotest.fail "bad request roundtrip");
+  (match Soap.decode (Soap.encode (Soap.Response { method_name = "M"; result = [] })) with
+   | Soap.Response { method_name = "M"; result = [] } -> ()
+   | _ -> Alcotest.fail "bad response roundtrip");
+  (match Soap.decode (Soap.encode (Soap.Fault { code = "Server"; reason = "boom" })) with
+   | Soap.Fault { code = "Server"; reason = "boom" } -> ()
+   | _ -> Alcotest.fail "bad fault roundtrip")
+
+let test_soap_garbage () =
+  (match Soap.decode "not xml at all <" with
+   | exception Soap.Protocol_error _ -> ()
+   | _ -> Alcotest.fail "expected Protocol_error");
+  (match Soap.decode "<root/>" with
+   | exception Soap.Protocol_error _ -> ()
+   | _ -> Alcotest.fail "expected Protocol_error")
+
+(* ------------------------------------------------------------------ *)
+(* XML Schema_int                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let newspaper_xml_schema = {|
+<schema root="newspaper">
+  <element name="newspaper">
+    <complexType>
+      <sequence>
+        <element ref="title"/>
+        <element ref="date"/>
+        <choice>
+          <function ref="Get_Temp"/>
+          <element ref="temp"/>
+        </choice>
+        <choice>
+          <function ref="TimeOut"/>
+          <element ref="exhibit" minOccurs="0" maxOccurs="unbounded"/>
+        </choice>
+      </sequence>
+    </complexType>
+  </element>
+  <element name="title"><data/></element>
+  <element name="date"><data/></element>
+  <element name="temp"><data/></element>
+  <element name="city"><data/></element>
+  <element name="exhibit">
+    <sequence>
+      <element ref="title"/>
+      <choice><function ref="Get_Date"/><element ref="date"/></choice>
+    </sequence>
+  </element>
+  <element name="performance">
+    <sequence><element ref="title"/><element ref="date"/></sequence>
+  </element>
+  <function name="Get_Temp" endpointURL="http://www.forecast.com/soap"
+            namespaceURI="urn:xmethods-weather">
+    <params><param><element ref="city"/></param></params>
+    <return><element ref="temp"/></return>
+  </function>
+  <function name="TimeOut">
+    <params><param><data/></param></params>
+    <return>
+      <choice minOccurs="0" maxOccurs="unbounded">
+        <element ref="exhibit"/>
+        <element ref="performance"/>
+      </choice>
+    </return>
+  </function>
+  <function name="Get_Date">
+    <params><param><element ref="title"/></param></params>
+    <return><element ref="date"/></return>
+  </function>
+</schema>
+|}
+
+let content_language_equal env c1 c2 =
+  Auto.Dfa.equal_language
+    (Auto.Dfa.of_regex (Schema.compile_content env c1))
+    (Auto.Dfa.of_regex (Schema.compile_content env c2))
+
+let test_xml_schema_int_parse () =
+  let s = Xml_schema_int.of_string newspaper_xml_schema in
+  Alcotest.(check (option string)) "root" (Some "newspaper") s.Schema.root;
+  let env = Schema.env_of_schema s in
+  let envt = Schema.env_of_schema schema_star in
+  List.iter
+    (fun label ->
+      match Schema.find_element s label, Schema.find_element schema_star label with
+      | Some c1, Some c2 ->
+        let d1 = Auto.Dfa.of_regex (Schema.compile_content env c1) in
+        let d2 = Auto.Dfa.of_regex (Schema.compile_content envt c2) in
+        if not (Auto.Dfa.equal_language d1 d2) then
+          Alcotest.failf "content of %s differs" label
+      | _ -> Alcotest.failf "element %s missing" label)
+    [ "newspaper"; "title"; "exhibit"; "performance" ];
+  (match Schema.find_function s "Get_Temp" with
+   | Some f ->
+     Alcotest.(check (option string)) "endpoint"
+       (Some "http://www.forecast.com/soap") f.Schema.f_endpoint
+   | None -> Alcotest.fail "Get_Temp missing")
+
+let test_xml_schema_int_roundtrip () =
+  let s = Xml_schema_int.of_string newspaper_xml_schema in
+  let s2 = Xml_schema_int.of_string (Xml_schema_int.to_string s) in
+  let env = Schema.env_of_schema s in
+  List.iter
+    (fun label ->
+      match Schema.find_element s label, Schema.find_element s2 label with
+      | Some c1, Some c2 ->
+        if not (content_language_equal env c1 c2) then
+          Alcotest.failf "roundtrip changed the content of %s" label
+      | _ -> Alcotest.failf "element %s lost in roundtrip" label)
+    (Schema.element_names s);
+  List.iter
+    (fun fname ->
+      match Schema.find_function s fname, Schema.find_function s2 fname with
+      | Some f1, Some f2 ->
+        if not (content_language_equal env f1.Schema.f_output f2.Schema.f_output)
+        then Alcotest.failf "roundtrip changed the output of %s" fname
+      | _ -> Alcotest.failf "function %s lost in roundtrip" fname)
+    (Schema.function_names s)
+
+let test_xml_schema_int_all () =
+  let s =
+    Xml_schema_int.of_string
+      {|
+<schema>
+  <element name="mix"><all>
+    <element ref="a"/><element ref="b"/><element ref="c"/>
+  </all></element>
+  <element name="a"><data/></element>
+  <element name="b"><data/></element>
+  <element name="c"><data/></element>
+</schema>|}
+  in
+  let env = Schema.env_of_schema s in
+  let dfa =
+    Auto.Dfa.of_regex
+      (Schema.compile_content env (Option.get (Schema.find_element s "mix")))
+  in
+  let w l = List.map (fun x -> Symbol.Label x) l in
+  check "cab accepted" true (Auto.Dfa.accepts dfa (w [ "c"; "a"; "b" ]));
+  check "abc accepted" true (Auto.Dfa.accepts dfa (w [ "a"; "b"; "c" ]));
+  check "ab rejected" false (Auto.Dfa.accepts dfa (w [ "a"; "b" ]));
+  check "aabc rejected" false (Auto.Dfa.accepts dfa (w [ "a"; "a"; "b"; "c" ]))
+
+let test_xml_schema_int_errors () =
+  let bad = [
+    {|<schema><element name="x"><bogus/></element></schema>|};
+    {|<schema><element><data/></element></schema>|};
+    {|<schema><element name="x"><element ref="nope"/></element></schema>|};
+    {|<notaschema/>|};
+  ] in
+  List.iter
+    (fun text ->
+      match Xml_schema_int.of_string text with
+      | exception Xml_schema_int.Schema_syntax_error _ -> ()
+      | _ -> Alcotest.failf "expected rejection of %s" text)
+    bad
+
+(* ------------------------------------------------------------------ *)
+(* WSDL_int                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_wsdl_roundtrip () =
+  let service =
+    Service.make ~endpoint:"http://www.forecast.com/soap"
+      ~namespace:"urn:xmethods-weather"
+      ~input:(R.sym (Schema.A_label "city"))
+      ~output:(R.sym (Schema.A_label "temp"))
+      "Get_Temp" (Oracle.constant [])
+  in
+  let descriptor = Wsdl.describe_string ~types:schema_star service in
+  let f, types = Wsdl.parse_string descriptor in
+  Alcotest.(check string) "name" "Get_Temp" f.Schema.f_name;
+  check "city type carried" true (Option.is_some (Schema.find_element types "city"));
+  (* import into a fresh schema *)
+  let s = Wsdl.import Schema.empty (f, types) in
+  check "imported" true (Option.is_some (Schema.find_function s "Get_Temp"));
+  (* conflicting import is rejected *)
+  let conflicting =
+    Schema.add_function Schema.empty
+      (Schema.func "Get_Temp" ~input:R.epsilon ~output:R.epsilon)
+  in
+  match Wsdl.import conflicting (f, types) with
+  | exception Wsdl.Wsdl_error _ -> ()
+  | _ -> Alcotest.fail "expected a signature conflict"
+
+(* ------------------------------------------------------------------ *)
+(* Policies                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_policy_extensional () =
+  let projected = Policy.extensional schema_star in
+  let env = Schema.env_of_schema projected in
+  let envt = Schema.env_of_schema schema_star3 in
+  let c1 = Option.get (Schema.find_element projected "newspaper") in
+  let c2 = Option.get (Schema.find_element schema_star3 "newspaper") in
+  let d1 = Auto.Dfa.of_regex (Schema.compile_content env c1) in
+  let d2 = Auto.Dfa.of_regex (Schema.compile_content envt c2) in
+  (* dropping all functions from the 'star' schema's newspaper type gives
+     exactly the fully-extensional 'star-star-star' type *)
+  check "extensional = fully materialized" true (Auto.Dfa.equal_language d1 d2)
+
+let test_policy_restrict () =
+  let projected = Policy.restrict_functions ~trust:(String.equal "TimeOut") schema_star in
+  let env = Schema.env_of_schema projected in
+  let envt = Schema.env_of_schema schema_star2 in
+  let c1 = Option.get (Schema.find_element projected "newspaper") in
+  let c2 = Option.get (Schema.find_element schema_star2 "newspaper") in
+  check "trusting TimeOut only = schema 2" true
+    (Auto.Dfa.equal_language
+       (Auto.Dfa.of_regex (Schema.compile_content env c1))
+       (Auto.Dfa.of_regex (Schema.compile_content envt c2)));
+  (* the exhibit type still mentions Get_Date, which is untrusted *)
+  let c = Option.get (Schema.find_element projected "exhibit") in
+  let dfa = Auto.Dfa.of_regex (Schema.compile_content env c) in
+  check "Get_Date erased from exhibit" false
+    (Auto.Dfa.accepts dfa [ Symbol.Label "title"; Symbol.Fun "Get_Date" ]);
+  check "date fine" true
+    (Auto.Dfa.accepts dfa [ Symbol.Label "title"; Symbol.Label "date" ])
+
+let test_policy_inconsistent () =
+  let only_f =
+    parse_schema {|
+element root = F
+function F : () -> ()
+|}
+  in
+  match Policy.extensional only_f with
+  | exception Policy.Empty_content "root" -> ()
+  | _ -> Alcotest.fail "expected Empty_content"
+
+let test_policy_preserve () =
+  let s = Policy.preserve_functions ~keep:(String.equal "TimeOut") schema_star in
+  match Schema.find_function s "TimeOut", Schema.find_function s "Get_Temp" with
+  | Some t, Some g ->
+    check "TimeOut frozen" false t.Schema.f_invocable;
+    check "Get_Temp untouched" true g.Schema.f_invocable
+  | _ -> Alcotest.fail "functions lost"
+
+(* ------------------------------------------------------------------ *)
+(* Schema Enforcement module                                           *)
+(* ------------------------------------------------------------------ *)
+
+let make_registry () =
+  let reg = Registry.create () in
+  Registry.register_all reg
+    [ Service.make ~input:(R.sym (Schema.A_label "city"))
+        ~output:(R.sym (Schema.A_label "temp")) "Get_Temp"
+        (Oracle.constant [ D.elem "temp" [ D.data "15" ] ]);
+      Service.make ~input:(R.sym Schema.A_data)
+        ~output:
+          (R.star
+             (R.alt (R.sym (Schema.A_label "exhibit"))
+                (R.sym (Schema.A_label "performance"))))
+        "TimeOut"
+        (Oracle.constant
+           [ D.elem "exhibit"
+               [ D.elem "title" [ D.data "Monet" ]; D.elem "date" [ D.data "now" ] ] ]);
+      Service.make ~input:(R.sym (Schema.A_label "title"))
+        ~output:(R.sym (Schema.A_label "date")) "Get_Date"
+        (Oracle.constant [ D.elem "date" [ D.data "today" ] ])
+    ];
+  reg
+
+let test_enforce_conformed () =
+  let reg = make_registry () in
+  match
+    Enforcement.enforce ~s0:schema_star ~exchange:schema_star
+      ~invoker:(Registry.invoker reg) fig2a
+  with
+  | Ok (doc, report) ->
+    check "unchanged" true (D.equal doc fig2a);
+    check "conformed" true (report.Enforcement.action = Enforcement.Conformed);
+    check_int "no calls" 0 (Registry.invocation_count reg)
+  | Error e -> Alcotest.failf "unexpected: %a" Enforcement.pp_error e
+
+let test_enforce_rewritten () =
+  let reg = make_registry () in
+  match
+    Enforcement.enforce ~s0:schema_star ~exchange:schema_star2
+      ~invoker:(Registry.invoker reg) fig2a
+  with
+  | Ok (doc, report) ->
+    check "rewritten" true (report.Enforcement.action = Enforcement.Rewritten);
+    check_int "one call" 1 (Registry.invocation_count reg);
+    let env = Schema.env_of_schemas schema_star schema_star2 in
+    let ctx = Validate.ctx ~env schema_star2 in
+    check "conforms" true (Validate.document_violations ctx doc = [])
+  | Error e -> Alcotest.failf "unexpected: %a" Enforcement.pp_error e
+
+let test_enforce_rejected () =
+  let reg = make_registry () in
+  match
+    Enforcement.enforce ~s0:schema_star ~exchange:schema_star3
+      ~invoker:(Registry.invoker reg) fig2a
+  with
+  | Error (Enforcement.Rejected _) ->
+    check_int "no side effects before rejection" 0 (Registry.invocation_count reg)
+  | Error e -> Alcotest.failf "wrong error: %a" Enforcement.pp_error e
+  | Ok _ -> Alcotest.fail "expected rejection"
+
+let test_enforce_possible_fallback () =
+  let reg = make_registry () in
+  let config = { Enforcement.default_config with Enforcement.fallback_possible = true } in
+  match
+    Enforcement.enforce ~config ~s0:schema_star ~exchange:schema_star3
+      ~invoker:(Registry.invoker reg) fig2a
+  with
+  | Ok (doc, report) ->
+    check "possible" true (report.Enforcement.action = Enforcement.Rewritten_possible);
+    let env = Schema.env_of_schemas schema_star schema_star3 in
+    let ctx = Validate.ctx ~env schema_star3 in
+    check "conforms" true (Validate.document_violations ctx doc = [])
+  | Error e -> Alcotest.failf "unexpected: %a" Enforcement.pp_error e
+
+let test_enforce_possible_fails_at_runtime () =
+  let reg = make_registry () in
+  (* make TimeOut return a performance: the attempt must fail *)
+  Registry.register reg
+    (Service.make ~input:(R.sym Schema.A_data)
+       ~output:
+         (R.star
+            (R.alt (R.sym (Schema.A_label "exhibit"))
+               (R.sym (Schema.A_label "performance"))))
+       "TimeOut"
+       (Oracle.constant
+          [ D.elem "performance"
+              [ D.elem "title" [ D.data "Hamlet" ]; D.elem "date" [ D.data "8pm" ] ] ]));
+  let config = { Enforcement.default_config with Enforcement.fallback_possible = true } in
+  match
+    Enforcement.enforce ~config ~s0:schema_star ~exchange:schema_star3
+      ~invoker:(Registry.invoker reg) fig2a
+  with
+  | Error (Enforcement.Attempt_failed _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Enforcement.pp_error e
+  | Ok _ -> Alcotest.fail "expected a run-time failure"
+
+(* ------------------------------------------------------------------ *)
+(* Peers                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_peer_call_through_soap () =
+  let provider = Peer.create ~name:"timeout.com" ~schema:schema_star () in
+  Peer.store provider "exhibits"
+    (D.elem "listing" [ D.elem "exhibit"
+                          [ D.elem "title" [ D.data "Monet" ];
+                            D.elem "date" [ D.data "now" ] ] ]);
+  Peer.provide provider ~name:"List_Exhibits" ~input:(R.sym Schema.A_data)
+    ~output:(R.star (R.sym (Schema.A_label "exhibit")))
+    (Peer.Repository_path { doc = "exhibits"; path = "/listing/exhibit" });
+  let client = Peer.create ~name:"newspaper.com" ~schema:schema_star () in
+  Peer.connect client ~provider;
+  let result = Peer.call client "List_Exhibits" [ D.data "all" ] in
+  (match result with
+   | [ D.Elem { label = "exhibit"; _ } ] -> ()
+   | _ -> Alcotest.failf "unexpected result: %a" D.pp_forest result);
+  check "WSDL imported" true
+    (Option.is_some (Schema.find_function (Peer.schema client) "List_Exhibits"))
+
+let test_peer_serve_enforces_output () =
+  (* the provider's repository holds an intensional document; serving a
+     request whose output type is extensional forces materialization *)
+  let provider = Peer.create ~name:"newspaper.com" ~schema:schema_star () in
+  Registry.register_all (Peer.registry provider)
+    [ Service.make ~input:(R.sym (Schema.A_label "city"))
+        ~output:(R.sym (Schema.A_label "temp")) "Get_Temp"
+        (Oracle.constant [ D.elem "temp" [ D.data "15" ] ]) ];
+  Peer.store provider "front-page" fig2a;
+  Peer.provide provider ~name:"Temperature" ~input:(R.sym Schema.A_data)
+    ~output:(R.sym (Schema.A_label "temp"))
+    (Peer.Compute
+       (fun _ ->
+         Peer.select provider ~doc:"front-page" ~path:"/newspaper/*"
+         |> List.filter (fun d ->
+                match D.symbol d with
+                | Symbol.Fun "Get_Temp" | Symbol.Label "temp" -> true
+                | _ -> false)));
+  let client = Peer.create ~name:"reader" ~schema:schema_star () in
+  Peer.connect client ~provider;
+  match Peer.call client "Temperature" [ D.data "q" ] with
+  | [ D.Elem { label = "temp"; _ } ] -> ()
+  | other -> Alcotest.failf "expected a materialized temp, got %a" D.pp_forest other
+
+let test_peer_send_document () =
+  let sender = Peer.create ~name:"newspaper.com" ~schema:schema_star () in
+  Registry.register_all (Peer.registry sender)
+    [ Service.make ~input:(R.sym (Schema.A_label "city"))
+        ~output:(R.sym (Schema.A_label "temp")) "Get_Temp"
+        (Oracle.constant [ D.elem "temp" [ D.data "15" ] ]) ];
+  let receiver = Peer.create ~name:"reader" ~schema:schema_star2 () in
+  match
+    Peer.send sender ~receiver ~exchange:schema_star2 ~as_name:"front-page" fig2a
+  with
+  | Ok outcome ->
+    check "bytes counted" true (outcome.Peer.wire_bytes > 0);
+    let stored = Peer.fetch receiver "front-page" in
+    let env = Schema.env_of_schemas schema_star schema_star2 in
+    let ctx = Validate.ctx ~env schema_star2 in
+    check "stored copy conforms" true (Validate.document_violations ctx stored = [])
+  | Error e -> Alcotest.failf "send failed: %a" Enforcement.pp_error e
+
+let test_peer_unknown_service_fault () =
+  let provider = Peer.create ~name:"p" ~schema:schema_star () in
+  let client = Peer.create ~name:"c" ~schema:schema_star () in
+  Peer.connect client ~provider;
+  (* call directly through the wire: unknown method must fault *)
+  let wire = Soap.encode (Soap.Request { method_name = "Nope"; params = [] }) in
+  match Soap.decode (Peer.handle_wire provider wire) with
+  | Soap.Fault { code = "Client"; _ } -> ()
+  | _ -> Alcotest.fail "expected a fault"
+
+(* ------------------------------------------------------------------ *)
+(* Negotiation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Negotiation = Axml_peer.Negotiation
+
+let test_negotiation_first_fit () =
+  let proposals =
+    [ { Negotiation.name = "too strict"; schema = schema_star3 };
+      { Negotiation.name = "fits"; schema = schema_star2 };
+      { Negotiation.name = "also fits, but later"; schema = schema_star } ]
+  in
+  match Negotiation.negotiate ~s0:schema_star ~root:"newspaper" proposals with
+  | Ok agreement ->
+    Alcotest.(check string) "first fit wins" "fits"
+      agreement.Negotiation.chosen.Negotiation.name;
+    check_int "one rejection" 1 (List.length agreement.Negotiation.rejected);
+    (match agreement.Negotiation.rejected with
+     | [ r ] -> Alcotest.(check string) "rejected name" "too strict" r.Negotiation.proposal
+     | _ -> Alcotest.fail "unexpected rejections")
+  | Error _ -> Alcotest.fail "expected an agreement"
+
+let test_negotiation_no_agreement () =
+  let proposals =
+    [ { Negotiation.name = "only the strict one"; schema = schema_star3 } ]
+  in
+  match Negotiation.negotiate ~s0:schema_star ~root:"newspaper" proposals with
+  | Ok _ -> Alcotest.fail "expected failure"
+  | Error rejections ->
+    check_int "one rejection" 1 (List.length rejections);
+    check "reports the culprit label" true
+      (List.exists
+         (fun r ->
+           List.exists
+             (fun (v : Axml_core.Schema_rewrite.label_verdict) ->
+               v.Axml_core.Schema_rewrite.label = "newspaper")
+             r.Negotiation.verdicts)
+         rejections)
+
+(* ------------------------------------------------------------------ *)
+(* XML Schema_int roundtrip on random schemas                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_content : Schema.content QCheck.Gen.t =
+  let open QCheck.Gen in
+  let atom =
+    map R.sym
+      (oneofl
+         [ Schema.A_label "a"; Schema.A_label "b"; Schema.A_fun "f";
+           Schema.A_data ])
+  in
+  let rec gen n =
+    if n <= 0 then atom
+    else
+      frequency
+        [ (3, atom);
+          (2, map2 R.seq (gen (n / 2)) (gen (n / 2)));
+          (2, map2 R.alt (gen (n / 2)) (gen (n / 2)));
+          (1, map R.star (gen (n - 1)));
+          (1, map R.plus (gen (n - 1)));
+          (1, map R.opt (gen (n - 1)))
+        ]
+  in
+  gen 5
+
+let arb_random_schema =
+  let gen =
+    let open QCheck.Gen in
+    let* root_content = gen_content in
+    let* out_f = gen_content in
+    let s = Schema.empty in
+    let s = Schema.add_element s "r" root_content in
+    let s = Schema.add_element s "a" (R.sym Schema.A_data) in
+    let s = Schema.add_element s "b" (R.sym Schema.A_data) in
+    let s = Schema.add_function s (Schema.func "f" ~input:R.epsilon ~output:out_f) in
+    return (Schema.with_root s "r")
+  in
+  QCheck.make ~print:(Fmt.str "%a" Schema.pp) gen
+
+let prop_xml_schema_int_roundtrip =
+  QCheck.Test.make ~count:200
+    ~name:"XML Schema_int printing/parsing preserves every content language"
+    arb_random_schema
+    (fun s ->
+      let s2 =
+        try Xml_schema_int.of_string (Xml_schema_int.to_string s)
+        with Xml_schema_int.Schema_syntax_error m ->
+          QCheck.Test.fail_reportf "reparse failed: %s" m
+      in
+      let env = Schema.env_of_schema s in
+      List.for_all
+        (fun label ->
+          match Schema.find_element s label, Schema.find_element s2 label with
+          | Some c1, Some c2 -> content_language_equal env c1 c2
+          | _ -> false)
+        (Schema.element_names s)
+      && (match Schema.find_function s "f", Schema.find_function s2 "f" with
+          | Some f1, Some f2 ->
+            content_language_equal env f1.Schema.f_output f2.Schema.f_output
+          | _ -> false))
+
+let axml_qcheck = List.map QCheck_alcotest.to_alcotest [ prop_xml_schema_int_roundtrip ]
+
+(* ------------------------------------------------------------------ *)
+(* Persistent storage                                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Storage = Axml_peer.Storage
+
+let test_storage_roundtrip () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "axml_store_test" in
+  (* fresh directory *)
+  if Sys.file_exists dir then begin
+    let rec rm path =
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm (Filename.concat path f)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+    in
+    rm dir
+  end;
+  let peer = Peer.create ~name:"publisher" ~schema:schema_star () in
+  Peer.store peer "front-page" fig2a;
+  Peer.store peer "weird name/with:stuff" (D.elem "title" [ D.data "x" ]);
+  Storage.save_peer ~dir peer;
+  let loaded = Storage.load_peer ~dir ~name:"publisher-copy" () in
+  Alcotest.(check (list string)) "documents"
+    [ "front-page"; "weird name/with:stuff" ]
+    (Peer.documents loaded);
+  check "front page intact" true (D.equal fig2a (Peer.fetch loaded "front-page"));
+  (* the reloaded schema still validates the reloaded document *)
+  let ctx = Validate.ctx (Peer.schema loaded) in
+  check "still an instance" true
+    (Validate.violations ctx (Peer.fetch loaded "front-page") = [])
+
+let test_storage_name_codec () =
+  List.iter
+    (fun name ->
+      Alcotest.(check string) name name (Storage.decode_name (Storage.encode_name name)))
+    [ "plain"; "with space"; "a/b:c%d"; ""; "\xc3\xa9t\xc3\xa9" ]
+
+let test_storage_errors () =
+  (match Storage.load_peer ~dir:"/nonexistent-dir-xyz" ~name:"x" () with
+   | exception Storage.Storage_error _ -> ()
+   | _ -> Alcotest.fail "expected Storage_error")
+
+let test_peer_select_with_predicates () =
+  let peer = Peer.create ~name:"library" ~schema:schema_star () in
+  Peer.store peer "listing"
+    (D.elem "listing"
+       [ D.elem "exhibit" [ D.elem "title" [ D.data "Monet" ];
+                            D.elem "date" [ D.data "june" ] ];
+         D.elem "exhibit" [ D.elem "title" [ D.data "Picasso" ];
+                            D.elem "date" [ D.data "july" ] ] ]);
+  (match Peer.select peer ~doc:"listing" ~path:"/listing/exhibit[2]/title" with
+   | [ D.Elem { label = "title"; children = [ D.Data "Picasso" ] } ] -> ()
+   | other -> Alcotest.failf "unexpected: %a" D.pp_forest other);
+  check_int "all exhibits" 2
+    (List.length (Peer.select peer ~doc:"listing" ~path:"//exhibit"))
+
+let test_peer_three_hop () =
+  (* source -> aggregator -> client: the aggregator's provided service
+     calls the source through its own registry, so a client call crosses
+     two SOAP hops *)
+  let source = Peer.create ~name:"source" ~schema:schema_star () in
+  Peer.provide source ~name:"Raw_Temp" ~input:(R.sym Schema.A_data)
+    ~output:(R.sym (Schema.A_label "temp"))
+    (Peer.Const [ D.elem "temp" [ D.data "15" ] ]);
+  let aggregator = Peer.create ~name:"aggregator" ~schema:schema_star () in
+  Peer.connect aggregator ~provider:source;
+  Peer.provide aggregator ~name:"Nice_Temp" ~input:(R.sym Schema.A_data)
+    ~output:(R.sym (Schema.A_label "temp"))
+    (Peer.Compute (fun params -> Peer.call aggregator "Raw_Temp" params));
+  let client = Peer.create ~name:"client" ~schema:schema_star () in
+  Peer.connect client ~provider:aggregator;
+  match Peer.call client "Nice_Temp" [ D.data "q" ] with
+  | [ D.Elem { label = "temp"; children = [ D.Data "15" ] } ] ->
+    check_int "aggregator accounted one upstream call" 1
+      (Axml_services.Registry.invocation_count (Peer.registry aggregator))
+  | other -> Alcotest.failf "unexpected: %a" D.pp_forest other
+
+let () =
+  Alcotest.run "axml"
+    [ ("syntax",
+       [ Alcotest.test_case "roundtrip" `Quick test_syntax_roundtrip;
+         Alcotest.test_case "paper XML parses" `Quick test_paper_xml_parses;
+         Alcotest.test_case "custom prefix" `Quick test_syntax_custom_prefix_ns;
+         Alcotest.test_case "errors" `Quick test_syntax_errors
+       ]);
+      ("soap",
+       [ Alcotest.test_case "roundtrip" `Quick test_soap_roundtrip;
+         Alcotest.test_case "garbage" `Quick test_soap_garbage
+       ]);
+      ("xml-schema-int",
+       [ Alcotest.test_case "parse newspaper schema" `Quick test_xml_schema_int_parse;
+         Alcotest.test_case "roundtrip" `Quick test_xml_schema_int_roundtrip;
+         Alcotest.test_case "all compositor" `Quick test_xml_schema_int_all;
+         Alcotest.test_case "errors" `Quick test_xml_schema_int_errors
+       ]);
+      ("wsdl", [ Alcotest.test_case "roundtrip + import" `Quick test_wsdl_roundtrip ]);
+      ("policy",
+       [ Alcotest.test_case "extensional" `Quick test_policy_extensional;
+         Alcotest.test_case "restrict" `Quick test_policy_restrict;
+         Alcotest.test_case "inconsistent" `Quick test_policy_inconsistent;
+         Alcotest.test_case "preserve" `Quick test_policy_preserve
+       ]);
+      ("enforcement",
+       [ Alcotest.test_case "conformed" `Quick test_enforce_conformed;
+         Alcotest.test_case "rewritten" `Quick test_enforce_rewritten;
+         Alcotest.test_case "rejected" `Quick test_enforce_rejected;
+         Alcotest.test_case "possible fallback" `Quick test_enforce_possible_fallback;
+         Alcotest.test_case "possible run-time failure" `Quick test_enforce_possible_fails_at_runtime
+       ]);
+      ("storage",
+       [ Alcotest.test_case "save/load roundtrip" `Quick test_storage_roundtrip;
+         Alcotest.test_case "name codec" `Quick test_storage_name_codec;
+         Alcotest.test_case "errors" `Quick test_storage_errors
+       ]);
+      ("negotiation",
+       [ Alcotest.test_case "first fit" `Quick test_negotiation_first_fit;
+         Alcotest.test_case "no agreement" `Quick test_negotiation_no_agreement
+       ]);
+      ("properties", axml_qcheck);
+      ("peers",
+       [ Alcotest.test_case "call through SOAP" `Quick test_peer_call_through_soap;
+         Alcotest.test_case "serve enforces output" `Quick test_peer_serve_enforces_output;
+         Alcotest.test_case "send document" `Quick test_peer_send_document;
+         Alcotest.test_case "unknown service fault" `Quick test_peer_unknown_service_fault;
+         Alcotest.test_case "select with predicates" `Quick test_peer_select_with_predicates;
+         Alcotest.test_case "three-hop call" `Quick test_peer_three_hop
+       ])
+    ]

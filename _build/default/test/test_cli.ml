@@ -1,0 +1,197 @@
+(* Integration tests for the axml command-line driver: they run the
+   actual binary (declared as a dune dependency) against files on disk
+   and check exit codes and outputs. *)
+
+let cli = "../bin/axml_cli.exe"
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
+  scan 0
+
+(* Run the CLI; returns (exit code, combined output). *)
+let run args =
+  let out = Filename.temp_file "axml_cli" ".out" in
+  let cmd =
+    Fmt.str "%s %s > %s 2>&1" (Filename.quote cli)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let output = read_file out in
+  Sys.remove out;
+  (code, output)
+
+let dir = Filename.get_temp_dir_name ()
+let path name = Filename.concat dir ("axml_test_" ^ name)
+
+let sender_schema = {|
+root newspaper
+element newspaper = title.date.(Get_Temp | temp).(TimeOut | exhibit*)
+element title = #data
+element date = #data
+element temp = #data
+element city = #data
+element exhibit = title.date
+element performance = title.date
+function Get_Temp : city -> temp
+function TimeOut : #data -> (exhibit | performance)*
+|}
+
+let exchange_schema = {|
+root newspaper
+element newspaper = title.date.temp.(TimeOut | exhibit*)
+element title = #data
+element date = #data
+element temp = #data
+element city = #data
+element exhibit = title.date
+element performance = title.date
+function Get_Temp : city -> temp
+function TimeOut : #data -> (exhibit | performance)*
+|}
+
+let strict_schema = {|
+root newspaper
+element newspaper = title.date.temp.exhibit*
+element title = #data
+element date = #data
+element temp = #data
+element city = #data
+element exhibit = title.date
+element performance = title.date
+function Get_Temp : city -> temp
+function TimeOut : #data -> (exhibit | performance)*
+|}
+
+let doc_xml = {|<newspaper xmlns:int="http://www.activexml.com/ns/int">
+  <title>The Sun</title><date>04/10/2002</date>
+  <int:fun methodName="Get_Temp"><int:params><int:param><city>Paris</city></int:param></int:params></int:fun>
+  <int:fun methodName="TimeOut"><int:params><int:param>exhibits</int:param></int:params></int:fun>
+</newspaper>
+|}
+
+let setup () =
+  write_file (path "sender.axs") sender_schema;
+  write_file (path "exchange.axs") exchange_schema;
+  write_file (path "strict.axs") strict_schema;
+  write_file (path "doc.xml") doc_xml
+
+let test_validate_ok () =
+  setup ();
+  let code, out = run [ "validate"; "-s"; path "sender.axs"; path "doc.xml" ] in
+  check_int "exit 0" 0 code;
+  check "says valid" true (contains out "valid")
+
+let test_validate_fails () =
+  setup ();
+  let code, out = run [ "validate"; "-s"; path "exchange.axs"; path "doc.xml" ] in
+  check_int "exit 1" 1 code;
+  check "explains" true (contains out "newspaper")
+
+let test_check_safe () =
+  setup ();
+  let code, out =
+    run [ "check"; "-f"; path "sender.axs"; "-t"; path "exchange.axs"; path "doc.xml" ]
+  in
+  check_int "exit 0" 0 code;
+  check "says safe" true (contains out "safe");
+  let code, _ =
+    run [ "check"; "-f"; path "sender.axs"; "-t"; path "strict.axs"; path "doc.xml" ]
+  in
+  check_int "strict target: exit 1" 1 code;
+  let code, _ =
+    run [ "check"; "--possible"; "-f"; path "sender.axs"; "-t"; path "strict.axs";
+          path "doc.xml" ]
+  in
+  check_int "but possible: exit 0" 0 code
+
+let test_rewrite () =
+  setup ();
+  let out_file = path "out.xml" in
+  let code, log =
+    run [ "rewrite"; "-f"; path "sender.axs"; "-t"; path "exchange.axs";
+          "-o"; out_file; path "doc.xml" ]
+  in
+  check_int "exit 0" 0 code;
+  check "one invocation" true (contains log "1 invocation");
+  let produced = read_file out_file in
+  check "temp materialized" true (contains produced "<temp>");
+  check "TimeOut kept" true (contains produced "TimeOut");
+  (* the produced document validates against the exchange schema *)
+  let code, _ = run [ "validate"; "-s"; path "exchange.axs"; out_file ] in
+  check_int "output validates" 0 code
+
+let test_rewrite_rejected () =
+  setup ();
+  let code, out =
+    run [ "rewrite"; "-f"; path "sender.axs"; "-t"; path "strict.axs"; path "doc.xml" ]
+  in
+  check_int "exit 1" 1 code;
+  check "rejected" true (contains out "rejected")
+
+let test_compat () =
+  setup ();
+  let code, out =
+    run [ "compat"; "-f"; path "sender.axs"; "-t"; path "exchange.axs" ]
+  in
+  check_int "compatible: exit 0" 0 code;
+  check "says compatible" true (contains out "COMPATIBLE");
+  let code, out =
+    run [ "compat"; "-f"; path "sender.axs"; "-t"; path "strict.axs" ]
+  in
+  check_int "incompatible: exit 1" 1 code;
+  check "culprit reported" true (contains out "newspaper")
+
+let test_schema_convert () =
+  setup ();
+  let xml_file = path "schema.xml" in
+  let code, _ =
+    run [ "schema"; "-s"; path "sender.axs"; "--to"; "xml"; "-o"; xml_file ]
+  in
+  check_int "convert to xml: exit 0" 0 code;
+  check "xml syntax" true (contains (read_file xml_file) "<schema");
+  (* the XML form loads back and still certifies the same compat verdict *)
+  let code, _ = run [ "compat"; "-f"; xml_file; "-t"; path "exchange.axs" ] in
+  check_int "xml schema usable: exit 0" 0 code
+
+let test_bad_inputs () =
+  setup ();
+  write_file (path "broken.axs") "element = nonsense";
+  let code, out = run [ "validate"; "-s"; path "broken.axs"; path "doc.xml" ] in
+  check_int "exit 2" 2 code;
+  check "error message" true (contains out "error");
+  write_file (path "broken.xml") "<a><b></a>";
+  let code, _ = run [ "validate"; "-s"; path "sender.axs"; path "broken.xml" ] in
+  check_int "bad xml: exit 2" 2 code;
+  let code, _ = run [ "validate"; "-s"; path "sender.axs"; "/nonexistent.xml" ] in
+  check "missing file fails" true (code <> 0)
+
+let () =
+  Alcotest.run "cli"
+    [ ("cli",
+       [ Alcotest.test_case "validate ok" `Quick test_validate_ok;
+         Alcotest.test_case "validate fails" `Quick test_validate_fails;
+         Alcotest.test_case "check" `Quick test_check_safe;
+         Alcotest.test_case "rewrite" `Quick test_rewrite;
+         Alcotest.test_case "rewrite rejected" `Quick test_rewrite_rejected;
+         Alcotest.test_case "compat" `Quick test_compat;
+         Alcotest.test_case "schema convert" `Quick test_schema_convert;
+         Alcotest.test_case "bad inputs" `Quick test_bad_inputs
+       ])
+    ]

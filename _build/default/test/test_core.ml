@@ -1,0 +1,1129 @@
+(* Tests for the rewriting engine (lib/core): the paper's worked examples
+   (Figures 2, 4-8, 10-11), depth-k behaviour, restricted invocations,
+   patterns/wildcards, validation, generation, execution — plus qcheck
+   properties cross-checking the automata-based engines against a
+   brute-force reference implementation of the k-depth left-to-right
+   game on star-free (finite-language) signatures. *)
+
+module R = Axml_regex.Regex
+module Schema = Axml_schema.Schema
+module Schema_parser = Axml_schema.Schema_parser
+module Symbol = Axml_schema.Symbol
+module Auto = Axml_schema.Auto
+module D = Axml_core.Document
+module Rewriter = Axml_core.Rewriter
+module Marking = Axml_core.Marking
+module Possible = Axml_core.Possible
+module Execute = Axml_core.Execute
+module Validate = Axml_core.Validate
+module Generate = Axml_core.Generate
+module Schema_rewrite = Axml_core.Schema_rewrite
+module Fork_automaton = Axml_core.Fork_automaton
+module Product = Axml_core.Product
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parse_schema text =
+  match Schema_parser.parse_result text with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "schema parse error: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* The paper's running example                                         *)
+(* ------------------------------------------------------------------ *)
+
+let common = {|
+element title = #data
+element date = #data
+element temp = #data
+element city = #data
+element exhibit = title.(Get_Date | date)
+element performance = title.date
+function Get_Temp : city -> temp
+function TimeOut : #data -> (exhibit | performance)*
+function Get_Date : title -> date
+|}
+
+(* schema 'star' of Section 2 *)
+let schema_star =
+  parse_schema
+    ({|
+root newspaper
+element newspaper = title.date.(Get_Temp | temp).(TimeOut | exhibit*)
+|} ^ common)
+
+(* schema 'star-star' *)
+let schema_star2 =
+  parse_schema
+    ({|
+root newspaper
+element newspaper = title.date.temp.(TimeOut | exhibit*)
+|} ^ common)
+
+(* schema 'star-star-star' *)
+let schema_star3 =
+  parse_schema
+    ({|
+root newspaper
+element newspaper = title.date.temp.exhibit*
+|} ^ common)
+
+(* the document of Figure 2.a *)
+let fig2a =
+  D.elem "newspaper"
+    [ D.elem "title" [ D.data "The Sun" ];
+      D.elem "date" [ D.data "04/10/2002" ];
+      D.call "Get_Temp" [ D.elem "city" [ D.data "Paris" ] ];
+      D.call "TimeOut" [ D.data "exhibits" ] ]
+
+let honest_exhibit () =
+  D.elem "exhibit" [ D.elem "title" [ D.data "Monet" ]; D.elem "date" [ D.data "today" ] ]
+
+(* An honest service oracle for the example. *)
+let honest_invoker ?(timeout_returns = `Exhibits) name _params =
+  match name with
+  | "Get_Temp" -> [ D.elem "temp" [ D.data "15 C" ] ]
+  | "Get_Date" -> [ D.elem "date" [ D.data "04/10/2002" ] ]
+  | "TimeOut" ->
+    (match timeout_returns with
+     | `Exhibits -> [ honest_exhibit (); honest_exhibit () ]
+     | `Performance ->
+       [ D.elem "performance"
+           [ D.elem "title" [ D.data "Hamlet" ]; D.elem "date" [ D.data "tonight" ] ] ])
+  | other -> Alcotest.failf "unexpected call to %s" other
+
+let newspaper_word =
+  [ Symbol.Label "title"; Symbol.Label "date"; Symbol.Fun "Get_Temp";
+    Symbol.Fun "TimeOut" ]
+
+let rewriter ?(engine = Rewriter.Lazy) ?(k = 1) target =
+  Rewriter.create ~k ~engine ~s0:schema_star ~target ()
+
+let target_regex rw label =
+  match Rewriter.element_regex rw label with
+  | Some r -> r
+  | None -> Alcotest.failf "no content model for %s" label
+
+(* Figure 4: the A_w^1 automaton for the newspaper word. *)
+let test_fork_automaton_shape () =
+  let rw = rewriter schema_star2 in
+  let fork =
+    Fork_automaton.build ~env:(Rewriter.env rw) ~k:1 newspaper_word
+  in
+  let stats = Fork_automaton.stats fork in
+  (* base: 5 states; Get_Temp output "temp" Glushkov: 2 states;
+     TimeOut output "(exhibit|performance)*": 3 states *)
+  check_int "states" 10 stats.Fork_automaton.states;
+  check_int "forks" 2 stats.Fork_automaton.forks;
+  (* base 4 edges + 1 edge in the temp copy + 6 edges in the
+     exhibit-or-performance-star copy + 2 invoke eps + 1 exit eps for the
+     temp copy + 3 exit eps for the star copy's three finals *)
+  check_int "edges" 17 stats.Fork_automaton.edges
+
+(* Figures 5-6: w safely rewrites into the (**) newspaper type; the
+   extracted rewriting invokes Get_Temp and keeps TimeOut. *)
+let test_safe_into_star2 () =
+  let rw = rewriter schema_star2 in
+  let regex = target_regex rw "newspaper" in
+  let analysis = Rewriter.word_safe_analysis rw ~target_regex:regex newspaper_word in
+  check "safe" true analysis.Marking.safe;
+  let items =
+    [ D.elem "title" [ D.data "t" ]; D.elem "date" [ D.data "d" ];
+      D.call "Get_Temp" [ D.elem "city" [ D.data "Paris" ] ];
+      D.call "TimeOut" [ D.data "exhibits" ] ]
+  in
+  match Execute.run (Execute.Follow_safe analysis) (honest_invoker ?timeout_returns:None) items with
+  | None -> Alcotest.fail "safe execution failed"
+  | Some outcome ->
+    let names = List.map (fun i -> i.Execute.inv_name) outcome.Execute.invocations in
+    Alcotest.(check (list string)) "invoked exactly Get_Temp" [ "Get_Temp" ] names;
+    Alcotest.(check (list string)) "materialized word"
+      [ "title"; "date"; "temp"; "TimeOut()" ]
+      (List.map
+         (fun d -> match D.symbol d with
+            | Symbol.Label l -> l
+            | Symbol.Fun f -> f ^ "()"
+            | Symbol.Data -> "#data")
+         outcome.Execute.materialized)
+    |> fun () ->
+    (* keep TimeOut intact: last item unchanged *)
+    check "TimeOut kept" true
+      (match List.rev outcome.Execute.materialized with
+       | D.Call { name = "TimeOut"; _ } :: _ -> true
+       | _ -> false)
+
+(* Figures 7-8: no safe rewriting into the (***) newspaper type. *)
+let test_unsafe_into_star3 () =
+  let rw = rewriter schema_star3 in
+  let regex = target_regex rw "newspaper" in
+  check "unsafe" false (Rewriter.word_is_safe rw ~target_regex:regex newspaper_word)
+
+(* Figures 10-11: but a possible rewriting exists. *)
+let test_possible_into_star3 () =
+  let rw = rewriter schema_star3 in
+  let regex = target_regex rw "newspaper" in
+  let analysis = Rewriter.word_possible_analysis rw ~target_regex:regex newspaper_word in
+  check "possible" true analysis.Possible.possible;
+  let items =
+    [ D.elem "title" [ D.data "t" ]; D.elem "date" [ D.data "d" ];
+      D.call "Get_Temp" [ D.elem "city" [ D.data "Paris" ] ];
+      D.call "TimeOut" [ D.data "exhibits" ] ]
+  in
+  (* TimeOut returns only exhibits: the attempt succeeds, both invoked *)
+  (match Execute.run (Execute.Follow_possible analysis)
+           (honest_invoker ~timeout_returns:`Exhibits) items with
+   | None -> Alcotest.fail "expected success"
+   | Some outcome ->
+     let names =
+       List.sort compare (List.map (fun i -> i.Execute.inv_name) outcome.Execute.invocations)
+     in
+     Alcotest.(check (list string)) "both invoked" [ "Get_Temp"; "TimeOut" ] names);
+  (* TimeOut returns a performance: the attempt fails (Figure 9c) *)
+  let analysis = Rewriter.word_possible_analysis rw ~target_regex:regex newspaper_word in
+  (match Execute.run (Execute.Follow_possible analysis)
+           (honest_invoker ~timeout_returns:`Performance) items with
+   | None -> ()
+   | Some _ -> Alcotest.fail "expected run-time failure")
+
+(* Already-conforming words need no invocation at all. *)
+let test_already_instance () =
+  let rw = rewriter schema_star in
+  let regex = target_regex rw "newspaper" in
+  let analysis = Rewriter.word_safe_analysis rw ~target_regex:regex newspaper_word in
+  check "safe" true analysis.Marking.safe;
+  let items =
+    [ D.elem "title" [ D.data "t" ]; D.elem "date" [ D.data "d" ];
+      D.call "Get_Temp" [ D.elem "city" [ D.data "Paris" ] ];
+      D.call "TimeOut" [ D.data "exhibits" ] ]
+  in
+  match Execute.run (Execute.Follow_safe analysis)
+          (fun name _ -> Alcotest.failf "unexpected call to %s" name) items with
+  | None -> Alcotest.fail "execution failed"
+  | Some outcome -> check_int "no invocations" 0 (List.length outcome.Execute.invocations)
+
+(* ------------------------------------------------------------------ *)
+(* Tree-level: the full document of Figure 2                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_document_instance_of_star () =
+  let ctx = Validate.ctx schema_star in
+  Alcotest.(check (list string)) "no violations" []
+    (List.map (Fmt.str "%a" Validate.pp_violation) (Validate.document_violations ctx fig2a))
+
+let test_document_not_instance_of_star2 () =
+  let ctx = Validate.ctx ~env:(Schema.env_of_schemas schema_star schema_star2) schema_star2 in
+  check "violations found" true (Validate.document_violations ctx fig2a <> [])
+
+let test_materialize_fig2_into_star2 () =
+  let rw = rewriter schema_star2 in
+  Alcotest.(check (list string)) "check passes" []
+    (List.map (Fmt.str "%a" Rewriter.pp_failure) (Rewriter.check_safe rw fig2a));
+  match Rewriter.materialize rw ~invoker:(honest_invoker ?timeout_returns:None) fig2a with
+  | Error fs ->
+    Alcotest.failf "materialize failed: %a" Fmt.(list Rewriter.pp_failure) fs
+  | Ok (doc, invs) ->
+    let names = List.map (fun li -> li.Rewriter.invocation.Execute.inv_name) invs in
+    Alcotest.(check (list string)) "only Get_Temp" [ "Get_Temp" ] names;
+    let ctx =
+      Validate.ctx ~env:(Schema.env_of_schemas schema_star schema_star2) schema_star2
+    in
+    Alcotest.(check (list string)) "result conforms" []
+      (List.map (Fmt.str "%a" Validate.pp_violation) (Validate.document_violations ctx doc))
+
+let test_materialize_fig2_into_star3_possible () =
+  let rw = rewriter schema_star3 in
+  check "not safe" false (Rewriter.is_safe rw fig2a);
+  check "possible" true (Rewriter.is_possible rw fig2a);
+  match Rewriter.materialize ~mode:Rewriter.Possible_mode rw
+          ~invoker:(honest_invoker ~timeout_returns:`Exhibits) fig2a with
+  | Error fs ->
+    Alcotest.failf "materialize failed: %a" Fmt.(list Rewriter.pp_failure) fs
+  | Ok (doc, _) ->
+    (* the result still contains Get_Date calls inside returned exhibits?
+       No: honest exhibits carry a materialized date, so the document is
+       fully extensional here *)
+    let ctx =
+      Validate.ctx ~env:(Schema.env_of_schemas schema_star schema_star3) schema_star3
+    in
+    Alcotest.(check (list string)) "result conforms" []
+      (List.map (Fmt.str "%a" Validate.pp_violation) (Validate.document_violations ctx doc))
+
+(* Parameters containing calls are rewritten before the call is used
+   (the deepest-first phase of Section 4). *)
+let test_nested_parameters () =
+  let s0 =
+    parse_schema
+      ({|
+root newspaper
+element newspaper = title.date.(Get_Temp | temp).(TimeOut | exhibit*)
+function Get_City : #data -> city
+|} ^ common)
+  in
+  let doc =
+    D.elem "newspaper"
+      [ D.elem "title" [ D.data "t" ]; D.elem "date" [ D.data "d" ];
+        D.call "Get_Temp" [ D.call "Get_City" [ D.data "paris" ] ];
+        D.call "TimeOut" [ D.data "x" ] ]
+  in
+  let rw = Rewriter.create ~k:1 ~s0 ~target:schema_star2 () in
+  Alcotest.(check (list string)) "check passes" []
+    (List.map (Fmt.str "%a" Rewriter.pp_failure) (Rewriter.check_safe rw doc));
+  let invoker name params =
+    match name with
+    | "Get_City" -> [ D.elem "city" [ D.data "Paris" ] ]
+    | "Get_Temp" ->
+      (* the parameter must have been materialized into a city element *)
+      (match params with
+       | [ D.Elem { label = "city"; _ } ] -> [ D.elem "temp" [ D.data "15" ] ]
+       | _ -> Alcotest.failf "Get_Temp called with unrewritten params")
+    | other -> Alcotest.failf "unexpected call to %s" other
+  in
+  match Rewriter.materialize rw ~invoker doc with
+  | Error fs -> Alcotest.failf "failed: %a" Fmt.(list Rewriter.pp_failure) fs
+  | Ok (_, invs) ->
+    let names = List.map (fun li -> li.Rewriter.invocation.Execute.inv_name) invs in
+    check "Get_City before Get_Temp" true
+      (names = [ "Get_City"; "Get_Temp" ])
+
+(* A service breaking its WSDL contract is reported, not silently accepted. *)
+let test_ill_typed_output () =
+  let rw = rewriter schema_star2 in
+  let bad_invoker name _ =
+    match name with
+    | "Get_Temp" -> [ D.elem "city" [ D.data "oops" ] ]  (* wrong type! *)
+    | _ -> []
+  in
+  match Rewriter.materialize rw ~invoker:bad_invoker fig2a with
+  | exception Execute.Ill_typed_output { fname = "Get_Temp"; _ } -> ()
+  | exception e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e)
+  | Ok _ -> Alcotest.fail "expected Ill_typed_output"
+  | Error _ -> Alcotest.fail "expected Ill_typed_output, got failure"
+
+(* ------------------------------------------------------------------ *)
+(* Depth-k behaviour                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let exhibits_schema =
+  parse_schema {|
+root listing
+element listing = exhibit*
+element exhibit = #data
+function Get_Exhibits : () -> Get_Exhibit*
+function Get_Exhibit : () -> exhibit
+|}
+
+let test_depth_k () =
+  let word = [ Symbol.Fun "Get_Exhibits" ] in
+  let target rw = target_regex rw "listing" in
+  let rw1 = Rewriter.create ~k:1 ~s0:exhibits_schema ~target:exhibits_schema () in
+  check "k=1 unsafe" false (Rewriter.word_is_safe rw1 ~target_regex:(target rw1) word);
+  let rw2 = Rewriter.create ~k:2 ~s0:exhibits_schema ~target:exhibits_schema () in
+  check "k=2 safe" true (Rewriter.word_is_safe rw2 ~target_regex:(target rw2) word);
+  (* execution at k=2: Get_Exhibits returns three Get_Exhibit calls *)
+  let analysis = Rewriter.word_safe_analysis rw2 ~target_regex:(target rw2) word in
+  let invoker name _ =
+    match name with
+    | "Get_Exhibits" -> List.init 3 (fun _ -> D.call "Get_Exhibit" [])
+    | "Get_Exhibit" -> [ D.elem "exhibit" [ D.data "e" ] ]
+    | other -> Alcotest.failf "unexpected %s" other
+  in
+  match Execute.run (Execute.Follow_safe analysis) invoker [ D.call "Get_Exhibits" [] ] with
+  | None -> Alcotest.fail "execution failed"
+  | Some outcome ->
+    check_int "four invocations" 4 (List.length outcome.Execute.invocations);
+    check_int "three exhibits" 3 (List.length outcome.Execute.materialized)
+
+(* The recursive search-engine pattern (Section 3): never safe at any
+   bounded depth, but always possible. *)
+let search_schema =
+  parse_schema {|
+root results
+element results = url*.More?
+element url = #data
+function More : () -> url*.More?
+|}
+
+let test_recursive_never_safe () =
+  let word = [ Symbol.Fun "More" ] in
+  let target = R.star (R.sym (Symbol.Label "url")) in
+  List.iter
+    (fun k ->
+      let rw = Rewriter.create ~k ~s0:search_schema ~target:search_schema () in
+      check (Fmt.str "k=%d unsafe" k) false
+        (Rewriter.word_is_safe rw ~target_regex:target word);
+      check (Fmt.str "k=%d possible" k) true
+        (Rewriter.word_is_possible rw ~target_regex:target word))
+    [ 1; 2; 3; 4 ]
+
+(* k = 0 means: no invocation at all; safe iff already an instance. *)
+let test_depth_zero () =
+  let rw0 = Rewriter.create ~k:0 ~s0:schema_star ~target:schema_star2 () in
+  let regex = target_regex rw0 "newspaper" in
+  check "not safe at k=0" false (Rewriter.word_is_safe rw0 ~target_regex:regex newspaper_word);
+  let conforming =
+    [ Symbol.Label "title"; Symbol.Label "date"; Symbol.Label "temp";
+      Symbol.Fun "TimeOut" ]
+  in
+  check "instance is safe at k=0" true
+    (Rewriter.word_is_safe rw0 ~target_regex:regex conforming)
+
+(* ------------------------------------------------------------------ *)
+(* Restricted invocations (Section 2.1)                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_noninvocable () =
+  let s0_restricted =
+    parse_schema
+      ({|
+root newspaper
+element newspaper = title.date.(Get_Temp | temp).(TimeOut | exhibit*)
+|}
+       ^ {|
+element title = #data
+element date = #data
+element temp = #data
+element city = #data
+element exhibit = title.(Get_Date | date)
+element performance = title.date
+noninvocable function Get_Temp : city -> temp
+function TimeOut : #data -> (exhibit | performance)*
+function Get_Date : title -> date
+|})
+  in
+  let rw = Rewriter.create ~k:1 ~s0:s0_restricted ~target:schema_star2 () in
+  let regex = target_regex rw "newspaper" in
+  (* Get_Temp may not be invoked: no legal rewriting reaches (**) *)
+  check "unsafe" false (Rewriter.word_is_safe rw ~target_regex:regex newspaper_word);
+  check "not even possible" false
+    (Rewriter.word_is_possible rw ~target_regex:regex newspaper_word)
+
+(* ------------------------------------------------------------------ *)
+(* Function patterns and wildcards (Section 2.1)                       *)
+(* ------------------------------------------------------------------ *)
+
+let pattern_schema_text = {|
+root newspaper
+element newspaper = title.date.(Forecast | temp).(TimeOut | exhibit*)
+element title = #data
+element date = #data
+element temp = #data
+element city = #data
+element exhibit = title.(Get_Date | date)
+element performance = title.date
+function Get_Temp : city -> temp
+function Paris_Weather : city -> temp
+function Bad_Signature : title -> date
+function TimeOut : #data -> (exhibit | performance)*
+function Get_Date : title -> date
+pattern Forecast requires UDDIF InACL : city -> temp
+|}
+
+let uddi_predicate pred fname =
+  match pred with
+  | "UDDIF" -> List.mem fname [ "Get_Temp"; "Paris_Weather"; "Bad_Signature" ]
+  | "InACL" -> List.mem fname [ "Get_Temp"; "Paris_Weather" ]
+  | _ -> false
+
+let test_pattern_members () =
+  let s = parse_schema pattern_schema_text in
+  let env = Schema.env_of_schema ~predicate:uddi_predicate s in
+  match Schema.find_pattern s "Forecast" with
+  | None -> Alcotest.fail "pattern not found"
+  | Some p ->
+    let members =
+      List.sort compare
+        (List.map (fun (f : Schema.func) -> f.Schema.f_name)
+           (Schema.pattern_members env p))
+    in
+    (* Bad_Signature fails the signature check, others pass predicates *)
+    Alcotest.(check (list string)) "members" [ "Get_Temp"; "Paris_Weather" ] members
+
+let test_pattern_in_target () =
+  let s = parse_schema pattern_schema_text in
+  let rw =
+    Rewriter.create ~k:1 ~predicate:uddi_predicate ~s0:schema_star ~target:s ()
+  in
+  let regex = target_regex rw "newspaper" in
+  (* The document's Get_Temp call matches the Forecast pattern, so the
+     word is already an instance: safe with no invocation. *)
+  check "safe" true (Rewriter.word_is_safe rw ~target_regex:regex newspaper_word);
+  let doc_word_bad =
+    [ Symbol.Label "title"; Symbol.Label "date"; Symbol.Fun "Bad_Signature";
+      Symbol.Fun "TimeOut" ]
+  in
+  check "bad signature rejected" false
+    (Rewriter.word_is_safe rw ~target_regex:regex doc_word_bad)
+
+let test_wildcards () =
+  let s =
+    parse_schema {|
+root box
+element box = #any*
+element a = #data
+element b = #data
+function F : #data -> a
+|}
+  in
+  let rw = Rewriter.create ~k:1 ~s0:s ~target:s () in
+  let regex = target_regex rw "box" in
+  check "any elements ok" true
+    (Rewriter.word_is_safe rw ~target_regex:regex
+       [ Symbol.Label "a"; Symbol.Label "b" ]);
+  (* a function is not an element: must be invoked *)
+  let analysis =
+    Rewriter.word_safe_analysis rw ~target_regex:regex [ Symbol.Fun "F" ]
+  in
+  check "function must be invoked" true analysis.Marking.safe;
+  let outcome =
+    Execute.run (Execute.Follow_safe analysis)
+      (fun _ _ -> [ D.elem "a" [ D.data "x" ] ])
+      [ D.call "F" [ D.data "p" ] ]
+  in
+  (match outcome with
+   | Some o -> check_int "one invocation" 1 (List.length o.Execute.invocations)
+   | None -> Alcotest.fail "execution failed");
+  let s_anyfun =
+    parse_schema {|
+root box
+element box = #anyfun*
+element a = #data
+function F : #data -> a
+|}
+  in
+  let rw = Rewriter.create ~k:1 ~s0:s_anyfun ~target:s_anyfun () in
+  let regex = target_regex rw "box" in
+  check "anyfun keeps functions" true
+    (Rewriter.word_is_safe rw ~target_regex:regex [ Symbol.Fun "F"; Symbol.Fun "F" ])
+
+(* ------------------------------------------------------------------ *)
+(* The mixed approach (Section 5)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_mixed () =
+  let rw = rewriter schema_star3 in
+  check "not safe alone" false (Rewriter.is_safe rw fig2a);
+  (* invoking the cheap TimeOut up-front (it happens to return exhibits)
+     makes the remainder safely rewritable *)
+  let invoker = honest_invoker ~timeout_returns:`Exhibits in
+  Alcotest.(check (list string)) "mixed check passes" []
+    (List.map (Fmt.str "%a" Rewriter.pp_failure)
+       (Rewriter.check_mixed rw ~eager_calls:(String.equal "TimeOut") ~invoker fig2a));
+  match Rewriter.materialize_mixed rw ~eager_calls:(String.equal "TimeOut") ~invoker fig2a with
+  | Error fs -> Alcotest.failf "failed: %a" Fmt.(list Rewriter.pp_failure) fs
+  | Ok (doc, invs) ->
+    check_int "two invocations" 2 (List.length invs);
+    let ctx =
+      Validate.ctx ~env:(Schema.env_of_schemas schema_star schema_star3) schema_star3
+    in
+    Alcotest.(check (list string)) "conforms" []
+      (List.map (Fmt.str "%a" Validate.pp_violation) (Validate.document_violations ctx doc))
+
+(* ------------------------------------------------------------------ *)
+(* Schema-to-schema rewriting (Section 6)                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_schema_rewriting () =
+  check "(*) into (**)" true
+    (Schema_rewrite.compatible ~s0:schema_star ~root:"newspaper" ~target:schema_star2 ());
+  check "(*) into (***)" false
+    (Schema_rewrite.compatible ~s0:schema_star ~root:"newspaper" ~target:schema_star3 ());
+  check "(**) into (*): instance containment" true
+    (Schema_rewrite.compatible ~s0:schema_star2 ~root:"newspaper" ~target:schema_star ());
+  (* identity is always compatible *)
+  check "identity" true
+    (Schema_rewrite.compatible ~s0:schema_star ~root:"newspaper" ~target:schema_star ())
+
+let test_schema_rewriting_verdicts () =
+  let result =
+    Schema_rewrite.check ~s0:schema_star ~root:"newspaper" ~target:schema_star3 ()
+  in
+  check "incompatible" false result.Schema_rewrite.compatible;
+  let bad =
+    List.filter (fun v -> not v.Schema_rewrite.safe) result.Schema_rewrite.verdicts
+  in
+  check "newspaper is the culprit" true
+    (List.exists (fun v -> v.Schema_rewrite.label = "newspaper") bad)
+
+(* ------------------------------------------------------------------ *)
+(* Validation and generation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_validate_violations () =
+  let ctx = Validate.ctx schema_star in
+  let bad =
+    D.elem "newspaper"
+      [ D.elem "date" [ D.data "d" ];  (* missing title *)
+        D.elem "temp" [ D.data "x" ];
+        D.call "TimeOut" [ D.data "y" ] ]
+  in
+  let vs = Validate.violations ctx bad in
+  check "violation found" true (vs <> []);
+  let bad_params = D.call "Get_Temp" [ D.data "not a city" ] in
+  let vs = Validate.violations ctx bad_params in
+  check "input violation" true
+    (List.exists
+       (fun v -> match v.Validate.kind with
+          | Validate.Input_mismatch { fname = "Get_Temp"; _ } -> true
+          | _ -> false)
+       vs)
+
+let test_generated_instances_validate () =
+  let ctx = Validate.ctx schema_star in
+  for seed = 0 to 24 do
+    let g = Generate.create ~seed schema_star in
+    let doc = Generate.document g in
+    if Validate.document_violations ctx doc <> [] then
+      Alcotest.failf "seed %d generated a non-instance: %a" seed D.pp doc
+  done
+
+let test_generated_outputs_validate () =
+  let ctx = Validate.ctx schema_star in
+  for seed = 0 to 24 do
+    let g = Generate.create ~seed schema_star in
+    let forest = Generate.output_instance g "TimeOut" in
+    if Validate.output_instance ctx "TimeOut" forest <> [] then
+      Alcotest.fail "generated output is not an output instance"
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Eager vs lazy engines                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_engines_agree_on_example () =
+  List.iter
+    (fun target ->
+      let rw_eager = rewriter ~engine:Rewriter.Eager target in
+      let rw_lazy = rewriter ~engine:Rewriter.Lazy target in
+      let regex = target_regex rw_eager "newspaper" in
+      check "same verdict" true
+        (Rewriter.word_is_safe rw_eager ~target_regex:regex newspaper_word
+         = Rewriter.word_is_safe rw_lazy ~target_regex:regex newspaper_word))
+    [ schema_star; schema_star2; schema_star3 ]
+
+let test_lazy_explores_less () =
+  let rw_eager = rewriter ~engine:Rewriter.Eager schema_star3 in
+  let rw_lazy = rewriter ~engine:Rewriter.Lazy schema_star3 in
+  let regex = target_regex rw_eager "newspaper" in
+  let a_eager = Rewriter.word_safe_analysis rw_eager ~target_regex:regex newspaper_word in
+  let a_lazy = Rewriter.word_safe_analysis rw_lazy ~target_regex:regex newspaper_word in
+  check "lazy explores no more nodes" true
+    (a_lazy.Marking.stats.Marking.explored_nodes
+     <= a_eager.Marking.stats.Marking.explored_nodes)
+
+(* ------------------------------------------------------------------ *)
+(* Brute-force reference for star-free signatures                      *)
+(* ------------------------------------------------------------------ *)
+
+module Exhaustive = Axml_core.Exhaustive
+
+(* Random star-free content models over two labels and two functions. *)
+let mini_atoms =
+  [ Schema.A_label "a"; Schema.A_label "b"; Schema.A_fun "f"; Schema.A_fun "g" ]
+
+let gen_mini_content : Schema.content QCheck.Gen.t =
+  let open QCheck.Gen in
+  let atom = map R.sym (oneofl mini_atoms) in
+  let rec gen n =
+    if n <= 0 then atom
+    else
+      frequency
+        [ (3, atom);
+          (1, return R.epsilon);
+          (2, map2 R.seq (gen (n / 2)) (gen (n / 2)));
+          (2, map2 R.alt (gen (n / 2)) (gen (n / 2)));
+          (1, map R.opt (gen (n - 1)))
+        ]
+  in
+  gen 4
+
+let gen_mini_setup =
+  let open QCheck.Gen in
+  let* out_f = gen_mini_content in
+  let* out_g = gen_mini_content in
+  let* target = gen_mini_content in
+  let* word =
+    list_size (int_bound 3)
+      (oneofl [ Symbol.Label "a"; Symbol.Label "b"; Symbol.Fun "f"; Symbol.Fun "g" ])
+  in
+  let* k = int_range 0 2 in
+  return (out_f, out_g, target, word, k)
+
+let mini_schema out_f out_g =
+  let s = Schema.empty in
+  let s = Schema.add_element s "a" (R.sym Schema.A_data) in
+  let s = Schema.add_element s "b" (R.sym Schema.A_data) in
+  let s = Schema.add_function s (Schema.func "f" ~input:R.epsilon ~output:out_f) in
+  let s = Schema.add_function s (Schema.func "g" ~input:R.epsilon ~output:out_g) in
+  s
+
+let print_mini (out_f, out_g, target, word, k) =
+  Fmt.str "f:()->%a; g:()->%a; target=%a; w=%a; k=%d"
+    Schema.pp_content out_f Schema.pp_content out_g Schema.pp_content target
+    Fmt.(list ~sep:(any ".") Symbol.pp) word k
+
+let arb_mini = QCheck.make ~print:print_mini gen_mini_setup
+
+let prop_engines_match_reference =
+  QCheck.Test.make ~count:400 ~name:"safe & possible match the brute-force game"
+    arb_mini
+    (fun (out_f, out_g, target, word, k) ->
+      let s = mini_schema out_f out_g in
+      let env = Schema.env_of_schema s in
+      let target_regex = Schema.compile_content env target in
+      let outputs = Exhaustive.outputs_of_env env in
+      let target_dfa = Auto.Dfa.of_regex target_regex in
+      let alphabet =
+        Auto.Sym_set.of_list
+          [ Symbol.Label "a"; Symbol.Label "b"; Symbol.Fun "f"; Symbol.Fun "g";
+            Symbol.Data ]
+      in
+      let target_dfa = Auto.Dfa.complete ~alphabet target_dfa in
+      let ref_safe = Exhaustive.safe ~outputs ~target_dfa ~k word in
+      let ref_possible = Exhaustive.possible ~outputs ~target_dfa ~k word in
+      let rw_eager = Rewriter.create ~k ~engine:Rewriter.Eager ~s0:s ~target:s () in
+      let rw_lazy = Rewriter.create ~k ~engine:Rewriter.Lazy ~s0:s ~target:s () in
+      let eager_safe = Rewriter.word_is_safe rw_eager ~target_regex word in
+      let lazy_safe = Rewriter.word_is_safe rw_lazy ~target_regex word in
+      let possible = Rewriter.word_is_possible rw_eager ~target_regex word in
+      if eager_safe <> ref_safe then
+        QCheck.Test.fail_reportf "eager safe=%b but reference=%b" eager_safe ref_safe;
+      if lazy_safe <> ref_safe then
+        QCheck.Test.fail_reportf "lazy safe=%b but reference=%b" lazy_safe ref_safe;
+      if possible <> ref_possible then
+        QCheck.Test.fail_reportf "possible=%b but reference=%b" possible ref_possible;
+      true)
+
+let prop_safe_implies_possible =
+  QCheck.Test.make ~count:200 ~name:"safe implies possible"
+    arb_mini
+    (fun (out_f, out_g, target, word, k) ->
+      let s = mini_schema out_f out_g in
+      let env = Schema.env_of_schema s in
+      let target_regex = Schema.compile_content env target in
+      let rw = Rewriter.create ~k ~s0:s ~target:s () in
+      QCheck.assume (Rewriter.word_is_safe rw ~target_regex word);
+      Rewriter.word_is_possible rw ~target_regex word)
+
+(* Safe executions against adversarial (random output) services always
+   succeed and always produce a word in the target language. *)
+let prop_safe_execution_robust =
+  QCheck.Test.make ~count:200 ~name:"safe execution survives any honest adversary"
+    QCheck.(pair arb_mini small_int)
+    (fun ((out_f, out_g, target, word, k), seed) ->
+      let s = mini_schema out_f out_g in
+      let env = Schema.env_of_schema s in
+      let target_regex = Schema.compile_content env target in
+      let rw = Rewriter.create ~k ~s0:s ~target:s () in
+      let analysis = Rewriter.word_safe_analysis rw ~target_regex word in
+      QCheck.assume analysis.Marking.safe;
+      let rng = Random.State.make [| seed |] in
+      let outputs fname =
+        match Schema.String_map.find_opt fname env.Schema.env_functions with
+        | None -> []
+        | Some func ->
+          Exhaustive.enum_language (Schema.compile_content env func.Schema.f_output)
+      in
+      let invoker fname _params =
+        let outs = outputs fname in
+        let o = List.nth outs (Random.State.int rng (List.length outs)) in
+        List.map
+          (function
+            | Symbol.Label l -> D.elem l [ D.data "v" ]
+            | Symbol.Fun f -> D.call f []
+            | Symbol.Data -> D.data "v")
+          o
+      in
+      let items =
+        List.map
+          (function
+            | Symbol.Label l -> D.elem l [ D.data "v" ]
+            | Symbol.Fun f -> D.call f []
+            | Symbol.Data -> D.data "v")
+          word
+      in
+      match Execute.run (Execute.Follow_safe analysis) invoker items with
+      | None -> QCheck.Test.fail_report "safe execution failed"
+      | Some outcome ->
+        let final_word = D.word outcome.Execute.materialized in
+        Auto.Dfa.accepts (Auto.Dfa.of_regex target_regex) final_word)
+
+(* ------------------------------------------------------------------ *)
+(* The left-to-right restriction (Section 3)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper: "with this restriction, one can miss a successful
+   rewriting that is not left-to-right". Witness: in
+
+     w = f.g,   target = a.b | f.c,   f : () -> a,   g : () -> b|c
+
+   the winning strategy must invoke g FIRST and then decide on f --
+   impossible left-to-right, trivial in arbitrary order. *)
+let test_ltr_restriction_witness () =
+  let s =
+    parse_schema {|
+element a = #data
+element b = #data
+element c = #data
+function f : () -> a
+function g : () -> (b | c)
+|}
+  in
+  let env = Schema.env_of_schema s in
+  let target =
+    R.alt
+      (R.seq (R.sym (Symbol.Label "a")) (R.sym (Symbol.Label "b")))
+      (R.seq (R.sym (Symbol.Fun "f")) (R.sym (Symbol.Label "c")))
+  in
+  let word = [ Symbol.Fun "f"; Symbol.Fun "g" ] in
+  let rw = Rewriter.create ~k:1 ~s0:s ~target:s () in
+  check "engine (left-to-right): unsafe" false
+    (Rewriter.word_is_safe rw ~target_regex:target word);
+  check "engine (left-to-right): possible" true
+    (Rewriter.word_is_possible rw ~target_regex:target word);
+  let outputs = Exhaustive.outputs_of_env env in
+  let target_dfa = Auto.Dfa.of_regex target in
+  check "reference left-to-right agrees: unsafe" false
+    (Exhaustive.safe ~outputs ~target_dfa ~k:1 word);
+  check "arbitrary order IS safe" true
+    (Exhaustive.safe_arbitrary ~outputs ~target_dfa ~k:1 word)
+
+let prop_ltr_implies_arbitrary =
+  QCheck.Test.make ~count:100
+    ~name:"left-to-right safety implies arbitrary-order safety"
+    arb_mini
+    (fun (out_f, out_g, target, word, k) ->
+      let s = mini_schema out_f out_g in
+      let env = Schema.env_of_schema s in
+      let target_regex = Schema.compile_content env target in
+      let outputs = Exhaustive.outputs_of_env env in
+      (* the arbitrary-order game is exponential: keep its input small *)
+      let small fname =
+        match outputs fname with
+        | None -> true
+        | Some outs ->
+          List.length outs <= 6
+          && List.for_all (fun o -> List.length o <= 3) outs
+      in
+      QCheck.assume (small "f" && small "g" && List.length word <= 2 && k <= 2);
+      let rw = Rewriter.create ~k ~s0:s ~target:s () in
+      QCheck.assume (Rewriter.word_is_safe rw ~target_regex word);
+      let target_dfa = Auto.Dfa.of_regex target_regex in
+      Exhaustive.safe_arbitrary ~outputs ~target_dfa ~k word)
+
+(* ------------------------------------------------------------------ *)
+(* Cost planning (Figure 3 step 23, Figure 9 step d)                   *)
+(* ------------------------------------------------------------------ *)
+
+module Cost = Axml_core.Cost
+
+let example_fee = function
+  | "Get_Temp" -> 0.1
+  | "TimeOut" -> 1.0
+  | _ -> 5.0
+
+let test_cost_safe_worst () =
+  (* into schema 2: the strategy invokes Get_Temp and keeps TimeOut *)
+  let rw = rewriter schema_star2 in
+  let regex = target_regex rw "newspaper" in
+  let analysis = Rewriter.word_safe_analysis rw ~target_regex:regex newspaper_word in
+  (match Cost.safe_worst_cost analysis ~cost:example_fee with
+   | Some c -> Alcotest.(check (float 1e-9)) "worst fee" 0.1 c
+   | None -> Alcotest.fail "expected a bound");
+  (* counting invocations instead of fees *)
+  (match Cost.safe_worst_cost analysis ~cost:(fun _ -> 1.) with
+   | Some c -> Alcotest.(check (float 1e-9)) "one invocation" 1.0 c
+   | None -> Alcotest.fail "expected a bound");
+  (* into schema 1: already an instance, zero cost *)
+  let rw1 = rewriter schema_star in
+  let regex1 = target_regex rw1 "newspaper" in
+  let analysis1 = Rewriter.word_safe_analysis rw1 ~target_regex:regex1 newspaper_word in
+  (match Cost.safe_worst_cost analysis1 ~cost:example_fee with
+   | Some c -> Alcotest.(check (float 1e-9)) "free" 0.0 c
+   | None -> Alcotest.fail "expected a bound");
+  (* into schema 3: not safe at all *)
+  let rw3 = rewriter schema_star3 in
+  let regex3 = target_regex rw3 "newspaper" in
+  let analysis3 = Rewriter.word_safe_analysis rw3 ~target_regex:regex3 newspaper_word in
+  check "unsafe has no bound" true
+    (Cost.safe_worst_cost analysis3 ~cost:example_fee = None)
+
+let test_cost_possible_min () =
+  let rw3 = rewriter schema_star3 in
+  let regex3 = target_regex rw3 "newspaper" in
+  let analysis = Rewriter.word_possible_analysis rw3 ~target_regex:regex3 newspaper_word in
+  (* the only hopeful path invokes both functions: 0.1 + 1.0 *)
+  (match Cost.possible_min_cost analysis ~cost:example_fee with
+   | Some c -> Alcotest.(check (float 1e-9)) "both fees" 1.1 c
+   | None -> Alcotest.fail "expected a cost");
+  (* into schema 2 the cheap path only invokes Get_Temp *)
+  let rw2 = rewriter schema_star2 in
+  let regex2 = target_regex rw2 "newspaper" in
+  let analysis2 = Rewriter.word_possible_analysis rw2 ~target_regex:regex2 newspaper_word in
+  (match Cost.possible_min_cost analysis2 ~cost:example_fee with
+   | Some c -> Alcotest.(check (float 1e-9)) "cheap path" 0.1 c
+   | None -> Alcotest.fail "expected a cost")
+
+let test_cost_unbounded () =
+  (* F returns any number of G handles; the target wants plain data, so
+     every returned G must be invoked: the adversary can force an
+     unbounded total fee even though the rewriting is SAFE. *)
+  let s =
+    parse_schema {|
+root listing
+element listing = a*
+element a = #data
+function F : () -> G*
+function G : () -> a
+|}
+  in
+  let rw = Rewriter.create ~k:2 ~s0:s ~target:s () in
+  let target = R.star (R.sym (Symbol.Label "a")) in
+  let analysis = Rewriter.word_safe_analysis rw ~target_regex:target [ Symbol.Fun "F" ] in
+  check "safe" true analysis.Marking.safe;
+  (match Cost.safe_worst_cost analysis ~cost:(fun _ -> 1.) with
+   | Some c -> check "unbounded worst case" true (c = Float.infinity)
+   | None -> Alcotest.fail "expected a (infinite) bound");
+  (* the optimistic cost is finite: F may return zero handles *)
+  let poss = Rewriter.word_possible_analysis rw ~target_regex:target [ Symbol.Fun "F" ] in
+  (match Cost.possible_min_cost poss ~cost:(fun _ -> 1.) with
+   | Some c -> Alcotest.(check (float 1e-9)) "one call suffices optimistically" 1.0 c
+   | None -> Alcotest.fail "expected a cost")
+
+let test_cost_keep_is_free () =
+  (* when the target accepts the function symbol, keeping it costs 0 *)
+  let rw = rewriter schema_star in
+  let regex = target_regex rw "newspaper" in
+  let analysis = Rewriter.word_safe_analysis rw ~target_regex:regex newspaper_word in
+  (match Cost.safe_worst_cost analysis ~cost:example_fee with
+   | Some c -> Alcotest.(check (float 1e-9)) "free" 0.0 c
+   | None -> Alcotest.fail "expected a bound");
+  let poss = Rewriter.word_possible_analysis rw ~target_regex:regex newspaper_word in
+  match Cost.possible_min_cost poss ~cost:example_fee with
+  | Some c -> Alcotest.(check (float 1e-9)) "free" 0.0 c
+  | None -> Alcotest.fail "expected a cost"
+
+(* A scenario where the greedy keep-first order is suboptimal: keeping F
+   forces the expensive H to be invoked later, while invoking the cheap F
+   up-front lets H stay intensional. *)
+let tradeoff_schema =
+  parse_schema {|
+root doc
+element doc = F.a | temp.H
+element temp = #data
+element a = #data
+function F : () -> temp
+function H : () -> a
+|}
+
+let tradeoff_fee = function "F" -> 1.0 | "H" -> 10.0 | _ -> 0.0
+
+let tradeoff_invoker name _ =
+  match name with
+  | "F" -> [ D.elem "temp" [ D.data "t" ] ]
+  | "H" -> [ D.elem "a" [ D.data "x" ] ]
+  | other -> Alcotest.failf "unexpected call to %s" other
+
+let tradeoff_items = [ D.call "F" []; D.call "H" [] ]
+
+let total_fee outcome =
+  List.fold_left
+    (fun acc i -> acc +. tradeoff_fee i.Execute.inv_name)
+    0. outcome.Execute.invocations
+
+let test_cost_guided_execution () =
+  let rw = Rewriter.create ~k:1 ~s0:tradeoff_schema ~target:tradeoff_schema () in
+  let regex = target_regex rw "doc" in
+  let word = D.word tradeoff_items in
+  let analysis = Rewriter.word_safe_analysis rw ~target_regex:regex word in
+  check "safe" true analysis.Marking.safe;
+  (* the best strategy only ever pays for F *)
+  (match Cost.safe_worst_cost analysis ~cost:tradeoff_fee with
+   | Some c -> Alcotest.(check (float 1e-9)) "worst-case optimum" 1.0 c
+   | None -> Alcotest.fail "expected a bound");
+  (* greedy keep-first execution keeps F and ends up paying for H *)
+  (match Execute.run (Execute.Follow_safe analysis) tradeoff_invoker tradeoff_items with
+   | Some outcome -> Alcotest.(check (float 1e-9)) "greedy pays 10" 10.0 (total_fee outcome)
+   | None -> Alcotest.fail "execution failed");
+  (* the cost-guided order follows the optimal plan *)
+  let poss = Rewriter.word_possible_analysis rw ~target_regex:regex word in
+  (match Cost.possible_min_cost poss ~cost:tradeoff_fee with
+   | Some c -> Alcotest.(check (float 1e-9)) "optimal plan" 1.0 c
+   | None -> Alcotest.fail "expected a cost");
+  let plan = Cost.possible_costs poss ~cost:tradeoff_fee in
+  match
+    Execute.run ~plan ~fee:tradeoff_fee (Execute.Follow_possible poss)
+      tradeoff_invoker tradeoff_items
+  with
+  | Some outcome -> Alcotest.(check (float 1e-9)) "guided pays 1" 1.0 (total_fee outcome)
+  | None -> Alcotest.fail "guided execution failed"
+
+let prop_safe_worst_at_least_possible_min =
+  QCheck.Test.make ~count:200
+    ~name:"worst-case safe fee >= optimistic possible fee"
+    arb_mini
+    (fun (out_f, out_g, target, word, k) ->
+      let s = mini_schema out_f out_g in
+      let env = Schema.env_of_schema s in
+      let target_regex = Schema.compile_content env target in
+      let rw = Rewriter.create ~k ~s0:s ~target:s () in
+      let analysis = Rewriter.word_safe_analysis rw ~target_regex word in
+      QCheck.assume analysis.Marking.safe;
+      let fee = function "f" -> 1.0 | "g" -> 3.0 | _ -> 10.0 in
+      let worst = Cost.safe_worst_cost analysis ~cost:fee in
+      let poss = Rewriter.word_possible_analysis rw ~target_regex word in
+      let best = Cost.possible_min_cost poss ~cost:fee in
+      match worst, best with
+      | Some w, Some b -> b <= w +. 1e-9
+      | Some _, None -> QCheck.Test.fail_report "safe but not possible?"
+      | None, _ -> QCheck.Test.fail_report "safe analysis lost its verdict")
+
+(* reusable pieces for the schema-level property *)
+let mini_schema_base () =
+  let s = Schema.empty in
+  let s = Schema.add_element s "a" (R.sym Schema.A_data) in
+  let s = Schema.add_element s "b" (R.sym Schema.A_data) in
+  let s =
+    Schema.add_function s
+      (Schema.func "f" ~input:R.epsilon ~output:(R.sym (Schema.A_label "a")))
+  in
+  let s =
+    Schema.add_function s
+      (Schema.func "g" ~input:R.epsilon
+         ~output:(R.alt (R.sym (Schema.A_label "a")) (R.sym (Schema.A_label "b"))))
+  in
+  s
+
+let gen_mini_content_arb =
+  QCheck.make ~print:(Fmt.str "%a" Schema.pp_content) gen_mini_content
+
+(* Schema-level compatibility is sound: when the schemas pass the
+   Section 6 test, every randomly generated instance of the sender
+   schema is safely rewritable (and materializes into an instance of the
+   target). *)
+let prop_schema_compat_sound =
+  QCheck.Test.make ~count:50
+    ~name:"schema compatibility implies every instance rewrites safely"
+    QCheck.(pair (pair gen_mini_content_arb gen_mini_content_arb) small_int)
+    (fun ((content0, content1), seed) ->
+      let make_schema root_content =
+        let s = mini_schema_base () in
+        Schema.with_root (Schema.add_element s "r" root_content) "r"
+      in
+      let s0 = make_schema content0 in
+      let target = make_schema content1 in
+      let compatible =
+        Schema_rewrite.compatible ~k:1 ~s0 ~root:"r" ~target ()
+      in
+      QCheck.assume compatible;
+      let g = Generate.create ~seed ~max_depth:16 s0 in
+      match Generate.document g with
+      | exception Generate.Generation_failed _ -> true
+      | doc ->
+        let rw = Rewriter.create ~k:1 ~s0 ~target () in
+        match Rewriter.check_safe rw doc with
+        | [] -> true
+        | fs ->
+          QCheck.Test.fail_reportf "doc %a not safe: %a" D.pp doc
+            Fmt.(list Rewriter.pp_failure) fs)
+
+(* End-to-end tree-level soundness: whenever the static check passes,
+   materializing a random instance with honest random services succeeds
+   and the result is an instance of the target schema. *)
+let prop_tree_materialization_sound =
+  QCheck.Test.make ~count:60
+    ~name:"tree materialization yields target instances"
+    QCheck.(pair (pair gen_mini_content_arb gen_mini_content_arb) small_int)
+    (fun ((content0, content1), seed) ->
+      let make_schema root_content =
+        let s = mini_schema_base () in
+        Schema.with_root (Schema.add_element s "r" root_content) "r"
+      in
+      let s0 = make_schema content0 in
+      let target = make_schema content1 in
+      let g = Generate.create ~seed ~max_depth:16 s0 in
+      match Generate.document g with
+      | exception Generate.Generation_failed _ -> true
+      | doc ->
+        let rw = Rewriter.create ~k:1 ~s0 ~target () in
+        QCheck.assume (Rewriter.check_safe rw doc = []);
+        let env = Schema.env_of_schemas s0 target in
+        let oracle = Generate.create ~seed:(seed + 1) ~env ~max_depth:16 s0 in
+        let invoker name _params = Generate.output_instance oracle name in
+        (match Rewriter.materialize rw ~invoker doc with
+         | Error fs ->
+           QCheck.Test.fail_reportf "materialize failed: %a"
+             Fmt.(list Rewriter.pp_failure) fs
+         | Ok (doc', _) ->
+           let ctx = Validate.ctx ~env target in
+           (match Validate.document_violations ctx doc' with
+            | [] -> true
+            | vs ->
+              QCheck.Test.fail_reportf "result %a violates: %a" D.pp doc'
+                Fmt.(list Validate.pp_violation) vs)))
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_engines_match_reference;
+      prop_safe_implies_possible;
+      prop_safe_execution_robust;
+      prop_safe_worst_at_least_possible_min;
+      prop_ltr_implies_arbitrary;
+      prop_schema_compat_sound;
+      prop_tree_materialization_sound
+    ]
+
+let () =
+  Alcotest.run "core"
+    [ ("paper-example",
+       [ Alcotest.test_case "fork automaton of Fig. 4" `Quick test_fork_automaton_shape;
+         Alcotest.test_case "safe into (**) [Fig. 5-6]" `Quick test_safe_into_star2;
+         Alcotest.test_case "unsafe into (***) [Fig. 7-8]" `Quick test_unsafe_into_star3;
+         Alcotest.test_case "possible into (***) [Fig. 10-11]" `Quick test_possible_into_star3;
+         Alcotest.test_case "instance needs nothing" `Quick test_already_instance
+       ]);
+      ("tree-level",
+       [ Alcotest.test_case "Fig. 2 doc is instance of (*)" `Quick test_document_instance_of_star;
+         Alcotest.test_case "Fig. 2 doc not instance of (**)" `Quick test_document_not_instance_of_star2;
+         Alcotest.test_case "materialize into (**)" `Quick test_materialize_fig2_into_star2;
+         Alcotest.test_case "materialize into (***) possibly" `Quick test_materialize_fig2_into_star3_possible;
+         Alcotest.test_case "nested parameters" `Quick test_nested_parameters;
+         Alcotest.test_case "ill-typed service output" `Quick test_ill_typed_output
+       ]);
+      ("depth",
+       [ Alcotest.test_case "k=1 vs k=2" `Quick test_depth_k;
+         Alcotest.test_case "recursive: never safe, always possible" `Quick test_recursive_never_safe;
+         Alcotest.test_case "k=0" `Quick test_depth_zero
+       ]);
+      ("restrictions",
+       [ Alcotest.test_case "non-invocable functions" `Quick test_noninvocable ]);
+      ("patterns",
+       [ Alcotest.test_case "pattern members" `Quick test_pattern_members;
+         Alcotest.test_case "pattern in target schema" `Quick test_pattern_in_target;
+         Alcotest.test_case "wildcards" `Quick test_wildcards
+       ]);
+      ("mixed", [ Alcotest.test_case "mixed approach" `Quick test_mixed ]);
+      ("schema-rewriting",
+       [ Alcotest.test_case "compatibility verdicts" `Quick test_schema_rewriting;
+         Alcotest.test_case "per-label report" `Quick test_schema_rewriting_verdicts
+       ]);
+      ("validation",
+       [ Alcotest.test_case "violations" `Quick test_validate_violations;
+         Alcotest.test_case "generated instances validate" `Quick test_generated_instances_validate;
+         Alcotest.test_case "generated outputs validate" `Quick test_generated_outputs_validate
+       ]);
+      ("left-to-right",
+       [ Alcotest.test_case "restriction witness" `Quick test_ltr_restriction_witness ]);
+      ("cost",
+       [ Alcotest.test_case "safe worst-case fee" `Quick test_cost_safe_worst;
+         Alcotest.test_case "possible minimal fee" `Quick test_cost_possible_min;
+         Alcotest.test_case "unbounded adversary" `Quick test_cost_unbounded;
+         Alcotest.test_case "keeping is free" `Quick test_cost_keep_is_free;
+         Alcotest.test_case "cost-guided execution" `Quick test_cost_guided_execution
+       ]);
+      ("engines",
+       [ Alcotest.test_case "eager = lazy on the example" `Quick test_engines_agree_on_example;
+         Alcotest.test_case "lazy explores less" `Quick test_lazy_explores_less
+       ]);
+      ("properties", qcheck_tests)
+    ]

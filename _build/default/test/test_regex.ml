@@ -1,0 +1,312 @@
+(* Tests for the regex + automata toolkit (lib/regex). *)
+
+module R = Axml_regex.Regex
+module P = Axml_regex.Regex_parser
+
+module Str_sym = struct
+  type t = string
+  let compare = String.compare
+  let pp = Fmt.string
+end
+
+module A = Axml_regex.Automata.Make (Str_sym)
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parse s =
+  match P.parse_result s with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+let word s =
+  (* "a b c" -> ["a"; "b"; "c"] *)
+  String.split_on_char ' ' s |> List.filter (fun x -> x <> "")
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_simple () =
+  let r = parse "a.b.(c | d)*" in
+  check_int "size" 8 (R.size r);
+  Alcotest.(check string) "print" "a.b.(c | d)*" (R.to_string Fmt.string r)
+
+let test_parse_postfix_chain () =
+  let r = parse "a*?" in
+  (* opt of star collapses to star via smart constructors *)
+  check "still accepts eps" true (R.nullable r)
+
+let test_parse_epsilon () =
+  let r = parse "()" in
+  check "epsilon" true (R.equal String.equal r R.epsilon)
+
+let test_parse_newspaper () =
+  let r = parse "title.date.(Get_Temp | temp).(TimeOut | exhibit*)" in
+  let syms = R.symbols r in
+  Alcotest.(check (list string)) "symbols"
+    [ "title"; "date"; "Get_Temp"; "temp"; "TimeOut"; "exhibit" ]
+    syms
+
+let test_parse_errors () =
+  let bad = [ "a.(b"; "a || b"; "*a"; "a b"; "a |"; "(" ] in
+  List.iter
+    (fun s ->
+      match P.parse_result s with
+      | Ok _ -> Alcotest.failf "expected %S to be rejected" s
+      | Error _ -> ())
+    bad
+
+let test_repeat () =
+  let r = R.repeat ~min:2 ~max:(Some 4) (R.sym "a") in
+  let d = A.Dfa.of_regex r in
+  check "aa" true (A.Dfa.accepts d (word "a a"));
+  check "aaa" true (A.Dfa.accepts d (word "a a a"));
+  check "aaaa" true (A.Dfa.accepts d (word "a a a a"));
+  check "a" false (A.Dfa.accepts d (word "a"));
+  check "aaaaa" false (A.Dfa.accepts d (word "a a a a a"));
+  let unbounded = R.repeat ~min:1 ~max:None (R.sym "a") in
+  let d = A.Dfa.of_regex unbounded in
+  check "empty rejected" false (A.Dfa.accepts d []);
+  check "a*" true (A.Dfa.accepts d (word "a a a a a a"))
+
+(* ------------------------------------------------------------------ *)
+(* Constructions                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_thompson_basic () =
+  let nfa = A.Nfa.thompson (parse "a.b | c*") in
+  check "ab" true (A.Nfa.accepts nfa (word "a b"));
+  check "eps" true (A.Nfa.accepts nfa []);
+  check "ccc" true (A.Nfa.accepts nfa (word "c c c"));
+  check "a" false (A.Nfa.accepts nfa (word "a"));
+  check "abc" false (A.Nfa.accepts nfa (word "a b c"))
+
+let test_glushkov_basic () =
+  let nfa = A.Nfa.glushkov (parse "a.b | c*") in
+  check "ab" true (A.Nfa.accepts nfa (word "a b"));
+  check "eps" true (A.Nfa.accepts nfa []);
+  check "ccc" true (A.Nfa.accepts nfa (word "c c c"));
+  check "ba" false (A.Nfa.accepts nfa (word "b a"))
+
+let test_glushkov_no_eps () =
+  let nfa = A.Nfa.glushkov (parse "(a | b)*.a.b?") in
+  check_int "no eps edges" 0
+    (A.Int_map.fold (fun _ s acc -> acc + A.Int_set.cardinal s) nfa.A.Nfa.eps 0)
+
+let test_determinism_check () =
+  check "a.(b|c) det" true (A.deterministic_regex (parse "a.(b | c)"));
+  check "a.b|a.c nondet" false (A.deterministic_regex (parse "a.b | a.c"));
+  check "(a|b)*.a nondet" false (A.deterministic_regex (parse "(a | b)*.a"));
+  check "paper schema det" true
+    (A.deterministic_regex (parse "title.date.(Get_Temp | temp).(TimeOut | exhibit*)"))
+
+(* ------------------------------------------------------------------ *)
+(* DFA operations                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let alpha_abc = A.Sym_set.of_list [ "a"; "b"; "c" ]
+
+let test_complement () =
+  let d = A.Dfa.of_regex (parse "a.b*") in
+  let c = A.Dfa.complement ~alphabet:alpha_abc d in
+  check "d: ab" true (A.Dfa.accepts d (word "a b"));
+  check "c: ab" false (A.Dfa.accepts c (word "a b"));
+  check "c: eps" true (A.Dfa.accepts c []);
+  check "c: ba" true (A.Dfa.accepts c (word "b a"));
+  check "c: abc" true (A.Dfa.accepts c (word "a b c"));
+  check "complete" true (A.Dfa.is_complete c)
+
+let test_product_ops () =
+  let d1 = A.Dfa.of_regex (parse "(a | b)*") in
+  let d2 = A.Dfa.of_regex (parse "a.(a | b | c)*") in
+  let inter = A.Dfa.intersect d1 d2 in
+  check "inter: a b" true (A.Dfa.accepts inter (word "a b"));
+  check "inter: b a" false (A.Dfa.accepts inter (word "b a"));
+  check "inter: a c" false (A.Dfa.accepts inter (word "a c"));
+  let u = A.Dfa.union d1 d2 in
+  check "union: b a" true (A.Dfa.accepts u (word "b a"));
+  check "union: a c" true (A.Dfa.accepts u (word "a c"));
+  check "union: c" false (A.Dfa.accepts u (word "c"))
+
+let test_emptiness_witness () =
+  let d = A.Dfa.of_regex (parse "a.b.c") in
+  check "nonempty" false (A.Dfa.is_empty d);
+  Alcotest.(check (option (list string))) "witness"
+    (Some [ "a"; "b"; "c" ]) (A.Dfa.shortest_word d);
+  let none = A.Dfa.intersect (A.Dfa.of_regex (parse "a.a")) (A.Dfa.of_regex (parse "b")) in
+  check "empty intersection" true (A.Dfa.is_empty none);
+  Alcotest.(check (option (list string))) "no witness" None (A.Dfa.shortest_word none)
+
+let test_minimize () =
+  (* (a|b).(a|b) has a 4-state minimal complete DFA incl. sink:
+     q0 -a,b-> q1 -a,b-> q2(final) -a,b-> sink *)
+  let d = A.Dfa.of_regex (parse "(a | b).(a | b)") in
+  let m = A.Dfa.minimize d in
+  check "language preserved aa" true (A.Dfa.accepts m (word "a a"));
+  check "language preserved ba" true (A.Dfa.accepts m (word "b a"));
+  check "rejects a" false (A.Dfa.accepts m (word "a"));
+  check "rejects aaa" false (A.Dfa.accepts m (word "a a a"));
+  check_int "minimal size" 4 m.A.Dfa.size
+
+let test_equal_language () =
+  let d1 = A.Dfa.of_regex (parse "(a.b)*.a?") in
+  let d2 = A.Dfa.of_regex (parse "a?.(b.a?)*" ) in
+  (* these two are NOT equal: d2 accepts "b" while d1 does not *)
+  check "not equal" false (A.Dfa.equal_language d1 d2);
+  let d3 = A.Dfa.of_regex (parse "a.a* | ()") in
+  let d4 = A.Dfa.of_regex (parse "a*") in
+  check "equal" true (A.Dfa.equal_language d3 d4);
+  (match A.Dfa.separating_word d2 d1 with
+   | Some w -> check "witness in d2 only" true (A.Dfa.accepts d2 w && not (A.Dfa.accepts d1 w))
+   | None -> Alcotest.fail "expected separating word")
+
+let test_nfa_shortest () =
+  let nfa = A.Nfa.thompson (parse "a*.b.c | a.a") in
+  match A.Nfa.shortest_word nfa with
+  | Some w ->
+    check_int "length 2" 2 (List.length w);
+    check "accepted" true (A.Nfa.accepts nfa w)
+  | None -> Alcotest.fail "expected a witness"
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let gen_regex : string R.t QCheck.arbitrary =
+  let open QCheck.Gen in
+  let sym = oneofl [ "a"; "b"; "c" ] in
+  let rec gen n =
+    if n <= 0 then map R.sym sym
+    else
+      frequency
+        [ (2, map R.sym sym);
+          (1, return R.epsilon);
+          (2, map2 R.seq (gen (n / 2)) (gen (n / 2)));
+          (2, map2 R.alt (gen (n / 2)) (gen (n / 2)));
+          (1, map R.star (gen (n - 1)));
+          (1, map R.plus (gen (n - 1)));
+          (1, map R.opt (gen (n - 1)))
+        ]
+  in
+  QCheck.make ~print:(R.to_string Fmt.string) (sized_size (int_bound 8) gen)
+
+let gen_word : string list QCheck.arbitrary =
+  QCheck.(list_of_size Gen.(int_bound 6) (oneofl [ "a"; "b"; "c" ]))
+
+let prop_thompson_glushkov_agree =
+  QCheck.Test.make ~count:500 ~name:"thompson and glushkov accept the same words"
+    QCheck.(pair gen_regex gen_word)
+    (fun (r, w) ->
+      A.Nfa.accepts (A.Nfa.thompson r) w = A.Nfa.accepts (A.Nfa.glushkov r) w)
+
+let prop_dfa_agrees_with_nfa =
+  QCheck.Test.make ~count:500 ~name:"subset construction preserves the language"
+    QCheck.(pair gen_regex gen_word)
+    (fun (r, w) ->
+      let nfa = A.Nfa.thompson r in
+      A.Nfa.accepts nfa w = A.Dfa.accepts (A.Dfa.of_nfa nfa) w)
+
+let prop_complement_sound =
+  QCheck.Test.make ~count:500 ~name:"complement flips membership"
+    QCheck.(pair gen_regex gen_word)
+    (fun (r, w) ->
+      let d = A.Dfa.of_regex r in
+      let c = A.Dfa.complement ~alphabet:alpha_abc d in
+      A.Dfa.accepts d w <> A.Dfa.accepts c w)
+
+let prop_product_is_intersection =
+  QCheck.Test.make ~count:300 ~name:"product computes intersection"
+    QCheck.(triple gen_regex gen_regex gen_word)
+    (fun (r1, r2, w) ->
+      let d1 = A.Dfa.of_regex r1 and d2 = A.Dfa.of_regex r2 in
+      A.Dfa.accepts (A.Dfa.intersect d1 d2) w
+      = (A.Dfa.accepts d1 w && A.Dfa.accepts d2 w))
+
+let prop_minimize_preserves =
+  QCheck.Test.make ~count:300 ~name:"minimization preserves the language"
+    QCheck.(pair gen_regex gen_word)
+    (fun (r, w) ->
+      let d = A.Dfa.of_regex r in
+      A.Dfa.accepts d w = A.Dfa.accepts (A.Dfa.minimize d) w)
+
+let prop_minimize_not_larger =
+  QCheck.Test.make ~count:300 ~name:"minimization never grows the completed DFA"
+    gen_regex
+    (fun r ->
+      let d = A.Dfa.complete ~alphabet:alpha_abc (A.Dfa.of_regex r) in
+      (A.Dfa.minimize d).A.Dfa.size <= d.A.Dfa.size)
+
+let prop_nullable_agrees =
+  QCheck.Test.make ~count:500 ~name:"nullable iff automaton accepts the empty word"
+    gen_regex
+    (fun r -> R.nullable r = A.Nfa.accepts (A.Nfa.glushkov r) [])
+
+let prop_sample_word_in_language =
+  QCheck.Test.make ~count:500 ~name:"sampled words belong to the language"
+    QCheck.(pair gen_regex (int_bound 1000))
+    (fun (r, seed) ->
+      let st = Random.State.make [| seed |] in
+      match A.sample_word ~rand_int:(fun n -> Random.State.int st n) ~fuel:20 r with
+      | None -> true (* sampling may fail on branches leading to Empty *)
+      | Some w -> A.Dfa.accepts (A.Dfa.of_regex r) w)
+
+let prop_shortest_word_accepted =
+  QCheck.Test.make ~count:300 ~name:"shortest word is accepted when one exists"
+    gen_regex
+    (fun r ->
+      let d = A.Dfa.of_regex r in
+      match A.Dfa.shortest_word d with
+      | None -> A.Dfa.is_empty d
+      | Some w -> A.Dfa.accepts d w)
+
+let prop_parser_print_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"printing then parsing preserves the language"
+    QCheck.(pair gen_regex gen_word)
+    (fun (r, w) ->
+      let printed = R.to_string Fmt.string r in
+      match P.parse_result printed with
+      | Error e -> QCheck.Test.fail_reportf "reparse of %S failed: %s" printed e
+      | Ok r' ->
+        A.Dfa.accepts (A.Dfa.of_regex r) w = A.Dfa.accepts (A.Dfa.of_regex r') w)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_thompson_glushkov_agree;
+      prop_dfa_agrees_with_nfa;
+      prop_complement_sound;
+      prop_product_is_intersection;
+      prop_minimize_preserves;
+      prop_minimize_not_larger;
+      prop_nullable_agrees;
+      prop_sample_word_in_language;
+      prop_shortest_word_accepted;
+      prop_parser_print_roundtrip
+    ]
+
+let () =
+  Alcotest.run "regex"
+    [ ("parser",
+       [ Alcotest.test_case "simple" `Quick test_parse_simple;
+         Alcotest.test_case "postfix chain" `Quick test_parse_postfix_chain;
+         Alcotest.test_case "epsilon" `Quick test_parse_epsilon;
+         Alcotest.test_case "newspaper schema" `Quick test_parse_newspaper;
+         Alcotest.test_case "errors" `Quick test_parse_errors;
+         Alcotest.test_case "repeat bounds" `Quick test_repeat
+       ]);
+      ("constructions",
+       [ Alcotest.test_case "thompson" `Quick test_thompson_basic;
+         Alcotest.test_case "glushkov" `Quick test_glushkov_basic;
+         Alcotest.test_case "glushkov eps-free" `Quick test_glushkov_no_eps;
+         Alcotest.test_case "1-unambiguity" `Quick test_determinism_check
+       ]);
+      ("dfa",
+       [ Alcotest.test_case "complement" `Quick test_complement;
+         Alcotest.test_case "products" `Quick test_product_ops;
+         Alcotest.test_case "emptiness + witness" `Quick test_emptiness_witness;
+         Alcotest.test_case "minimize" `Quick test_minimize;
+         Alcotest.test_case "language equality" `Quick test_equal_language;
+         Alcotest.test_case "nfa shortest word" `Quick test_nfa_shortest
+       ]);
+      ("properties", qcheck_tests)
+    ]

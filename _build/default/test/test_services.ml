@@ -1,0 +1,172 @@
+(* Tests for the simulated Web-service substrate (lib/services). *)
+
+module R = Axml_regex.Regex
+module Schema = Axml_schema.Schema
+module D = Axml_core.Document
+module Validate = Axml_core.Validate
+module Service = Axml_services.Service
+module Registry = Axml_services.Registry
+module Oracle = Axml_services.Oracle
+module Directory = Axml_services.Directory
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let city = R.sym (Schema.A_label "city")
+let temp = R.sym (Schema.A_label "temp")
+
+let get_temp_service ?(cost = 0.) ?(acl = []) behaviour =
+  Service.make ~cost ~acl ~input:city ~output:temp "Get_Temp" behaviour
+
+let temp_reply = [ D.elem "temp" [ D.data "15" ] ]
+
+let base_schema =
+  match
+    Axml_schema.Schema_parser.parse_result
+      {|
+element city = #data
+element temp = #data
+function Get_Temp : city -> temp
+|}
+  with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "schema: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_invoke_and_accounting () =
+  let reg = Registry.create () in
+  Registry.register reg (get_temp_service ~cost:2.5 (Oracle.constant temp_reply));
+  let result = Registry.invoke reg "Get_Temp" [ D.elem "city" [ D.data "Paris" ] ] in
+  check "result" true (D.equal_forest result temp_reply);
+  ignore (Registry.invoke reg "Get_Temp" []);
+  check_int "count" 2 (Registry.invocation_count reg);
+  Alcotest.(check (float 0.001)) "cost" 5.0 (Registry.total_cost reg);
+  check_int "log entries" 2 (List.length (Registry.log reg));
+  Registry.reset_accounting reg;
+  check_int "reset" 0 (Registry.invocation_count reg)
+
+let test_unknown_service () =
+  let reg = Registry.create () in
+  match Registry.invoke reg "Nope" [] with
+  | exception Registry.Unknown_service "Nope" -> ()
+  | _ -> Alcotest.fail "expected Unknown_service"
+
+let test_budget () =
+  let reg = Registry.create () in
+  Registry.register reg (get_temp_service ~cost:3. (Oracle.constant temp_reply));
+  Registry.set_budget reg (Some 5.);
+  ignore (Registry.invoke reg "Get_Temp" []);
+  (match Registry.invoke reg "Get_Temp" [] with
+   | exception Registry.Budget_exhausted _ -> ()
+   | _ -> Alcotest.fail "expected Budget_exhausted");
+  check_int "only one call went through" 1 (Registry.invocation_count reg)
+
+let test_acl () =
+  let reg = Registry.create ~principal:"mallory" () in
+  Registry.register reg (get_temp_service ~acl:[ "alice" ] (Oracle.constant temp_reply));
+  (match Registry.invoke reg "Get_Temp" [] with
+   | exception Registry.Access_denied { principal = "mallory"; _ } -> ()
+   | _ -> Alcotest.fail "expected Access_denied");
+  Registry.set_principal reg "alice";
+  check "alice may call" true
+    (D.equal_forest (Registry.invoke reg "Get_Temp" []) temp_reply)
+
+let test_contract_checks () =
+  let reg = Registry.create () in
+  Registry.register reg
+    (get_temp_service (Oracle.ill_typed [ D.elem "city" [ D.data "oops" ] ]));
+  let ctx = Validate.ctx base_schema in
+  Registry.set_check reg ~ctx Registry.Check_both;
+  (* bad input *)
+  (match Registry.invoke reg "Get_Temp" [ D.data "not a city" ] with
+   | exception Registry.Contract_violation { what = `Input; _ } -> ()
+   | _ -> Alcotest.fail "expected input violation");
+  (* good input, bad output *)
+  (match Registry.invoke reg "Get_Temp" [ D.elem "city" [ D.data "Paris" ] ] with
+   | exception Registry.Contract_violation { what = `Output; _ } -> ()
+   | _ -> Alcotest.fail "expected output violation");
+  (* trust mode lets everything through *)
+  Registry.set_check reg Registry.Trust;
+  ignore (Registry.invoke reg "Get_Temp" [ D.data "whatever" ])
+
+let test_declare_all () =
+  let reg = Registry.create () in
+  Registry.register reg (get_temp_service (Oracle.constant temp_reply));
+  let s =
+    Schema.add_element
+      (Schema.add_element Schema.empty "city" (R.sym Schema.A_data))
+      "temp" (R.sym Schema.A_data)
+  in
+  let s = Registry.declare_all reg s in
+  check "declared" true (Option.is_some (Schema.find_function s "Get_Temp"))
+
+(* ------------------------------------------------------------------ *)
+(* Oracles                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_scripted () =
+  let b = Oracle.scripted [ [ D.data "1" ]; [ D.data "2" ] ] in
+  Alcotest.(check string) "first" "1"
+    (match b [] with [ D.Data v ] -> v | _ -> "?");
+  Alcotest.(check string) "second" "2"
+    (match b [] with [ D.Data v ] -> v | _ -> "?");
+  Alcotest.(check string) "wraps around" "1"
+    (match b [] with [ D.Data v ] -> v | _ -> "?")
+
+let test_flaky_and_counting () =
+  let inner, count = Oracle.counting (Oracle.constant temp_reply) in
+  let b = Oracle.flaky ~period:3 inner in
+  ignore (b []);
+  ignore (b []);
+  (match b [] with
+   | exception Failure _ -> ()
+   | _ -> Alcotest.fail "expected the third call to fail");
+  check_int "two successful calls counted" 2 (count ())
+
+let test_honest_random () =
+  let ctx = Validate.ctx base_schema in
+  let b = Oracle.honest_random ~seed:5 base_schema "Get_Temp" in
+  for _ = 1 to 10 do
+    let forest = b [] in
+    if Validate.output_instance ctx "Get_Temp" forest <> [] then
+      Alcotest.fail "random output is not an output instance"
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Directory                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_directory () =
+  let dir = Directory.create () in
+  Directory.publish dir ~provider:"forecast.com" ~categories:[ "weather" ] "Get_Temp";
+  Directory.publish dir ~provider:"timeout.com" ~categories:[ "culture" ] "TimeOut";
+  check "published" true (Directory.is_published dir "Get_Temp");
+  check "not published" false (Directory.is_published dir "Nope");
+  check_int "search" 1 (List.length (Directory.search dir ~category:"weather"));
+  Directory.install_standard_predicates dir ~acl_of:(fun f -> f = "Get_Temp");
+  check "UDDIF yes" true (Directory.predicate dir "UDDIF" "TimeOut");
+  check "InACL no" false (Directory.predicate dir "InACL" "TimeOut");
+  check "InACL yes" true (Directory.predicate dir "InACL" "Get_Temp");
+  check "unknown predicate fails closed" false
+    (Directory.predicate dir "Mystery" "Get_Temp")
+
+let () =
+  Alcotest.run "services"
+    [ ("registry",
+       [ Alcotest.test_case "invoke + accounting" `Quick test_invoke_and_accounting;
+         Alcotest.test_case "unknown service" `Quick test_unknown_service;
+         Alcotest.test_case "budget" `Quick test_budget;
+         Alcotest.test_case "acl" `Quick test_acl;
+         Alcotest.test_case "contract checks" `Quick test_contract_checks;
+         Alcotest.test_case "declare_all" `Quick test_declare_all
+       ]);
+      ("oracles",
+       [ Alcotest.test_case "scripted" `Quick test_scripted;
+         Alcotest.test_case "flaky + counting" `Quick test_flaky_and_counting;
+         Alcotest.test_case "honest random" `Quick test_honest_random
+       ]);
+      ("directory", [ Alcotest.test_case "publish/search/predicates" `Quick test_directory ])
+    ]

@@ -1,0 +1,306 @@
+(* Tests for the XML substrate (lib/xml). *)
+
+module T = Axml_xml.Xml_tree
+module P = Axml_xml.Xml_parser
+module Pr = Axml_xml.Xml_print
+module Ns = Axml_xml.Xml_ns
+module Path = Axml_xml.Xml_path
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+let parse s =
+  match P.parse_result s with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let elem_of = function
+  | T.Element e -> e
+  | _ -> Alcotest.fail "expected an element"
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_parse_basic () =
+  let t = parse "<a x=\"1\"><b>hello</b><c/></a>" in
+  let a = elem_of t in
+  check_str "name" "a" a.T.name;
+  Alcotest.(check (option string)) "attr" (Some "1") (T.attr_value a "x");
+  check_int "children" 2 (List.length a.T.children);
+  (match T.child_element a "b" with
+   | Some b -> check_str "text" "hello" (T.text_content b)
+   | None -> Alcotest.fail "no <b>")
+
+let test_parse_prolog_comment_pi () =
+  let t =
+    parse
+      "<?xml version=\"1.0\"?>\n<!-- header -->\n<root><?phase two?>ok<!-- x --></root>"
+  in
+  let r = elem_of t in
+  check_str "text keeps only data" "ok" (T.text_content r)
+
+let test_parse_entities () =
+  let t = parse "<a>&lt;b&gt; &amp; &quot;c&quot; &#65;&#x42;</a>" in
+  check_str "decoded" "<b> & \"c\" AB" (T.text_content (elem_of t))
+
+let test_parse_cdata () =
+  let t = parse "<a><![CDATA[<raw> & stuff]]></a>" in
+  check_str "cdata" "<raw> & stuff" (T.text_content (elem_of t))
+
+let test_parse_doctype () =
+  let t = parse "<!DOCTYPE html [ <!ENTITY x \"y\"> ]><a>z</a>" in
+  check_str "after doctype" "z" (T.text_content (elem_of t))
+
+let test_parse_nested_deep () =
+  let depth = 500 in
+  let doc =
+    String.concat "" (List.init depth (fun _ -> "<d>"))
+    ^ "x"
+    ^ String.concat "" (List.init depth (fun _ -> "</d>"))
+  in
+  let t = parse doc in
+  check_int "depth" (depth + 1) (T.depth t)
+
+let test_parse_errors () =
+  let bad =
+    [ "<a>"; "<a></b>"; "<a x=1></a>"; "text only"; "<a></a><b></b>";
+      "<a><b></a></b>"; "<a>&unknown;</a>"; "" ]
+  in
+  List.iter
+    (fun s ->
+      match P.parse_result s with
+      | Ok _ -> Alcotest.failf "expected %S to be rejected" s
+      | Error _ -> ())
+    bad
+
+let contains_substring hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
+  scan 0
+
+let test_error_position () =
+  match P.parse_result "<a>\n  <b>\n</a>" with
+  | Ok _ -> Alcotest.fail "expected failure"
+  | Error e -> check "mentions line 3" true (contains_substring e "line 3")
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip () =
+  let doc = "<a x=\"1&amp;2\"><b>t&lt;ext</b><c/><d>mixed <e/> tail</d></a>" in
+  let t = parse doc in
+  let printed = Pr.to_string t in
+  let t2 = parse printed in
+  check "roundtrip equal" true (T.equal t t2)
+
+let test_pretty_roundtrip () =
+  let t = parse "<a><b>hello</b><c><d/></c></a>" in
+  let printed = Pr.to_pretty_string ~xml_decl:true t in
+  let t2 = T.strip_layout (parse printed) in
+  check "pretty roundtrip equal" true (T.equal (T.strip_layout t) t2)
+
+let test_escaping () =
+  let t = T.element ~attrs:[ T.attr "k" "a\"b<c" ] "x" [ T.text "1<2&3" ] in
+  check_str "escaped" "<x k=\"a&quot;b&lt;c\">1&lt;2&amp;3</x>" (Pr.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Namespaces                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let axml_ns = "http://www.activexml.com/ns/int"
+
+let test_namespaces () =
+  let doc =
+    "<newspaper xmlns:int=\"" ^ axml_ns ^ "\">\
+     <title>The Sun</title>\
+     <int:fun methodName=\"Get_Temp\"/>\
+     </newspaper>"
+  in
+  let t = parse doc in
+  let found = ref [] in
+  Ns.iter_elements
+    (fun env e ->
+      if Ns.element_is env ~uri:axml_ns ~local:"fun" e then
+        found := e :: !found)
+    t;
+  check_int "one call node" 1 (List.length !found);
+  (match !found with
+   | [ e ] -> Alcotest.(check (option string)) "method" (Some "Get_Temp")
+                (T.attr_value e "methodName")
+   | _ -> Alcotest.fail "unexpected")
+
+let test_default_namespace () =
+  let t = parse "<a xmlns=\"urn:one\"><b/><c xmlns=\"urn:two\"><d/></c></a>" in
+  let seen = ref [] in
+  Ns.iter_elements
+    (fun env e -> seen := (e.T.name, fst (Ns.expanded_name env e)) :: !seen)
+    t;
+  let lookup name = List.assoc name !seen in
+  Alcotest.(check (option string)) "a" (Some "urn:one") (lookup "a");
+  Alcotest.(check (option string)) "b" (Some "urn:one") (lookup "b");
+  Alcotest.(check (option string)) "c" (Some "urn:two") (lookup "c");
+  Alcotest.(check (option string)) "d" (Some "urn:two") (lookup "d")
+
+(* ------------------------------------------------------------------ *)
+(* Path queries                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let library_doc =
+  parse
+    "<library><shelf id=\"1\"><book><title>A</title></book>\
+     <book><title>B</title></book></shelf>\
+     <shelf id=\"2\"><book><title>C</title></book></shelf></library>"
+
+let test_path_child () =
+  let titles = Path.select_strings "/library/shelf/book/title" library_doc in
+  Alcotest.(check (list string)) "titles" [ "A"; "B"; "C" ] titles
+
+let test_path_descendant () =
+  let titles = Path.select_strings "//title" library_doc in
+  Alcotest.(check (list string)) "titles" [ "A"; "B"; "C" ] titles;
+  let books = Path.select "//book" library_doc in
+  check_int "books" 3 (List.length books)
+
+let test_path_wildcard () =
+  let shelves = Path.select "/library/*" library_doc in
+  check_int "shelves" 2 (List.length shelves)
+
+let test_path_text () =
+  let texts = Path.select_strings "//title/text()" library_doc in
+  Alcotest.(check (list string)) "texts" [ "A"; "B"; "C" ] texts
+
+let test_path_no_match () =
+  check_int "nothing" 0 (List.length (Path.select "/library/magazine" library_doc));
+  check_int "wrong root" 0 (List.length (Path.select "/nope/shelf" library_doc))
+
+let pred_doc =
+  parse
+    "<store><book id=\"b1\" lang=\"en\"><title>A</title></book>\
+     <book id=\"b2\" lang=\"fr\"><title>B</title></book>\
+     <book id=\"b3\" lang=\"en\"><title>C</title></book></store>"
+
+let test_path_position_pred () =
+  let titles = Path.select_strings "/store/book[2]/title" pred_doc in
+  Alcotest.(check (list string)) "second book" [ "B" ] titles;
+  let titles = Path.select_strings "/store/book[1]/title" pred_doc in
+  Alcotest.(check (list string)) "first book" [ "A" ] titles;
+  check_int "out of range" 0 (List.length (Path.select "/store/book[9]" pred_doc))
+
+let test_path_attr_pred () =
+  let en = Path.select_strings "/store/book[@lang='en']/title" pred_doc in
+  Alcotest.(check (list string)) "english books" [ "A"; "C" ] en;
+  let b2 = Path.select_strings "//book[@id='b2']/title" pred_doc in
+  Alcotest.(check (list string)) "by id" [ "B" ] b2;
+  check_int "no match" 0 (List.length (Path.select "/store/book[@lang='de']" pred_doc))
+
+let test_path_pred_combination () =
+  (* position applies after the attribute filter, per predicate order *)
+  let t = Path.select_strings "/store/book[@lang='en'][2]/title" pred_doc in
+  Alcotest.(check (list string)) "second english book" [ "C" ] t
+
+let test_path_pred_errors () =
+  List.iter
+    (fun p ->
+      match Path.parse p with
+      | exception Path.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected %s to be rejected" p)
+    [ "/a[0]"; "/a[x]"; "/a[@k=v]"; "/a[@=1]"; "/a[1" ]
+
+let test_path_errors () =
+  (match Path.parse "relative/path" with
+   | exception Path.Parse_error _ -> ()
+   | _ -> Alcotest.fail "expected parse error");
+  (match Path.parse "//" with
+   | exception Path.Parse_error _ -> ()
+   | _ -> Alcotest.fail "expected parse error")
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: print/parse roundtrip over random trees                     *)
+(* ------------------------------------------------------------------ *)
+
+let gen_tree : T.t QCheck.arbitrary =
+  let open QCheck.Gen in
+  let name = oneofl [ "a"; "b"; "c"; "data"; "item" ] in
+  let attr_gen =
+    map2 (fun k v -> T.attr k v) (oneofl [ "x"; "y" ])
+      (oneofl [ "1"; "two"; "<&\">"; "" ])
+  in
+  let text_gen = oneofl [ "hello"; "a<b"; "x & y"; "plain" ] in
+  let rec gen n =
+    if n <= 0 then map T.text text_gen
+    else
+      frequency
+        [ (1, map T.text text_gen);
+          (3,
+           map3
+             (fun name attrs children -> T.element ~attrs name children)
+             name
+             (list_size (int_bound 2) attr_gen)
+             (list_size (int_bound 3) (gen (n / 2))))
+        ]
+  in
+  let root =
+    map3
+      (fun name attrs children -> T.element ~attrs name children)
+      name
+      (list_size (int_bound 2) attr_gen)
+      (list_size (int_bound 4) (gen 3))
+  in
+  QCheck.make ~print:Pr.to_string root
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"print then parse is the identity"
+    gen_tree
+    (fun t ->
+      match P.parse_result (Pr.to_string t) with
+      | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e
+      | Ok t' ->
+        (* adjacent text nodes merge on reparse; normalize both sides by
+           comparing the serialized forms *)
+        String.equal (Pr.to_string t) (Pr.to_string t'))
+
+let prop_count_nodes_positive =
+  QCheck.Test.make ~count:200 ~name:"node count and depth are consistent"
+    gen_tree
+    (fun t -> T.count_nodes t >= 1 && T.depth t >= 1 && T.depth t <= T.count_nodes t)
+
+let () =
+  Alcotest.run "xml"
+    [ ("parser",
+       [ Alcotest.test_case "basic" `Quick test_parse_basic;
+         Alcotest.test_case "prolog/comment/pi" `Quick test_parse_prolog_comment_pi;
+         Alcotest.test_case "entities" `Quick test_parse_entities;
+         Alcotest.test_case "cdata" `Quick test_parse_cdata;
+         Alcotest.test_case "doctype skipped" `Quick test_parse_doctype;
+         Alcotest.test_case "deep nesting" `Quick test_parse_nested_deep;
+         Alcotest.test_case "errors" `Quick test_parse_errors;
+         Alcotest.test_case "error positions" `Quick test_error_position
+       ]);
+      ("printing",
+       [ Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+         Alcotest.test_case "pretty roundtrip" `Quick test_pretty_roundtrip;
+         Alcotest.test_case "escaping" `Quick test_escaping
+       ]);
+      ("namespaces",
+       [ Alcotest.test_case "int:fun detection" `Quick test_namespaces;
+         Alcotest.test_case "default namespace" `Quick test_default_namespace
+       ]);
+      ("paths",
+       [ Alcotest.test_case "child axis" `Quick test_path_child;
+         Alcotest.test_case "descendant axis" `Quick test_path_descendant;
+         Alcotest.test_case "wildcard" `Quick test_path_wildcard;
+         Alcotest.test_case "text()" `Quick test_path_text;
+         Alcotest.test_case "no match" `Quick test_path_no_match;
+         Alcotest.test_case "position predicate" `Quick test_path_position_pred;
+         Alcotest.test_case "attribute predicate" `Quick test_path_attr_pred;
+         Alcotest.test_case "predicate combination" `Quick test_path_pred_combination;
+         Alcotest.test_case "predicate errors" `Quick test_path_pred_errors;
+         Alcotest.test_case "parse errors" `Quick test_path_errors
+       ]);
+      ("properties",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_print_parse_roundtrip; prop_count_nodes_positive ])
+    ]
