@@ -851,13 +851,83 @@ function g : () -> (b | c)
     (100. *. float_of_int !gap /. float_of_int trials)
 
 (* ------------------------------------------------------------------ *)
+(* E17 (Section 7): cold vs warm-contract enforcement throughput       *)
+(* ------------------------------------------------------------------ *)
+
+module Contract = Axml_core.Contract
+module Pipeline = Enforcement.Pipeline
+
+let e17 () =
+  section "e17" "Section 7: cold vs warm-contract enforcement throughput";
+  expectation
+    "the enforcement module guards a path, not a document: compiling the \
+     (s0, exchange) contract once and memoizing the word analyses should \
+     dominate per-document recompilation on a stream";
+  let n = 1000 in
+  let g = Generate.create ~seed:2003 schema_star in
+  let docs = List.init n (fun _ -> Generate.document g) in
+  let invoker = Registry.invoker (example_registry ()) in
+  (* cold: the schema pair is compiled from scratch for every document *)
+  let cold_failures = ref 0 in
+  let t0 = Sys.time () in
+  List.iter
+    (fun doc ->
+      match
+        Enforcement.enforce ~s0:schema_star ~exchange:schema_star2 ~invoker doc
+      with
+      | Ok _ -> ()
+      | Error _ -> incr cold_failures)
+    docs;
+  let cold_s = Sys.time () -. t0 in
+  (* warm: one pipeline, one contract, one memo table for the stream *)
+  let p =
+    Pipeline.create ~s0:schema_star ~exchange:schema_star2 ~invoker ()
+  in
+  let results, stats = Pipeline.enforce_many p docs in
+  let warm_failures =
+    List.length (List.filter Result.is_error results)
+  in
+  let warm_s = stats.Pipeline.elapsed_s in
+  let cold_rate = float_of_int n /. cold_s in
+  let speedup = cold_s /. warm_s in
+  Fmt.pr "cold (per-document compile): %8.3f s  (%7.0f docs/s), %d failure(s)@."
+    cold_s cold_rate !cold_failures;
+  Fmt.pr "warm (one pipeline):         %8.3f s  (%7.0f docs/s), %d failure(s)@."
+    warm_s stats.Pipeline.docs_per_s warm_failures;
+  Fmt.pr "speedup: %.1fx@." speedup;
+  Fmt.pr "contract cache: %a@." Contract.pp_stats stats.Pipeline.cache;
+  let oc = open_out "BENCH_E17.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"e17\",\n\
+    \  \"docs\": %d,\n\
+    \  \"cold_s\": %.6f,\n\
+    \  \"warm_s\": %.6f,\n\
+    \  \"cold_docs_per_s\": %.1f,\n\
+    \  \"warm_docs_per_s\": %.1f,\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"cold_failures\": %d,\n\
+    \  \"warm_failures\": %d,\n\
+    \  \"cache\": { \"hits\": %d, \"misses\": %d, \"evictions\": %d, \
+     \"entries\": %d },\n\
+    \  \"cache_hit_rate\": %.4f\n\
+     }\n"
+    n cold_s warm_s cold_rate stats.Pipeline.docs_per_s speedup !cold_failures
+    warm_failures stats.Pipeline.cache.Contract.hits
+    stats.Pipeline.cache.Contract.misses stats.Pipeline.cache.Contract.evictions
+    stats.Pipeline.cache.Contract.entries stats.Pipeline.cache_hit_rate;
+  close_out oc;
+  Fmt.pr "machine-readable results written to BENCH_E17.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
-    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16) ]
+    ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
+    ("e17", e17) ]
 
 let () =
   let selected =
@@ -871,6 +941,8 @@ let () =
     (fun name ->
       match List.assoc_opt name experiments with
       | Some f -> f ()
-      | None -> Fmt.epr "unknown experiment %S (known: e1..e14)@." name)
+      | None ->
+        Fmt.epr "unknown experiment %S (known: %s)@." name
+          (String.concat ", " (List.map fst experiments)))
     selected;
   Fmt.pr "@.All selected experiments done.@."

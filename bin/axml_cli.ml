@@ -6,6 +6,9 @@
                     [--oracle random|fail] [-o out.xml]
      axml compat    -f sender.axs -t exchange.axs [-r root] [-k N]
      axml schema    -s schema.axs [--to text|xml]
+     axml batch     -f sender.axs -t exchange.axs doc1.xml doc2.xml ...
+                    [-k N] [--possible] [--oracle random|fail]
+                    [--stats-json FILE]
 
    Schema files may use the compact textual syntax (see README) or the
    XML Schema_int syntax; the format is auto-detected. Documents are
@@ -208,6 +211,96 @@ let rewrite_cmd =
           $ engine_arg $ oracle_arg $ out_arg $ doc_arg)
 
 (* ------------------------------------------------------------------ *)
+(* batch                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let action_string = function
+  | Enforcement.Conformed -> "conformed"
+  | Enforcement.Rewritten -> "rewritten"
+  | Enforcement.Rewritten_possible -> "rewritten-possible"
+
+let stats_json (s : Enforcement.Pipeline.stats) =
+  let c = s.Enforcement.Pipeline.cache in
+  Printf.sprintf
+    "{\n\
+    \  \"docs\": %d,\n\
+    \  \"conformed\": %d,\n\
+    \  \"rewritten\": %d,\n\
+    \  \"rewritten_possible\": %d,\n\
+    \  \"rejected\": %d,\n\
+    \  \"attempt_failed\": %d,\n\
+    \  \"invocations\": %d,\n\
+    \  \"elapsed_s\": %.6f,\n\
+    \  \"docs_per_s\": %.1f,\n\
+    \  \"cache\": { \"hits\": %d, \"misses\": %d, \"evictions\": %d, \
+     \"entries\": %d },\n\
+    \  \"cache_hit_rate\": %.4f\n\
+     }\n"
+    s.Enforcement.Pipeline.docs s.Enforcement.Pipeline.conformed
+    s.Enforcement.Pipeline.rewritten s.Enforcement.Pipeline.rewritten_possible
+    s.Enforcement.Pipeline.rejected s.Enforcement.Pipeline.attempt_failed
+    s.Enforcement.Pipeline.invocations s.Enforcement.Pipeline.elapsed_s
+    s.Enforcement.Pipeline.docs_per_s c.Axml_core.Contract.hits
+    c.Axml_core.Contract.misses c.Axml_core.Contract.evictions
+    c.Axml_core.Contract.entries s.Enforcement.Pipeline.cache_hit_rate
+
+let batch_cmd =
+  let docs_arg =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"DOC.xml"
+           ~doc:"Intensional XML documents, enforced in order.")
+  in
+  let stats_json_arg =
+    Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
+           ~doc:"Write the batch statistics as JSON to $(docv).")
+  in
+  let run sender target k possible engine oracle stats_out doc_paths =
+    wrap (fun () ->
+        let s0 = load_schema sender in
+        let exchange = load_schema target in
+        let env = Schema.env_of_schemas s0 exchange in
+        let invoker =
+          match oracle with
+          | `Fail -> fun name _ -> fail "service %s is unavailable (--oracle fail)" name
+          | `Random ->
+            let g = Generate.create ~env s0 in
+            fun name _params -> Generate.output_instance g name
+        in
+        let config =
+          { Enforcement.default_config with
+            Enforcement.k; engine; fallback_possible = possible }
+        in
+        let pipeline = Enforcement.Pipeline.create ~config ~s0 ~exchange ~invoker () in
+        let failed = ref 0 in
+        List.iter
+          (fun path ->
+            let doc = load_document path in
+            match Enforcement.Pipeline.enforce pipeline doc with
+            | Ok (_, report) ->
+              Fmt.pr "%s: %s, %d invocation(s)@." path
+                (action_string report.Enforcement.action)
+                (List.length report.Enforcement.invocations)
+            | Error e ->
+              incr failed;
+              Fmt.pr "%s: %s@." path
+                (match e with
+                 | Enforcement.Rejected _ -> "REJECTED"
+                 | Enforcement.Attempt_failed _ -> "ATTEMPT-FAILED");
+              Fmt.epr "%s: %a@." path Enforcement.pp_error e)
+          doc_paths;
+        let stats = Enforcement.Pipeline.stats pipeline in
+        Fmt.epr "%a@." Enforcement.Pipeline.pp_stats stats;
+        Option.iter (fun file -> write_output (Some file) (stats_json stats)) stats_out;
+        if !failed = 0 then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Enforce an exchange schema over a stream of documents through \
+             one compiled pipeline (shared contract-analysis cache), \
+             reporting per-document outcomes and batch statistics.")
+    Term.(const run $ sender_arg $ target_arg $ k_arg $ possible_arg
+          $ engine_arg $ oracle_arg $ stats_json_arg $ docs_arg)
+
+(* ------------------------------------------------------------------ *)
 (* compat                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -282,4 +375,5 @@ let () =
             rewriting, and schema compatibility (SIGMOD 2003)."
   in
   exit (Cmd.eval' (Cmd.group info
-                     [ validate_cmd; check_cmd; rewrite_cmd; compat_cmd; schema_cmd ]))
+                     [ validate_cmd; check_cmd; rewrite_cmd; batch_cmd;
+                       compat_cmd; schema_cmd ]))

@@ -5,12 +5,20 @@
      (ii)  if not, try to rewrite it into the required structure —
            safely if it can, optionally falling back to a possible
            rewriting, optionally pre-firing cheap calls (mixed);
-     (iii) if this fails, report an error. *)
+     (iii) if this fails, report an error.
+
+   Because the module guards a communication path, the same (s0,
+   exchange) pair is enforced against streams of documents. [Pipeline]
+   compiles the pair once — validation context + exchange contract —
+   and amortizes all static analysis across the stream; the one-shot
+   [enforce] keeps working for single documents and accepts a prebuilt
+   rewriter so even one-off callers can reuse a compiled contract. *)
 
 module Schema = Axml_schema.Schema
 module Document = Axml_core.Document
 module Validate = Axml_core.Validate
 module Rewriter = Axml_core.Rewriter
+module Contract = Axml_core.Contract
 module Execute = Axml_core.Execute
 
 type config = {
@@ -49,22 +57,39 @@ let pp_error ppf = function
   | Attempt_failed fs ->
     Fmt.pf ppf "attempt failed: %a" Fmt.(list ~sep:(any "; ") Rewriter.pp_failure) fs
 
-(* Enforce [exchange] on [doc]. [s0] is the local schema (it brings the
-   WSDL declarations of the functions the document may embed). *)
-let enforce ?(config = default_config) ?predicate ~s0 ~exchange
-    ~(invoker : Execute.invoker) (doc : Document.t) :
-    (Document.t * report, error) result =
-  let env = Schema.env_of_schemas ?predicate s0 exchange in
+(* ------------------------------------------------------------------ *)
+(* The three steps over precompiled artifacts                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything that can be computed once per (s0, exchange, config)
+   instead of once per document. *)
+type compiled = {
+  c_rewriter : Rewriter.t;
+  c_validate : Validate.ctx;
+}
+
+let compile ?predicate ~config ~s0 ~exchange () =
+  let rw =
+    Rewriter.create ~k:config.k ~engine:config.engine ?predicate ~s0
+      ~target:exchange ()
+  in
+  { c_rewriter = rw;
+    c_validate = Validate.ctx ~env:(Rewriter.env rw) exchange }
+
+let compile_of_rewriter rw =
+  { c_rewriter = rw;
+    c_validate =
+      Validate.ctx ~env:(Rewriter.env rw)
+        (Contract.target (Rewriter.contract rw)) }
+
+let enforce_compiled ~config ~compiled ~(invoker : Execute.invoker)
+    (doc : Document.t) : (Document.t * report, error) result =
   (* step (i): validation *)
-  let ctx = Validate.ctx ~env exchange in
-  if Validate.document_violations ctx doc = [] then
+  if Validate.document_violations compiled.c_validate doc = [] then
     Ok (doc, { action = Conformed; invocations = [] })
   else begin
     (* step (ii): rewriting *)
-    let rw =
-      Rewriter.create ~k:config.k ~engine:config.engine ?predicate ~s0
-        ~target:exchange ()
-    in
+    let rw = compiled.c_rewriter in
     let doc, pre_invocations =
       match config.eager_calls with
       | Some eager -> Rewriter.pre_materialize rw ~eager_calls:eager ~invoker doc
@@ -93,3 +118,158 @@ let enforce ?(config = default_config) ?predicate ~s0 ~exchange
           if runtime then Error (Attempt_failed fs) else Error (Rejected fs)
       end
   end
+
+(* Enforce [exchange] on [doc]. [s0] is the local schema (it brings the
+   WSDL declarations of the functions the document may embed). When
+   [rewriter] is given, its compiled contract is reused (and must have
+   been built for the same schema pair — [s0]/[exchange] are then only
+   trusted, not recompiled). *)
+let enforce ?(config = default_config) ?predicate ?rewriter ~s0 ~exchange
+    ~(invoker : Execute.invoker) (doc : Document.t) :
+    (Document.t * report, error) result =
+  let compiled =
+    match rewriter with
+    | Some rw -> compile_of_rewriter rw
+    | None -> compile ?predicate ~config ~s0 ~exchange ()
+  in
+  enforce_compiled ~config ~compiled ~invoker doc
+
+(* ------------------------------------------------------------------ *)
+(* Batch enforcement over document streams                             *)
+(* ------------------------------------------------------------------ *)
+
+module Pipeline = struct
+  type t = {
+    p_config : config;
+    p_compiled : compiled;
+    p_invoker : Execute.invoker;
+    mutable p_docs : int;
+    mutable p_conformed : int;
+    mutable p_rewritten : int;
+    mutable p_rewritten_possible : int;
+    mutable p_rejected : int;
+    mutable p_attempt_failed : int;
+    mutable p_invocations : int;
+    mutable p_elapsed : float;
+    mutable p_cache_base : Contract.stats;
+  }
+
+  let contract t = Rewriter.contract t.p_compiled.c_rewriter
+  let rewriter t = t.p_compiled.c_rewriter
+  let config t = t.p_config
+
+  let make ~config ~compiled ~invoker =
+    { p_config = config;
+      p_compiled = compiled;
+      p_invoker = invoker;
+      p_docs = 0; p_conformed = 0; p_rewritten = 0; p_rewritten_possible = 0;
+      p_rejected = 0; p_attempt_failed = 0; p_invocations = 0;
+      p_elapsed = 0.;
+      p_cache_base = Contract.stats (Rewriter.contract compiled.c_rewriter) }
+
+  let create ?(config = default_config) ?predicate ~s0 ~exchange ~invoker () =
+    make ~config ~compiled:(compile ?predicate ~config ~s0 ~exchange ()) ~invoker
+
+  (* [config.k] / [config.engine] are ignored here: the contract fixes
+     them. *)
+  let of_contract ?(config = default_config) ~invoker contract =
+    make ~config
+      ~compiled:(compile_of_rewriter (Rewriter.of_contract contract))
+      ~invoker
+
+  type stats = {
+    docs : int;
+    conformed : int;
+    rewritten : int;
+    rewritten_possible : int;
+    rejected : int;
+    attempt_failed : int;
+    invocations : int;
+    elapsed_s : float;
+    docs_per_s : float;
+    cache : Contract.stats;
+    cache_hit_rate : float;
+  }
+
+  let stats (t : t) =
+    let cache =
+      Contract.diff_stats ~before:t.p_cache_base (Contract.stats (contract t))
+    in
+    { docs = t.p_docs;
+      conformed = t.p_conformed;
+      rewritten = t.p_rewritten;
+      rewritten_possible = t.p_rewritten_possible;
+      rejected = t.p_rejected;
+      attempt_failed = t.p_attempt_failed;
+      invocations = t.p_invocations;
+      elapsed_s = t.p_elapsed;
+      docs_per_s =
+        (if t.p_elapsed > 0. then float_of_int t.p_docs /. t.p_elapsed else 0.);
+      cache;
+      cache_hit_rate = Contract.hit_rate cache }
+
+  let pp_stats ppf s =
+    Fmt.pf ppf
+      "%d docs (%d conformed, %d rewritten, %d possible, %d rejected, %d \
+       attempt-failed), %d invocations, %.3f s (%.0f docs/s), cache: %a"
+      s.docs s.conformed s.rewritten s.rewritten_possible s.rejected
+      s.attempt_failed s.invocations s.elapsed_s s.docs_per_s
+      Contract.pp_stats s.cache
+
+  let reset_stats (t : t) =
+    t.p_docs <- 0;
+    t.p_conformed <- 0;
+    t.p_rewritten <- 0;
+    t.p_rewritten_possible <- 0;
+    t.p_rejected <- 0;
+    t.p_attempt_failed <- 0;
+    t.p_invocations <- 0;
+    t.p_elapsed <- 0.;
+    t.p_cache_base <- Contract.stats (contract t)
+
+  let record t started result =
+    t.p_elapsed <- t.p_elapsed +. (Sys.time () -. started);
+    t.p_docs <- t.p_docs + 1;
+    (match result with
+     | Ok (_, (report : report)) ->
+       t.p_invocations <- t.p_invocations + List.length report.invocations;
+       (match report.action with
+        | Conformed -> t.p_conformed <- t.p_conformed + 1
+        | Rewritten -> t.p_rewritten <- t.p_rewritten + 1
+        | Rewritten_possible ->
+          t.p_rewritten_possible <- t.p_rewritten_possible + 1)
+     | Error (Rejected _) -> t.p_rejected <- t.p_rejected + 1
+     | Error (Attempt_failed _) -> t.p_attempt_failed <- t.p_attempt_failed + 1);
+    result
+
+  let enforce t doc =
+    let started = Sys.time () in
+    record t started
+      (enforce_compiled ~config:t.p_config ~compiled:t.p_compiled
+         ~invoker:t.p_invoker doc)
+
+  let enforce_many t docs =
+    let before = stats t in
+    let results = List.map (enforce t) docs in
+    let after = stats t in
+    let batch =
+      { docs = after.docs - before.docs;
+        conformed = after.conformed - before.conformed;
+        rewritten = after.rewritten - before.rewritten;
+        rewritten_possible = after.rewritten_possible - before.rewritten_possible;
+        rejected = after.rejected - before.rejected;
+        attempt_failed = after.attempt_failed - before.attempt_failed;
+        invocations = after.invocations - before.invocations;
+        elapsed_s = after.elapsed_s -. before.elapsed_s;
+        docs_per_s =
+          (let dt = after.elapsed_s -. before.elapsed_s in
+           if dt > 0. then float_of_int (after.docs - before.docs) /. dt else 0.);
+        cache = Contract.diff_stats ~before:before.cache after.cache;
+        cache_hit_rate =
+          Contract.hit_rate (Contract.diff_stats ~before:before.cache after.cache)
+      }
+    in
+    (results, batch)
+
+  let enforce_seq t docs = Seq.map (enforce t) docs
+end

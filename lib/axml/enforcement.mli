@@ -2,7 +2,14 @@
     peer's communication path that guarantees exchanged data matches the
     agreed schema. Its three steps: (i) verify; (ii) if needed, rewrite —
     safely, optionally falling back to a possible rewriting, optionally
-    pre-firing cheap calls (mixed); (iii) otherwise report an error. *)
+    pre-firing cheap calls (mixed); (iii) otherwise report an error.
+
+    Enforcement guards a {e path}, not a document: the same (s0,
+    exchange) pair is enforced against streams of documents. {!Pipeline}
+    compiles the pair once (validation context + exchange
+    {!Axml_core.Contract}) and amortizes the static analysis across the
+    stream; {!enforce} stays as the one-shot entry point and accepts a
+    prebuilt rewriter for callers that manage their own contracts. *)
 
 type config = {
   k : int;
@@ -35,6 +42,82 @@ val pp_error : error Fmt.t
 
 val enforce :
   ?config:config -> ?predicate:(string -> string -> bool) ->
+  ?rewriter:Axml_core.Rewriter.t ->
   s0:Axml_schema.Schema.t -> exchange:Axml_schema.Schema.t ->
   invoker:Axml_core.Execute.invoker -> Axml_core.Document.t ->
   (Axml_core.Document.t * report, error) result
+(** One-shot enforcement. Without [rewriter], the schema pair is
+    compiled from scratch on every call; pass [rewriter] (built for the
+    {e same} [s0]/[exchange]/[predicate], e.g. via
+    {!Axml_core.Rewriter.of_contract}) to reuse a compiled contract —
+    [config.k] and [config.engine] are then taken from the contract,
+    and [s0]/[exchange] are trusted to match it. For whole streams,
+    prefer {!Pipeline}. *)
+
+(** {1 Batch enforcement}
+
+    A pipeline owns every per-path artifact — the compiled exchange
+    contract (with its analysis memo table) and the validation context —
+    plus running counters, so peer-to-peer exchange pays the static
+    analysis once per distinct children word instead of once per
+    document. *)
+
+module Pipeline : sig
+  type t
+
+  val create :
+    ?config:config -> ?predicate:(string -> string -> bool) ->
+    s0:Axml_schema.Schema.t -> exchange:Axml_schema.Schema.t ->
+    invoker:Axml_core.Execute.invoker -> unit -> t
+  (** Compile once for the (s0, exchange) path.
+      @raise Axml_schema.Schema.Schema_error as {!Axml_core.Rewriter.create}. *)
+
+  val of_contract :
+    ?config:config -> invoker:Axml_core.Execute.invoker ->
+    Axml_core.Contract.t -> t
+  (** Drive an existing contract (shares its analysis cache);
+      [config.k] / [config.engine] are ignored — the contract fixes
+      them. *)
+
+  val contract : t -> Axml_core.Contract.t
+  val rewriter : t -> Axml_core.Rewriter.t
+  val config : t -> config
+
+  val enforce : t -> Axml_core.Document.t ->
+    (Axml_core.Document.t * report, error) result
+  (** The three steps of {!enforce}, against the precompiled artifacts;
+      updates the pipeline counters. *)
+
+  type stats = {
+    docs : int;
+    conformed : int;
+    rewritten : int;
+    rewritten_possible : int;
+    rejected : int;
+    attempt_failed : int;
+    invocations : int;
+    elapsed_s : float;           (** CPU seconds spent enforcing *)
+    docs_per_s : float;
+    cache : Axml_core.Contract.stats;  (** contract-cache activity *)
+    cache_hit_rate : float;
+  }
+
+  val pp_stats : stats Fmt.t
+
+  val enforce_many :
+    t -> Axml_core.Document.t list ->
+    (Axml_core.Document.t * report, error) result list * stats
+  (** Enforce a batch; the returned stats cover exactly this batch. *)
+
+  val enforce_seq :
+    t -> Axml_core.Document.t Seq.t ->
+    (Axml_core.Document.t * report, error) result Seq.t
+  (** Lazy element-wise enforcement of a stream; counters accumulate as
+      the result sequence is consumed. *)
+
+  val stats : t -> stats
+  (** Cumulative since creation (or the last {!reset_stats}). *)
+
+  val reset_stats : t -> unit
+  (** Zero the counters (cached analyses stay resident). *)
+end

@@ -4,7 +4,12 @@
    Enforcement module on every communication path.
 
    Peers talk through the SOAP wire format of [Soap] even in-process, so
-   every exchange exercises the full serialize / parse / validate path. *)
+   every exchange exercises the full serialize / parse / validate path.
+
+   All enforcement artifacts are compiled on first use and cached
+   against a generation counter that is bumped whenever the peer's
+   schema (or its enforcement config) changes: a peer under heavy
+   traffic compiles each exchange contract once, not once per message. *)
 
 module Schema = Axml_schema.Schema
 module Document = Axml_core.Document
@@ -31,6 +36,17 @@ type provided = {
   p_cost : float;
 }
 
+(* Compiled enforcement artifacts for one direction (parameters or
+   result) of a provided service: the wrapper schema, its validation
+   context, and — built only when a rewrite is actually needed — the
+   rewriter. *)
+type io_compiled = {
+  io_ctx : Validate.ctx;
+  io_rewriter : Rewriter.t Lazy.t;
+}
+
+type serve_compiled = { sc_params : io_compiled; sc_result : io_compiled }
+
 type t = {
   name : string;
   mutable schema : Schema.t;  (* the peer's own schema, incl. known WSDLs *)
@@ -39,6 +55,11 @@ type t = {
   provided : (string, provided) Hashtbl.t;
   mutable enforcement : Enforcement.config;
   mutable trusted_peers : string list;
+  (* compiled-artifact caches, all validated against [generation] *)
+  mutable generation : int;
+  mutable send_pipelines : (Schema.t * int * Enforcement.Pipeline.t) list;
+  mutable recv_ctxs : (Schema.t * int * Validate.ctx) list;
+  serve_cache : (string, int * serve_compiled) Hashtbl.t;
 }
 
 let create ?(enforcement = Enforcement.default_config) ~name ~schema () = {
@@ -49,11 +70,26 @@ let create ?(enforcement = Enforcement.default_config) ~name ~schema () = {
   provided = Hashtbl.create 8;
   enforcement;
   trusted_peers = [];
+  generation = 0;
+  send_pipelines = [];
+  recv_ctxs = [];
+  serve_cache = Hashtbl.create 8;
 }
 
 let schema t = t.schema
 let registry t = t.registry
-let set_enforcement t config = t.enforcement <- config
+
+(* Any change to the peer's schema or enforcement settings invalidates
+   every compiled artifact. *)
+let invalidate t = t.generation <- t.generation + 1
+
+let set_enforcement t config =
+  t.enforcement <- config;
+  invalidate t
+
+let set_schema t schema =
+  t.schema <- schema;
+  invalidate t
 
 (* ------------------------------------------------------------------ *)
 (* Repository                                                          *)
@@ -85,13 +121,14 @@ let provide t ?(cost = 0.) ~name ~input ~output body =
   Hashtbl.replace t.provided name
     { p_name = name; p_input = input; p_output = output; p_body = body;
       p_cost = cost };
+  invalidate t;
   (* the provided service becomes part of the peer's schema (its WSDL) *)
   match Schema.find_function t.schema name with
   | Some _ -> ()
   | None ->
-    t.schema <-
-      Schema.add_function t.schema
-        (Schema.func name ~endpoint:("axml://" ^ t.name) ~input ~output)
+    set_schema t
+      (Schema.add_function t.schema
+         (Schema.func name ~endpoint:("axml://" ^ t.name) ~input ~output))
 
 let provided_names t =
   Hashtbl.fold (fun name _ acc -> name :: acc) t.provided [] |> List.sort compare
@@ -103,6 +140,97 @@ let eval_query t (q : query) (params : Document.forest) : Document.forest =
   | Repository_path { doc; path } -> select t ~doc ~path
   | Compute f -> f params
 
+(* ------------------------------------------------------------------ *)
+(* Compiled-artifact caches                                            *)
+(* ------------------------------------------------------------------ *)
+
+let cache_bound = 8
+
+(* Look an entry up in a (key, generation, value) association list by
+   physical key equality and current generation; (re)build on miss and
+   keep the list bounded. *)
+let cached t cache_list set_cache_list key build =
+  let live (k, g, _) = k == key && g = t.generation in
+  match List.find_opt live (cache_list t) with
+  | Some (_, _, v) -> v
+  | None ->
+    let v = build () in
+    let kept =
+      List.filteri
+        (fun i (_, g, _) -> g = t.generation && i < cache_bound - 1)
+        (cache_list t)
+    in
+    set_cache_list t ((key, t.generation, v) :: kept);
+    v
+
+let io_compile t wrapper_name content =
+  let s =
+    Schema.with_root (Schema.add_element t.schema wrapper_name content)
+      wrapper_name
+  in
+  { io_ctx = Validate.ctx ~env:(Schema.env_of_schema s) s;
+    io_rewriter =
+      lazy
+        (Rewriter.create ~k:t.enforcement.Enforcement.k
+           ~engine:t.enforcement.Enforcement.engine ~s0:s ~target:s ()) }
+
+let serve_compiled t (p : provided) =
+  match Hashtbl.find_opt t.serve_cache p.p_name with
+  | Some (g, sc) when g = t.generation -> sc
+  | _ ->
+    let sc =
+      { sc_params = io_compile t "#params" p.p_input;
+        sc_result = io_compile t "#result" p.p_output }
+    in
+    Hashtbl.replace t.serve_cache p.p_name (t.generation, sc);
+    sc
+
+(* The sender-side enforcement pipeline for an exchange schema: compiled
+   on first use, reused while neither the peer's schema nor the
+   exchange schema object changes. *)
+let exchange_pipeline t ~exchange =
+  cached t
+    (fun t -> t.send_pipelines)
+    (fun t v -> t.send_pipelines <- v)
+    exchange
+    (fun () ->
+      Enforcement.Pipeline.create ~config:t.enforcement ~s0:t.schema ~exchange
+        ~invoker:(Registry.invoker t.registry) ())
+
+(* The receiver-side validation context for an exchange schema. *)
+let receive_ctx t ~exchange =
+  cached t
+    (fun t -> t.recv_ctxs)
+    (fun t v -> t.recv_ctxs <- v)
+    exchange
+    (fun () ->
+      Validate.ctx ~env:(Schema.env_of_schemas t.schema exchange) exchange)
+
+(* ------------------------------------------------------------------ *)
+(* Serving calls                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Run the three enforcement steps on a forest against one direction's
+   wrapper schema. *)
+let enforce_io t ~wrapper_name ~what ~method_name (io : io_compiled)
+    (forest : Document.forest) : Document.forest =
+  let wrapper = Document.elem wrapper_name forest in
+  if Validate.violations io.io_ctx wrapper = [] then forest
+  else begin
+    match
+      Rewriter.materialize (Lazy.force io.io_rewriter)
+        ~invoker:(Registry.invoker t.registry) wrapper
+    with
+    | Ok (Document.Elem { children; _ }, _) -> children
+    | Ok _ -> raise (Peer_error (what ^ " enforcement changed the wrapper"))
+    | Error fs ->
+      raise
+        (Peer_error
+           (Fmt.str "peer %s: %s of %s rejected: %a" t.name what method_name
+              Fmt.(list ~sep:(any "; ") Rewriter.pp_failure)
+              fs))
+  end
+
 (* Serve one call locally, running the Schema Enforcement module on both
    the parameters and the result (Section 7: "before an ActiveXML
    service returns its answer, the module performs the same three steps
@@ -111,61 +239,16 @@ let serve t ~method_name (params : Document.forest) : Document.forest =
   match Hashtbl.find_opt t.provided method_name with
   | None -> raise (Peer_error (Fmt.str "peer %s provides no service %S" t.name method_name))
   | Some p ->
+    let sc = serve_compiled t p in
     (* (i)-(iii) on the parameters, against tau_in *)
     let params =
-      let wrapper_name = "#params" in
-      let s_in =
-        Schema.with_root (Schema.add_element t.schema wrapper_name p.p_input)
-          wrapper_name
-      in
-      let wrapper = Document.elem wrapper_name params in
-      let ctx = Validate.ctx ~env:(Schema.env_of_schema s_in) s_in in
-      if Validate.violations ctx wrapper = [] then params
-      else begin
-        let rw =
-          Rewriter.create ~k:t.enforcement.Enforcement.k
-            ~engine:t.enforcement.Enforcement.engine ~s0:s_in ~target:s_in ()
-        in
-        match
-          Rewriter.materialize rw ~invoker:(Registry.invoker t.registry) wrapper
-        with
-        | Ok (Document.Elem { children; _ }, _) -> children
-        | Ok _ -> raise (Peer_error "parameter enforcement changed the wrapper")
-        | Error fs ->
-          raise
-            (Peer_error
-               (Fmt.str "peer %s: parameters of %s rejected: %a" t.name method_name
-                  Fmt.(list ~sep:(any "; ") Rewriter.pp_failure)
-                  fs))
-      end
+      enforce_io t ~wrapper_name:"#params" ~what:"parameters" ~method_name
+        sc.sc_params params
     in
     let result = eval_query t p.p_body params in
     (* (i)-(iii) on the result, against tau_out *)
-    let wrapper_name = "#result" in
-    let s_out =
-      Schema.with_root (Schema.add_element t.schema wrapper_name p.p_output)
-        wrapper_name
-    in
-    let wrapper = Document.elem wrapper_name result in
-    let ctx = Validate.ctx ~env:(Schema.env_of_schema s_out) s_out in
-    if Validate.violations ctx wrapper = [] then result
-    else begin
-      let rw =
-        Rewriter.create ~k:t.enforcement.Enforcement.k
-          ~engine:t.enforcement.Enforcement.engine ~s0:s_out ~target:s_out ()
-      in
-      match
-        Rewriter.materialize rw ~invoker:(Registry.invoker t.registry) wrapper
-      with
-      | Ok (Document.Elem { children; _ }, _) -> children
-      | Ok _ -> raise (Peer_error "result enforcement changed the wrapper")
-      | Error fs ->
-        raise
-          (Peer_error
-             (Fmt.str "peer %s: result of %s rejected: %a" t.name method_name
-                Fmt.(list ~sep:(any "; ") Rewriter.pp_failure)
-                fs))
-    end
+    enforce_io t ~wrapper_name:"#result" ~what:"result" ~method_name
+      sc.sc_result result
 
 (* The SOAP endpoint of the peer: a request envelope in, a response (or
    fault) envelope out. *)
@@ -211,17 +294,16 @@ let connect t ~(provider : t) =
       (* import the WSDL declaration *)
       (match Schema.find_function t.schema name with
        | Some _ -> ()
-       | None ->
-         t.schema <-
-           Schema.add_function t.schema (Service.declaration service)))
+       | None -> set_schema t (Schema.add_function t.schema (Service.declaration service))))
     provider.provided;
   (* element types used by the provider's signatures *)
   List.iter
     (fun l ->
       match Schema.find_element t.schema l, Schema.find_element provider.schema l with
-      | None, Some c -> t.schema <- Schema.add_element t.schema l c
+      | None, Some c -> set_schema t (Schema.add_element t.schema l c)
       | Some _, _ | None, None -> ())
-    (Schema.element_names provider.schema)
+    (Schema.element_names provider.schema);
+  invalidate t
 
 (* Call a connected service by name, through the registry (and thus
    through SOAP). *)
@@ -240,20 +322,33 @@ type exchange_outcome = {
 (* Send [doc] to [receiver] under the agreed [exchange] schema: the
    sender's enforcement module materializes what must be materialized,
    the document crosses the (simulated) wire in XML, and the receiver
-   validates before storing it under [as_name]. *)
+   validates before storing it under [as_name].
+
+   With no [predicate], both sides reuse their cached compiled
+   artifacts (sender pipeline, receiver validation context); a
+   [predicate] is an arbitrary closure, so those calls compile fresh. *)
 let send t ~(receiver : t) ~exchange ?predicate ~as_name doc :
     (exchange_outcome, Enforcement.error) result =
-  match
-    Enforcement.enforce ~config:t.enforcement ?predicate ~s0:t.schema ~exchange
-      ~invoker:(Registry.invoker t.registry) doc
-  with
+  let enforced =
+    match predicate with
+    | None -> Enforcement.Pipeline.enforce (exchange_pipeline t ~exchange) doc
+    | Some _ ->
+      Enforcement.enforce ~config:t.enforcement ?predicate ~s0:t.schema ~exchange
+        ~invoker:(Registry.invoker t.registry) doc
+  in
+  match enforced with
   | Error e -> Error e
   | Ok (doc', report) ->
     let wire = Syntax.to_xml_string ~pretty:false doc' in
     let received = Syntax.of_xml_string wire in
     (* receiver-side validation: never trust the sender *)
-    let env = Schema.env_of_schemas ?predicate receiver.schema exchange in
-    let ctx = Validate.ctx ~env exchange in
+    let ctx =
+      match predicate with
+      | None -> receive_ctx receiver ~exchange
+      | Some _ ->
+        Validate.ctx ~env:(Schema.env_of_schemas ?predicate receiver.schema exchange)
+          exchange
+    in
     (match Validate.document_violations ctx received with
      | [] ->
        store receiver as_name received;

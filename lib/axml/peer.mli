@@ -23,7 +23,17 @@ val create :
 
 val schema : t -> Axml_schema.Schema.t
 val registry : t -> Axml_services.Registry.t
+
 val set_enforcement : t -> Enforcement.config -> unit
+(** Also invalidates every compiled enforcement artifact of the peer. *)
+
+val exchange_pipeline :
+  t -> exchange:Axml_schema.Schema.t -> Enforcement.Pipeline.t
+(** The peer's sender-side enforcement pipeline for an exchange schema:
+    compiled on first use and cached while the peer's schema,
+    enforcement config and the [exchange] schema value all stay
+    unchanged (so its contract-analysis cache and counters persist
+    across {!send}s of the same agreement). *)
 
 (** {1 Repository} *)
 

@@ -1,0 +1,218 @@
+(* A compiled exchange contract (see contract.mli): the schema-derived
+   artifacts for a fixed (s0, target, k, engine) quadruple, plus a
+   bounded memo table from (content-model regex, children word) to the
+   safe/possible analyses — the amortization that lets a peer's
+   enforcement module pay the automata construction once per distinct
+   word instead of once per document. *)
+
+module R = Axml_regex.Regex
+module Schema = Axml_schema.Schema
+module Symbol = Axml_schema.Symbol
+module Auto = Axml_schema.Auto
+
+type engine = Eager | Lazy
+
+(* Analyses are memoized by (content-model regex, word). Regexes are
+   pure symbol trees, so structural equality is exact; [Hashtbl.hash]
+   only inspects a bounded prefix of the structure, which is fine —
+   collisions fall back to full structural equality. *)
+module Key = struct
+  type t = Symbol.t R.t * Symbol.t list
+
+  let equal (r1, w1) (r2, w2) =
+    (try List.for_all2 Symbol.equal w1 w2 with Invalid_argument _ -> false)
+    && R.equal Symbol.equal r1 r2
+
+  let hash = Hashtbl.hash
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+(* Both analyses of one word share the cache slot: a word that was
+   checked safe and then (because unsafe) checked possible costs one
+   entry. *)
+type entry = {
+  mutable e_safe : Marking.t option;
+  mutable e_possible : Possible.t option;
+}
+
+type t = {
+  env : Schema.env;
+  s0 : Schema.t;
+  target : Schema.t;
+  k : int;
+  engine : engine;
+  capacity : int;
+  element_regexes : (string, Symbol.t R.t option) Hashtbl.t;
+  input_regexes : (string, Symbol.t R.t option) Hashtbl.t;
+  cache : entry Tbl.t;
+  order : Key.t Queue.t;  (* insertion order, for FIFO eviction *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(k = 1) ?(engine = Lazy) ?predicate ?(cache_capacity = 4096)
+    ~s0 ~target () =
+  let env = Schema.env_of_schemas ?predicate s0 target in
+  { env; s0; target; k; engine;
+    capacity = max 1 cache_capacity;
+    element_regexes = Hashtbl.create 16;
+    input_regexes = Hashtbl.create 16;
+    cache = Tbl.create 64;
+    order = Queue.create ();
+    hits = 0; misses = 0; evictions = 0 }
+
+let env t = t.env
+let s0 t = t.s0
+let target t = t.target
+let k t = t.k
+let engine t = t.engine
+
+(* ------------------------------------------------------------------ *)
+(* Static artifacts                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let memo table key compute =
+  match Hashtbl.find_opt table key with
+  | Some v -> v
+  | None ->
+    let v = compute () in
+    Hashtbl.add table key v;
+    v
+
+let element_regex t label =
+  memo t.element_regexes label (fun () ->
+      Option.map (Schema.compile_content t.env) (Schema.find_element t.target label))
+
+let input_regex t fname =
+  memo t.input_regexes fname (fun () ->
+      Option.map
+        (fun (f : Schema.func) -> Schema.compile_content t.env f.Schema.f_input)
+        (Schema.String_map.find_opt fname t.env.Schema.env_functions))
+
+type context = Element of string | Input of string
+
+let pp_context ppf = function
+  | Element l -> Fmt.pf ppf "<%s>" l
+  | Input f -> Fmt.pf ppf "%s()" f
+
+exception Unknown_context of context
+
+let context_regex t = function
+  | Element l -> element_regex t l
+  | Input f -> input_regex t f
+
+(* ------------------------------------------------------------------ *)
+(* The analysis cache                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let product t ~target_regex word =
+  let fork = Fork_automaton.build ~env:t.env ~k:t.k word in
+  let nfa = Auto.Nfa.glushkov target_regex in
+  Product.create ~fork ~target:nfa
+
+(* The queue mirrors the table exactly (keys are enqueued once, on
+   entry creation, and leave only through eviction or [clear]), so the
+   queue front is always the oldest resident entry. *)
+let entry t ~target_regex word =
+  let key = (target_regex, word) in
+  match Tbl.find_opt t.cache key with
+  | Some e -> e
+  | None ->
+    if Tbl.length t.cache >= t.capacity then begin
+      let oldest = Queue.pop t.order in
+      Tbl.remove t.cache oldest;
+      t.evictions <- t.evictions + 1
+    end;
+    let e = { e_safe = None; e_possible = None } in
+    Tbl.add t.cache key e;
+    Queue.push key t.order;
+    e
+
+let safe_analysis t ~target_regex word =
+  let e = entry t ~target_regex word in
+  match e.e_safe with
+  | Some a ->
+    t.hits <- t.hits + 1;
+    a
+  | None ->
+    t.misses <- t.misses + 1;
+    let p = product t ~target_regex word in
+    let a =
+      match t.engine with
+      | Eager -> Marking.analyze_eager p
+      | Lazy -> Marking.analyze_lazy p
+    in
+    e.e_safe <- Some a;
+    a
+
+let possible_analysis t ~target_regex word =
+  let e = entry t ~target_regex word in
+  match e.e_possible with
+  | Some a ->
+    t.hits <- t.hits + 1;
+    a
+  | None ->
+    t.misses <- t.misses + 1;
+    let a = Possible.analyze (product t ~target_regex word) in
+    e.e_possible <- Some a;
+    a
+
+let is_safe t ~target_regex word = (safe_analysis t ~target_regex word).Marking.safe
+
+let is_possible t ~target_regex word =
+  (possible_analysis t ~target_regex word).Possible.possible
+
+(* ------------------------------------------------------------------ *)
+(* Verdicts                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type verdict = Safe | Possible_only | Impossible
+
+let pp_verdict ppf = function
+  | Safe -> Fmt.string ppf "safe"
+  | Possible_only -> Fmt.string ppf "possible (not safe)"
+  | Impossible -> Fmt.string ppf "impossible"
+
+let analyze t ~context word =
+  match context_regex t context with
+  | None -> raise (Unknown_context context)
+  | Some target_regex ->
+    if is_safe t ~target_regex word then Safe
+    else if is_possible t ~target_regex word then Possible_only
+    else Impossible
+
+(* ------------------------------------------------------------------ *)
+(* Cache accounting                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+let stats (t : t) =
+  { hits = t.hits; misses = t.misses; evictions = t.evictions;
+    entries = Tbl.length t.cache }
+
+let hit_rate s =
+  let total = s.hits + s.misses in
+  if total = 0 then 0. else float_of_int s.hits /. float_of_int total
+
+let diff_stats ~before after =
+  { hits = after.hits - before.hits;
+    misses = after.misses - before.misses;
+    evictions = after.evictions - before.evictions;
+    entries = after.entries }
+
+let pp_stats ppf s =
+  Fmt.pf ppf "%d hits / %d misses (%.1f%% hit rate), %d entries, %d evicted"
+    s.hits s.misses (100. *. hit_rate s) s.entries s.evictions
+
+let reset_stats (t : t) =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0
+
+let clear (t : t) =
+  Tbl.reset t.cache;
+  Queue.clear t.order;
+  reset_stats t

@@ -1,0 +1,142 @@
+(** A compiled exchange contract: every schema-derived artifact needed
+    to enforce a fixed [(s0, target, k, engine)] quadruple, compiled
+    once and reused across documents.
+
+    The Schema Enforcement module sits on a peer's communication path
+    (Section 7): the same pair of schemas is enforced against a whole
+    stream of documents. All the static-analysis machinery — the merged
+    environment, the compiled content-model regexes, the Glushkov
+    automata and the marking/reachability analyses of Figures 3 and 9 —
+    depends only on the contract and the children {e word} under
+    analysis, never on the rest of the document. A contract therefore
+    memoizes analyses by [(content model, word)]: the second document
+    whose <newspaper> children form [title.date.Get_Temp.TimeOut] gets
+    its verdict (and its extracted strategy) by hash lookup instead of
+    replaying the game.
+
+    The cache is bounded ([cache_capacity], FIFO eviction) and counts
+    hits, misses and evictions so callers can observe the amortization
+    ({!stats}). {!Rewriter} is a thin view over this module;
+    [Axml_peer.Enforcement.Pipeline] drives it over document streams. *)
+
+type engine =
+  | Eager  (** the literal algorithm of Figure 3 *)
+  | Lazy   (** the pruned on-the-fly variant of Section 7 *)
+
+type t
+
+val create :
+  ?k:int -> ?engine:engine -> ?predicate:(string -> string -> bool) ->
+  ?cache_capacity:int ->
+  s0:Axml_schema.Schema.t -> target:Axml_schema.Schema.t -> unit -> t
+(** Compile the contract for exchanging documents of [s0] under the
+    agreed [target] schema. [k] is the rewriting depth (Definition 7,
+    default 1); [predicate] answers function-pattern predicates;
+    [cache_capacity] bounds the analysis memo table (default 4096
+    entries, clamped to at least 1).
+    @raise Axml_schema.Schema.Schema_error when [s0] and [target]
+    disagree on a common function signature. *)
+
+(** {1 Static artifacts} *)
+
+val env : t -> Axml_schema.Schema.env
+val s0 : t -> Axml_schema.Schema.t
+val target : t -> Axml_schema.Schema.t
+val k : t -> int
+val engine : t -> engine
+
+val element_regex : t -> string -> Axml_schema.Symbol.t Axml_regex.Regex.t option
+(** Compiled content model of a label in the {e target} schema
+    (compiled once per contract). *)
+
+val input_regex : t -> string -> Axml_schema.Symbol.t Axml_regex.Regex.t option
+(** Compiled input type of a function, from the merged environment. *)
+
+(** {1 Analysis contexts}
+
+    The position of a children word inside a document decides which
+    content model it is analyzed against. *)
+
+type context =
+  | Element of string  (** children of an element, against its target content model *)
+  | Input of string    (** parameters of a call, against the function's input type *)
+
+val pp_context : context Fmt.t
+
+exception Unknown_context of context
+(** The label is not declared by the target schema / the function has no
+    known signature. *)
+
+val context_regex :
+  t -> context -> Axml_schema.Symbol.t Axml_regex.Regex.t option
+
+(** {1 Cached analyses}
+
+    Keyed by [(content-model regex, word)]: two contexts sharing a
+    content model share their analyses. The returned analyses carry the
+    winning strategy; they are safe to hand to {!Execute.run} (the
+    underlying product is extended on demand, never invalidated). *)
+
+val product :
+  t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
+  Axml_schema.Symbol.t list -> Product.t
+(** A fresh (uncached) product of A_w^k with the target automaton. *)
+
+val safe_analysis :
+  t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
+  Axml_schema.Symbol.t list -> Marking.t
+(** The marking game of Figure 3 for [word] against [target_regex],
+    memoized. *)
+
+val possible_analysis :
+  t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
+  Axml_schema.Symbol.t list -> Possible.t
+(** The reachability analysis of Figure 9, memoized. *)
+
+val is_safe :
+  t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
+  Axml_schema.Symbol.t list -> bool
+
+val is_possible :
+  t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
+  Axml_schema.Symbol.t list -> bool
+
+(** {1 Verdicts} *)
+
+type verdict =
+  | Safe           (** a safe rewriting exists (Figure 3) *)
+  | Possible_only  (** no safe rewriting, but a possible one (Figure 9) *)
+  | Impossible     (** no rewriting at all *)
+
+val pp_verdict : verdict Fmt.t
+
+val analyze : t -> context:context -> Axml_schema.Symbol.t list -> verdict
+(** One-stop entry point: analyze a children word in its context.
+    @raise Unknown_context when the context is not part of the
+    contract. *)
+
+(** {1 Cache accounting} *)
+
+type stats = {
+  hits : int;       (** analyses answered from the memo table *)
+  misses : int;     (** analyses actually computed *)
+  evictions : int;  (** entries dropped to respect [cache_capacity] *)
+  entries : int;    (** entries currently resident *)
+}
+
+val stats : t -> stats
+val hit_rate : stats -> float
+(** [hits / (hits + misses)]; [0.] before any lookup. *)
+
+val diff_stats : before:stats -> stats -> stats
+(** Counter deltas ([entries] is the later absolute value): the cache
+    activity between two {!stats} snapshots. *)
+
+val pp_stats : stats Fmt.t
+
+val reset_stats : t -> unit
+(** Zero the counters; cached analyses stay resident. *)
+
+val clear : t -> unit
+(** Drop every cached analysis (compiled regexes stay); counters are
+    reset too. *)

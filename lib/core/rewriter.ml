@@ -3,6 +3,13 @@
    [target], decide safe / possible rewritability and materialize the
    document accordingly.
 
+   Since the analysis of a children word depends only on the contract
+   (schemas, k, engine) and the word itself, the engine is a thin view
+   over [Contract]: every word-level question goes through the
+   contract's memo table, so repeated words — across the nodes of one
+   document or across a stream of documents against the same schema
+   pair — are answered by lookup.
+
    Tree algorithm (Section 4): parameters of function nodes are handled
    before the functions themselves (the recursion below materializes a
    node's interior — parameter subtrees included — before rewriting its
@@ -15,72 +22,37 @@
 module R = Axml_regex.Regex
 module Schema = Axml_schema.Schema
 module Symbol = Axml_schema.Symbol
-module Auto = Axml_schema.Auto
 
-type engine = Eager | Lazy
+type engine = Contract.engine = Eager | Lazy
 
-type t = {
-  env : Schema.env;
-  s0 : Schema.t;
-  target : Schema.t;
-  k : int;
-  engine : engine;
-  element_regexes : (string, Symbol.t R.t option) Hashtbl.t;
-  input_regexes : (string, Symbol.t R.t option) Hashtbl.t;
-}
+type t = { contract : Contract.t }
 
 let create ?(k = 1) ?(engine = Lazy) ?predicate ~s0 ~target () =
-  let env = Schema.env_of_schemas ?predicate s0 target in
-  { env; s0; target; k; engine;
-    element_regexes = Hashtbl.create 16;
-    input_regexes = Hashtbl.create 16 }
+  { contract = Contract.create ~k ~engine ?predicate ~s0 ~target () }
 
-let env t = t.env
+let of_contract contract = { contract }
+let contract t = t.contract
 
-let memo table key compute =
-  match Hashtbl.find_opt table key with
-  | Some v -> v
-  | None ->
-    let v = compute () in
-    Hashtbl.add table key v;
-    v
-
-(* Content model of element [label] in the *target* schema. *)
-let element_regex t label =
-  memo t.element_regexes label (fun () ->
-      Option.map (Schema.compile_content t.env) (Schema.find_element t.target label))
-
-(* Input type of function [fname], from the merged environment (the WSDL
-   of every known service). *)
-let input_regex t fname =
-  memo t.input_regexes fname (fun () ->
-      Option.map
-        (fun (f : Schema.func) -> Schema.compile_content t.env f.Schema.f_input)
-        (Schema.String_map.find_opt fname t.env.Schema.env_functions))
+let env t = Contract.env t.contract
+let element_regex t label = Contract.element_regex t.contract label
+let input_regex t fname = Contract.input_regex t.contract fname
 
 (* ------------------------------------------------------------------ *)
-(* Word-level interface                                                *)
+(* Word-level interface (views over the contract)                      *)
 (* ------------------------------------------------------------------ *)
 
-let word_product t ~target_regex word =
-  let fork = Fork_automaton.build ~env:t.env ~k:t.k word in
-  let nfa = Auto.Nfa.glushkov target_regex in
-  Product.create ~fork ~target:nfa
+let word_product t ~target_regex word = Contract.product t.contract ~target_regex word
 
 let word_safe_analysis t ~target_regex word =
-  let p = word_product t ~target_regex word in
-  match t.engine with
-  | Eager -> Marking.analyze_eager p
-  | Lazy -> Marking.analyze_lazy p
+  Contract.safe_analysis t.contract ~target_regex word
 
 let word_possible_analysis t ~target_regex word =
-  Possible.analyze (word_product t ~target_regex word)
+  Contract.possible_analysis t.contract ~target_regex word
 
-let word_is_safe t ~target_regex word =
-  (word_safe_analysis t ~target_regex word).Marking.safe
+let word_is_safe t ~target_regex word = Contract.is_safe t.contract ~target_regex word
 
 let word_is_possible t ~target_regex word =
-  (word_possible_analysis t ~target_regex word).Possible.possible
+  Contract.is_possible t.contract ~target_regex word
 
 (* ------------------------------------------------------------------ *)
 (* Tree-level verdicts                                                 *)
@@ -117,7 +89,7 @@ let pp_failure ppf f =
 type mode = Safe | Possible_mode
 
 let root_failures t doc =
-  match t.target.Schema.root, (doc : Document.t) with
+  match (Contract.target t.contract).Schema.root, (doc : Document.t) with
   | Some expected, Document.Elem { label; _ } when not (String.equal label expected) ->
     [ { at = []; reason = Root_mismatch { expected; found = label } } ]
   | Some expected, (Document.Data _ | Document.Call _) ->
@@ -126,7 +98,7 @@ let root_failures t doc =
 
 (* Static check: no invocation happens; every node's children word is
    analyzed against its type. Returns the failures ([] = verdict holds). *)
-let check mode t (doc : Document.t) : failure list =
+let collect_failures mode t (doc : Document.t) : failure list =
   let acc = ref [] in
   let push at reason = acc := { at; reason } :: !acc in
   let rec visit path (node : Document.t) =
@@ -153,12 +125,6 @@ let check mode t (doc : Document.t) : failure list =
   in
   visit [] doc;
   root_failures t doc @ List.rev !acc
-
-let check_safe t doc = check Safe t doc
-let check_possible t doc = check Possible_mode t doc
-
-let is_safe t doc = check_safe t doc = []
-let is_possible t doc = check_possible t doc = []
 
 (* ------------------------------------------------------------------ *)
 (* Materialization                                                     *)
@@ -236,7 +202,8 @@ let materialize ?(mode = Safe) t ~(invoker : Execute.invoker) (doc : Document.t)
    the "full signature automaton" by concrete words, shrinking A_w^k. *)
 let pre_materialize t ~eager_calls ~(invoker : Execute.invoker) doc =
   let invocations = ref [] in
-  let budget = ref (max 1 (t.k * 64)) in
+  let budget = ref (max 1 (Contract.k t.contract * 64)) in
+  let env = env t in
   let rec node_forest path (node : Document.t) : Document.forest =
     match node with
     | Document.Data v -> [ Document.Data v ]
@@ -244,7 +211,7 @@ let pre_materialize t ~eager_calls ~(invoker : Execute.invoker) doc =
       [ Document.elem label (forest path children) ]
     | Document.Call { name; params } ->
       let params = forest path params in
-      if eager_calls name && Schema.is_invocable t.env name && !budget > 0 then begin
+      if eager_calls name && Schema.is_invocable env name && !budget > 0 then begin
         decr budget;
         let returned = invoker name params in
         invocations :=
@@ -268,6 +235,44 @@ let materialize_mixed t ~eager_calls ~invoker doc =
   | Ok (doc'', invs) -> Ok (doc'', pre @ invs)
   | Error fs -> Error fs
 
+(* ------------------------------------------------------------------ *)
+(* The unified static check                                            *)
+(* ------------------------------------------------------------------ *)
+
+type check_mode =
+  | Check_safe
+  | Check_possible
+  | Check_mixed of {
+      eager_calls : string -> bool;
+      invoker : Execute.invoker;
+    }
+
+type check_report = {
+  ok : bool;
+  failures : failure list;
+  cache : Contract.stats;
+}
+
+let check ?(mode = Check_safe) t doc =
+  let before = Contract.stats t.contract in
+  let failures =
+    match mode with
+    | Check_safe -> collect_failures Safe t doc
+    | Check_possible -> collect_failures Possible_mode t doc
+    | Check_mixed { eager_calls; invoker } ->
+      let doc', _pre = pre_materialize t ~eager_calls ~invoker doc in
+      collect_failures Safe t doc'
+  in
+  { ok = failures = [];
+    failures;
+    cache = Contract.diff_stats ~before (Contract.stats t.contract) }
+
+(* Deprecated shims over [check] (kept so existing callers build). *)
+let check_safe t doc = (check ~mode:Check_safe t doc).failures
+let check_possible t doc = (check ~mode:Check_possible t doc).failures
+
 let check_mixed t ~eager_calls ~invoker doc =
-  let doc', _pre = pre_materialize t ~eager_calls ~invoker doc in
-  check_safe t doc'
+  (check ~mode:(Check_mixed { eager_calls; invoker }) t doc).failures
+
+let is_safe t doc = (check ~mode:Check_safe t doc).ok
+let is_possible t doc = (check ~mode:Check_possible t doc).ok

@@ -3,13 +3,20 @@
     [target], decide safe / possible rewritability and materialize the
     document accordingly.
 
+    A rewriter is a thin view over a compiled {!Contract}: all
+    word-level analyses go through the contract's memo table, so the
+    same children word is analyzed once per contract, not once per
+    occurrence. Build the contract yourself ({!Contract.create} +
+    {!of_contract}) to share it across rewriters, enforcement pipelines
+    and batches; or let {!create} build a private one.
+
     The tree algorithm follows Section 4: parameters of function nodes
     are rewritten against their [tau_in] before the function may fire
     (deepest first); every node's children word is rewritten against the
     content model of its type; forests returned by invoked services are
     spliced in as-is (footnote 5). *)
 
-type engine =
+type engine = Contract.engine =
   | Eager  (** the literal algorithm of Figure 3 *)
   | Lazy   (** the pruned on-the-fly variant of Section 7 *)
 
@@ -19,9 +26,15 @@ val create :
   ?k:int -> ?engine:engine -> ?predicate:(string -> string -> bool) ->
   s0:Axml_schema.Schema.t -> target:Axml_schema.Schema.t -> unit -> t
 (** [k] is the rewriting depth (Definition 7, default 1); [predicate]
-    answers function-pattern predicates.
+    answers function-pattern predicates. Compiles a private contract.
     @raise Axml_schema.Schema.Schema_error when [s0] and [target]
     disagree on a common function signature. *)
+
+val of_contract : Contract.t -> t
+(** View an existing compiled contract as a rewriter (shares its
+    analysis cache). *)
+
+val contract : t -> Contract.t
 
 val env : t -> Axml_schema.Schema.env
 
@@ -31,7 +44,13 @@ val element_regex : t -> string -> Axml_schema.Symbol.t Axml_regex.Regex.t optio
 val input_regex : t -> string -> Axml_schema.Symbol.t Axml_regex.Regex.t option
 (** Compiled input type of a function, from the merged environment. *)
 
-(** {1 Word level} *)
+(** {1 Word level}
+
+    Thin views over the contract, kept for compatibility; new code
+    should prefer {!Contract.analyze} / {!Contract.safe_analysis} on
+    the shared contract directly.
+
+    @deprecated Use the {!Contract} entry points. *)
 
 val word_product :
   t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
@@ -40,10 +59,12 @@ val word_product :
 val word_safe_analysis :
   t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
   Axml_schema.Symbol.t list -> Marking.t
+(** Equivalent to {!Contract.safe_analysis} on {!contract} (cached). *)
 
 val word_possible_analysis :
   t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
   Axml_schema.Symbol.t list -> Possible.t
+(** Equivalent to {!Contract.possible_analysis} on {!contract} (cached). *)
 
 val word_is_safe :
   t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
@@ -70,13 +91,49 @@ val pp_failure : failure Fmt.t
 
 type mode = Safe | Possible_mode
 
+(** {2 The unified static check}
+
+    One entry point replaces the old [check_safe] / [check_possible] /
+    [check_mixed] triple: pick the mode, get a structured report
+    (verdict, failures, and the contract-cache activity the check
+    caused). *)
+
+type check_mode =
+  | Check_safe       (** every children word must rewrite {e safely} *)
+  | Check_possible   (** every children word must rewrite {e possibly} *)
+  | Check_mixed of {
+      eager_calls : string -> bool;
+      invoker : Execute.invoker;
+    }
+    (** Section 5: pre-fire the [eager_calls] services, then check
+        safely on what remains. *)
+
+type check_report = {
+  ok : bool;                 (** [failures = []] *)
+  failures : failure list;   (** prefix order *)
+  cache : Contract.stats;    (** cache activity during this check
+                                 (deltas; [entries] is absolute) *)
+}
+
+val check : ?mode:check_mode -> t -> Document.t -> check_report
+(** Static check, no invocation (except the eager calls of
+    [Check_mixed]). Default mode is [Check_safe]. *)
+
+(** {2 Deprecated shims}
+
+    Thin wrappers over {!check}, kept so existing callers build.
+    @deprecated Use {!check}. *)
+
 val check_safe : t -> Document.t -> failure list
-(** Static check, no invocation; [[]] means every node's children word
-    safely rewrites. *)
+(** [(check ~mode:Check_safe t doc).failures]. *)
 
 val check_possible : t -> Document.t -> failure list
 val is_safe : t -> Document.t -> bool
 val is_possible : t -> Document.t -> bool
+
+val check_mixed :
+  t -> eager_calls:(string -> bool) -> invoker:Execute.invoker ->
+  Document.t -> failure list
 
 (** {1 Materialization} *)
 
@@ -105,7 +162,3 @@ val materialize_mixed :
   t -> eager_calls:(string -> bool) -> invoker:Execute.invoker ->
   Document.t ->
   (Document.t * located_invocation list, failure list) result
-
-val check_mixed :
-  t -> eager_calls:(string -> bool) -> invoker:Execute.invoker ->
-  Document.t -> failure list

@@ -9,6 +9,7 @@ module Symbol = Axml_schema.Symbol
 module Auto = Axml_schema.Auto
 module D = Axml_core.Document
 module Validate = Axml_core.Validate
+module Contract = Axml_core.Contract
 module Rewriter = Axml_core.Rewriter
 module Service = Axml_services.Service
 module Registry = Axml_services.Registry
@@ -476,6 +477,149 @@ let test_enforce_possible_fails_at_runtime () =
   | Ok _ -> Alcotest.fail "expected a run-time failure"
 
 (* ------------------------------------------------------------------ *)
+(* Batch enforcement pipelines                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Pipeline = Enforcement.Pipeline
+
+let test_enforce_prebuilt_rewriter () =
+  let reg = make_registry () in
+  let rw = Rewriter.create ~s0:schema_star ~target:schema_star2 () in
+  let fresh =
+    Enforcement.enforce ~s0:schema_star ~exchange:schema_star2
+      ~invoker:(Registry.invoker reg) fig2a
+  in
+  let reused =
+    Enforcement.enforce ~rewriter:rw ~s0:schema_star ~exchange:schema_star2
+      ~invoker:(Registry.invoker reg) fig2a
+  in
+  (match fresh, reused with
+   | Ok (d1, r1), Ok (d2, r2) ->
+     check "same document" true (D.equal d1 d2);
+     check "same action" true (r1.Enforcement.action = r2.Enforcement.action)
+   | _ -> Alcotest.fail "both enforcements should succeed");
+  (* the prebuilt contract actually did the analysis *)
+  check "contract cache used" true
+    ((Contract.stats (Rewriter.contract rw)).Contract.misses > 0)
+
+let test_pipeline_batch () =
+  let reg = make_registry () in
+  let p =
+    Pipeline.create ~s0:schema_star ~exchange:schema_star2
+      ~invoker:(Registry.invoker reg) ()
+  in
+  let results, batch = Pipeline.enforce_many p [ fig2a; fig2a; fig2a ] in
+  check_int "three results" 3 (List.length results);
+  List.iter
+    (function
+      | Ok (_, report) ->
+        check "rewritten" true (report.Enforcement.action = Enforcement.Rewritten)
+      | Error e -> Alcotest.failf "unexpected: %a" Enforcement.pp_error e)
+    results;
+  check_int "batch docs" 3 batch.Pipeline.docs;
+  check_int "batch rewritten" 3 batch.Pipeline.rewritten;
+  check_int "batch rejected" 0 batch.Pipeline.rejected;
+  check_int "batch invocations" 3 batch.Pipeline.invocations;
+  check "repeated docs hit the cache" true (batch.Pipeline.cache.Contract.hits > 0);
+  check "throughput measured" true (batch.Pipeline.docs_per_s >= 0.);
+  (* batch stats are deltas: a second batch restarts the counters *)
+  let _, batch2 = Pipeline.enforce_many p [ fig2a ] in
+  check_int "second batch: 1 doc" 1 batch2.Pipeline.docs;
+  check_int "second batch: all cached" 0 batch2.Pipeline.cache.Contract.misses;
+  (* while the cumulative stats keep the running total *)
+  check_int "cumulative docs" 4 (Pipeline.stats p).Pipeline.docs;
+  Pipeline.reset_stats p;
+  check_int "reset" 0 (Pipeline.stats p).Pipeline.docs
+
+let test_pipeline_outcome_counters () =
+  let reg = make_registry () in
+  (* star -> star3 without fallback: every doc is rejected *)
+  let p =
+    Pipeline.create ~s0:schema_star ~exchange:schema_star3
+      ~invoker:(Registry.invoker reg) ()
+  in
+  let results, batch = Pipeline.enforce_many p [ fig2a; fig2a ] in
+  check "all rejected" true
+    (List.for_all (function Error (Enforcement.Rejected _) -> true | _ -> false)
+       results);
+  check_int "rejected counted" 2 batch.Pipeline.rejected;
+  check_int "nothing conformed" 0 batch.Pipeline.conformed;
+  (* with the fallback the same stream is rewritten possibly *)
+  let config =
+    { Enforcement.default_config with Enforcement.fallback_possible = true }
+  in
+  let p' =
+    Pipeline.create ~config ~s0:schema_star ~exchange:schema_star3
+      ~invoker:(Registry.invoker reg) ()
+  in
+  let _, batch' = Pipeline.enforce_many p' [ fig2a; fig2a ] in
+  check_int "possible rewrites counted" 2 batch'.Pipeline.rewritten_possible;
+  (* and an already-conforming stream counts as conformed *)
+  let p'' =
+    Pipeline.create ~s0:schema_star ~exchange:schema_star
+      ~invoker:(Registry.invoker reg) ()
+  in
+  let _, batch'' = Pipeline.enforce_many p'' [ fig2a ] in
+  check_int "conformed counted" 1 batch''.Pipeline.conformed
+
+let test_pipeline_seq () =
+  let reg = make_registry () in
+  let p =
+    Pipeline.create ~s0:schema_star ~exchange:schema_star2
+      ~invoker:(Registry.invoker reg) ()
+  in
+  let stream = Pipeline.enforce_seq p (List.to_seq [ fig2a; fig2a ]) in
+  check_int "lazy: nothing enforced yet" 0 (Pipeline.stats p).Pipeline.docs;
+  let forced = List.of_seq stream in
+  check_int "consumed: both enforced" 2 (Pipeline.stats p).Pipeline.docs;
+  check "both ok" true (List.for_all Result.is_ok forced)
+
+let test_pipeline_of_contract () =
+  let reg = make_registry () in
+  let c = Contract.create ~s0:schema_star ~target:schema_star2 () in
+  (* pre-warm the contract through a rewriter view *)
+  ignore (Rewriter.check (Rewriter.of_contract c) fig2a);
+  let p = Pipeline.of_contract ~invoker:(Registry.invoker reg) c in
+  check "shares the contract" true (Pipeline.contract p == c);
+  let _, batch = Pipeline.enforce_many p [ fig2a ] in
+  check_int "pre-warmed: no misses" 0 batch.Pipeline.cache.Contract.misses;
+  check "pre-warmed: hits" true (batch.Pipeline.cache.Contract.hits > 0)
+
+let test_peer_exchange_pipeline_cached () =
+  let sender = Peer.create ~name:"newspaper.com" ~schema:schema_star () in
+  Registry.register_all (Peer.registry sender)
+    [ Service.make ~input:(R.sym (Schema.A_label "city"))
+        ~output:(R.sym (Schema.A_label "temp")) "Get_Temp"
+        (Oracle.constant [ D.elem "temp" [ D.data "15" ] ]) ];
+  let receiver = Peer.create ~name:"reader" ~schema:schema_star2 () in
+  let p1 = Peer.exchange_pipeline sender ~exchange:schema_star2 in
+  let p2 = Peer.exchange_pipeline sender ~exchange:schema_star2 in
+  check "pipeline cached per exchange schema" true (p1 == p2);
+  (* repeated sends of the same agreement ride one contract cache *)
+  (match
+     Peer.send sender ~receiver ~exchange:schema_star2 ~as_name:"a" fig2a
+   with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "send failed: %a" Enforcement.pp_error e);
+  let after_one = (Pipeline.stats p1).Pipeline.cache in
+  (match
+     Peer.send sender ~receiver ~exchange:schema_star2 ~as_name:"b" fig2a
+   with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "send failed: %a" Enforcement.pp_error e);
+  let after_two = (Pipeline.stats p1).Pipeline.cache in
+  check_int "second send: pure cache hits"
+    after_one.Contract.misses after_two.Contract.misses;
+  check "second send: hits grew" true
+    (after_two.Contract.hits > after_one.Contract.hits);
+  check_int "pipeline counted both sends" 2 (Pipeline.stats p1).Pipeline.docs;
+  (* changing the enforcement config invalidates the compiled pipeline *)
+  Peer.set_enforcement sender
+    { Enforcement.default_config with Enforcement.fallback_possible = true };
+  let p3 = Peer.exchange_pipeline sender ~exchange:schema_star2 in
+  check "invalidated after set_enforcement" true (p3 != p1)
+
+(* ------------------------------------------------------------------ *)
 (* Peers                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -761,7 +905,15 @@ let () =
          Alcotest.test_case "rewritten" `Quick test_enforce_rewritten;
          Alcotest.test_case "rejected" `Quick test_enforce_rejected;
          Alcotest.test_case "possible fallback" `Quick test_enforce_possible_fallback;
-         Alcotest.test_case "possible run-time failure" `Quick test_enforce_possible_fails_at_runtime
+         Alcotest.test_case "possible run-time failure" `Quick test_enforce_possible_fails_at_runtime;
+         Alcotest.test_case "prebuilt rewriter" `Quick test_enforce_prebuilt_rewriter
+       ]);
+      ("pipeline",
+       [ Alcotest.test_case "batch stats" `Quick test_pipeline_batch;
+         Alcotest.test_case "outcome counters" `Quick test_pipeline_outcome_counters;
+         Alcotest.test_case "lazy stream" `Quick test_pipeline_seq;
+         Alcotest.test_case "from a shared contract" `Quick test_pipeline_of_contract;
+         Alcotest.test_case "peer pipeline caching" `Quick test_peer_exchange_pipeline_cached
        ]);
       ("storage",
        [ Alcotest.test_case "save/load roundtrip" `Quick test_storage_roundtrip;

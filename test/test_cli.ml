@@ -145,6 +145,31 @@ let test_rewrite_rejected () =
   check_int "exit 1" 1 code;
   check "rejected" true (contains out "rejected")
 
+let test_batch () =
+  setup ();
+  let json_file = path "batch_stats.json" in
+  let code, out =
+    run [ "batch"; "-f"; path "sender.axs"; "-t"; path "exchange.axs";
+          "--stats-json"; json_file;
+          path "doc.xml"; path "doc.xml"; path "doc.xml" ]
+  in
+  check_int "exit 0" 0 code;
+  check "per-doc outcome lines" true (contains out "rewritten, 1 invocation");
+  check "batch summary" true (contains out "3 docs");
+  check "cache summary" true (contains out "hit rate");
+  let json = read_file json_file in
+  check "json docs" true (contains json "\"docs\": 3");
+  check "json rewritten" true (contains json "\"rewritten\": 3");
+  check "json cache" true (contains json "\"cache\"");
+  check "json hit rate" true (contains json "\"cache_hit_rate\"");
+  (* a rejected document fails the batch *)
+  let code, out =
+    run [ "batch"; "-f"; path "sender.axs"; "-t"; path "strict.axs";
+          path "doc.xml"; path "doc.xml" ]
+  in
+  check_int "rejections: exit 1" 1 code;
+  check "marked rejected" true (contains out "REJECTED")
+
 let test_compat () =
   setup ();
   let code, out =
@@ -190,6 +215,7 @@ let () =
          Alcotest.test_case "check" `Quick test_check_safe;
          Alcotest.test_case "rewrite" `Quick test_rewrite;
          Alcotest.test_case "rewrite rejected" `Quick test_rewrite_rejected;
+         Alcotest.test_case "batch" `Quick test_batch;
          Alcotest.test_case "compat" `Quick test_compat;
          Alcotest.test_case "schema convert" `Quick test_schema_convert;
          Alcotest.test_case "bad inputs" `Quick test_bad_inputs

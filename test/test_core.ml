@@ -11,6 +11,7 @@ module Schema_parser = Axml_schema.Schema_parser
 module Symbol = Axml_schema.Symbol
 module Auto = Axml_schema.Auto
 module D = Axml_core.Document
+module Contract = Axml_core.Contract
 module Rewriter = Axml_core.Rewriter
 module Marking = Axml_core.Marking
 module Possible = Axml_core.Possible
@@ -1062,6 +1063,207 @@ let prop_tree_materialization_sound =
               QCheck.Test.fail_reportf "result %a violates: %a" D.pp doc'
                 Fmt.(list Validate.pp_violation) vs)))
 
+(* ------------------------------------------------------------------ *)
+(* Compiled contracts: memo table, counters, eviction, shims           *)
+(* ------------------------------------------------------------------ *)
+
+let contract target = Contract.create ~s0:schema_star ~target ()
+
+let contract_regex c label =
+  match Contract.element_regex c label with
+  | Some r -> r
+  | None -> Alcotest.failf "no content model for %s" label
+
+let test_contract_verdicts () =
+  let c2 = contract schema_star2 in
+  check "safe into (**)" true
+    (Contract.analyze c2 ~context:(Contract.Element "newspaper") newspaper_word
+     = Contract.Safe);
+  let c3 = contract schema_star3 in
+  check "possible-only into (***)" true
+    (Contract.analyze c3 ~context:(Contract.Element "newspaper") newspaper_word
+     = Contract.Possible_only);
+  check "impossible word" true
+    (Contract.analyze c3 ~context:(Contract.Element "newspaper")
+       [ Symbol.Label "title" ]
+     = Contract.Impossible);
+  (* input contexts resolve against the function's input type *)
+  check "Get_Temp params" true
+    (Contract.analyze c2 ~context:(Contract.Input "Get_Temp")
+       [ Symbol.Label "city" ]
+     = Contract.Safe)
+
+let test_contract_unknown_context () =
+  let c = contract schema_star2 in
+  (match Contract.analyze c ~context:(Contract.Element "nosuch") [] with
+   | _ -> Alcotest.fail "Element nosuch should raise"
+   | exception Contract.Unknown_context _ -> ());
+  match Contract.analyze c ~context:(Contract.Input "nosuch") [] with
+  | _ -> Alcotest.fail "Input nosuch should raise"
+  | exception Contract.Unknown_context _ -> ()
+
+let test_contract_counters () =
+  let c = contract schema_star3 in
+  let s0 = Contract.stats c in
+  check_int "fresh: no hits" 0 s0.Contract.hits;
+  check_int "fresh: no misses" 0 s0.Contract.misses;
+  (* unsafe-but-possible word: analyze computes safe AND possible *)
+  ignore (Contract.analyze c ~context:(Contract.Element "newspaper") newspaper_word);
+  let s1 = Contract.stats c in
+  check_int "cold analyze: 2 misses" 2 s1.Contract.misses;
+  check_int "cold analyze: 0 hits" 0 s1.Contract.hits;
+  check_int "both analyses share one slot" 1 s1.Contract.entries;
+  ignore (Contract.analyze c ~context:(Contract.Element "newspaper") newspaper_word);
+  let s2 = Contract.stats c in
+  check_int "warm analyze: 2 hits" 2 s2.Contract.hits;
+  check_int "warm analyze: no new miss" 2 s2.Contract.misses;
+  check "hit rate" true (Contract.hit_rate s2 = 0.5);
+  let d = Contract.diff_stats ~before:s1 s2 in
+  check_int "diff hits" 2 d.Contract.hits;
+  check_int "diff misses" 0 d.Contract.misses;
+  Contract.reset_stats c;
+  let s3 = Contract.stats c in
+  check_int "reset zeroes hits" 0 s3.Contract.hits;
+  check_int "reset keeps entries" 1 s3.Contract.entries;
+  ignore (Contract.analyze c ~context:(Contract.Element "newspaper") newspaper_word);
+  check_int "entries survive reset" 2 (Contract.stats c).Contract.hits;
+  Contract.clear c;
+  check_int "clear drops entries" 0 (Contract.stats c).Contract.entries;
+  ignore (Contract.analyze c ~context:(Contract.Element "newspaper") newspaper_word);
+  check_int "cleared cache recomputes" 2 (Contract.stats c).Contract.misses
+
+let test_contract_eviction () =
+  let c =
+    Contract.create ~cache_capacity:1 ~s0:schema_star ~target:schema_star2 ()
+  in
+  let regex = contract_regex c "newspaper" in
+  let w1 = newspaper_word and w2 = [ Symbol.Label "title" ] in
+  ignore (Contract.is_safe c ~target_regex:regex w1);
+  ignore (Contract.is_safe c ~target_regex:regex w2);  (* evicts w1 (FIFO) *)
+  ignore (Contract.is_safe c ~target_regex:regex w1);  (* miss again, evicts w2 *)
+  let s = Contract.stats c in
+  check_int "no hits" 0 s.Contract.hits;
+  check_int "three misses" 3 s.Contract.misses;
+  check_int "two evictions" 2 s.Contract.evictions;
+  check_int "bounded residency" 1 s.Contract.entries
+
+let test_rewriter_shims_cached () =
+  let rw = rewriter schema_star2 in
+  let regex = target_regex rw "newspaper" in
+  let a1 = Rewriter.word_safe_analysis rw ~target_regex:regex newspaper_word in
+  let a2 = Rewriter.word_safe_analysis rw ~target_regex:regex newspaper_word in
+  check "same analysis object returned" true (a1 == a2);
+  let s = Contract.stats (Rewriter.contract rw) in
+  check_int "shim hit recorded" 1 s.Contract.hits;
+  check "word_is_safe agrees" true
+    (Rewriter.word_is_safe rw ~target_regex:regex newspaper_word);
+  let p1 = Rewriter.word_possible_analysis rw ~target_regex:regex newspaper_word in
+  let p2 = Rewriter.word_possible_analysis rw ~target_regex:regex newspaper_word in
+  check "possible analysis cached too" true (p1 == p2)
+
+let test_unified_check_report () =
+  let rw = rewriter schema_star2 in
+  let r = Rewriter.check rw fig2a in
+  check "ok" true r.Rewriter.ok;
+  check "no failures" true (r.Rewriter.failures = []);
+  check "cold check computes" true (r.Rewriter.cache.Contract.misses > 0);
+  let r2 = Rewriter.check rw fig2a in
+  check "warm check misses nothing" true (r2.Rewriter.cache.Contract.misses = 0);
+  check "warm check hits" true (r2.Rewriter.cache.Contract.hits > 0);
+  check "check_safe shim" true (Rewriter.check_safe rw fig2a = []);
+  check "is_safe shim" true (Rewriter.is_safe rw fig2a);
+  let rw3 = rewriter schema_star3 in
+  let r3 = Rewriter.check ~mode:Rewriter.Check_possible rw3 fig2a in
+  check "possible into (***)" true r3.Rewriter.ok;
+  check "is_possible shim" true (Rewriter.is_possible rw3 fig2a);
+  let r3s = Rewriter.check ~mode:Rewriter.Check_safe rw3 fig2a in
+  check "not safe into (***)" false r3s.Rewriter.ok;
+  check "failures reported" true (r3s.Rewriter.failures <> []);
+  check "shim equals report failures" true
+    (Rewriter.check_safe rw3 fig2a = r3s.Rewriter.failures)
+
+let test_check_mixed_mode () =
+  let rw = rewriter schema_star3 in
+  (* star3 needs TimeOut pre-fired to be checkable safely *)
+  let r =
+    Rewriter.check
+      ~mode:(Rewriter.Check_mixed
+               { eager_calls = (fun n -> n = "TimeOut" || n = "Get_Temp");
+                 invoker = honest_invoker ~timeout_returns:`Exhibits })
+      rw fig2a
+  in
+  check "mixed check passes" true r.Rewriter.ok;
+  check "shim agrees" true
+    (Rewriter.check_mixed rw
+       ~eager_calls:(fun n -> n = "TimeOut" || n = "Get_Temp")
+       ~invoker:(honest_invoker ~timeout_returns:`Exhibits) fig2a
+     = [])
+
+let test_shared_contract () =
+  let c = contract schema_star2 in
+  let rw1 = Rewriter.of_contract c in
+  let rw2 = Rewriter.of_contract c in
+  check "contract is shared" true (Rewriter.contract rw1 == Rewriter.contract rw2);
+  ignore (Rewriter.check rw1 fig2a);
+  let r = Rewriter.check rw2 fig2a in
+  check "second rewriter rides the shared cache" true
+    (r.Rewriter.cache.Contract.misses = 0 && r.Rewriter.cache.Contract.hits > 0)
+
+let prop_contract_cache_transparent =
+  QCheck.Test.make ~count:200
+    ~name:"cached contract verdicts equal fresh-engine verdicts"
+    arb_mini
+    (fun (out_f, out_g, target, word, k) ->
+      let s = mini_schema out_f out_g in
+      let env = Schema.env_of_schema s in
+      let target_regex = Schema.compile_content env target in
+      let shared = Contract.create ~k ~s0:s ~target:s () in
+      let cold_safe = Contract.is_safe shared ~target_regex word in
+      let cold_possible = Contract.is_possible shared ~target_regex word in
+      let warm_safe = Contract.is_safe shared ~target_regex word in
+      let warm_possible = Contract.is_possible shared ~target_regex word in
+      let fresh = Rewriter.create ~k ~s0:s ~target:s () in
+      let fresh_safe = Rewriter.word_is_safe fresh ~target_regex word in
+      let fresh_possible = Rewriter.word_is_possible fresh ~target_regex word in
+      if cold_safe <> fresh_safe || warm_safe <> fresh_safe then
+        QCheck.Test.fail_reportf "safe: cold=%b warm=%b fresh=%b" cold_safe
+          warm_safe fresh_safe;
+      if cold_possible <> fresh_possible || warm_possible <> fresh_possible then
+        QCheck.Test.fail_reportf "possible: cold=%b warm=%b fresh=%b"
+          cold_possible warm_possible fresh_possible;
+      let st = Contract.stats shared in
+      if st.Contract.hits < 2 then
+        QCheck.Test.fail_reportf "expected warm lookups to hit, stats: %a"
+          Contract.pp_stats st;
+      true)
+
+let prop_contract_check_parity =
+  QCheck.Test.make ~count:60
+    ~name:"warm contract checks match fresh-engine checks on random documents"
+    QCheck.(pair (pair gen_mini_content_arb gen_mini_content_arb) small_int)
+    (fun ((content0, content1), seed) ->
+      let make_schema root_content =
+        let s = mini_schema_base () in
+        Schema.with_root (Schema.add_element s "r" root_content) "r"
+      in
+      let s0 = make_schema content0 in
+      let target = make_schema content1 in
+      let g = Generate.create ~seed ~max_depth:16 s0 in
+      match Generate.document g with
+      | exception Generate.Generation_failed _ -> true
+      | doc ->
+        let shared = Rewriter.of_contract (Contract.create ~k:1 ~s0 ~target ()) in
+        let cold = Rewriter.check shared doc in
+        let warm = Rewriter.check shared doc in
+        let fresh = Rewriter.check (Rewriter.create ~k:1 ~s0 ~target ()) doc in
+        if cold.Rewriter.failures <> fresh.Rewriter.failures
+           || warm.Rewriter.failures <> fresh.Rewriter.failures then
+          QCheck.Test.fail_reportf "cached failures diverge on %a" D.pp doc;
+        if warm.Rewriter.cache.Contract.misses <> 0 then
+          QCheck.Test.fail_reportf "re-checking the same document missed: %a"
+            Contract.pp_stats warm.Rewriter.cache;
+        true)
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_engines_match_reference;
@@ -1070,7 +1272,9 @@ let qcheck_tests =
       prop_safe_worst_at_least_possible_min;
       prop_ltr_implies_arbitrary;
       prop_schema_compat_sound;
-      prop_tree_materialization_sound
+      prop_tree_materialization_sound;
+      prop_contract_cache_transparent;
+      prop_contract_check_parity
     ]
 
 let () =
@@ -1124,6 +1328,16 @@ let () =
       ("engines",
        [ Alcotest.test_case "eager = lazy on the example" `Quick test_engines_agree_on_example;
          Alcotest.test_case "lazy explores less" `Quick test_lazy_explores_less
+       ]);
+      ("contract",
+       [ Alcotest.test_case "verdicts" `Quick test_contract_verdicts;
+         Alcotest.test_case "unknown contexts" `Quick test_contract_unknown_context;
+         Alcotest.test_case "hit/miss counters" `Quick test_contract_counters;
+         Alcotest.test_case "FIFO eviction" `Quick test_contract_eviction;
+         Alcotest.test_case "word shims are cached" `Quick test_rewriter_shims_cached;
+         Alcotest.test_case "unified check report" `Quick test_unified_check_report;
+         Alcotest.test_case "mixed check mode" `Quick test_check_mixed_mode;
+         Alcotest.test_case "shared contract" `Quick test_shared_contract
        ]);
       ("properties", qcheck_tests)
     ]
