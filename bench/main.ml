@@ -209,11 +209,11 @@ let e3 () =
      Execute.run (Execute.Follow_safe analysis) (Registry.invoker reg)
        (D.children fig2a)
    with
-   | Some outcome ->
+   | Ok outcome ->
      Fmt.pr "rewriting sequence: %a@."
        Fmt.(list ~sep:comma string)
        (List.map (fun i -> i.Execute.inv_name) outcome.Execute.invocations)
-   | None -> Fmt.pr "UNEXPECTED: execution failed@.");
+   | Error e -> Fmt.pr "UNEXPECTED: execution failed: %a@." Execute.pp_failure e);
   let t =
     measure_ns "e3" (fun () ->
         Rewriter.word_safe_analysis rw ~target_regex:regex newspaper_word)
@@ -287,11 +287,11 @@ let e5 () =
           [ D.elem "title" [ D.data "Hamlet" ]; D.elem "date" [ D.data "8pm" ] ] ]
   in
   Fmt.pr "with exhibit-only TimeOut    : %s@."
-    (match attempt exhibits with Some _ -> "succeeded" | None -> "failed");
+    (match attempt exhibits with Ok _ -> "succeeded" | Error _ -> "failed");
   Fmt.pr "with performance-only TimeOut: %s@."
     (match attempt performances with
-     | Some _ -> "succeeded"
-     | None -> "failed (as expected)");
+     | Ok _ -> "succeeded"
+     | Error _ -> "failed (as expected)");
   let t =
     measure_ns "e5" (fun () ->
         Rewriter.word_possible_analysis rw ~target_regex:regex newspaper_word)
@@ -593,9 +593,13 @@ let e12 () =
   in
   Fmt.pr "mixed check (TimeOut eager): %s@."
     (if failures = [] then "SAFE" else "UNSAFE");
-  let doc', _ =
-    Rewriter.pre_materialize rw ~eager_calls:(String.equal "TimeOut")
-      ~invoker:(Registry.invoker reg) fig2a
+  let doc' =
+    match
+      Rewriter.pre_materialize rw ~eager_calls:(String.equal "TimeOut")
+        ~invoker:(Registry.invoker reg) fig2a
+    with
+    | Ok (doc', _) -> doc'
+    | Error f -> Fmt.failwith "pre-materialization failed: %a" Rewriter.pp_failure f
   in
   let env = Rewriter.env rw in
   let before =
@@ -749,13 +753,13 @@ function H : () -> a
   in
   let analysis = Rewriter.word_safe_analysis rw ~target_regex:regex word in
   (match Execute.run (Execute.Follow_safe analysis) invoker items with
-   | Some o -> Fmt.pr "tradeoff case, greedy keep-first execution: fee %.1f@." (total o)
-   | None -> Fmt.pr "greedy execution failed@.");
+   | Ok o -> Fmt.pr "tradeoff case, greedy keep-first execution: fee %.1f@." (total o)
+   | Error _ -> Fmt.pr "greedy execution failed@.");
   let poss = Rewriter.word_possible_analysis rw ~target_regex:regex word in
   let plan = Cost.possible_costs poss ~cost:tfee in
   (match Execute.run ~plan ~fee:tfee (Execute.Follow_possible poss) invoker items with
-   | Some o -> Fmt.pr "tradeoff case, cost-guided execution   : fee %.1f@." (total o)
-   | None -> Fmt.pr "guided execution failed@.");
+   | Ok o -> Fmt.pr "tradeoff case, cost-guided execution   : fee %.1f@." (total o)
+   | Error _ -> Fmt.pr "guided execution failed@.");
   let t_plan =
     measure_ns "e15-plan" (fun () ->
         let poss = Rewriter.word_possible_analysis rw ~target_regex:regex word in
@@ -920,6 +924,110 @@ let e17 () =
   Fmt.pr "machine-readable results written to BENCH_E17.json@."
 
 (* ------------------------------------------------------------------ *)
+(* E18: fault-tolerant batch enforcement under misbehaving services    *)
+(* ------------------------------------------------------------------ *)
+
+module Resilience = Axml_services.Resilience
+
+let fault_s0 = parse_schema {|
+root doc
+element doc = (F_flaky | F_fail | F_ill | temp)
+element temp = #data
+function F_flaky : () -> temp
+function F_fail : () -> temp
+function F_ill : () -> temp
+|}
+
+let fault_exchange = parse_schema {|
+root doc
+element doc = temp
+element temp = #data
+function F_flaky : () -> temp
+function F_fail : () -> temp
+function F_ill : () -> temp
+|}
+
+let e18 () =
+  section "e18" "fault-tolerant batch enforcement under misbehaving services";
+  expectation
+    "a 1k-document batch against flaky (period 7), failing, and ill-typed \
+     services completes without aborting: misbehaviour costs the affected \
+     documents only, and the retry/breaker activity surfaces in the batch \
+     stats";
+  let n = 1000 in
+  let temp_reply = [ D.elem "temp" [ D.data "21C" ] ] in
+  let flaky = Oracle.flaky ~period:7 (Oracle.constant temp_reply) in
+  let invoker name params =
+    match name with
+    | "F_flaky" -> flaky params
+    | "F_fail" -> failwith "service permanently down"
+    | "F_ill" -> [ D.elem "bogus" [] ]  (* outside the declared temp output *)
+    | other -> Fmt.failwith "unknown service %s" other
+  in
+  (* manual clock: backoff sleeps and breaker cooldowns advance virtual
+     time, so the run is deterministic and does not actually sleep *)
+  let resilience =
+    Resilience.create
+      ~policy:(Resilience.policy ~max_retries:3 ~breaker_threshold:5 ())
+      ~clock:(Resilience.manual_clock ()) ()
+  in
+  let config =
+    { Enforcement.default_config with Enforcement.resilience = Some resilience }
+  in
+  let pipeline =
+    Pipeline.create ~config ~s0:fault_s0 ~exchange:fault_exchange ~invoker ()
+  in
+  let fnames = [| "F_flaky"; "F_fail"; "F_ill" |] in
+  let docs = List.init n (fun i -> D.elem "doc" [ D.call fnames.(i mod 3) [] ]) in
+  let results, stats = Pipeline.enforce_many pipeline docs in
+  assert (List.length results = n);  (* the batch never aborts *)
+  Fmt.pr "%a@." Pipeline.pp_stats stats;
+  let first_matching pred =
+    List.find_map
+      (function
+        | Error (Enforcement.Service_fault fs) -> List.find_opt pred fs
+        | _ -> None)
+      results
+  in
+  let is_ill f =
+    match f.Rewriter.reason with Rewriter.Ill_typed_service _ -> true | _ -> false
+  in
+  let is_down f =
+    match f.Rewriter.reason with Rewriter.Service_failure _ -> true | _ -> false
+  in
+  (match first_matching is_ill with
+   | Some f -> Fmt.pr "sample ill-typed outcome : %a@." Rewriter.pp_failure f
+   | None -> Fmt.pr "UNEXPECTED: no ill-typed outcome@.");
+  (match first_matching is_down with
+   | Some f -> Fmt.pr "sample give-up outcome   : %a@." Rewriter.pp_failure f
+   | None -> Fmt.pr "UNEXPECTED: no service-failure outcome@.");
+  let r = stats.Pipeline.resilience in
+  let oc = open_out "BENCH_E18.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"e18\",\n\
+    \  \"docs\": %d,\n\
+    \  \"rewritten\": %d,\n\
+    \  \"rejected\": %d,\n\
+    \  \"faults\": %d,\n\
+    \  \"invocations\": %d,\n\
+    \  \"elapsed_s\": %.6f,\n\
+    \  \"docs_per_s\": %.1f,\n\
+    \  \"cache_hit_rate\": %.4f,\n\
+    \  \"resilience\": { \"calls\": %d, \"attempts\": %d, \"retries\": %d, \
+     \"successes\": %d, \"gave_up\": %d, \"timeouts\": %d, \"trips\": %d, \
+     \"short_circuited\": %d }\n\
+     }\n"
+    stats.Pipeline.docs stats.Pipeline.rewritten stats.Pipeline.rejected
+    stats.Pipeline.faults stats.Pipeline.invocations stats.Pipeline.elapsed_s
+    stats.Pipeline.docs_per_s stats.Pipeline.cache_hit_rate r.Resilience.calls
+    r.Resilience.attempts r.Resilience.retries r.Resilience.successes
+    r.Resilience.gave_up r.Resilience.timeouts r.Resilience.trips
+    r.Resilience.short_circuited;
+  close_out oc;
+  Fmt.pr "machine-readable results written to BENCH_E18.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -927,7 +1035,7 @@ let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17) ]
+    ("e17", e17); ("e18", e18) ]
 
 let () =
   let selected =

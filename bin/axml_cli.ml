@@ -7,14 +7,18 @@
      axml compat    -f sender.axs -t exchange.axs [-r root] [-k N]
      axml schema    -s schema.axs [--to text|xml]
      axml batch     -f sender.axs -t exchange.axs doc1.xml doc2.xml ...
-                    [-k N] [--possible] [--oracle random|fail]
+                    [-k N] [--possible] [--oracle random|fail|flaky]
+                    [--retries N] [--timeout-ms N] [--breaker-threshold N]
                     [--stats-json FILE]
 
    Schema files may use the compact textual syntax (see README) or the
    XML Schema_int syntax; the format is auto-detected. Documents are
    intensional XML with <int:fun> call nodes. The [rewrite] command
    simulates services with honest random oracles drawn from the declared
-   signatures (or failing stubs with --oracle fail). *)
+   signatures (failing stubs with --oracle fail, or flaky ones failing
+   every 7th call with --oracle flaky). [batch] guards every invocation
+   with a retry/timeout/circuit-breaker policy, so a misbehaving service
+   costs one document, not the batch. *)
 
 open Cmdliner
 
@@ -28,6 +32,7 @@ module Schema_rewrite = Axml_core.Schema_rewrite
 module Syntax = Axml_peer.Syntax
 module Xml_schema_int = Axml_peer.Xml_schema_int
 module Enforcement = Axml_peer.Enforcement
+module Resilience = Axml_services.Resilience
 
 let read_file path =
   let ic = open_in_bin path in
@@ -162,10 +167,27 @@ let check_cmd =
 (* ------------------------------------------------------------------ *)
 
 let oracle_arg =
-  Arg.(value & opt (enum [ ("random", `Random); ("fail", `Fail) ]) `Random
+  Arg.(value
+       & opt (enum [ ("random", `Random); ("fail", `Fail); ("flaky", `Flaky) ])
+           `Random
        & info [ "oracle" ] ~docv:"KIND"
            ~doc:"Simulated services: $(b,random) honest outputs drawn from \
-                 the signatures, or $(b,fail) stubs that refuse every call.")
+                 the signatures, $(b,fail) stubs that refuse every call, or \
+                 $(b,flaky) honest services that fail every 7th call.")
+
+let make_invoker ~env ~s0 oracle =
+  match oracle with
+  | `Fail -> fun name _ -> fail "service %s is unavailable (--oracle fail)" name
+  | `Random ->
+    let g = Generate.create ~env s0 in
+    fun name _params -> Generate.output_instance g name
+  | `Flaky ->
+    let g = Generate.create ~env s0 in
+    let count = ref 0 in
+    fun name _params ->
+      incr count;
+      if !count mod 7 = 0 then failwith ("service " ^ name ^ ": transient failure")
+      else Generate.output_instance g name
 
 let out_arg =
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
@@ -178,13 +200,7 @@ let rewrite_cmd =
         let exchange = load_schema target in
         let doc = load_document doc_path in
         let env = Schema.env_of_schemas s0 exchange in
-        let invoker =
-          match oracle with
-          | `Fail -> fun name _ -> fail "service %s is unavailable (--oracle fail)" name
-          | `Random ->
-            let g = Generate.create ~env s0 in
-            fun name _params -> Generate.output_instance g name
-        in
+        let invoker = make_invoker ~env ~s0 oracle in
         let config =
           { Enforcement.default_config with
             Enforcement.k; engine; fallback_possible = possible }
@@ -221,6 +237,7 @@ let action_string = function
 
 let stats_json (s : Enforcement.Pipeline.stats) =
   let c = s.Enforcement.Pipeline.cache in
+  let r = s.Enforcement.Pipeline.resilience in
   Printf.sprintf
     "{\n\
     \  \"docs\": %d,\n\
@@ -229,20 +246,28 @@ let stats_json (s : Enforcement.Pipeline.stats) =
     \  \"rewritten_possible\": %d,\n\
     \  \"rejected\": %d,\n\
     \  \"attempt_failed\": %d,\n\
+    \  \"faults\": %d,\n\
     \  \"invocations\": %d,\n\
     \  \"elapsed_s\": %.6f,\n\
     \  \"docs_per_s\": %.1f,\n\
     \  \"cache\": { \"hits\": %d, \"misses\": %d, \"evictions\": %d, \
      \"entries\": %d },\n\
-    \  \"cache_hit_rate\": %.4f\n\
+    \  \"cache_hit_rate\": %.4f,\n\
+    \  \"resilience\": { \"calls\": %d, \"attempts\": %d, \"retries\": %d, \
+     \"successes\": %d, \"gave_up\": %d, \"timeouts\": %d, \"trips\": %d, \
+     \"short_circuited\": %d }\n\
      }\n"
     s.Enforcement.Pipeline.docs s.Enforcement.Pipeline.conformed
     s.Enforcement.Pipeline.rewritten s.Enforcement.Pipeline.rewritten_possible
     s.Enforcement.Pipeline.rejected s.Enforcement.Pipeline.attempt_failed
+    s.Enforcement.Pipeline.faults
     s.Enforcement.Pipeline.invocations s.Enforcement.Pipeline.elapsed_s
     s.Enforcement.Pipeline.docs_per_s c.Axml_core.Contract.hits
     c.Axml_core.Contract.misses c.Axml_core.Contract.evictions
     c.Axml_core.Contract.entries s.Enforcement.Pipeline.cache_hit_rate
+    r.Resilience.calls r.Resilience.attempts r.Resilience.retries
+    r.Resilience.successes r.Resilience.gave_up r.Resilience.timeouts
+    r.Resilience.trips r.Resilience.short_circuited
 
 let batch_cmd =
   let docs_arg =
@@ -253,21 +278,40 @@ let batch_cmd =
     Arg.(value & opt (some string) None & info [ "stats-json" ] ~docv:"FILE"
            ~doc:"Write the batch statistics as JSON to $(docv).")
   in
-  let run sender target k possible engine oracle stats_out doc_paths =
+  let retries_arg =
+    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N"
+           ~doc:"Retry each failing invocation up to $(docv) times (with \
+                 exponential backoff) before giving up on the document.")
+  in
+  let timeout_ms_arg =
+    Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS"
+           ~doc:"Wall-clock budget per invocation, covering all its retry \
+                 attempts (default unbounded).")
+  in
+  let breaker_arg =
+    Arg.(value & opt int 5 & info [ "breaker-threshold" ] ~docv:"N"
+           ~doc:"Trip a per-service circuit breaker after $(docv) \
+                 consecutive failures.")
+  in
+  let run sender target k possible engine oracle retries timeout_ms
+      breaker_threshold stats_out doc_paths =
     wrap (fun () ->
         let s0 = load_schema sender in
         let exchange = load_schema target in
         let env = Schema.env_of_schemas s0 exchange in
-        let invoker =
-          match oracle with
-          | `Fail -> fun name _ -> fail "service %s is unavailable (--oracle fail)" name
-          | `Random ->
-            let g = Generate.create ~env s0 in
-            fun name _params -> Generate.output_instance g name
+        let invoker = make_invoker ~env ~s0 oracle in
+        let resilience =
+          Resilience.create
+            ~policy:
+              (Resilience.policy ~max_retries:retries ~backoff_s:0.001
+                 ?timeout_s:(Option.map (fun ms -> float_of_int ms /. 1000.) timeout_ms)
+                 ~breaker_threshold ())
+            ()
         in
         let config =
           { Enforcement.default_config with
-            Enforcement.k; engine; fallback_possible = possible }
+            Enforcement.k; engine; fallback_possible = possible;
+            resilience = Some resilience }
         in
         let pipeline = Enforcement.Pipeline.create ~config ~s0 ~exchange ~invoker () in
         let failed = ref 0 in
@@ -284,7 +328,8 @@ let batch_cmd =
               Fmt.pr "%s: %s@." path
                 (match e with
                  | Enforcement.Rejected _ -> "REJECTED"
-                 | Enforcement.Attempt_failed _ -> "ATTEMPT-FAILED");
+                 | Enforcement.Attempt_failed _ -> "ATTEMPT-FAILED"
+                 | Enforcement.Service_fault _ -> "SERVICE-FAULT");
               Fmt.epr "%s: %a@." path Enforcement.pp_error e)
           doc_paths;
         let stats = Enforcement.Pipeline.stats pipeline in
@@ -295,10 +340,12 @@ let batch_cmd =
   Cmd.v
     (Cmd.info "batch"
        ~doc:"Enforce an exchange schema over a stream of documents through \
-             one compiled pipeline (shared contract-analysis cache), \
-             reporting per-document outcomes and batch statistics.")
+             one compiled pipeline (shared contract-analysis cache and \
+             retry/timeout/circuit-breaker guard), reporting per-document \
+             outcomes and batch statistics.")
     Term.(const run $ sender_arg $ target_arg $ k_arg $ possible_arg
-          $ engine_arg $ oracle_arg $ stats_json_arg $ docs_arg)
+          $ engine_arg $ oracle_arg $ retries_arg $ timeout_ms_arg
+          $ breaker_arg $ stats_json_arg $ docs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compat                                                              *)

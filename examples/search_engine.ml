@@ -82,6 +82,7 @@ let attempt ~k ~pages =
   | Error (Enforcement.Attempt_failed _) ->
     Fmt.pr "attempt FAILED at run time (answer deeper than k)@."
   | Error (Enforcement.Rejected _) -> Fmt.pr "rejected statically@."
+  | Error (Enforcement.Service_fault _) -> Fmt.pr "service FAULT@."
 
 let () =
   Fmt.pr "Intensional answer: %a@.@." D.pp first_answer;

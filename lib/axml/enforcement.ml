@@ -20,6 +20,7 @@ module Validate = Axml_core.Validate
 module Rewriter = Axml_core.Rewriter
 module Contract = Axml_core.Contract
 module Execute = Axml_core.Execute
+module Resilience = Axml_services.Resilience
 
 type config = {
   k : int;
@@ -28,6 +29,8 @@ type config = {
     (* when the safe rewriting does not exist, attempt a possible one *)
   eager_calls : (string -> bool) option;
     (* mixed approach: services to invoke up-front (Section 5) *)
+  resilience : Resilience.t option;
+    (* retry/timeout/breaker guard around every invocation *)
 }
 
 let default_config = {
@@ -35,6 +38,7 @@ let default_config = {
   engine = Rewriter.Lazy;
   fallback_possible = false;
   eager_calls = None;
+  resilience = None;
 }
 
 type action =
@@ -50,12 +54,18 @@ type report = {
 type error =
   | Rejected of Rewriter.failure list       (* step (iii) *)
   | Attempt_failed of Rewriter.failure list (* a possible rewriting failed at run time *)
+  | Service_fault of Rewriter.failure list
+      (* the environment's fault, not the document's: a service broke its
+         contract, crashed past its retry policy, or an engine invariant
+         failed — the document may well be rewritable on a healthy path *)
 
 let pp_error ppf = function
   | Rejected fs ->
     Fmt.pf ppf "rejected: %a" Fmt.(list ~sep:(any "; ") Rewriter.pp_failure) fs
   | Attempt_failed fs ->
     Fmt.pf ppf "attempt failed: %a" Fmt.(list ~sep:(any "; ") Rewriter.pp_failure) fs
+  | Service_fault fs ->
+    Fmt.pf ppf "service fault: %a" Fmt.(list ~sep:(any "; ") Rewriter.pp_failure) fs
 
 (* ------------------------------------------------------------------ *)
 (* The three steps over precompiled artifacts                          *)
@@ -82,6 +92,12 @@ let compile_of_rewriter rw =
       Validate.ctx ~env:(Rewriter.env rw)
         (Contract.target (Rewriter.contract rw)) }
 
+let classify fs =
+  (* a fault is the environment's problem, never a verdict on the
+     document — report it as such and let the caller retry later *)
+  if List.exists Rewriter.failure_is_fault fs then Service_fault fs
+  else Rejected fs
+
 let enforce_compiled ~config ~compiled ~(invoker : Execute.invoker)
     (doc : Document.t) : (Document.t * report, error) result =
   (* step (i): validation *)
@@ -90,16 +106,32 @@ let enforce_compiled ~config ~compiled ~(invoker : Execute.invoker)
   else begin
     (* step (ii): rewriting *)
     let rw = compiled.c_rewriter in
-    let doc, pre_invocations =
-      match config.eager_calls with
-      | Some eager -> Rewriter.pre_materialize rw ~eager_calls:eager ~invoker doc
-      | None -> (doc, [])
+    let invoker =
+      match config.resilience with
+      | Some r -> Resilience.wrap_invoker r invoker
+      | None -> invoker
     in
+    let pre =
+      match config.eager_calls with
+      | Some eager ->
+        (match Rewriter.pre_materialize rw ~eager_calls:eager ~invoker doc with
+         | Ok (doc', invs) -> Ok (doc', invs)
+         | Error f -> Error (classify [ f ]))
+      | None -> Ok (doc, [])
+    in
+    match pre with
+    | Error e -> Error e
+    | Ok (doc, pre_invocations) ->
     match Rewriter.materialize ~mode:Rewriter.Safe rw ~invoker doc with
     | Ok (doc', invs) ->
       Ok (doc', { action = Rewritten; invocations = pre_invocations @ invs })
     | Error safe_failures ->
-      if not config.fallback_possible then Error (Rejected safe_failures)
+      let faulty = List.exists Rewriter.failure_is_fault safe_failures in
+      if faulty then
+        (* a broken service is not evidence the document needs a possible
+           rewriting: do not fall back, report the fault *)
+        Error (Service_fault safe_failures)
+      else if not config.fallback_possible then Error (Rejected safe_failures)
       else begin
         match Rewriter.materialize ~mode:Rewriter.Possible_mode rw ~invoker doc with
         | Ok (doc', invs) ->
@@ -107,15 +139,17 @@ let enforce_compiled ~config ~compiled ~(invoker : Execute.invoker)
               { action = Rewritten_possible;
                 invocations = pre_invocations @ invs })
         | Error fs ->
-          let runtime =
-            List.exists
-              (fun f ->
-                match f.Rewriter.reason with
-                | Rewriter.Execution_failed _ -> true
-                | _ -> false)
-              fs
-          in
-          if runtime then Error (Attempt_failed fs) else Error (Rejected fs)
+          if List.exists Rewriter.failure_is_fault fs then Error (Service_fault fs)
+          else
+            let runtime =
+              List.exists
+                (fun f ->
+                  match f.Rewriter.reason with
+                  | Rewriter.Execution_failed _ -> true
+                  | _ -> false)
+                fs
+            in
+            if runtime then Error (Attempt_failed fs) else Error (Rejected fs)
       end
   end
 
@@ -149,23 +183,31 @@ module Pipeline = struct
     mutable p_rewritten_possible : int;
     mutable p_rejected : int;
     mutable p_attempt_failed : int;
+    mutable p_faults : int;
     mutable p_invocations : int;
     mutable p_elapsed : float;
     mutable p_cache_base : Contract.stats;
+    mutable p_resilience_base : Resilience.stats;
   }
 
   let contract t = Rewriter.contract t.p_compiled.c_rewriter
   let rewriter t = t.p_compiled.c_rewriter
   let config t = t.p_config
 
+  let resilience_total config =
+    match config.resilience with
+    | Some r -> Resilience.total r
+    | None -> Resilience.zero_stats
+
   let make ~config ~compiled ~invoker =
     { p_config = config;
       p_compiled = compiled;
       p_invoker = invoker;
       p_docs = 0; p_conformed = 0; p_rewritten = 0; p_rewritten_possible = 0;
-      p_rejected = 0; p_attempt_failed = 0; p_invocations = 0;
+      p_rejected = 0; p_attempt_failed = 0; p_faults = 0; p_invocations = 0;
       p_elapsed = 0.;
-      p_cache_base = Contract.stats (Rewriter.contract compiled.c_rewriter) }
+      p_cache_base = Contract.stats (Rewriter.contract compiled.c_rewriter);
+      p_resilience_base = resilience_total config }
 
   let create ?(config = default_config) ?predicate ~s0 ~exchange ~invoker () =
     make ~config ~compiled:(compile ?predicate ~config ~s0 ~exchange ()) ~invoker
@@ -184,11 +226,13 @@ module Pipeline = struct
     rewritten_possible : int;
     rejected : int;
     attempt_failed : int;
+    faults : int;
     invocations : int;
     elapsed_s : float;
     docs_per_s : float;
     cache : Contract.stats;
     cache_hit_rate : float;
+    resilience : Resilience.stats;
   }
 
   let stats (t : t) =
@@ -201,20 +245,25 @@ module Pipeline = struct
       rewritten_possible = t.p_rewritten_possible;
       rejected = t.p_rejected;
       attempt_failed = t.p_attempt_failed;
+      faults = t.p_faults;
       invocations = t.p_invocations;
       elapsed_s = t.p_elapsed;
       docs_per_s =
         (if t.p_elapsed > 0. then float_of_int t.p_docs /. t.p_elapsed else 0.);
       cache;
-      cache_hit_rate = Contract.hit_rate cache }
+      cache_hit_rate = Contract.hit_rate cache;
+      resilience =
+        Resilience.diff_stats ~before:t.p_resilience_base
+          (resilience_total t.p_config) }
 
   let pp_stats ppf s =
     Fmt.pf ppf
       "%d docs (%d conformed, %d rewritten, %d possible, %d rejected, %d \
-       attempt-failed), %d invocations, %.3f s (%.0f docs/s), cache: %a"
+       attempt-failed, %d faulted), %d invocations, %.3f s (%.0f docs/s), \
+       cache: %a, resilience: %a"
       s.docs s.conformed s.rewritten s.rewritten_possible s.rejected
-      s.attempt_failed s.invocations s.elapsed_s s.docs_per_s
-      Contract.pp_stats s.cache
+      s.attempt_failed s.faults s.invocations s.elapsed_s s.docs_per_s
+      Contract.pp_stats s.cache Resilience.pp_stats s.resilience
 
   let reset_stats (t : t) =
     t.p_docs <- 0;
@@ -223,9 +272,11 @@ module Pipeline = struct
     t.p_rewritten_possible <- 0;
     t.p_rejected <- 0;
     t.p_attempt_failed <- 0;
+    t.p_faults <- 0;
     t.p_invocations <- 0;
     t.p_elapsed <- 0.;
-    t.p_cache_base <- Contract.stats (contract t)
+    t.p_cache_base <- Contract.stats (contract t);
+    t.p_resilience_base <- resilience_total t.p_config
 
   let record t started result =
     t.p_elapsed <- t.p_elapsed +. (Sys.time () -. started);
@@ -239,7 +290,8 @@ module Pipeline = struct
         | Rewritten_possible ->
           t.p_rewritten_possible <- t.p_rewritten_possible + 1)
      | Error (Rejected _) -> t.p_rejected <- t.p_rejected + 1
-     | Error (Attempt_failed _) -> t.p_attempt_failed <- t.p_attempt_failed + 1);
+     | Error (Attempt_failed _) -> t.p_attempt_failed <- t.p_attempt_failed + 1
+     | Error (Service_fault _) -> t.p_faults <- t.p_faults + 1);
     result
 
   let enforce t doc =
@@ -259,6 +311,7 @@ module Pipeline = struct
         rewritten_possible = after.rewritten_possible - before.rewritten_possible;
         rejected = after.rejected - before.rejected;
         attempt_failed = after.attempt_failed - before.attempt_failed;
+        faults = after.faults - before.faults;
         invocations = after.invocations - before.invocations;
         elapsed_s = after.elapsed_s -. before.elapsed_s;
         docs_per_s =
@@ -266,8 +319,9 @@ module Pipeline = struct
            if dt > 0. then float_of_int (after.docs - before.docs) /. dt else 0.);
         cache = Contract.diff_stats ~before:before.cache after.cache;
         cache_hit_rate =
-          Contract.hit_rate (Contract.diff_stats ~before:before.cache after.cache)
-      }
+          Contract.hit_rate (Contract.diff_stats ~before:before.cache after.cache);
+        resilience =
+          Resilience.diff_stats ~before:before.resilience after.resilience }
     in
     (results, batch)
 

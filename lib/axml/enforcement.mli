@@ -18,10 +18,14 @@ type config = {
     (** attempt a possible rewriting when no safe one exists *)
   eager_calls : (string -> bool) option;
     (** mixed approach: services to invoke up-front (Section 5) *)
+  resilience : Axml_services.Resilience.t option;
+    (** wrap every invocation in a retry/timeout/circuit-breaker guard;
+        the guard's counters surface in {!Pipeline.stats} *)
 }
 
 val default_config : config
-(** [k = 1], lazy engine, no fallback, no eager calls. *)
+(** [k = 1], lazy engine, no fallback, no eager calls, no resilience
+    guard. *)
 
 type action =
   | Conformed           (** already an instance, nothing invoked *)
@@ -35,8 +39,16 @@ type report = {
 
 type error =
   | Rejected of Axml_core.Rewriter.failure list
+    (** step (iii): the document is not rewritable under this config *)
   | Attempt_failed of Axml_core.Rewriter.failure list
     (** a possible rewriting failed at run time *)
+  | Service_fault of Axml_core.Rewriter.failure list
+    (** the environment's fault, not the document's: a service broke its
+        output contract, failed past its retry policy, or an engine
+        invariant was violated (see
+        {!Axml_core.Rewriter.failure_is_fault}). The document may well
+        enforce cleanly once the services recover; batch pipelines count
+        these separately and keep going. *)
 
 val pp_error : error Fmt.t
 
@@ -95,11 +107,15 @@ module Pipeline : sig
     rewritten_possible : int;
     rejected : int;
     attempt_failed : int;
+    faults : int;                (** documents that hit a service fault *)
     invocations : int;
     elapsed_s : float;           (** CPU seconds spent enforcing *)
     docs_per_s : float;
     cache : Axml_core.Contract.stats;  (** contract-cache activity *)
     cache_hit_rate : float;
+    resilience : Axml_services.Resilience.stats;
+      (** retry/breaker activity of [config.resilience] over the same
+          window (all-zero without a guard) *)
   }
 
   val pp_stats : stats Fmt.t

@@ -87,6 +87,9 @@ let set_enforcement t config =
   t.enforcement <- config;
   invalidate t
 
+let set_resilience t resilience =
+  set_enforcement t { t.enforcement with Enforcement.resilience }
+
 let set_schema t schema =
   t.schema <- schema;
   invalidate t

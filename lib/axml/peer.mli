@@ -27,6 +27,11 @@ val registry : t -> Axml_services.Registry.t
 val set_enforcement : t -> Enforcement.config -> unit
 (** Also invalidates every compiled enforcement artifact of the peer. *)
 
+val set_resilience : t -> Axml_services.Resilience.t option -> unit
+(** Install (or remove) a retry/timeout/circuit-breaker guard around
+    every invocation the peer's enforcement performs; invalidates the
+    compiled artifacts like {!set_enforcement}. *)
+
 val exchange_pipeline :
   t -> exchange:Axml_schema.Schema.t -> Enforcement.Pipeline.t
 (** The peer's sender-side enforcement pipeline for an exchange schema:

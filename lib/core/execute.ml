@@ -12,15 +12,22 @@
    so backtracking re-examines recorded outputs rather than re-firing
    side effects. Invocations are reported in chronological order.
 
-   When a service returns a forest that is not an output instance of its
-   declared type, the walk cannot step; SAFE mode reports this as
-   [Ill_typed_output] (it is a service contract violation, not a
-   rewriting failure). *)
+   Failure is a value, not an exception: the engine sits on a live
+   exchange path where services time out, crash and break their WSDL
+   contracts, so [run] returns a typed report instead of escaping. A
+   service exception marks that fork option as unavailable (the walk
+   still backtracks to sibling options — a safe verdict guarantees every
+   remaining good path); if no path survives, the first service error is
+   reported. A failed SAFE walk identifies the contract-breaking
+   invocation by re-validating every cached result against its declared
+   output type, rather than blaming an arbitrary one. *)
 
 module Symbol = Axml_schema.Symbol
 module Auto = Axml_schema.Auto
 
 type invoker = string -> Document.forest -> Document.forest
+
+exception Invocation_failed of { fname : string; attempts : int; cause : exn }
 
 type invocation = {
   inv_name : string;
@@ -32,7 +39,22 @@ type strategy =
   | Follow_safe of Marking.t
   | Follow_possible of Possible.t
 
-exception Ill_typed_output of { fname : string; returned : Document.forest }
+type failure =
+  | Ill_typed_output of invocation
+  | Service_error of { fname : string; attempts : int; cause : exn }
+  | No_possible_path
+  | Invariant_violation of string
+
+let pp_failure ppf = function
+  | Ill_typed_output inv ->
+    Fmt.pf ppf "service %s returned a value outside its declared output type"
+      inv.inv_name
+  | Service_error { fname; attempts; cause } ->
+    Fmt.pf ppf "service %s failed after %d attempt(s): %s" fname attempts
+      (Printexc.to_string cause)
+  | No_possible_path ->
+    Fmt.string ppf "every possible rewriting path died on the actual answers"
+  | Invariant_violation msg -> Fmt.pf ppf "internal invariant violated: %s" msg
 
 type outcome = {
   materialized : Document.forest;
@@ -47,23 +69,28 @@ let good_of = function
   | Follow_safe m -> fun nid -> not (Marking.is_marked m nid)
   | Follow_possible pos -> fun nid -> Possible.is_live pos nid
 
-(* [run strategy invoker items] materializes the forest [items]; [None]
-   means a possible rewriting attempt failed (never happens in SAFE mode
-   with honest services).
+(* [run strategy invoker items] materializes the forest [items].
 
    [plan] optionally estimates, per product node, the remaining
    invocation fees (e.g. [Cost.possible_costs]); when given, the
    alternatives at each choice point are tried cheapest-estimate first
    instead of the default keep-first order — the cost minimization of
    Figure 3 step 23 / Figure 9 step d. [fee] prices an invoke option's
-   immediate cost (default free). *)
-let run ?plan ?(fee = fun _ -> 0.) strategy invoker (items : Document.forest) :
-    outcome option =
+   immediate cost (default free).
+
+   [validate fname forest] decides whether [forest] is an output
+   instance of [fname]'s declared type; it is only consulted post
+   mortem, to identify the offending invocation of a failed SAFE walk. *)
+let run ?plan ?(fee = fun _ -> 0.) ?validate strategy invoker
+    (items : Document.forest) : (outcome, failure) result =
   let p = product_of strategy in
   let good = good_of strategy in
   let fork = Product.fork p in
   let invocations = ref [] in
-  let cache : (int, (int * Document.t) list) Hashtbl.t = Hashtbl.create 8 in
+  let service_error = ref None in
+  let cache : (int, ((int * Document.t) list, unit) result) Hashtbl.t =
+    Hashtbl.create 8
+  in
   let counter = ref 0 in
   let wrap forest =
     List.map (fun d -> incr counter; (!counter, d)) forest
@@ -73,16 +100,31 @@ let run ?plan ?(fee = fun _ -> 0.) strategy invoker (items : Document.forest) :
     | Some tgt -> tgt
     | None -> assert false
   in
+  let record_error fname attempts cause =
+    if !service_error = None then
+      service_error := Some (Service_error { fname; attempts; cause })
+  in
   let invoke_once id fname params =
     match Hashtbl.find_opt cache id with
-    | Some wrapped -> wrapped
+    | Some r -> r
     | None ->
-      let returned = invoker fname params in
-      invocations := { inv_name = fname; inv_params = params; inv_result = returned }
-                     :: !invocations;
-      let wrapped = wrap returned in
-      Hashtbl.add cache id wrapped;
-      wrapped
+      let r =
+        match invoker fname params with
+        | returned ->
+          invocations :=
+            { inv_name = fname; inv_params = params; inv_result = returned }
+            :: !invocations;
+          Ok (wrap returned)
+        | exception Invocation_failed { fname; attempts; cause } ->
+          record_error fname attempts cause;
+          Error ()
+        | exception ((Stack_overflow | Out_of_memory) as fatal) -> raise fatal
+        | exception cause ->
+          record_error fname 1 cause;
+          Error ()
+      in
+      Hashtbl.add cache id r;
+      r
   in
   (* [process items nid stop k]: consume [items] from product node [nid];
      when exhausted, require [stop q] and call [k emitted nid_end].
@@ -125,17 +167,19 @@ let run ?plan ?(fee = fun _ -> 0.) strategy invoker (items : Document.forest) :
         good invoke_tgt
         && begin
           let params = Document.children item in
-          let wrapped = invoke_once id f.Fork_automaton.fname params in
-          let in_copy q = Auto.Int_set.mem q f.Fork_automaton.copy_finals in
-          process wrapped invoke_tgt in_copy (fun inner nid_end ->
-              let q_end = (Product.node p nid_end).Product.q in
-              match Fork_automaton.exit_edge fork f q_end with
-              | None -> false
-              | Some exit_eid ->
-                let exit_tgt = step nid_end exit_eid in
-                good exit_tgt
-                && process rest exit_tgt stop (fun emitted nid' ->
-                       k (inner @ emitted) nid'))
+          match invoke_once id f.Fork_automaton.fname params with
+          | Error () -> false  (* the service is down: this option is out *)
+          | Ok wrapped ->
+            let in_copy q = Auto.Int_set.mem q f.Fork_automaton.copy_finals in
+            process wrapped invoke_tgt in_copy (fun inner nid_end ->
+                let q_end = (Product.node p nid_end).Product.q in
+                match Fork_automaton.exit_edge fork f q_end with
+                | None -> false
+                | Some exit_eid ->
+                  let exit_tgt = step nid_end exit_eid in
+                  good exit_tgt
+                  && process rest exit_tgt stop (fun emitted nid' ->
+                         k (inner @ emitted) nid'))
         end
       in
       (match plan with
@@ -180,22 +224,40 @@ let run ?plan ?(fee = fun _ -> 0.) strategy invoker (items : Document.forest) :
            else false)
   in
   if ok then
-    Option.map
-      (fun materialized ->
-        { materialized; invocations = List.rev !invocations })
-      !result
-  else begin
-    (match strategy with
-     | Follow_safe _ ->
-       (* A safe verdict cannot fail unless a service broke its
-          contract: find the offending cached invocation for reporting. *)
-       let offender =
-         List.find_opt (fun _ -> true) !invocations
-       in
-       (match offender with
-        | Some inv ->
-          raise (Ill_typed_output { fname = inv.inv_name; returned = inv.inv_result })
-        | None -> ())
-     | Follow_possible _ -> ());
-    None
-  end
+    match !result with
+    | Some materialized -> Ok { materialized; invocations = List.rev !invocations }
+    | None -> Error (Invariant_violation "walk accepted without a result")
+  else
+    Error
+      (match !service_error with
+       | Some f -> f  (* no surviving path once the broken calls are out *)
+       | None ->
+         match strategy with
+         | Follow_possible _ -> No_possible_path
+         | Follow_safe _ ->
+           (* A safe verdict cannot fail unless a service broke its
+              contract: find the offending invocation by re-validating
+              every cached result against its declared output type. *)
+           let chronological = List.rev !invocations in
+           (match validate with
+            | Some valid ->
+              (match
+                 List.find_opt
+                   (fun inv -> not (valid inv.inv_name inv.inv_result))
+                   chronological
+               with
+               | Some inv -> Ill_typed_output inv
+               | None ->
+                 Invariant_violation
+                   (Fmt.str
+                      "safe walk failed although all %d recorded output(s) \
+                       validate against their declared types"
+                      (List.length chronological)))
+            | None ->
+              (* no validator: word-level blame — the walk stopped at the
+                 most recent invocation *)
+              (match !invocations with
+               | inv :: _ -> Ill_typed_output inv
+               | [] ->
+                 Invariant_violation
+                   "safe walk failed before any service was invoked")))

@@ -11,10 +11,23 @@
 
     A call fires at most once per occurrence: results are cached, so
     backtracking re-examines recorded outputs instead of re-firing side
-    effects. *)
+    effects.
+
+    Service misbehaviour never escapes as an exception: {!run} returns a
+    typed {!failure} report. An invoker exception marks that fork option
+    as unavailable (the walk backtracks to sibling options); a failed
+    SAFE walk identifies the contract-breaking invocation by
+    re-validating every cached result against its declared output
+    type. *)
 
 type invoker = string -> Document.forest -> Document.forest
 (** [invoker name params] performs the service call. *)
+
+exception Invocation_failed of { fname : string; attempts : int; cause : exn }
+(** The structured give-up report a resilient invoker (e.g.
+    [Axml_services.Resilience]) raises after exhausting its policy:
+    [attempts] physical tries, last [cause]. Any other exception raised
+    by an invoker is treated as a single-attempt failure. *)
 
 type invocation = {
   inv_name : string;
@@ -26,8 +39,20 @@ type strategy =
   | Follow_safe of Marking.t
   | Follow_possible of Possible.t
 
-exception Ill_typed_output of { fname : string; returned : Document.forest }
-(** A service broke its WSDL contract during a safe execution. *)
+type failure =
+  | Ill_typed_output of invocation
+      (** a service broke its WSDL contract during a safe execution; the
+          invocation is the one whose cached result fails validation
+          against its declared output type *)
+  | Service_error of { fname : string; attempts : int; cause : exn }
+      (** a service call raised and no surviving path avoids it *)
+  | No_possible_path
+      (** a possible-rewriting attempt died on the actual answers *)
+  | Invariant_violation of string
+      (** the walk contradicted its own analysis — e.g. a SAFE walk
+          failed with zero invocations, or with only well-typed ones *)
+
+val pp_failure : failure Fmt.t
 
 type outcome = {
   materialized : Document.forest;
@@ -36,13 +61,21 @@ type outcome = {
 
 val run :
   ?plan:(int -> float) -> ?fee:(string -> float) ->
-  strategy -> invoker -> Document.forest -> outcome option
-(** [None] means a possible-rewriting attempt failed at run time (it
-    cannot happen in safe mode with honest services —
-    @raise Ill_typed_output there instead).
+  ?validate:(string -> Document.forest -> bool) ->
+  strategy -> invoker -> Document.forest -> (outcome, failure) result
+(** [Error No_possible_path] means a possible-rewriting attempt failed
+    at run time (it cannot happen in safe mode with honest services —
+    safe-mode failures surface as [Ill_typed_output] / [Service_error] /
+    [Invariant_violation] instead).
 
     [plan] optionally estimates, per product node, the remaining
     invocation fees (e.g. [Cost.possible_costs]); alternatives are then
     tried cheapest first — the cost minimization of Figure 3 step 23 /
     Figure 9 step (d) — instead of the default keep-first greedy order.
-    [fee] prices an invoke option's immediate cost. *)
+    [fee] prices an invoke option's immediate cost.
+
+    [validate fname forest] decides whether [forest] is an output
+    instance of [fname]'s declared type (e.g. via
+    [Validate.output_instance]); it is consulted only post mortem to
+    name the offender of a failed SAFE walk. Without it the most recent
+    invocation is blamed. *)

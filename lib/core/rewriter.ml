@@ -25,13 +25,26 @@ module Symbol = Axml_schema.Symbol
 
 type engine = Contract.engine = Eager | Lazy
 
-type t = { contract : Contract.t }
+type t = {
+  contract : Contract.t;
+  (* validation context over the merged environment, used to identify
+     which cached service result broke its declared output type when a
+     safe walk fails (see [Execute.run]'s [validate]) *)
+  output_ctx : Validate.ctx Lazy.t;
+}
+
+let of_contract contract =
+  { contract;
+    output_ctx =
+      lazy (Validate.ctx ~env:(Contract.env contract) (Contract.target contract)) }
 
 let create ?(k = 1) ?(engine = Lazy) ?predicate ~s0 ~target () =
-  { contract = Contract.create ~k ~engine ?predicate ~s0 ~target () }
+  of_contract (Contract.create ~k ~engine ?predicate ~s0 ~target ())
 
-let of_contract contract = { contract }
 let contract t = t.contract
+
+let output_ok t fname forest =
+  Validate.output_instance (Lazy.force t.output_ctx) fname forest = []
 
 let env t = Contract.env t.contract
 let element_regex t label = Contract.element_regex t.contract label
@@ -65,6 +78,11 @@ type reason =
   | Impossible_word of { context : string; word : Symbol.t list }
   | Root_mismatch of { expected : string; found : string }
   | Execution_failed of { context : string }
+  | Ill_typed_service of { context : string; fname : string }
+  | Service_failure of
+      { context : string; fname : string; attempts : int; message : string }
+  | Invariant_failure of { context : string; detail : string }
+  | Invalid_root_forest of { width : int }
 
 type failure = { at : Document.path; reason : reason }
 
@@ -82,9 +100,35 @@ let pp_reason ppf = function
     Fmt.pf ppf "root is <%s> but the exchange schema requires <%s>" found expected
   | Execution_failed { context } ->
     Fmt.pf ppf "a possible rewriting of the children of %s failed at run time" context
+  | Ill_typed_service { context; fname } ->
+    Fmt.pf ppf
+      "service %s broke its output contract while rewriting the children of %s"
+      fname context
+  | Service_failure { context; fname; attempts; message } ->
+    Fmt.pf ppf
+      "service %s failed after %d attempt(s) while rewriting the children of \
+       %s: %s"
+      fname attempts context message
+  | Invariant_failure { context; detail } ->
+    Fmt.pf ppf "internal invariant violated at %s: %s" context detail
+  | Invalid_root_forest { width } ->
+    Fmt.pf ppf
+      "pre-materializing the root call returned a forest of %d nodes instead \
+       of a single document root"
+      width
 
 let pp_failure ppf f =
   Fmt.pf ppf "%a: %a" Document.pp_path f.at pp_reason f.reason
+
+(* A fault is the environment's fault (service misbehaviour or an engine
+   invariant breach), as opposed to a genuine rewritability verdict. *)
+let reason_is_fault = function
+  | Ill_typed_service _ | Service_failure _ | Invariant_failure _
+  | Invalid_root_forest _ -> true
+  | Unknown_element _ | Unknown_function _ | Unsafe_word _ | Impossible_word _
+  | Root_mismatch _ | Execution_failed _ -> false
+
+let failure_is_fault f = reason_is_fault f.reason
 
 type mode = Safe | Possible_mode
 
@@ -178,15 +222,27 @@ let materialize ?(mode = Safe) t ~(invoker : Execute.invoker) (doc : Document.t)
             (Failed { at = List.rev path; reason = Impossible_word { context; word } });
         Execute.Follow_possible analysis
     in
-    match Execute.run strategy invoker children with
-    | Some outcome ->
+    match Execute.run ~validate:(output_ok t) strategy invoker children with
+    | Ok outcome ->
       List.iter
         (fun inv ->
           invocations := { at = List.rev path; invocation = inv } :: !invocations)
         outcome.Execute.invocations;
       outcome.Execute.materialized
-    | None ->
-      raise (Failed { at = List.rev path; reason = Execution_failed { context } })
+    | Error e ->
+      let at = List.rev path in
+      let reason =
+        match e with
+        | Execute.No_possible_path -> Execution_failed { context }
+        | Execute.Ill_typed_output inv ->
+          Ill_typed_service { context; fname = inv.Execute.inv_name }
+        | Execute.Service_error { fname; attempts; cause } ->
+          Service_failure
+            { context; fname; attempts; message = Printexc.to_string cause }
+        | Execute.Invariant_violation detail ->
+          Invariant_failure { context; detail }
+      in
+      raise (Failed { at; reason })
   in
   match interior [] doc with
   | doc' -> Ok (doc', List.rev !invocations)
@@ -199,8 +255,12 @@ let materialize ?(mode = Safe) t ~(invoker : Execute.invoker) (doc : Document.t)
 (* Invoke up-front every call whose function satisfies [eager_calls]
    (e.g. side-effect-free or cheap services), splice the actual results,
    then run the safe analysis on what remains. The actual outputs replace
-   the "full signature automaton" by concrete words, shrinking A_w^k. *)
-let pre_materialize t ~eager_calls ~(invoker : Execute.invoker) doc =
+   the "full signature automaton" by concrete words, shrinking A_w^k.
+
+   Eager calls hit real services, so their failures come back through the
+   same typed channel as materialization failures instead of escaping. *)
+let pre_materialize t ~eager_calls ~(invoker : Execute.invoker) doc :
+    (Document.t * located_invocation list, failure) result =
   let invocations = ref [] in
   let budget = ref (max 1 (Contract.k t.contract * 64)) in
   let env = env t in
@@ -213,7 +273,28 @@ let pre_materialize t ~eager_calls ~(invoker : Execute.invoker) doc =
       let params = forest path params in
       if eager_calls name && Schema.is_invocable env name && !budget > 0 then begin
         decr budget;
-        let returned = invoker name params in
+        let returned =
+          match invoker name params with
+          | returned -> returned
+          | exception Execute.Invocation_failed { fname; attempts; cause } ->
+            raise
+              (Failed
+                 { at = List.rev path;
+                   reason =
+                     Service_failure
+                       { context = name ^ "()"; fname; attempts;
+                         message = Printexc.to_string cause } })
+          | exception ((Stack_overflow | Out_of_memory) as fatal) -> raise fatal
+          | exception (Failed _ as reraise) -> raise reraise
+          | exception cause ->
+            raise
+              (Failed
+                 { at = List.rev path;
+                   reason =
+                     Service_failure
+                       { context = name ^ "()"; fname = name; attempts = 1;
+                         message = Printexc.to_string cause } })
+        in
         invocations :=
           { at = List.rev path;
             invocation = { Execute.inv_name = name; inv_params = params;
@@ -226,14 +307,18 @@ let pre_materialize t ~eager_calls ~(invoker : Execute.invoker) doc =
     List.concat (List.mapi (fun i c -> node_forest (i :: path) c) children)
   in
   match node_forest [] doc with
-  | [ doc' ] -> (doc', List.rev !invocations)
-  | _ -> invalid_arg "pre_materialize: the root call returned a non-singleton forest"
+  | [ doc' ] -> Ok (doc', List.rev !invocations)
+  | forest ->
+    Error { at = []; reason = Invalid_root_forest { width = List.length forest } }
+  | exception Failed f -> Error f
 
 let materialize_mixed t ~eager_calls ~invoker doc =
-  let doc', pre = pre_materialize t ~eager_calls ~invoker doc in
-  match materialize ~mode:Safe t ~invoker doc' with
-  | Ok (doc'', invs) -> Ok (doc'', pre @ invs)
-  | Error fs -> Error fs
+  match pre_materialize t ~eager_calls ~invoker doc with
+  | Error f -> Error [ f ]
+  | Ok (doc', pre) ->
+    (match materialize ~mode:Safe t ~invoker doc' with
+     | Ok (doc'', invs) -> Ok (doc'', pre @ invs)
+     | Error fs -> Error fs)
 
 (* ------------------------------------------------------------------ *)
 (* The unified static check                                            *)
@@ -260,8 +345,9 @@ let check ?(mode = Check_safe) t doc =
     | Check_safe -> collect_failures Safe t doc
     | Check_possible -> collect_failures Possible_mode t doc
     | Check_mixed { eager_calls; invoker } ->
-      let doc', _pre = pre_materialize t ~eager_calls ~invoker doc in
-      collect_failures Safe t doc'
+      (match pre_materialize t ~eager_calls ~invoker doc with
+       | Ok (doc', _pre) -> collect_failures Safe t doc'
+       | Error f -> [ f ])
   in
   { ok = failures = [];
     failures;

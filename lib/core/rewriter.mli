@@ -83,11 +83,31 @@ type reason =
   | Impossible_word of { context : string; word : Axml_schema.Symbol.t list }
   | Root_mismatch of { expected : string; found : string }
   | Execution_failed of { context : string }
+      (** a possible rewriting died on the actual answers *)
+  | Ill_typed_service of { context : string; fname : string }
+      (** a service broke its declared output type (the offender is
+          identified by re-validating cached results, see
+          {!Execute.run}) *)
+  | Service_failure of
+      { context : string; fname : string; attempts : int; message : string }
+      (** a service call raised / gave up after [attempts] tries *)
+  | Invariant_failure of { context : string; detail : string }
+      (** the engine contradicted its own analysis *)
+  | Invalid_root_forest of { width : int }
+      (** pre-materializing the root returned [width] <> 1 roots *)
 
 type failure = { at : Document.path; reason : reason }
 
 val pp_reason : reason Fmt.t
 val pp_failure : failure Fmt.t
+
+val reason_is_fault : reason -> bool
+(** Environment faults (service misbehaviour, engine invariant breach)
+    as opposed to genuine rewritability verdicts. Fault failures should
+    not downgrade a document to "not rewritable" — they are transient
+    or infrastructural. *)
+
+val failure_is_fault : failure -> bool
 
 type mode = Safe | Possible_mode
 
@@ -144,19 +164,23 @@ exception Failed of failure
 val materialize :
   ?mode:mode -> t -> invoker:Execute.invoker -> Document.t ->
   (Document.t * located_invocation list, failure list) result
-(** In [Safe] mode success is guaranteed once the check passes
-    ([Execute.Ill_typed_output] means a service broke its contract); in
-    [Possible_mode] a run-time failure surfaces as
-    [Execution_failed]. *)
+(** In [Safe] mode success is guaranteed once the check passes and the
+    services behave; service misbehaviour surfaces as a typed fault
+    ([Ill_typed_service] / [Service_failure], see {!failure_is_fault})
+    instead of an exception. In [Possible_mode] a run-time failure
+    surfaces as [Execution_failed]. *)
 
 (** {1 The mixed approach (Section 5)} *)
 
 val pre_materialize :
   t -> eager_calls:(string -> bool) -> invoker:Execute.invoker ->
-  Document.t -> Document.t * located_invocation list
+  Document.t -> (Document.t * located_invocation list, failure) result
 (** Invoke up-front every call whose function satisfies [eager_calls]
     (recursively, budget-bounded), splicing actual results: the concrete
-    answers replace the signature automata, shrinking A_w^k. *)
+    answers replace the signature automata, shrinking A_w^k. Eager
+    calls hit real services, so their failures come back as typed
+    [Error] faults ([Service_failure], or [Invalid_root_forest] when the
+    root call expands to a non-singleton forest) instead of escaping. *)
 
 val materialize_mixed :
   t -> eager_calls:(string -> bool) -> invoker:Execute.invoker ->

@@ -17,8 +17,10 @@ let scripted (replies : Document.forest list) : Service.behaviour =
   let replies = Array.of_list replies in
   let i = ref 0 in
   fun _params ->
-    let r = replies.(!i mod Array.length replies) in
-    incr i;
+    let r = replies.(!i) in
+    (* wrap in place: an unbounded counter would eventually overflow on
+       long benchmark runs *)
+    i := (!i + 1) mod Array.length replies;
     r
 
 (* An honest random service: every call returns a fresh random output
@@ -34,6 +36,15 @@ let echo : Service.behaviour = fun params -> params
 let ill_typed forest : Service.behaviour = fun _params -> forest
 
 let failing message : Service.behaviour = fun _params -> failwith message
+
+(* Burn [delay_s] of (possibly virtual) time before answering like
+   [inner]: exercises wall-clock timeout budgets without real sleeping
+   when given a manual clock. *)
+let timing_out ?(clock = Resilience.wall_clock) ~delay_s (inner : Service.behaviour) :
+    Service.behaviour =
+  fun params ->
+    clock.Resilience.sleep delay_s;
+    inner params
 
 (* Fails every [period]-th call, otherwise behaves like [inner]. *)
 let flaky ~period (inner : Service.behaviour) : Service.behaviour =

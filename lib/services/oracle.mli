@@ -28,5 +28,13 @@ val failing : string -> Service.behaviour
 val flaky : period:int -> Service.behaviour -> Service.behaviour
 (** Fails every [period]-th call. *)
 
+val timing_out :
+  ?clock:Resilience.clock -> delay_s:float -> Service.behaviour ->
+  Service.behaviour
+(** Burns [delay_s] on the clock (default {!Resilience.wall_clock})
+    before answering like the inner behaviour — for exercising timeout
+    budgets; pair with {!Resilience.manual_clock} to avoid real
+    sleeps. *)
+
 val counting : Service.behaviour -> Service.behaviour * (unit -> int)
 (** Count the calls that reach the inner behaviour. *)

@@ -1,0 +1,312 @@
+(* Invocation policies for the live exchange path: the paper's Schema
+   Enforcement module materializes documents by calling real Web
+   services (Sec. 3.1, Fig. 3 steps 19-23), and real services time out,
+   crash and flap. This module wraps any [Service.behaviour] (or a whole
+   [Execute.invoker]) with per-service policies:
+
+     - bounded retries with exponential backoff + jitter,
+     - a wall-clock timeout budget covering all attempts and sleeps,
+     - a per-service circuit breaker with half-open probing,
+
+   and keeps per-service counters so batch pipelines can report retry /
+   breaker activity. Giving up is reported through the engine's
+   structured channel, [Execute.Invocation_failed], which the executor
+   turns into a typed [Service_error] failure instead of a crash. *)
+
+module Document = Axml_core.Document
+module Execute = Axml_core.Execute
+
+(* ------------------------------------------------------------------ *)
+(* Clocks                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Injectable so tests and benches run deterministically and without
+   actually sleeping. *)
+type clock = {
+  now : unit -> float;
+  sleep : float -> unit;
+}
+
+let wall_clock = { now = Unix.gettimeofday; sleep = Unix.sleepf }
+
+let manual_clock ?(start = 0.) () =
+  let t = ref start in
+  { now = (fun () -> !t); sleep = (fun d -> if d > 0. then t := !t +. d) }
+
+(* ------------------------------------------------------------------ *)
+(* Policy                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type policy = {
+  max_retries : int;
+  backoff_s : float;
+  backoff_factor : float;
+  max_backoff_s : float;
+  jitter : float;
+  timeout_s : float option;
+  breaker_threshold : int;
+  breaker_cooldown_s : float;
+}
+
+let default_policy = {
+  max_retries = 2;
+  backoff_s = 0.05;
+  backoff_factor = 2.0;
+  max_backoff_s = 2.0;
+  jitter = 0.1;
+  timeout_s = None;
+  breaker_threshold = 5;
+  breaker_cooldown_s = 5.0;
+}
+
+let policy ?(max_retries = default_policy.max_retries)
+    ?(backoff_s = default_policy.backoff_s)
+    ?(backoff_factor = default_policy.backoff_factor)
+    ?(max_backoff_s = default_policy.max_backoff_s)
+    ?(jitter = default_policy.jitter) ?timeout_s
+    ?(breaker_threshold = default_policy.breaker_threshold)
+    ?(breaker_cooldown_s = default_policy.breaker_cooldown_s) () =
+  if max_retries < 0 then invalid_arg "Resilience.policy: max_retries < 0";
+  if breaker_threshold < 1 then
+    invalid_arg "Resilience.policy: breaker_threshold < 1";
+  { max_retries; backoff_s; backoff_factor; max_backoff_s; jitter; timeout_s;
+    breaker_threshold; breaker_cooldown_s }
+
+(* ------------------------------------------------------------------ *)
+(* Failure causes                                                      *)
+(* ------------------------------------------------------------------ *)
+
+exception Circuit_open of { fname : string; retry_at_s : float }
+exception Timed_out of { fname : string; elapsed_s : float; budget_s : float }
+
+let () =
+  Printexc.register_printer (function
+    | Circuit_open { fname; retry_at_s } ->
+      Some
+        (Printf.sprintf "circuit breaker open for service %s (retry at t=%.3fs)"
+           fname retry_at_s)
+    | Timed_out { fname; elapsed_s; budget_s } ->
+      Some
+        (Printf.sprintf
+           "service %s exceeded its timeout budget (%.3fs elapsed, %.3fs \
+            allowed)"
+           fname elapsed_s budget_s)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  calls : int;            (* guarded invocations entered *)
+  attempts : int;         (* physical behaviour calls *)
+  retries : int;          (* attempts beyond the first, per call *)
+  successes : int;
+  gave_up : int;          (* calls that exhausted their policy *)
+  timeouts : int;         (* calls abandoned on budget exhaustion *)
+  trips : int;            (* closed/half-open -> open transitions *)
+  short_circuited : int;  (* calls rejected by an open breaker *)
+}
+
+let zero_stats = {
+  calls = 0; attempts = 0; retries = 0; successes = 0; gave_up = 0;
+  timeouts = 0; trips = 0; short_circuited = 0;
+}
+
+let add_stats a b = {
+  calls = a.calls + b.calls;
+  attempts = a.attempts + b.attempts;
+  retries = a.retries + b.retries;
+  successes = a.successes + b.successes;
+  gave_up = a.gave_up + b.gave_up;
+  timeouts = a.timeouts + b.timeouts;
+  trips = a.trips + b.trips;
+  short_circuited = a.short_circuited + b.short_circuited;
+}
+
+let diff_stats ~before after = {
+  calls = after.calls - before.calls;
+  attempts = after.attempts - before.attempts;
+  retries = after.retries - before.retries;
+  successes = after.successes - before.successes;
+  gave_up = after.gave_up - before.gave_up;
+  timeouts = after.timeouts - before.timeouts;
+  trips = after.trips - before.trips;
+  short_circuited = after.short_circuited - before.short_circuited;
+}
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "calls %d; attempts %d; retries %d; successes %d; gave up %d; timeouts \
+     %d; breaker trips %d; short-circuited %d"
+    s.calls s.attempts s.retries s.successes s.gave_up s.timeouts s.trips
+    s.short_circuited
+
+(* ------------------------------------------------------------------ *)
+(* The guard                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type breaker = Closed of int (* consecutive failures *) | Open_until of float | Half_open
+
+type breaker_state = [ `Closed | `Open | `Half_open ]
+
+type entry = { mutable st : stats; mutable breaker : breaker }
+
+type t = {
+  pol : policy;
+  clock : clock;
+  rng : Random.State.t;
+  services : (string, entry) Hashtbl.t;
+}
+
+let create ?(policy = default_policy) ?(clock = wall_clock) ?(seed = 0x5e51) () =
+  { pol = policy; clock; rng = Random.State.make [| seed |];
+    services = Hashtbl.create 8 }
+
+let entry t fname =
+  match Hashtbl.find_opt t.services fname with
+  | Some e -> e
+  | None ->
+    let e = { st = zero_stats; breaker = Closed 0 } in
+    Hashtbl.add t.services fname e;
+    e
+
+let stats t fname =
+  match Hashtbl.find_opt t.services fname with
+  | Some e -> e.st
+  | None -> zero_stats
+
+let total t =
+  Hashtbl.fold (fun _ e acc -> add_stats acc e.st) t.services zero_stats
+
+let reset_stats t =
+  Hashtbl.iter (fun _ e -> e.st <- zero_stats) t.services
+
+let breaker_state t fname : breaker_state =
+  match Hashtbl.find_opt t.services fname with
+  | None | Some { breaker = Closed _; _ } -> `Closed
+  | Some ({ breaker = Open_until until; _ } as e) ->
+    if t.clock.now () >= until then begin
+      (* cooldown elapsed: next call will be the half-open probe *)
+      e.breaker <- Half_open;
+      `Half_open
+    end
+    else `Open
+  | Some { breaker = Half_open; _ } -> `Half_open
+
+let bump e f = e.st <- f e.st
+
+(* Record a failed attempt on the breaker; returns true when this
+   failure trips the circuit open. *)
+let breaker_fail t e =
+  match e.breaker with
+  | Half_open ->
+    (* the probe failed: straight back to open *)
+    e.breaker <- Open_until (t.clock.now () +. t.pol.breaker_cooldown_s);
+    bump e (fun s -> { s with trips = s.trips + 1 });
+    true
+  | Closed n ->
+    let n = n + 1 in
+    if n >= t.pol.breaker_threshold then begin
+      e.breaker <- Open_until (t.clock.now () +. t.pol.breaker_cooldown_s);
+      bump e (fun s -> { s with trips = s.trips + 1 });
+      true
+    end
+    else begin
+      e.breaker <- Closed n;
+      false
+    end
+  | Open_until _ -> false (* shouldn't attempt while open *)
+
+let breaker_success e = e.breaker <- Closed 0
+
+let jittered t base =
+  if t.pol.jitter <= 0. then base
+  else
+    let spread = base *. t.pol.jitter in
+    base +. (Random.State.float t.rng (2. *. spread)) -. spread
+
+(* [guard t ~name behaviour params] runs [behaviour params] under the
+   policy. On give-up it raises [Execute.Invocation_failed] so the
+   executor (or any caller) receives a structured report. *)
+let guard t ~name behaviour params =
+  let e = entry t name in
+  let start = t.clock.now () in
+  bump e (fun s -> { s with calls = s.calls + 1 });
+  (* breaker gate *)
+  (match e.breaker with
+   | Open_until until when t.clock.now () < until ->
+     bump e (fun s -> { s with short_circuited = s.short_circuited + 1 });
+     raise
+       (Execute.Invocation_failed
+          { fname = name; attempts = 0;
+            cause = Circuit_open { fname = name; retry_at_s = until } })
+   | Open_until _ -> e.breaker <- Half_open
+   | Closed _ | Half_open -> ());
+  let deadline =
+    match t.pol.timeout_s with None -> infinity | Some b -> start +. b
+  in
+  let over_budget () = t.clock.now () > deadline in
+  let give_up ~attempts ~timed_out cause =
+    bump e (fun s ->
+        { s with
+          gave_up = s.gave_up + 1;
+          timeouts = (if timed_out then s.timeouts + 1 else s.timeouts) });
+    raise (Execute.Invocation_failed { fname = name; attempts; cause })
+  in
+  let rec attempt n backoff =
+    bump e (fun s ->
+        { s with
+          attempts = s.attempts + 1;
+          retries = (if n > 1 then s.retries + 1 else s.retries) });
+    match behaviour params with
+    | result ->
+      if over_budget () then begin
+        (* the call answered too late: the budget is the contract *)
+        ignore (breaker_fail t e);
+        give_up ~attempts:n ~timed_out:true
+          (Timed_out
+             { fname = name; elapsed_s = t.clock.now () -. start;
+               budget_s = deadline -. start })
+      end
+      else begin
+        breaker_success e;
+        bump e (fun s -> { s with successes = s.successes + 1 });
+        result
+      end
+    | exception ((Stack_overflow | Out_of_memory) as fatal) -> raise fatal
+    | exception (Execute.Invocation_failed _ as inner) ->
+      (* an already-guarded inner invoker gave up: pass the report on *)
+      raise inner
+    | exception cause ->
+      let tripped = breaker_fail t e in
+      if tripped || n > t.pol.max_retries then
+        give_up ~attempts:n ~timed_out:false cause
+      else if over_budget () then
+        give_up ~attempts:n ~timed_out:true
+          (Timed_out
+             { fname = name; elapsed_s = t.clock.now () -. start;
+               budget_s = deadline -. start })
+      else begin
+        let pause = Float.min (jittered t backoff) (deadline -. t.clock.now ()) in
+        if pause > 0. then t.clock.sleep pause;
+        if over_budget () then
+          give_up ~attempts:n ~timed_out:true
+            (Timed_out
+               { fname = name; elapsed_s = t.clock.now () -. start;
+                 budget_s = deadline -. start })
+        else
+          attempt (n + 1)
+            (Float.min (backoff *. t.pol.backoff_factor) t.pol.max_backoff_s)
+      end
+  in
+  attempt 1 t.pol.backoff_s
+
+let wrap_behaviour t ~name (behaviour : Service.behaviour) : Service.behaviour =
+  fun params -> guard t ~name behaviour params
+
+let wrap_service t (service : Service.t) =
+  { service with Service.behaviour = wrap_behaviour t ~name:service.Service.name service.Service.behaviour }
+
+let wrap_invoker t (invoker : Execute.invoker) : Execute.invoker =
+  fun name params -> guard t ~name (invoker name) params

@@ -14,6 +14,7 @@ module Rewriter = Axml_core.Rewriter
 module Service = Axml_services.Service
 module Registry = Axml_services.Registry
 module Oracle = Axml_services.Oracle
+module Resilience = Axml_services.Resilience
 module Syntax = Axml_peer.Syntax
 module Soap = Axml_peer.Soap
 module Xml_schema_int = Axml_peer.Xml_schema_int
@@ -585,6 +586,115 @@ let test_pipeline_of_contract () =
   check_int "pre-warmed: no misses" 0 batch.Pipeline.cache.Contract.misses;
   check "pre-warmed: hits" true (batch.Pipeline.cache.Contract.hits > 0)
 
+(* A pipeline config with a deterministic (manual-clock, jitter-free)
+   resilience guard. *)
+let resilient_config ?(fallback = false) ?(retries = 3) ?(threshold = 5) () =
+  let guard =
+    Resilience.create
+      ~policy:
+        (Resilience.policy ~max_retries:retries ~backoff_s:0.001 ~jitter:0.
+           ~breaker_threshold:threshold ())
+      ~clock:(Resilience.manual_clock ()) ()
+  in
+  { Enforcement.default_config with
+    Enforcement.resilience = Some guard; fallback_possible = fallback }
+
+let test_pipeline_flaky_recovers () =
+  let reg = make_registry () in
+  (* every second Get_Temp call throws; retries absorb the faults *)
+  Registry.register reg
+    (Service.make ~input:(R.sym (Schema.A_label "city"))
+       ~output:(R.sym (Schema.A_label "temp")) "Get_Temp"
+       (Oracle.flaky ~period:2
+          (Oracle.constant [ D.elem "temp" [ D.data "15" ] ])));
+  let p =
+    Pipeline.create ~config:(resilient_config ()) ~s0:schema_star
+      ~exchange:schema_star2 ~invoker:(Registry.invoker reg) ()
+  in
+  let results, batch = Pipeline.enforce_many p [ fig2a; fig2a; fig2a; fig2a ] in
+  check "all rewritten despite the flaky service" true
+    (List.for_all Result.is_ok results);
+  check_int "no faults surfaced" 0 batch.Pipeline.faults;
+  check "retries recorded" true (batch.Pipeline.resilience.Resilience.retries > 0);
+  check_int "every doc's call eventually succeeded" 4
+    batch.Pipeline.resilience.Resilience.successes;
+  check_int "nothing gave up" 0 batch.Pipeline.resilience.Resilience.gave_up
+
+let test_pipeline_survives_dead_service () =
+  let reg = make_registry () in
+  Registry.register reg
+    (Service.make ~input:(R.sym (Schema.A_label "city"))
+       ~output:(R.sym (Schema.A_label "temp")) "Get_Temp"
+       (Oracle.failing "weather service down"));
+  let p =
+    Pipeline.create
+      ~config:(resilient_config ~retries:1 ~threshold:2 ())
+      ~s0:schema_star ~exchange:schema_star2 ~invoker:(Registry.invoker reg) ()
+  in
+  let docs = [ fig2a; fig2a; fig2a; fig2a ] in
+  let results, batch = Pipeline.enforce_many p docs in
+  check_int "the batch still produced every outcome" 4 (List.length results);
+  List.iter
+    (function
+      | Error (Enforcement.Service_fault fs) ->
+        check "classified as a fault" true
+          (List.for_all Rewriter.failure_is_fault fs)
+      | Error e -> Alcotest.failf "wrong error: %a" Enforcement.pp_error e
+      | Ok _ -> Alcotest.fail "expected a service fault")
+    results;
+  (match results with
+   | Error (Enforcement.Service_fault (f :: _)) :: _ ->
+     (match f.Rewriter.reason with
+      | Rewriter.Service_failure { fname = "Get_Temp"; attempts = 2; _ } -> ()
+      | r -> Alcotest.failf "wrong reason: %a" Rewriter.pp_reason r)
+   | _ -> Alcotest.fail "expected a Service_failure on the first document");
+  check_int "faults counted" 4 batch.Pipeline.faults;
+  check_int "faults are not rejections" 0 batch.Pipeline.rejected;
+  let r = batch.Pipeline.resilience in
+  check "gave up at least once" true (r.Resilience.gave_up >= 1);
+  check_int "breaker tripped" 1 r.Resilience.trips;
+  check "later docs short-circuited" true (r.Resilience.short_circuited > 0)
+
+let test_pipeline_ill_typed_service_fault () =
+  let reg = make_registry () in
+  Registry.register reg
+    (Service.make ~input:(R.sym (Schema.A_label "city"))
+       ~output:(R.sym (Schema.A_label "temp")) "Get_Temp"
+       (Oracle.constant [ D.elem "bogus" [] ]));
+  let p =
+    Pipeline.create ~config:(resilient_config ()) ~s0:schema_star
+      ~exchange:schema_star2 ~invoker:(Registry.invoker reg) ()
+  in
+  let results, batch = Pipeline.enforce_many p [ fig2a ] in
+  (match results with
+   | [ Error (Enforcement.Service_fault [ f ]) ] ->
+     (match f.Rewriter.reason with
+      | Rewriter.Ill_typed_service { fname = "Get_Temp"; _ } -> ()
+      | r -> Alcotest.failf "wrong reason: %a" Rewriter.pp_reason r)
+   | _ -> Alcotest.fail "expected an ill-typed service fault");
+  check_int "fault counted" 1 batch.Pipeline.faults
+
+let test_pipeline_fault_skips_possible_fallback () =
+  (* a broken service is not evidence that the document needs a possible
+     rewriting: the fault must surface as-is even with the fallback on *)
+  let reg = make_registry () in
+  Registry.register reg
+    (Service.make ~input:(R.sym (Schema.A_label "city"))
+       ~output:(R.sym (Schema.A_label "temp")) "Get_Temp"
+       (Oracle.failing "down"));
+  let p =
+    Pipeline.create
+      ~config:(resilient_config ~fallback:true ~retries:0 ())
+      ~s0:schema_star ~exchange:schema_star2 ~invoker:(Registry.invoker reg) ()
+  in
+  let results, batch = Pipeline.enforce_many p [ fig2a ] in
+  (match results with
+   | [ Error (Enforcement.Service_fault _) ] -> ()
+   | [ Error e ] -> Alcotest.failf "wrong error: %a" Enforcement.pp_error e
+   | _ -> Alcotest.fail "expected a service fault");
+  check_int "no possible rewriting attempted" 0 batch.Pipeline.rewritten_possible;
+  check_int "no attempt failure either" 0 batch.Pipeline.attempt_failed
+
 let test_peer_exchange_pipeline_cached () =
   let sender = Peer.create ~name:"newspaper.com" ~schema:schema_star () in
   Registry.register_all (Peer.registry sender)
@@ -913,6 +1023,10 @@ let () =
          Alcotest.test_case "outcome counters" `Quick test_pipeline_outcome_counters;
          Alcotest.test_case "lazy stream" `Quick test_pipeline_seq;
          Alcotest.test_case "from a shared contract" `Quick test_pipeline_of_contract;
+         Alcotest.test_case "flaky service recovers" `Quick test_pipeline_flaky_recovers;
+         Alcotest.test_case "survives a dead service" `Quick test_pipeline_survives_dead_service;
+         Alcotest.test_case "ill-typed service fault" `Quick test_pipeline_ill_typed_service_fault;
+         Alcotest.test_case "fault skips possible fallback" `Quick test_pipeline_fault_skips_possible_fallback;
          Alcotest.test_case "peer pipeline caching" `Quick test_peer_exchange_pipeline_cached
        ]);
       ("storage",

@@ -162,6 +162,8 @@ let test_batch () =
   check "json rewritten" true (contains json "\"rewritten\": 3");
   check "json cache" true (contains json "\"cache\"");
   check "json hit rate" true (contains json "\"cache_hit_rate\"");
+  check "json faults" true (contains json "\"faults\": 0");
+  check "json resilience" true (contains json "\"resilience\"");
   (* a rejected document fails the batch *)
   let code, out =
     run [ "batch"; "-f"; path "sender.axs"; "-t"; path "strict.axs";
@@ -169,6 +171,35 @@ let test_batch () =
   in
   check_int "rejections: exit 1" 1 code;
   check "marked rejected" true (contains out "REJECTED")
+
+let test_batch_fault_tolerance () =
+  setup ();
+  (* every call fails: the batch must finish with per-document fault
+     outcomes instead of aborting, and account the breaker activity *)
+  let json_file = path "fault_stats.json" in
+  let code, out =
+    run [ "batch"; "-f"; path "sender.axs"; "-t"; path "exchange.axs";
+          "--oracle"; "fail"; "--retries"; "1"; "--breaker-threshold"; "2";
+          "--stats-json"; json_file;
+          path "doc.xml"; path "doc.xml"; path "doc.xml" ]
+  in
+  check_int "faults: exit 1" 1 code;
+  check "marked as service faults" true (contains out "SERVICE-FAULT");
+  let json = read_file json_file in
+  check "json faults" true (contains json "\"faults\": 3");
+  check "json gave up" true (contains json "\"gave_up\": 1");
+  check "json breaker trip" true (contains json "\"trips\": 1");
+  (* a flaky service (every 7th call dies) is absorbed by the retries *)
+  let json_file = path "flaky_stats.json" in
+  let code, _ =
+    run ([ "batch"; "-f"; path "sender.axs"; "-t"; path "exchange.axs";
+           "--oracle"; "flaky"; "--stats-json"; json_file ]
+         @ List.init 7 (fun _ -> path "doc.xml"))
+  in
+  check_int "flaky absorbed: exit 0" 0 code;
+  let json = read_file json_file in
+  check "no faults surfaced" true (contains json "\"faults\": 0");
+  check "one retry recorded" true (contains json "\"retries\": 1")
 
 let test_compat () =
   setup ();
@@ -216,6 +247,7 @@ let () =
          Alcotest.test_case "rewrite" `Quick test_rewrite;
          Alcotest.test_case "rewrite rejected" `Quick test_rewrite_rejected;
          Alcotest.test_case "batch" `Quick test_batch;
+         Alcotest.test_case "batch fault tolerance" `Quick test_batch_fault_tolerance;
          Alcotest.test_case "compat" `Quick test_compat;
          Alcotest.test_case "schema convert" `Quick test_schema_convert;
          Alcotest.test_case "bad inputs" `Quick test_bad_inputs

@@ -135,8 +135,8 @@ let test_safe_into_star2 () =
       D.call "TimeOut" [ D.data "exhibits" ] ]
   in
   match Execute.run (Execute.Follow_safe analysis) (honest_invoker ?timeout_returns:None) items with
-  | None -> Alcotest.fail "safe execution failed"
-  | Some outcome ->
+  | Error e -> Alcotest.failf "safe execution failed: %a" Execute.pp_failure e
+  | Ok outcome ->
     let names = List.map (fun i -> i.Execute.inv_name) outcome.Execute.invocations in
     Alcotest.(check (list string)) "invoked exactly Get_Temp" [ "Get_Temp" ] names;
     Alcotest.(check (list string)) "materialized word"
@@ -174,8 +174,8 @@ let test_possible_into_star3 () =
   (* TimeOut returns only exhibits: the attempt succeeds, both invoked *)
   (match Execute.run (Execute.Follow_possible analysis)
            (honest_invoker ~timeout_returns:`Exhibits) items with
-   | None -> Alcotest.fail "expected success"
-   | Some outcome ->
+   | Error e -> Alcotest.failf "expected success, got %a" Execute.pp_failure e
+   | Ok outcome ->
      let names =
        List.sort compare (List.map (fun i -> i.Execute.inv_name) outcome.Execute.invocations)
      in
@@ -184,8 +184,9 @@ let test_possible_into_star3 () =
   let analysis = Rewriter.word_possible_analysis rw ~target_regex:regex newspaper_word in
   (match Execute.run (Execute.Follow_possible analysis)
            (honest_invoker ~timeout_returns:`Performance) items with
-   | None -> ()
-   | Some _ -> Alcotest.fail "expected run-time failure")
+   | Error Execute.No_possible_path -> ()
+   | Error e -> Alcotest.failf "expected No_possible_path, got %a" Execute.pp_failure e
+   | Ok _ -> Alcotest.fail "expected run-time failure")
 
 (* Already-conforming words need no invocation at all. *)
 let test_already_instance () =
@@ -200,8 +201,8 @@ let test_already_instance () =
   in
   match Execute.run (Execute.Follow_safe analysis)
           (fun name _ -> Alcotest.failf "unexpected call to %s" name) items with
-  | None -> Alcotest.fail "execution failed"
-  | Some outcome -> check_int "no invocations" 0 (List.length outcome.Execute.invocations)
+  | Error e -> Alcotest.failf "execution failed: %a" Execute.pp_failure e
+  | Ok outcome -> check_int "no invocations" 0 (List.length outcome.Execute.invocations)
 
 (* ------------------------------------------------------------------ *)
 (* Tree-level: the full document of Figure 2                           *)
@@ -287,7 +288,8 @@ function Get_City : #data -> city
     check "Get_City before Get_Temp" true
       (names = [ "Get_City"; "Get_Temp" ])
 
-(* A service breaking its WSDL contract is reported, not silently accepted. *)
+(* A service breaking its WSDL contract is reported as a typed failure
+   naming the offender, not an escaping exception. *)
 let test_ill_typed_output () =
   let rw = rewriter schema_star2 in
   let bad_invoker name _ =
@@ -296,10 +298,119 @@ let test_ill_typed_output () =
     | _ -> []
   in
   match Rewriter.materialize rw ~invoker:bad_invoker fig2a with
-  | exception Execute.Ill_typed_output { fname = "Get_Temp"; _ } -> ()
-  | exception e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e)
-  | Ok _ -> Alcotest.fail "expected Ill_typed_output"
-  | Error _ -> Alcotest.fail "expected Ill_typed_output, got failure"
+  | Error [ { Rewriter.reason = Rewriter.Ill_typed_service { fname; _ }; _ } as f ] ->
+    Alcotest.(check string) "offender named" "Get_Temp" fname;
+    check "classified as fault" true (Rewriter.failure_is_fault f)
+  | Error fs ->
+    Alcotest.failf "expected Ill_typed_service, got %a"
+      Fmt.(list Rewriter.pp_failure) fs
+  | Ok _ -> Alcotest.fail "expected a typed failure"
+
+(* Regression: the offender must be the invocation whose output breaks
+   its declared type — not simply the most recent one. P answers first
+   with a forest that is fine at word level but breaks its output type
+   at tree level (the walk continues past it, footnote 5 splices it
+   as-is); Q answers later with a word-level-invalid forest where the
+   walk actually dies. The principled report blames P, the first
+   contract breaker — the old head-of-invocations heuristic blamed Q. *)
+let offender_common = {|
+element u = #data
+element v = u
+element w = #data
+function P : #data -> v
+function Q : #data -> w
+|}
+
+let test_ill_typed_offender_identified () =
+  let s0 =
+    parse_schema ({|
+root doc
+element doc = (P | v).(Q | w)
+|} ^ offender_common)
+  in
+  let target =
+    parse_schema ({|
+root doc
+element doc = v.w
+|} ^ offender_common)
+  in
+  let rw = Rewriter.create ~k:1 ~s0 ~target () in
+  let doc = D.elem "doc" [ D.call "P" [ D.data "x" ]; D.call "Q" [ D.data "y" ] ] in
+  Alcotest.(check (list string)) "check passes" []
+    (List.map (Fmt.str "%a" Rewriter.pp_failure) (Rewriter.check_safe rw doc));
+  let invoker name _ =
+    match name with
+    | "P" -> [ D.elem "v" [ D.data "not-a-u" ] ]  (* tree-level ill-typed *)
+    | "Q" -> [ D.elem "u" [ D.data "z" ] ]        (* word-level ill-typed *)
+    | other -> Alcotest.failf "unexpected call to %s" other
+  in
+  match Rewriter.materialize rw ~invoker doc with
+  | Error [ { Rewriter.reason = Rewriter.Ill_typed_service { fname; _ }; _ } ] ->
+    Alcotest.(check string) "blames the first contract breaker" "P" fname
+  | Error fs ->
+    Alcotest.failf "expected Ill_typed_service, got %a"
+      Fmt.(list Rewriter.pp_failure) fs
+  | Ok _ -> Alcotest.fail "expected a typed failure"
+
+(* A crashing service surfaces as a typed Service_failure, and sibling
+   fork options are still explored (resilient backtracking). *)
+let test_service_error_typed () =
+  let rw = rewriter schema_star2 in
+  let invoker name _ =
+    match name with
+    | "Get_Temp" -> failwith "connection refused"
+    | _ -> []
+  in
+  match Rewriter.materialize rw ~invoker fig2a with
+  | Error [ { Rewriter.reason = Rewriter.Service_failure { fname; attempts; _ }; _ } as f ] ->
+    Alcotest.(check string) "names the service" "Get_Temp" fname;
+    check_int "single attempt" 1 attempts;
+    check "classified as fault" true (Rewriter.failure_is_fault f)
+  | Error fs ->
+    Alcotest.failf "expected Service_failure, got %a"
+      Fmt.(list Rewriter.pp_failure) fs
+  | Ok _ -> Alcotest.fail "expected a typed failure"
+
+(* A structured give-up report from a resilient invoker keeps its
+   attempt count through the typed channel. *)
+let test_invocation_failed_attempts () =
+  let rw = rewriter schema_star2 in
+  let invoker name _ =
+    match name with
+    | "Get_Temp" ->
+      raise (Execute.Invocation_failed
+               { fname = "Get_Temp"; attempts = 4; cause = Failure "down" })
+    | _ -> []
+  in
+  match Rewriter.materialize rw ~invoker fig2a with
+  | Error [ { Rewriter.reason = Rewriter.Service_failure { fname; attempts; _ }; _ } ] ->
+    Alcotest.(check string) "names the service" "Get_Temp" fname;
+    check_int "attempts preserved" 4 attempts
+  | Error fs ->
+    Alcotest.failf "expected Service_failure, got %a"
+      Fmt.(list Rewriter.pp_failure) fs
+  | Ok _ -> Alcotest.fail "expected a typed failure"
+
+(* SAFE-mode walks that fail with zero invocations are an engine
+   invariant breach and must say so instead of silently failing: drive
+   Execute.run directly with an analysis that does not match the
+   items. *)
+let test_zero_invocation_invariant () =
+  let rw = rewriter schema_star2 in
+  let regex = target_regex rw "newspaper" in
+  let analysis = Rewriter.word_safe_analysis rw ~target_regex:regex newspaper_word in
+  (* items that do not spell the analyzed word: the walk dies without
+     invoking anything *)
+  let items = [ D.elem "date" [ D.data "d" ] ] in
+  match
+    Execute.run (Execute.Follow_safe analysis)
+      (fun name _ -> Alcotest.failf "unexpected call to %s" name)
+      items
+  with
+  | Error (Execute.Invariant_violation _) -> ()
+  | Error e ->
+    Alcotest.failf "expected Invariant_violation, got %a" Execute.pp_failure e
+  | Ok _ -> Alcotest.fail "expected failure"
 
 (* ------------------------------------------------------------------ *)
 (* Depth-k behaviour                                                   *)
@@ -330,8 +441,8 @@ let test_depth_k () =
     | other -> Alcotest.failf "unexpected %s" other
   in
   match Execute.run (Execute.Follow_safe analysis) invoker [ D.call "Get_Exhibits" [] ] with
-  | None -> Alcotest.fail "execution failed"
-  | Some outcome ->
+  | Error e -> Alcotest.failf "execution failed: %a" Execute.pp_failure e
+  | Ok outcome ->
     check_int "four invocations" 4 (List.length outcome.Execute.invocations);
     check_int "three exhibits" 3 (List.length outcome.Execute.materialized)
 
@@ -482,8 +593,8 @@ function F : #data -> a
       [ D.call "F" [ D.data "p" ] ]
   in
   (match outcome with
-   | Some o -> check_int "one invocation" 1 (List.length o.Execute.invocations)
-   | None -> Alcotest.fail "execution failed");
+   | Ok o -> check_int "one invocation" 1 (List.length o.Execute.invocations)
+   | Error e -> Alcotest.failf "execution failed: %a" Execute.pp_failure e);
   let s_anyfun =
     parse_schema {|
 root box
@@ -744,8 +855,8 @@ let prop_safe_execution_robust =
           word
       in
       match Execute.run (Execute.Follow_safe analysis) invoker items with
-      | None -> QCheck.Test.fail_report "safe execution failed"
-      | Some outcome ->
+      | Error _ -> QCheck.Test.fail_report "safe execution failed"
+      | Ok outcome ->
         let final_word = D.word outcome.Execute.materialized in
         Auto.Dfa.accepts (Auto.Dfa.of_regex target_regex) final_word)
 
@@ -944,8 +1055,8 @@ let test_cost_guided_execution () =
    | None -> Alcotest.fail "expected a bound");
   (* greedy keep-first execution keeps F and ends up paying for H *)
   (match Execute.run (Execute.Follow_safe analysis) tradeoff_invoker tradeoff_items with
-   | Some outcome -> Alcotest.(check (float 1e-9)) "greedy pays 10" 10.0 (total_fee outcome)
-   | None -> Alcotest.fail "execution failed");
+   | Ok outcome -> Alcotest.(check (float 1e-9)) "greedy pays 10" 10.0 (total_fee outcome)
+   | Error e -> Alcotest.failf "execution failed: %a" Execute.pp_failure e);
   (* the cost-guided order follows the optimal plan *)
   let poss = Rewriter.word_possible_analysis rw ~target_regex:regex word in
   (match Cost.possible_min_cost poss ~cost:tradeoff_fee with
@@ -956,8 +1067,8 @@ let test_cost_guided_execution () =
     Execute.run ~plan ~fee:tradeoff_fee (Execute.Follow_possible poss)
       tradeoff_invoker tradeoff_items
   with
-  | Some outcome -> Alcotest.(check (float 1e-9)) "guided pays 1" 1.0 (total_fee outcome)
-  | None -> Alcotest.fail "guided execution failed"
+  | Ok outcome -> Alcotest.(check (float 1e-9)) "guided pays 1" 1.0 (total_fee outcome)
+  | Error e -> Alcotest.failf "guided execution failed: %a" Execute.pp_failure e
 
 let prop_safe_worst_at_least_possible_min =
   QCheck.Test.make ~count:200
@@ -1292,7 +1403,14 @@ let () =
          Alcotest.test_case "materialize into (**)" `Quick test_materialize_fig2_into_star2;
          Alcotest.test_case "materialize into (***) possibly" `Quick test_materialize_fig2_into_star3_possible;
          Alcotest.test_case "nested parameters" `Quick test_nested_parameters;
-         Alcotest.test_case "ill-typed service output" `Quick test_ill_typed_output
+         Alcotest.test_case "ill-typed service output" `Quick test_ill_typed_output;
+         Alcotest.test_case "ill-typed offender identified" `Quick
+           test_ill_typed_offender_identified;
+         Alcotest.test_case "service error is typed" `Quick test_service_error_typed;
+         Alcotest.test_case "give-up report keeps attempts" `Quick
+           test_invocation_failed_attempts;
+         Alcotest.test_case "zero-invocation invariant breach" `Quick
+           test_zero_invocation_invariant
        ]);
       ("depth",
        [ Alcotest.test_case "k=1 vs k=2" `Quick test_depth_k;

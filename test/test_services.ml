@@ -8,6 +8,8 @@ module Service = Axml_services.Service
 module Registry = Axml_services.Registry
 module Oracle = Axml_services.Oracle
 module Directory = Axml_services.Directory
+module Resilience = Axml_services.Resilience
+module Execute = Axml_core.Execute
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -135,6 +137,156 @@ let test_honest_random () =
       Alcotest.fail "random output is not an output instance"
   done
 
+let test_scripted_long_run () =
+  (* regression: the index wraps in place instead of growing without
+     bound *)
+  let b = Oracle.scripted [ [ D.data "a" ]; [ D.data "b" ]; [ D.data "c" ] ] in
+  for i = 0 to 2999 do
+    let expected = [| "a"; "b"; "c" |].(i mod 3) in
+    match b [] with
+    | [ D.Data v ] -> if v <> expected then Alcotest.failf "call %d: %s" i v
+    | _ -> Alcotest.fail "unexpected reply shape"
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Resilience                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let quick_policy ?timeout_s ?(max_retries = 2) ?(breaker_threshold = 5)
+    ?(breaker_cooldown_s = 5.0) () =
+  Resilience.policy ~max_retries ~backoff_s:0.01 ~jitter:0. ?timeout_s
+    ~breaker_threshold ~breaker_cooldown_s ()
+
+let test_retry_recovers () =
+  let r = Resilience.create ~policy:(quick_policy ())
+      ~clock:(Resilience.manual_clock ()) () in
+  (* fails on the first call, succeeds on the retry *)
+  let calls = ref 0 in
+  let fail_once _params =
+    incr calls;
+    if !calls = 1 then failwith "transient" else temp_reply
+  in
+  let b = Resilience.wrap_behaviour r ~name:"Get_Temp" fail_once in
+  let result = b [] in
+  check "recovered" true (D.equal_forest result temp_reply);
+  let s = Resilience.stats r "Get_Temp" in
+  check_int "one guarded call" 1 s.Resilience.calls;
+  check_int "two attempts" 2 s.Resilience.attempts;
+  check_int "one retry" 1 s.Resilience.retries;
+  check_int "one success" 1 s.Resilience.successes;
+  check_int "no give-up" 0 s.Resilience.gave_up
+
+let test_give_up_attempts () =
+  let r = Resilience.create ~policy:(quick_policy ~max_retries:2 ())
+      ~clock:(Resilience.manual_clock ()) () in
+  let b = Resilience.wrap_behaviour r ~name:"Down" (Oracle.failing "down") in
+  (match b [] with
+   | exception Execute.Invocation_failed { fname = "Down"; attempts = 3; cause = Failure _ } -> ()
+   | exception e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e)
+   | _ -> Alcotest.fail "expected Invocation_failed");
+  let s = Resilience.stats r "Down" in
+  check_int "three attempts" 3 s.Resilience.attempts;
+  check_int "two retries" 2 s.Resilience.retries;
+  check_int "one give-up" 1 s.Resilience.gave_up
+
+let test_timeout_budget () =
+  let clock = Resilience.manual_clock () in
+  let r = Resilience.create ~policy:(quick_policy ~timeout_s:0.5 ~max_retries:10 ())
+      ~clock () in
+  (* each attempt burns 0.3 virtual seconds and fails: the second
+     attempt starts past the 0.5 s budget *)
+  let slow_and_broken = Oracle.timing_out ~clock ~delay_s:0.3 (Oracle.failing "slow") in
+  let b = Resilience.wrap_behaviour r ~name:"Slow" slow_and_broken in
+  (match b [] with
+   | exception Execute.Invocation_failed { cause = Resilience.Timed_out _; _ } -> ()
+   | exception e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e)
+   | _ -> Alcotest.fail "expected a timeout");
+  let s = Resilience.stats r "Slow" in
+  check_int "timed out once" 1 s.Resilience.timeouts;
+  check "bounded attempts" true (s.Resilience.attempts <= 3)
+
+let test_late_success_is_timeout () =
+  let clock = Resilience.manual_clock () in
+  let r = Resilience.create ~policy:(quick_policy ~timeout_s:0.1 ()) ~clock () in
+  (* the call eventually answers — but only after the deadline *)
+  let slow = Oracle.timing_out ~clock ~delay_s:0.2 (Oracle.constant temp_reply) in
+  let b = Resilience.wrap_behaviour r ~name:"Late" slow in
+  (match b [] with
+   | exception Execute.Invocation_failed { cause = Resilience.Timed_out _; _ } -> ()
+   | exception e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e)
+   | _ -> Alcotest.fail "expected a timeout");
+  check_int "timed out" 1 (Resilience.stats r "Late").Resilience.timeouts
+
+let test_breaker_trip_and_recovery () =
+  let clock = Resilience.manual_clock () in
+  let r =
+    Resilience.create
+      ~policy:(quick_policy ~max_retries:0 ~breaker_threshold:3
+                 ~breaker_cooldown_s:5. ())
+      ~clock ()
+  in
+  let healthy = ref false in
+  let service _params = if !healthy then temp_reply else failwith "down" in
+  let b = Resilience.wrap_behaviour r ~name:"S" service in
+  let expect_give_up () =
+    match b [] with
+    | exception Execute.Invocation_failed _ -> ()
+    | _ -> Alcotest.fail "expected failure"
+  in
+  (* three consecutive failures trip the breaker *)
+  expect_give_up (); expect_give_up (); expect_give_up ();
+  Alcotest.(check string) "breaker open" "open"
+    (match Resilience.breaker_state r "S" with
+     | `Open -> "open" | `Closed -> "closed" | `Half_open -> "half-open");
+  check_int "one trip" 1 (Resilience.stats r "S").Resilience.trips;
+  (* while open, calls are rejected without touching the service *)
+  let attempts_before = (Resilience.stats r "S").Resilience.attempts in
+  expect_give_up ();
+  check_int "short-circuited" 1 (Resilience.stats r "S").Resilience.short_circuited;
+  check_int "service untouched" attempts_before (Resilience.stats r "S").Resilience.attempts;
+  (* cooldown elapses; the half-open probe fails and re-opens *)
+  clock.Resilience.sleep 6.;
+  expect_give_up ();
+  check_int "probe re-trips" 2 (Resilience.stats r "S").Resilience.trips;
+  (* cooldown again; the service recovered: probe closes the circuit *)
+  clock.Resilience.sleep 6.;
+  healthy := true;
+  check "probe succeeds" true (D.equal_forest (b []) temp_reply);
+  Alcotest.(check string) "breaker closed again" "closed"
+    (match Resilience.breaker_state r "S" with
+     | `Open -> "open" | `Closed -> "closed" | `Half_open -> "half-open");
+  check "subsequent calls flow" true (D.equal_forest (b []) temp_reply)
+
+let test_wrap_invoker_passes_name () =
+  let r = Resilience.create ~policy:(quick_policy ())
+      ~clock:(Resilience.manual_clock ()) () in
+  let invoker = Resilience.wrap_invoker r (fun name _ ->
+      if name = "A" then temp_reply else failwith "no") in
+  check "A answers" true (D.equal_forest (invoker "A" []) temp_reply);
+  (match invoker "B" [] with
+   | exception Execute.Invocation_failed { fname = "B"; _ } -> ()
+   | _ -> Alcotest.fail "expected a give-up on B");
+  check_int "A counted separately" 1 (Resilience.stats r "A").Resilience.calls;
+  check_int "B counted separately" 1 (Resilience.stats r "B").Resilience.calls;
+  let t = Resilience.total r in
+  check_int "total calls" 2 t.Resilience.calls
+
+(* A policy-wrapped honest service is observationally equivalent to the
+   bare service. *)
+let prop_wrapped_honest_equiv =
+  QCheck.Test.make ~count:100 ~name:"wrapped honest service == bare service"
+    QCheck.(pair small_int (small_list small_int))
+    (fun (seed, params) ->
+      let params = List.map (fun i -> D.data (string_of_int i)) params in
+      let bare = Oracle.honest_random ~seed base_schema "Get_Temp" in
+      let wrapped =
+        let r = Resilience.create ~policy:(quick_policy ())
+            ~clock:(Resilience.manual_clock ()) () in
+        Resilience.wrap_behaviour r ~name:"Get_Temp"
+          (Oracle.honest_random ~seed base_schema "Get_Temp")
+      in
+      D.equal_forest (bare params) (wrapped params))
+
 (* ------------------------------------------------------------------ *)
 (* Directory                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -165,8 +317,20 @@ let () =
        ]);
       ("oracles",
        [ Alcotest.test_case "scripted" `Quick test_scripted;
+         Alcotest.test_case "scripted long run wraps" `Quick test_scripted_long_run;
          Alcotest.test_case "flaky + counting" `Quick test_flaky_and_counting;
          Alcotest.test_case "honest random" `Quick test_honest_random
+       ]);
+      ("resilience",
+       [ Alcotest.test_case "retry recovers" `Quick test_retry_recovers;
+         Alcotest.test_case "give-up reports attempts" `Quick test_give_up_attempts;
+         Alcotest.test_case "timeout budget" `Quick test_timeout_budget;
+         Alcotest.test_case "late success is a timeout" `Quick
+           test_late_success_is_timeout;
+         Alcotest.test_case "breaker trip + half-open recovery" `Quick
+           test_breaker_trip_and_recovery;
+         Alcotest.test_case "wrapped invoker" `Quick test_wrap_invoker_passes_name;
+         QCheck_alcotest.to_alcotest prop_wrapped_honest_equiv
        ]);
       ("directory", [ Alcotest.test_case "publish/search/predicates" `Quick test_directory ])
     ]
