@@ -1028,6 +1028,106 @@ let e18 () =
   Fmt.pr "machine-readable results written to BENCH_E18.json@."
 
 (* ------------------------------------------------------------------ *)
+(* E19: observability overhead — tracing sinks vs the null sink        *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = Axml_obs.Trace
+
+let e19 () =
+  section "e19" "observability: decision-tracing overhead per sink";
+  expectation
+    "instrumentation must be safe to leave on: with the null sink the \
+     per-event guard is a single load, and even a memory ring buffer \
+     should stay within a few percent of the null-sink baseline";
+  let n = 1000 and passes = 10 and exhibits = 40 in
+  (* Realistically-sized newspapers (Figure 2 with a fat exhibit
+     listing): each needs one Get_Temp invocation, and the validation /
+     rewriting work per document scales with the listing while the
+     trace stays a dozen events — the amortization an operator sees. *)
+  let exhibit i =
+    D.elem "exhibit"
+      [ D.elem "title" [ D.data ("expo " ^ string_of_int i) ];
+        D.elem "date" [ D.data "04/10/2002" ] ]
+  in
+  let doc j =
+    D.elem "newspaper"
+      (D.elem "title" [ D.data ("The Sun #" ^ string_of_int j) ]
+       :: D.elem "date" [ D.data "04/10/2002" ]
+       :: D.call "Get_Temp" [ D.elem "city" [ D.data "Paris" ] ]
+       :: List.init exhibits exhibit)
+  in
+  let docs = List.init n doc in
+  let invoker = Registry.invoker (example_registry ()) in
+  (* one shared pipeline: every arm sees the same warm contract cache *)
+  let p = Pipeline.create ~s0:schema_star ~exchange:schema_star2 ~invoker () in
+  let one_pass sink =
+    Gc.full_major ();  (* same heap state for every sample *)
+    Trace.set_sink Trace.default sink;
+    (* wall clock, not [Sys.time]: its ~10 ms tick would quantize a
+       50 ms sample into the very percentages we are measuring *)
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () -> Trace.set_sink Trace.default Trace.Null)
+      (fun () ->
+        let results, _ = Pipeline.enforce_many p docs in
+        assert (not (List.exists Result.is_error results)));
+    Unix.gettimeofday () -. t0
+  in
+  ignore (one_pass Trace.Null);  (* warm-up: caches, minor heap sizing *)
+  let mem_buf = Trace.buffer ~capacity:4096 () in
+  let devnull = open_out "/dev/null" in
+  let arms = [| Trace.Null; Trace.Memory mem_buf; Trace.Jsonl devnull |] in
+  (* interleave the arms — alternating the order each round — and keep
+     per-arm minima, so drift (GC state, scheduling, machine load)
+     cannot masquerade as sink overhead *)
+  let best = Array.make (Array.length arms) infinity in
+  for round = 1 to passes do
+    let order =
+      if round land 1 = 0 then [ 0; 1; 2 ] else [ 2; 1; 0 ]
+    in
+    List.iter
+      (fun i -> best.(i) <- Float.min best.(i) (one_pass arms.(i)))
+      order
+  done;
+  close_out devnull;
+  let null_s = best.(0) and mem_s = best.(1) and jsonl_s = best.(2) in
+  let total = n in
+  let overhead arm_s = 100. *. (arm_s -. null_s) /. null_s in
+  let rate s = float_of_int total /. s in
+  Fmt.pr "null sink   : %8.3f s  (%7.0f docs/s)  baseline@." null_s
+    (rate null_s);
+  Fmt.pr "memory ring : %8.3f s  (%7.0f docs/s)  %+.1f%%@." mem_s (rate mem_s)
+    (overhead mem_s);
+  Fmt.pr "jsonl sink  : %8.3f s  (%7.0f docs/s)  %+.1f%%@." jsonl_s
+    (rate jsonl_s) (overhead jsonl_s);
+  Fmt.pr "memory ring kept the last %d of %d events@."
+    (List.length (Trace.buffer_events mem_buf))
+    (Trace.buffer_pushed mem_buf);
+  let oc = open_out "BENCH_E19.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"e19\",\n\
+    \  \"docs\": %d,\n\
+    \  \"passes\": %d,\n\
+    \  \"null_s\": %.6f,\n\
+    \  \"memory_s\": %.6f,\n\
+    \  \"jsonl_s\": %.6f,\n\
+    \  \"null_docs_per_s\": %.1f,\n\
+    \  \"memory_docs_per_s\": %.1f,\n\
+    \  \"jsonl_docs_per_s\": %.1f,\n\
+    \  \"memory_overhead_pct\": %.2f,\n\
+    \  \"jsonl_overhead_pct\": %.2f,\n\
+    \  \"events_pushed\": %d,\n\
+    \  \"events_retained\": %d\n\
+     }\n"
+    n passes null_s mem_s jsonl_s (rate null_s) (rate mem_s) (rate jsonl_s)
+    (overhead mem_s) (overhead jsonl_s)
+    (Trace.buffer_pushed mem_buf)
+    (List.length (Trace.buffer_events mem_buf));
+  close_out oc;
+  Fmt.pr "machine-readable results written to BENCH_E19.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1035,7 +1135,7 @@ let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17); ("e18", e18) ]
+    ("e17", e17); ("e18", e18); ("e19", e19) ]
 
 let () =
   let selected =

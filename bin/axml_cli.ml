@@ -9,7 +9,10 @@
      axml batch     -f sender.axs -t exchange.axs doc1.xml doc2.xml ...
                     [-k N] [--possible] [--oracle random|fail|flaky]
                     [--retries N] [--timeout-ms N] [--breaker-threshold N]
-                    [--stats-json FILE]
+                    [--stats-json FILE] [--metrics-out FILE]
+     axml trace     -f sender.axs -t exchange.axs doc.xml [-k N] [--possible]
+                    [--oracle random|fail|flaky] [--retries N]
+                    [--buffer N] [--jsonl FILE] [--metrics-out FILE]
 
    Schema files may use the compact textual syntax (see README) or the
    XML Schema_int syntax; the format is auto-detected. Documents are
@@ -18,7 +21,12 @@
    signatures (failing stubs with --oracle fail, or flaky ones failing
    every 7th call with --oracle flaky). [batch] guards every invocation
    with a retry/timeout/circuit-breaker policy, so a misbehaving service
-   costs one document, not the batch. *)
+   costs one document, not the batch. [trace] replays one enforcement
+   with the decision tracer attached and prints every recorded step —
+   validation, cache queries, fork choices, invocation attempts,
+   retries, breaker transitions, the final verdict. --metrics-out dumps
+   the process-wide metrics registry (Prometheus text format, or JSON
+   when FILE ends in .json); see OBSERVABILITY.md for the catalog. *)
 
 open Cmdliner
 
@@ -33,6 +41,8 @@ module Syntax = Axml_peer.Syntax
 module Xml_schema_int = Axml_peer.Xml_schema_int
 module Enforcement = Axml_peer.Enforcement
 module Resilience = Axml_services.Resilience
+module Metrics = Axml_obs.Metrics
+module Trace = Axml_obs.Trace
 
 let read_file path =
   let ic = open_in_bin path in
@@ -189,6 +199,46 @@ let make_invoker ~env ~s0 oracle =
       if !count mod 7 = 0 then failwith ("service " ^ name ^ ": transient failure")
       else Generate.output_instance g name
 
+let action_string = function
+  | Enforcement.Conformed -> "conformed"
+  | Enforcement.Rewritten -> "rewritten"
+  | Enforcement.Rewritten_possible -> "rewritten-possible"
+
+let error_tag = function
+  | Enforcement.Rejected _ -> "REJECTED"
+  | Enforcement.Attempt_failed _ -> "ATTEMPT-FAILED"
+  | Enforcement.Service_fault _ -> "SERVICE-FAULT"
+
+(* One shared per-document outcome printer (batch, rewrite and trace
+   all format outcomes through here): the outcome line on stdout,
+   error details on stderr. *)
+let print_outcome ?(ppf = Fmt.stdout) ~label = function
+  | Ok (_, report) ->
+    Fmt.pf ppf "%s: %s, %d invocation(s)@." label
+      (action_string report.Enforcement.action)
+      (List.length report.Enforcement.invocations)
+  | Error e ->
+    Fmt.pf ppf "%s: %s@." label (error_tag e);
+    Fmt.epr "%s: %a@." label Enforcement.pp_error e
+
+(* The shared run-statistics printer (batch and trace). *)
+let print_run_stats stats = Fmt.epr "%a@." Enforcement.Pipeline.pp_stats stats
+
+(* Dump the process-wide metrics registry: Prometheus text format, or
+   JSON when the file name ends in .json. *)
+let write_metrics file =
+  let data =
+    if Filename.check_suffix file ".json" then Metrics.to_json Metrics.default
+    else Metrics.to_prometheus Metrics.default
+  in
+  write_output (Some file) data
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
+         ~doc:"Dump the metrics registry to $(docv) on exit: Prometheus \
+               text format, or JSON when $(docv) ends in .json.")
+
+
 let out_arg =
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
          ~doc:"Where to write the materialized document (default stdout).")
@@ -205,19 +255,14 @@ let rewrite_cmd =
           { Enforcement.default_config with
             Enforcement.k; engine; fallback_possible = possible }
         in
-        match Enforcement.enforce ~config ~s0 ~exchange ~invoker doc with
-        | Ok (doc', report) ->
-          Fmt.epr "%s; %d invocation(s)@."
-            (match report.Enforcement.action with
-             | Enforcement.Conformed -> "already conforms"
-             | Enforcement.Rewritten -> "safely rewritten"
-             | Enforcement.Rewritten_possible -> "rewritten (possible mode)")
-            (List.length report.Enforcement.invocations);
+        let result = Enforcement.enforce ~config ~s0 ~exchange ~invoker doc in
+        (* the materialized document owns stdout; outcomes go to stderr *)
+        print_outcome ~ppf:Fmt.stderr ~label:doc_path result;
+        match result with
+        | Ok (doc', _) ->
           write_output out (Syntax.to_xml_string doc');
           0
-        | Error e ->
-          Fmt.epr "%a@." Enforcement.pp_error e;
-          1)
+        | Error _ -> 1)
   in
   Cmd.v
     (Cmd.info "rewrite"
@@ -230,16 +275,20 @@ let rewrite_cmd =
 (* batch                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let action_string = function
-  | Enforcement.Conformed -> "conformed"
-  | Enforcement.Rewritten -> "rewritten"
-  | Enforcement.Rewritten_possible -> "rewritten-possible"
+let iso8601 t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
 
-let stats_json (s : Enforcement.Pipeline.stats) =
+let stats_json ~sender ~exchange (s : Enforcement.Pipeline.stats) =
   let c = s.Enforcement.Pipeline.cache in
   let r = s.Enforcement.Pipeline.resilience in
   Printf.sprintf
     "{\n\
+    \  \"timestamp\": %s,\n\
+    \  \"sender_schema\": %s,\n\
+    \  \"exchange_schema\": %s,\n\
     \  \"docs\": %d,\n\
     \  \"conformed\": %d,\n\
     \  \"rewritten\": %d,\n\
@@ -257,6 +306,9 @@ let stats_json (s : Enforcement.Pipeline.stats) =
      \"successes\": %d, \"gave_up\": %d, \"timeouts\": %d, \"trips\": %d, \
      \"short_circuited\": %d }\n\
      }\n"
+    (Metrics.json_string (iso8601 (Unix.gettimeofday ())))
+    (Metrics.json_string sender)
+    (Metrics.json_string exchange)
     s.Enforcement.Pipeline.docs s.Enforcement.Pipeline.conformed
     s.Enforcement.Pipeline.rewritten s.Enforcement.Pipeline.rewritten_possible
     s.Enforcement.Pipeline.rejected s.Enforcement.Pipeline.attempt_failed
@@ -294,7 +346,7 @@ let batch_cmd =
                  consecutive failures.")
   in
   let run sender target k possible engine oracle retries timeout_ms
-      breaker_threshold stats_out doc_paths =
+      breaker_threshold stats_out metrics_out doc_paths =
     wrap (fun () ->
         let s0 = load_schema sender in
         let exchange = load_schema target in
@@ -318,23 +370,18 @@ let batch_cmd =
         List.iter
           (fun path ->
             let doc = load_document path in
-            match Enforcement.Pipeline.enforce pipeline doc with
-            | Ok (_, report) ->
-              Fmt.pr "%s: %s, %d invocation(s)@." path
-                (action_string report.Enforcement.action)
-                (List.length report.Enforcement.invocations)
-            | Error e ->
-              incr failed;
-              Fmt.pr "%s: %s@." path
-                (match e with
-                 | Enforcement.Rejected _ -> "REJECTED"
-                 | Enforcement.Attempt_failed _ -> "ATTEMPT-FAILED"
-                 | Enforcement.Service_fault _ -> "SERVICE-FAULT");
-              Fmt.epr "%s: %a@." path Enforcement.pp_error e)
+            let result = Enforcement.Pipeline.enforce pipeline doc in
+            if Result.is_error result then incr failed;
+            print_outcome ~label:path result)
           doc_paths;
         let stats = Enforcement.Pipeline.stats pipeline in
-        Fmt.epr "%a@." Enforcement.Pipeline.pp_stats stats;
-        Option.iter (fun file -> write_output (Some file) (stats_json stats)) stats_out;
+        print_run_stats stats;
+        Option.iter
+          (fun file ->
+            write_output (Some file)
+              (stats_json ~sender ~exchange:target stats))
+          stats_out;
+        Option.iter write_metrics metrics_out;
         if !failed = 0 then 0 else 1)
   in
   Cmd.v
@@ -345,7 +392,105 @@ let batch_cmd =
              outcomes and batch statistics.")
     Term.(const run $ sender_arg $ target_arg $ k_arg $ possible_arg
           $ engine_arg $ oracle_arg $ retries_arg $ timeout_ms_arg
-          $ breaker_arg $ stats_json_arg $ docs_arg)
+          $ breaker_arg $ stats_json_arg $ metrics_out_arg $ docs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let buffer_arg =
+    Arg.(value & opt int 4096 & info [ "buffer" ] ~docv:"N"
+           ~doc:"Keep the last $(docv) trace events (older ones are dropped).")
+  in
+  let jsonl_arg =
+    Arg.(value & opt (some string) None & info [ "jsonl" ] ~docv:"FILE"
+           ~doc:"Also write the recorded events to $(docv), one JSON object \
+                 per line.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N"
+           ~doc:"Retry each failing invocation up to $(docv) times before \
+                 giving up on the document.")
+  in
+  let print_events events =
+    match events with
+    | [] -> Fmt.pr "(no events recorded)@."
+    | (first : Trace.event) :: _ ->
+      let t0 = first.Trace.time_s in
+      List.iter
+        (fun (e : Trace.event) ->
+          Fmt.pr "#%03d %+9.1f us  %s%a@." e.Trace.seq
+            ((e.Trace.time_s -. t0) *. 1e6)
+            (String.make (2 * e.Trace.depth) ' ')
+            Trace.pp_kind e.Trace.kind)
+        events
+  in
+  let run sender target k possible engine oracle retries buffer jsonl
+      metrics_out doc_path =
+    wrap (fun () ->
+        let s0 = load_schema sender in
+        let exchange = load_schema target in
+        let doc = load_document doc_path in
+        let env = Schema.env_of_schemas s0 exchange in
+        let invoker = make_invoker ~env ~s0 oracle in
+        let resilience =
+          Resilience.create
+            ~policy:(Resilience.policy ~max_retries:retries ~backoff_s:0.001 ())
+            ()
+        in
+        let config =
+          { Enforcement.default_config with
+            Enforcement.k; engine; fallback_possible = possible;
+            resilience = Some resilience }
+        in
+        let pipeline =
+          Enforcement.Pipeline.create ~config ~s0 ~exchange ~invoker ()
+        in
+        let buf = Trace.buffer ~capacity:buffer () in
+        Trace.set_sink Trace.default (Trace.Memory buf);
+        (* one interactive document: exact per-event timestamps beat
+           the amortized-clock default *)
+        Trace.set_clock_every Trace.default 1;
+        let result =
+          Fun.protect
+            ~finally:(fun () ->
+              Trace.set_sink Trace.default Trace.Null;
+              Trace.set_clock_every Trace.default 32)
+            (fun () -> Enforcement.Pipeline.enforce pipeline doc)
+        in
+        let events = Trace.buffer_events buf in
+        Fmt.pr "trace: %s -> %s (k=%d, engine=%s, %d event(s)%s)@." doc_path
+          target k
+          (match engine with Rewriter.Lazy -> "lazy" | Rewriter.Eager -> "eager")
+          (Trace.buffer_pushed buf)
+          (let dropped = Trace.buffer_pushed buf - List.length events in
+           if dropped > 0 then Fmt.str ", %d dropped" dropped else "");
+        print_events events;
+        Option.iter
+          (fun file ->
+            let oc = open_out_bin file in
+            List.iter
+              (fun e ->
+                output_string oc (Trace.event_to_json e);
+                output_char oc '\n')
+              events;
+            close_out oc)
+          jsonl;
+        print_outcome ~label:doc_path result;
+        print_run_stats (Enforcement.Pipeline.stats pipeline);
+        Option.iter write_metrics metrics_out;
+        if Result.is_ok result then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Replay one enforcement with the decision tracer attached and \
+             print the per-decision trace: validation, cache queries, fork \
+             choices, invocation attempts, retries, breaker transitions and \
+             the final accept/reject/fault verdict.")
+    Term.(const run $ sender_arg $ target_arg $ k_arg $ possible_arg
+          $ engine_arg $ oracle_arg $ retries_arg $ buffer_arg $ jsonl_arg
+          $ metrics_out_arg $ doc_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compat                                                              *)
@@ -423,4 +568,4 @@ let () =
   in
   exit (Cmd.eval' (Cmd.group info
                      [ validate_cmd; check_cmd; rewrite_cmd; batch_cmd;
-                       compat_cmd; schema_cmd ]))
+                       trace_cmd; compat_cmd; schema_cmd ]))

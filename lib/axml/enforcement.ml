@@ -21,6 +21,32 @@ module Rewriter = Axml_core.Rewriter
 module Contract = Axml_core.Contract
 module Execute = Axml_core.Execute
 module Resilience = Axml_services.Resilience
+module Metrics = Axml_obs.Metrics
+module Trace = Axml_obs.Trace
+
+(* [enforce_compiled] is the single chokepoint every enforcement goes
+   through (one-shot [enforce] and [Pipeline] both), so the
+   process-wide document counters live here and are never double
+   counted. *)
+let m_documents outcome =
+  Metrics.counter ~help:"Documents enforced, by outcome"
+    ~labels:[ ("outcome", outcome) ]
+    "axml_enforcement_documents_total"
+
+let m_doc_conformed = m_documents "conformed"
+let m_doc_rewritten = m_documents "rewritten"
+let m_doc_rewritten_possible = m_documents "rewritten_possible"
+let m_doc_rejected = m_documents "rejected"
+let m_doc_attempt_failed = m_documents "attempt_failed"
+let m_doc_fault = m_documents "fault"
+
+let m_invocations =
+  Metrics.counter ~help:"Invocations recorded on accepted documents"
+    "axml_enforcement_invocations_total"
+
+let h_enforce =
+  Metrics.histogram ~help:"Wall-clock seconds to enforce one document"
+    "axml_enforcement_seconds"
 
 type config = {
   k : int;
@@ -98,10 +124,23 @@ let classify fs =
   if List.exists Rewriter.failure_is_fault fs then Service_fault fs
   else Rejected fs
 
-let enforce_compiled ~config ~compiled ~(invoker : Execute.invoker)
+(* Tracing sits on the per-document hot path: render symbols with plain
+   string operations, not [Fmt] (format interpretation costs ~1 us). *)
+let subject_of doc =
+  match Document.symbol doc with
+  | Axml_schema.Symbol.Label l -> l
+  | Axml_schema.Symbol.Fun f -> f ^ "()"
+  | Axml_schema.Symbol.Data -> "#data"
+
+let enforce_steps ~config ~compiled ~(invoker : Execute.invoker)
     (doc : Document.t) : (Document.t * report, error) result =
   (* step (i): validation *)
-  if Validate.document_violations compiled.c_validate doc = [] then
+  let violations = Validate.document_violations compiled.c_validate doc in
+  if Trace.enabled Trace.default then
+    Trace.emit
+      (Validation
+         { subject = subject_of doc; violations = List.length violations });
+  if violations = [] then
     Ok (doc, { action = Conformed; invocations = [] })
   else begin
     (* step (ii): rewriting *)
@@ -152,6 +191,57 @@ let enforce_compiled ~config ~compiled ~(invoker : Execute.invoker)
             if runtime then Error (Attempt_failed fs) else Error (Rejected fs)
       end
   end
+
+let enforce_compiled ~config ~compiled ~(invoker : Execute.invoker)
+    (doc : Document.t) : (Document.t * report, error) result =
+  let subject () = subject_of doc in
+  let result =
+    Trace.with_span "enforce" ~detail:subject @@ fun () ->
+    let result =
+      Metrics.time h_enforce (fun () ->
+          enforce_steps ~config ~compiled ~invoker doc)
+    in
+    (match result with
+     | Ok (_, report) ->
+       (match report.action with
+        | Conformed -> Metrics.inc m_doc_conformed
+        | Rewritten -> Metrics.inc m_doc_rewritten
+        | Rewritten_possible -> Metrics.inc m_doc_rewritten_possible);
+       Metrics.inc m_invocations ~by:(List.length report.invocations)
+     | Error (Rejected _) -> Metrics.inc m_doc_rejected
+     | Error (Attempt_failed _) -> Metrics.inc m_doc_attempt_failed
+     | Error (Service_fault _) -> Metrics.inc m_doc_fault);
+    if Trace.enabled Trace.default then begin
+      let verdict, detail =
+        match result with
+        | Ok (_, { action = Conformed; _ }) ->
+          (Trace.Accept, "already conforms")
+        | Ok (_, { action = Rewritten; invocations }) ->
+          (Trace.Accept,
+           "safely rewritten, "
+           ^ string_of_int (List.length invocations)
+           ^ " invocation(s)")
+        | Ok (_, { action = Rewritten_possible; invocations }) ->
+          (Trace.Accept,
+           "possible rewriting succeeded, "
+           ^ string_of_int (List.length invocations)
+           ^ " invocation(s)")
+        | Error (Rejected fs) ->
+          (Trace.Reject, string_of_int (List.length fs) ^ " failure(s)")
+        | Error (Attempt_failed fs) ->
+          (Trace.Reject,
+           "possible attempt died at run time ("
+           ^ string_of_int (List.length fs)
+           ^ " failure(s))")
+        | Error (Service_fault fs) ->
+          (Trace.Fault,
+           string_of_int (List.length fs) ^ " service failure(s)")
+      in
+      Trace.emit (Decision { subject = subject (); verdict; detail })
+    end;
+    result
+  in
+  result
 
 (* Enforce [exchange] on [doc]. [s0] is the local schema (it brings the
    WSDL declarations of the functions the document may embed). When

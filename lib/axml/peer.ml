@@ -17,6 +17,29 @@ module Validate = Axml_core.Validate
 module Rewriter = Axml_core.Rewriter
 module Registry = Axml_services.Registry
 module Service = Axml_services.Service
+module Metrics = Axml_obs.Metrics
+module Trace = Axml_obs.Trace
+
+let m_sends result =
+  Metrics.counter ~help:"Peer-to-peer document exchanges attempted"
+    ~labels:[ ("result", result) ]
+    "axml_peer_sends_total"
+
+let m_sends_ok = m_sends "ok"
+let m_sends_error = m_sends "error"
+
+let m_serves result =
+  Metrics.counter ~help:"Locally served calls (params+result enforced)"
+    ~labels:[ ("result", result) ]
+    "axml_peer_serves_total"
+
+let m_serves_ok = m_serves "ok"
+let m_serves_error = m_serves "error"
+
+let h_wire_bytes =
+  Metrics.histogram ~help:"Serialized size of exchanged documents in bytes"
+    ~buckets:[ 256.; 1024.; 4096.; 16384.; 65536. ]
+    "axml_peer_wire_bytes"
 
 exception Peer_error of string
 
@@ -240,18 +263,29 @@ let enforce_io t ~wrapper_name ~what ~method_name (io : io_compiled)
    on the returned data"). *)
 let serve t ~method_name (params : Document.forest) : Document.forest =
   match Hashtbl.find_opt t.provided method_name with
-  | None -> raise (Peer_error (Fmt.str "peer %s provides no service %S" t.name method_name))
+  | None ->
+    Metrics.inc m_serves_error;
+    raise (Peer_error (Fmt.str "peer %s provides no service %S" t.name method_name))
   | Some p ->
-    let sc = serve_compiled t p in
-    (* (i)-(iii) on the parameters, against tau_in *)
-    let params =
-      enforce_io t ~wrapper_name:"#params" ~what:"parameters" ~method_name
-        sc.sc_params params
-    in
-    let result = eval_query t p.p_body params in
-    (* (i)-(iii) on the result, against tau_out *)
-    enforce_io t ~wrapper_name:"#result" ~what:"result" ~method_name
-      sc.sc_result result
+    match
+      Trace.with_span "peer.serve" ~detail:(fun () -> method_name) @@ fun () ->
+      let sc = serve_compiled t p in
+      (* (i)-(iii) on the parameters, against tau_in *)
+      let params =
+        enforce_io t ~wrapper_name:"#params" ~what:"parameters" ~method_name
+          sc.sc_params params
+      in
+      let result = eval_query t p.p_body params in
+      (* (i)-(iii) on the result, against tau_out *)
+      enforce_io t ~wrapper_name:"#result" ~what:"result" ~method_name
+        sc.sc_result result
+    with
+    | result ->
+      Metrics.inc m_serves_ok;
+      result
+    | exception e ->
+      Metrics.inc m_serves_error;
+      raise e
 
 (* The SOAP endpoint of the peer: a request envelope in, a response (or
    fault) envelope out. *)
@@ -332,6 +366,10 @@ type exchange_outcome = {
    [predicate] is an arbitrary closure, so those calls compile fresh. *)
 let send t ~(receiver : t) ~exchange ?predicate ~as_name doc :
     (exchange_outcome, Enforcement.error) result =
+  let outcome =
+    Trace.with_span "peer.send"
+      ~detail:(fun () -> Fmt.str "%s -> %s" t.name receiver.name)
+    @@ fun () ->
   let enforced =
     match predicate with
     | None -> Enforcement.Pipeline.enforce (exchange_pipeline t ~exchange) doc
@@ -367,3 +405,10 @@ let send t ~(receiver : t) ~exchange ?predicate ~as_name doc :
                        { context = Fmt.str "%a" Validate.pp_violation_kind v.Validate.kind;
                          word = [] } })
                violations)))
+  in
+  (match outcome with
+   | Ok { wire_bytes; _ } ->
+     Metrics.inc m_sends_ok;
+     Metrics.observe h_wire_bytes (float_of_int wire_bytes)
+   | Error _ -> Metrics.inc m_sends_error);
+  outcome

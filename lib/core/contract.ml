@@ -9,6 +9,34 @@ module R = Axml_regex.Regex
 module Schema = Axml_schema.Schema
 module Symbol = Axml_schema.Symbol
 module Auto = Axml_schema.Auto
+module Metrics = Axml_obs.Metrics
+module Trace = Axml_obs.Trace
+
+(* Process-wide registry children; per-contract windows stay in the
+   mutable [t] fields below and [stats] keeps serving them. *)
+let m_analyses kind result =
+  Metrics.counter
+    ~help:"Word-level analyses, by kind and memo-table outcome"
+    ~labels:[ ("kind", kind); ("result", result) ]
+    "axml_contract_analyses_total"
+
+let m_safe_hit = m_analyses "safe" "hit"
+let m_safe_miss = m_analyses "safe" "miss"
+let m_possible_hit = m_analyses "possible" "hit"
+let m_possible_miss = m_analyses "possible" "miss"
+
+let m_evictions =
+  Metrics.counter ~help:"Analysis-cache entries evicted (FIFO, capacity hit)"
+    "axml_contract_cache_evictions_total"
+
+let h_analysis kind =
+  Metrics.histogram
+    ~help:"Seconds to compute one uncached word-level analysis"
+    ~labels:[ ("kind", kind) ]
+    "axml_contract_analysis_seconds"
+
+let h_safe = h_analysis "safe"
+let h_possible = h_analysis "possible"
 
 type engine = Eager | Lazy
 
@@ -123,7 +151,8 @@ let entry t ~target_regex word =
     if Tbl.length t.cache >= t.capacity then begin
       let oldest = Queue.pop t.order in
       Tbl.remove t.cache oldest;
-      t.evictions <- t.evictions + 1
+      t.evictions <- t.evictions + 1;
+      Metrics.inc m_evictions
     end;
     let e = { e_safe = None; e_possible = None } in
     Tbl.add t.cache key e;
@@ -135,14 +164,19 @@ let safe_analysis t ~target_regex word =
   match e.e_safe with
   | Some a ->
     t.hits <- t.hits + 1;
+    Metrics.inc m_safe_hit;
+    Trace.emit (Cache_query { cache = "safe"; hit = true });
     a
   | None ->
     t.misses <- t.misses + 1;
-    let p = product t ~target_regex word in
+    Metrics.inc m_safe_miss;
+    Trace.emit (Cache_query { cache = "safe"; hit = false });
     let a =
-      match t.engine with
-      | Eager -> Marking.analyze_eager p
-      | Lazy -> Marking.analyze_lazy p
+      Metrics.time h_safe (fun () ->
+          let p = product t ~target_regex word in
+          match t.engine with
+          | Eager -> Marking.analyze_eager p
+          | Lazy -> Marking.analyze_lazy p)
     in
     e.e_safe <- Some a;
     a
@@ -152,10 +186,17 @@ let possible_analysis t ~target_regex word =
   match e.e_possible with
   | Some a ->
     t.hits <- t.hits + 1;
+    Metrics.inc m_possible_hit;
+    Trace.emit (Cache_query { cache = "possible"; hit = true });
     a
   | None ->
     t.misses <- t.misses + 1;
-    let a = Possible.analyze (product t ~target_regex word) in
+    Metrics.inc m_possible_miss;
+    Trace.emit (Cache_query { cache = "possible"; hit = false });
+    let a =
+      Metrics.time h_possible (fun () ->
+          Possible.analyze (product t ~target_regex word))
+    in
     e.e_possible <- Some a;
     a
 

@@ -40,10 +40,21 @@ val create :
 (** {1 Static artifacts} *)
 
 val env : t -> Axml_schema.Schema.env
+(** The merged function environment of [s0] and [target] the contract
+    was compiled against. *)
+
 val s0 : t -> Axml_schema.Schema.t
+(** The sender schema documents are assumed to conform to. *)
+
 val target : t -> Axml_schema.Schema.t
+(** The agreed exchange schema rewritings must land in. *)
+
 val k : t -> int
+(** The rewriting depth bound (Definition 7). *)
+
 val engine : t -> engine
+(** Which safe-rewriting engine ({!Eager} or {!Lazy}) uncached
+    analyses run on. *)
 
 val element_regex : t -> string -> Axml_schema.Symbol.t Axml_regex.Regex.t option
 (** Compiled content model of a label in the {e target} schema
@@ -62,6 +73,7 @@ type context =
   | Input of string    (** parameters of a call, against the function's input type *)
 
 val pp_context : context Fmt.t
+(** Renders [<l>] for elements, [f()] for function inputs. *)
 
 exception Unknown_context of context
 (** The label is not declared by the target schema / the function has no
@@ -69,6 +81,10 @@ exception Unknown_context of context
 
 val context_regex :
   t -> context -> Axml_schema.Symbol.t Axml_regex.Regex.t option
+(** The compiled content model a word in [context] is analyzed
+    against: {!element_regex} for [Element], {!input_regex} for
+    [Input]. [None] when the target schema / environment does not
+    declare it. *)
 
 (** {1 Cached analyses}
 
@@ -96,10 +112,16 @@ val possible_analysis :
 val is_safe :
   t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
   Axml_schema.Symbol.t list -> bool
+(** [is_safe c ~target_regex w]: does a safe rewriting of [w] into the
+    target language exist? The verdict of {!safe_analysis}, cached
+    alike. *)
 
 val is_possible :
   t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
   Axml_schema.Symbol.t list -> bool
+(** [is_possible c ~target_regex w]: can {e some} run of a rewriting
+    of [w] land in the target language? The verdict of
+    {!possible_analysis}, cached alike. *)
 
 (** {1 Verdicts} *)
 
@@ -109,6 +131,7 @@ type verdict =
   | Impossible     (** no rewriting at all *)
 
 val pp_verdict : verdict Fmt.t
+(** Renders [safe] / [possible (not safe)] / [impossible]. *)
 
 val analyze : t -> context:context -> Axml_schema.Symbol.t list -> verdict
 (** One-stop entry point: analyze a children word in its context.
@@ -125,6 +148,10 @@ type stats = {
 }
 
 val stats : t -> stats
+(** A snapshot of this contract's cache counters since creation (or
+    the last {!reset_stats}). The process-wide aggregates live in the
+    [Axml_obs] metrics registry. *)
+
 val hit_rate : stats -> float
 (** [hits / (hits + misses)]; [0.] before any lookup. *)
 

@@ -24,6 +24,33 @@
 
 module Symbol = Axml_schema.Symbol
 module Auto = Axml_schema.Auto
+module Metrics = Axml_obs.Metrics
+module Trace = Axml_obs.Trace
+
+let m_invocation result =
+  Metrics.counter ~help:"Service invocations fired by the materializer"
+    ~labels:[ ("status", result) ]
+    "axml_execute_invocations_total"
+
+let m_invoke_ok = m_invocation "ok"
+let m_invoke_error = m_invocation "error"
+
+let m_fork choice =
+  Metrics.counter
+    ~help:"Fork options attempted at invoke/keep choice points"
+    ~labels:[ ("choice", choice) ]
+    "axml_execute_fork_choices_total"
+
+let m_fork_keep = m_fork "keep"
+let m_fork_invoke = m_fork "invoke"
+
+let m_runs outcome =
+  Metrics.counter ~help:"Materialization walks, by result"
+    ~labels:[ ("outcome", outcome) ]
+    "axml_execute_runs_total"
+
+let m_runs_ok = m_runs "ok"
+let m_runs_failed = m_runs "failed"
 
 type invoker = string -> Document.forest -> Document.forest
 
@@ -114,13 +141,22 @@ let run ?plan ?(fee = fun _ -> 0.) ?validate strategy invoker
           invocations :=
             { inv_name = fname; inv_params = params; inv_result = returned }
             :: !invocations;
+          Metrics.inc m_invoke_ok;
+          if Trace.enabled Trace.default then
+            Trace.emit (Invocation { fname; attempts = 0; ok = true });
           Ok (wrap returned)
         | exception Invocation_failed { fname; attempts; cause } ->
           record_error fname attempts cause;
+          Metrics.inc m_invoke_error;
+          if Trace.enabled Trace.default then
+            Trace.emit (Invocation { fname; attempts; ok = false });
           Error ()
         | exception ((Stack_overflow | Out_of_memory) as fatal) -> raise fatal
         | exception cause ->
           record_error fname 1 cause;
+          Metrics.inc m_invoke_error;
+          if Trace.enabled Trace.default then
+            Trace.emit (Invocation { fname; attempts = 1; ok = false });
           Error ()
       in
       Hashtbl.add cache id r;
@@ -145,11 +181,6 @@ let run ?plan ?(fee = fun _ -> 0.) ?validate strategy invoker
             | None -> false)
           edges
       in
-      let try_keep eid =
-        let tgt = step nid eid in
-        good tgt
-        && process rest tgt stop (fun emitted nid' -> k (item :: emitted) nid')
-      in
       (* 2. invoke moves: only for function occurrences with a fork here *)
       let invoke_moves =
         match sym with
@@ -162,7 +193,26 @@ let run ?plan ?(fee = fun _ -> 0.) ?validate strategy invoker
             keep_moves
         | Symbol.Label _ | Symbol.Data -> []
       in
+      (* fork-choice accounting only where a genuine choice exists *)
+      let at_fork = invoke_moves <> [] in
+      let try_keep eid =
+        if at_fork then begin
+          Metrics.inc m_fork_keep;
+          if Trace.enabled Trace.default then
+            let fname =
+              match sym with Symbol.Fun f -> f | _ -> Symbol.to_string sym
+            in
+            Trace.emit (Fork_choice { fname; choice = "keep" })
+        end;
+        let tgt = step nid eid in
+        good tgt
+        && process rest tgt stop (fun emitted nid' -> k (item :: emitted) nid')
+      in
       let try_invoke (f : Fork_automaton.fork) =
+        Metrics.inc m_fork_invoke;
+        if Trace.enabled Trace.default then
+          Trace.emit
+            (Fork_choice { fname = f.Fork_automaton.fname; choice = "invoke" });
         let invoke_tgt = step nid f.Fork_automaton.invoke_edge in
         good invoke_tgt
         && begin
@@ -223,11 +273,14 @@ let run ?plan ?(fee = fun _ -> 0.) ?validate strategy invoker
            end
            else false)
   in
-  if ok then
+  if ok then begin
+    Metrics.inc m_runs_ok;
     match !result with
     | Some materialized -> Ok { materialized; invocations = List.rev !invocations }
     | None -> Error (Invariant_violation "walk accepted without a result")
-  else
+  end
+  else begin
+    Metrics.inc m_runs_failed;
     Error
       (match !service_error with
        | Some f -> f  (* no surviving path once the broken calls are out *)
@@ -261,3 +314,4 @@ let run ?plan ?(fee = fun _ -> 0.) ?validate strategy invoker
                | [] ->
                  Invariant_violation
                    "safe walk failed before any service was invoked")))
+  end

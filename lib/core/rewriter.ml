@@ -338,7 +338,26 @@ type check_report = {
   cache : Contract.stats;
 }
 
+let check_mode_name = function
+  | Check_safe -> "safe"
+  | Check_possible -> "possible"
+  | Check_mixed _ -> "mixed"
+
+let m_checks mode ok =
+  Axml_obs.Metrics.counter
+    ~help:"Document-level check reports, by mode and verdict"
+    ~labels:[ ("mode", mode); ("ok", if ok then "true" else "false") ]
+    "axml_rewriter_checks_total"
+
+let m_checks_table =
+  List.concat_map
+    (fun mode -> List.map (fun ok -> ((mode, ok), m_checks mode ok)) [ true; false ])
+    [ "safe"; "possible"; "mixed" ]
+
 let check ?(mode = Check_safe) t doc =
+  let mode_name = check_mode_name mode in
+  Axml_obs.Trace.with_span "rewriter.check" ~detail:(fun () -> mode_name)
+  @@ fun () ->
   let before = Contract.stats t.contract in
   let failures =
     match mode with
@@ -349,7 +368,9 @@ let check ?(mode = Check_safe) t doc =
        | Ok (doc', _pre) -> collect_failures Safe t doc'
        | Error f -> [ f ])
   in
-  { ok = failures = [];
+  let ok = failures = [] in
+  Axml_obs.Metrics.inc (List.assoc (mode_name, ok) m_checks_table);
+  { ok;
     failures;
     cache = Contract.diff_stats ~before (Contract.stats t.contract) }
 

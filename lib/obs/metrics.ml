@@ -1,0 +1,359 @@
+(* Process-wide metrics registry: families of counters / gauges /
+   histograms with labels. Registration is mutex-protected; updates are
+   single Atomic operations so instrumented hot paths never contend. *)
+
+type labels = (string * string) list
+
+(* Gauge values and histogram sums are floats stored as int64 bit
+   patterns inside an Atomic, so [add] can be a CAS loop without a
+   lock and readers never see a torn value. *)
+module Afloat = struct
+  type t = int64 Atomic.t
+
+  let make v : t = Atomic.make (Int64.bits_of_float v)
+  let get (t : t) = Int64.float_of_bits (Atomic.get t)
+  let set (t : t) v = Atomic.set t (Int64.bits_of_float v)
+
+  let rec add (t : t) d =
+    let cur = Atomic.get t in
+    let next = Int64.bits_of_float (Int64.float_of_bits cur +. d) in
+    if not (Atomic.compare_and_set t cur next) then add t d
+end
+
+type counter = { c_value : int Atomic.t }
+type gauge = { g_value : Afloat.t }
+
+type histogram = {
+  h_bounds : float array;        (* sorted upper bounds, +Inf excluded *)
+  h_counts : int Atomic.t array; (* per-bucket (non-cumulative); length = bounds + 1,
+                                    last slot is the +Inf overflow bucket *)
+  h_sum : Afloat.t;
+  h_count : int Atomic.t;
+  h_clock : (unit -> float) ref; (* shared with the owning registry *)
+}
+
+type child =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type family = {
+  f_name : string;
+  f_type : [ `Counter | `Gauge | `Histogram ];
+  f_help : string;
+  f_buckets : float array; (* histograms only *)
+  f_children : (string, labels * child) Hashtbl.t; (* key: canonical labels *)
+}
+
+type t = {
+  families : (string, family) Hashtbl.t;
+  lock : Mutex.t;
+  clock : (unit -> float) ref;
+}
+
+let create ?(clock = Unix.gettimeofday) () =
+  { families = Hashtbl.create 32; lock = Mutex.create (); clock = ref clock }
+
+let default = create ()
+let set_clock t now = t.clock := now
+let now t = !(t.clock) ()
+
+(* ---------- name / label validation ---------- *)
+
+let valid_name s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       s
+
+let valid_label_key s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let canonical labels =
+  let labels = List.sort (fun (a, _) (b, _) -> compare a b) labels in
+  List.iter
+    (fun (k, _) ->
+      if not (valid_label_key k) then
+        invalid_arg (Printf.sprintf "Metrics: invalid label name %S" k))
+    labels;
+  (labels, String.concat "\x00" (List.concat_map (fun (k, v) -> [ k; v ]) labels))
+
+(* ---------- registration ---------- *)
+
+let type_name = function
+  | `Counter -> "counter"
+  | `Gauge -> "gauge"
+  | `Histogram -> "histogram"
+
+let default_buckets =
+  [ 5e-6; 2.5e-5; 1e-4; 5e-4; 2.5e-3; 1e-2; 5e-2; 2.5e-1; 1.0 ]
+
+let get_family t ~name ~typ ~help ~buckets =
+  if not (valid_name name) then
+    invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
+  match Hashtbl.find_opt t.families name with
+  | Some f ->
+      if f.f_type <> typ then
+        invalid_arg
+          (Printf.sprintf "Metrics: %s already registered as a %s, not a %s"
+             name (type_name f.f_type) (type_name typ));
+      f
+  | None ->
+      let buckets =
+        Array.of_list (List.sort_uniq compare buckets)
+      in
+      let f =
+        { f_name = name; f_type = typ; f_help = help; f_buckets = buckets;
+          f_children = Hashtbl.create 4 }
+      in
+      Hashtbl.add t.families name f;
+      f
+
+let get_child t ~name ~typ ~help ~buckets ~labels ~make =
+  let labels, key = canonical labels in
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+  let f = get_family t ~name ~typ ~help ~buckets in
+  match Hashtbl.find_opt f.f_children key with
+  | Some (_, child) -> child
+  | None ->
+      let child = make f in
+      Hashtbl.add f.f_children key (labels, child);
+      child
+
+let counter ?(registry = default) ?(help = "") ?(labels = []) name =
+  match
+    get_child registry ~name ~typ:`Counter ~help ~buckets:[] ~labels
+      ~make:(fun _ -> Counter { c_value = Atomic.make 0 })
+  with
+  | Counter c -> c
+  | _ -> assert false
+
+let gauge ?(registry = default) ?(help = "") ?(labels = []) name =
+  match
+    get_child registry ~name ~typ:`Gauge ~help ~buckets:[] ~labels
+      ~make:(fun _ -> Gauge { g_value = Afloat.make 0. })
+  with
+  | Gauge g -> g
+  | _ -> assert false
+
+let histogram ?(registry = default) ?(help = "") ?(buckets = default_buckets)
+    ?(labels = []) name =
+  match
+    get_child registry ~name ~typ:`Histogram ~help ~buckets ~labels
+      ~make:(fun f ->
+        Histogram
+          { h_bounds = f.f_buckets;
+            h_counts = Array.init (Array.length f.f_buckets + 1) (fun _ -> Atomic.make 0);
+            h_sum = Afloat.make 0.;
+            h_count = Atomic.make 0;
+            h_clock = registry.clock })
+  with
+  | Histogram h -> h
+  | _ -> assert false
+
+(* ---------- updates ---------- *)
+
+let inc ?(by = 1) c =
+  if by < 0 then invalid_arg "Metrics.inc: counters are monotone";
+  ignore (Atomic.fetch_and_add c.c_value by)
+
+let counter_value c = Atomic.get c.c_value
+let set g v = Afloat.set g.g_value v
+let add g d = Afloat.add g.g_value d
+let gauge_value g = Afloat.get g.g_value
+
+let bucket_index bounds v =
+  (* first bound >= v, or the overflow slot *)
+  let n = Array.length bounds in
+  let rec go i = if i >= n || v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  ignore (Atomic.fetch_and_add h.h_counts.(bucket_index h.h_bounds v) 1);
+  ignore (Atomic.fetch_and_add h.h_count 1);
+  Afloat.add h.h_sum v
+
+let time h f =
+  let t0 = !(h.h_clock) () in
+  Fun.protect ~finally:(fun () -> observe h (!(h.h_clock) () -. t0)) f
+
+type histogram_snapshot = {
+  buckets : (float * int) list;
+  count : int;
+  sum : float;
+}
+
+let histogram_snapshot h =
+  let acc = ref 0 in
+  let buckets =
+    Array.to_list
+      (Array.mapi
+         (fun i bound ->
+           acc := !acc + Atomic.get h.h_counts.(i);
+           (bound, !acc))
+         h.h_bounds)
+  in
+  { buckets; count = Atomic.get h.h_count; sum = Afloat.get h.h_sum }
+
+let reset t =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->
+  Hashtbl.iter
+    (fun _ f ->
+      Hashtbl.iter
+        (fun _ (_, child) ->
+          match child with
+          | Counter c -> Atomic.set c.c_value 0
+          | Gauge g -> Afloat.set g.g_value 0.
+          | Histogram h ->
+              Array.iter (fun a -> Atomic.set a 0) h.h_counts;
+              Atomic.set h.h_count 0;
+              Afloat.set h.h_sum 0.)
+        f.f_children)
+    t.families
+
+(* ---------- escaping ---------- *)
+
+let escape_with specials s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match List.assoc_opt c specials with
+      | Some repl -> Buffer.add_string buf repl
+      | None -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_label_value =
+  escape_with [ ('\\', "\\\\"); ('"', "\\\""); ('\n', "\\n") ]
+
+let escape_help = escape_with [ ('\\', "\\\\"); ('\n', "\\n") ]
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 8) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+(* ---------- export ---------- *)
+
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let sorted_families t =
+  Hashtbl.fold (fun _ f acc -> f :: acc) t.families []
+  |> List.sort (fun a b -> compare a.f_name b.f_name)
+
+let sorted_children f =
+  Hashtbl.fold (fun _ lc acc -> lc :: acc) f.f_children []
+  |> List.sort (fun (la, _) (lb, _) -> compare la lb)
+
+let prom_labels ?extra labels =
+  let labels = match extra with None -> labels | Some kv -> labels @ [ kv ] in
+  match labels with
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+             labels)
+      ^ "}"
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun f ->
+      if f.f_help <> "" then line "# HELP %s %s" f.f_name (escape_help f.f_help);
+      line "# TYPE %s %s" f.f_name (type_name f.f_type);
+      List.iter
+        (fun (labels, child) ->
+          match child with
+          | Counter c -> line "%s%s %d" f.f_name (prom_labels labels) (Atomic.get c.c_value)
+          | Gauge g -> line "%s%s %s" f.f_name (prom_labels labels) (float_str (Afloat.get g.g_value))
+          | Histogram h ->
+              let snap = histogram_snapshot h in
+              List.iter
+                (fun (bound, cum) ->
+                  line "%s_bucket%s %d" f.f_name
+                    (prom_labels ~extra:("le", float_str bound) labels) cum)
+                snap.buckets;
+              line "%s_bucket%s %d" f.f_name
+                (prom_labels ~extra:("le", "+Inf") labels) snap.count;
+              line "%s_sum%s %s" f.f_name (prom_labels labels) (float_str snap.sum);
+              line "%s_count%s %d" f.f_name (prom_labels labels) snap.count)
+        (sorted_children f))
+    (sorted_families t);
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  let add = Buffer.add_string buf in
+  let json_labels labels =
+    "{"
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> json_string k ^ ": " ^ json_string v) labels)
+    ^ "}"
+  in
+  add "{\"metrics\": [";
+  List.iteri
+    (fun i f ->
+      if i > 0 then add ",";
+      add
+        (Printf.sprintf "\n  {\"name\": %s, \"type\": %s, \"help\": %s, \"values\": ["
+           (json_string f.f_name)
+           (json_string (type_name f.f_type))
+           (json_string f.f_help));
+      List.iteri
+        (fun j (labels, child) ->
+          if j > 0 then add ",";
+          add "\n    ";
+          match child with
+          | Counter c ->
+              add
+                (Printf.sprintf "{\"labels\": %s, \"value\": %d}" (json_labels labels)
+                   (Atomic.get c.c_value))
+          | Gauge g ->
+              add
+                (Printf.sprintf "{\"labels\": %s, \"value\": %s}" (json_labels labels)
+                   (float_str (Afloat.get g.g_value)))
+          | Histogram h ->
+              let snap = histogram_snapshot h in
+              let buckets =
+                String.concat ", "
+                  (List.map
+                     (fun (bound, cum) ->
+                       Printf.sprintf "{\"le\": %s, \"count\": %d}" (float_str bound) cum)
+                     snap.buckets
+                  @ [ Printf.sprintf "{\"le\": \"+Inf\", \"count\": %d}" snap.count ])
+              in
+              add
+                (Printf.sprintf
+                   "{\"labels\": %s, \"count\": %d, \"sum\": %s, \"buckets\": [%s]}"
+                   (json_labels labels) snap.count (float_str snap.sum) buckets))
+        (sorted_children f);
+      add "]}")
+    (sorted_families t);
+  add "\n]}\n";
+  Buffer.contents buf

@@ -15,6 +15,8 @@
 
 module Document = Axml_core.Document
 module Execute = Axml_core.Execute
+module Metrics = Axml_obs.Metrics
+module Trace = Axml_obs.Trace
 
 (* ------------------------------------------------------------------ *)
 (* Clocks                                                              *)
@@ -150,7 +152,44 @@ type breaker = Closed of int (* consecutive failures *) | Open_until of float | 
 
 type breaker_state = [ `Closed | `Open | `Half_open ]
 
-type entry = { mutable st : stats; mutable breaker : breaker }
+(* Registry children for one guarded service, created once per service
+   name; the per-guard [stats] window stays in [st] (the public
+   accessors below are views over it), while these feed the
+   process-wide registry. *)
+type registry_handles = {
+  mc_calls : Metrics.counter;
+  mc_attempts : Metrics.counter;
+  mc_retries : Metrics.counter;
+  mc_successes : Metrics.counter;
+  mc_gave_up : Metrics.counter;
+  mc_timeouts : Metrics.counter;
+  mc_trips : Metrics.counter;
+  mc_short : Metrics.counter;
+  mg_breaker : Metrics.gauge;
+}
+
+let registry_handles fname =
+  let c help name =
+    Metrics.counter ~help ~labels:[ ("service", fname) ] name
+  in
+  { mc_calls = c "Guarded invocations entered" "axml_resilience_calls_total";
+    mc_attempts = c "Physical behaviour calls" "axml_resilience_attempts_total";
+    mc_retries = c "Attempts beyond the first" "axml_resilience_retries_total";
+    mc_successes = c "Guarded invocations that succeeded" "axml_resilience_successes_total";
+    mc_gave_up = c "Calls that exhausted their policy" "axml_resilience_gave_up_total";
+    mc_timeouts = c "Calls abandoned on budget exhaustion" "axml_resilience_timeouts_total";
+    mc_trips = c "Closed/half-open to open transitions" "axml_resilience_breaker_trips_total";
+    mc_short = c "Calls rejected by an open breaker" "axml_resilience_short_circuits_total";
+    mg_breaker =
+      Metrics.gauge ~help:"Breaker state: 0 closed, 1 half-open, 2 open"
+        ~labels:[ ("service", fname ) ] "axml_resilience_breaker_state" }
+
+type entry = {
+  e_name : string;
+  mutable st : stats;
+  mutable breaker : breaker;
+  m : registry_handles;
+}
 
 type t = {
   pol : policy;
@@ -167,7 +206,10 @@ let entry t fname =
   match Hashtbl.find_opt t.services fname with
   | Some e -> e
   | None ->
-    let e = { st = zero_stats; breaker = Closed 0 } in
+    let e =
+      { e_name = fname; st = zero_stats; breaker = Closed 0;
+        m = registry_handles fname }
+    in
     Hashtbl.add t.services fname e;
     e
 
@@ -198,18 +240,24 @@ let bump e f = e.st <- f e.st
 
 (* Record a failed attempt on the breaker; returns true when this
    failure trips the circuit open. *)
+let breaker_trip t e =
+  e.breaker <- Open_until (t.clock.now () +. t.pol.breaker_cooldown_s);
+  bump e (fun s -> { s with trips = s.trips + 1 });
+  Metrics.inc e.m.mc_trips;
+  Metrics.set e.m.mg_breaker 2.;
+  if Trace.enabled Trace.default then
+    Trace.emit (Breaker { fname = e.e_name; transition = "trip" })
+
 let breaker_fail t e =
   match e.breaker with
   | Half_open ->
     (* the probe failed: straight back to open *)
-    e.breaker <- Open_until (t.clock.now () +. t.pol.breaker_cooldown_s);
-    bump e (fun s -> { s with trips = s.trips + 1 });
+    breaker_trip t e;
     true
   | Closed n ->
     let n = n + 1 in
     if n >= t.pol.breaker_threshold then begin
-      e.breaker <- Open_until (t.clock.now () +. t.pol.breaker_cooldown_s);
-      bump e (fun s -> { s with trips = s.trips + 1 });
+      breaker_trip t e;
       true
     end
     else begin
@@ -218,7 +266,14 @@ let breaker_fail t e =
     end
   | Open_until _ -> false (* shouldn't attempt while open *)
 
-let breaker_success e = e.breaker <- Closed 0
+let breaker_success e =
+  (match e.breaker with
+   | Closed _ -> ()
+   | Half_open | Open_until _ ->
+     if Trace.enabled Trace.default then
+       Trace.emit (Breaker { fname = e.e_name; transition = "close" }));
+  e.breaker <- Closed 0;
+  Metrics.set e.m.mg_breaker 0.
 
 let jittered t base =
   if t.pol.jitter <= 0. then base
@@ -233,15 +288,23 @@ let guard t ~name behaviour params =
   let e = entry t name in
   let start = t.clock.now () in
   bump e (fun s -> { s with calls = s.calls + 1 });
+  Metrics.inc e.m.mc_calls;
   (* breaker gate *)
   (match e.breaker with
    | Open_until until when t.clock.now () < until ->
      bump e (fun s -> { s with short_circuited = s.short_circuited + 1 });
+     Metrics.inc e.m.mc_short;
+     if Trace.enabled Trace.default then
+       Trace.emit (Breaker { fname = name; transition = "short-circuit" });
      raise
        (Execute.Invocation_failed
           { fname = name; attempts = 0;
             cause = Circuit_open { fname = name; retry_at_s = until } })
-   | Open_until _ -> e.breaker <- Half_open
+   | Open_until _ ->
+     e.breaker <- Half_open;
+     Metrics.set e.m.mg_breaker 1.;
+     if Trace.enabled Trace.default then
+       Trace.emit (Breaker { fname = name; transition = "half-open" })
    | Closed _ | Half_open -> ());
   let deadline =
     match t.pol.timeout_s with None -> infinity | Some b -> start +. b
@@ -252,6 +315,8 @@ let guard t ~name behaviour params =
         { s with
           gave_up = s.gave_up + 1;
           timeouts = (if timed_out then s.timeouts + 1 else s.timeouts) });
+    Metrics.inc e.m.mc_gave_up;
+    if timed_out then Metrics.inc e.m.mc_timeouts;
     raise (Execute.Invocation_failed { fname = name; attempts; cause })
   in
   let rec attempt n backoff =
@@ -259,6 +324,10 @@ let guard t ~name behaviour params =
         { s with
           attempts = s.attempts + 1;
           retries = (if n > 1 then s.retries + 1 else s.retries) });
+    Metrics.inc e.m.mc_attempts;
+    if n > 1 then Metrics.inc e.m.mc_retries;
+    if Trace.enabled Trace.default then
+      Trace.emit (Attempt { fname = name; number = n });
     match behaviour params with
     | result ->
       if over_budget () then begin
@@ -272,6 +341,7 @@ let guard t ~name behaviour params =
       else begin
         breaker_success e;
         bump e (fun s -> { s with successes = s.successes + 1 });
+        Metrics.inc e.m.mc_successes;
         result
       end
     | exception ((Stack_overflow | Out_of_memory) as fatal) -> raise fatal
@@ -289,6 +359,8 @@ let guard t ~name behaviour params =
                budget_s = deadline -. start })
       else begin
         let pause = Float.min (jittered t backoff) (deadline -. t.clock.now ()) in
+        if Trace.enabled Trace.default then
+          Trace.emit (Retry { fname = name; attempt = n; backoff_s = Float.max pause 0. });
         if pause > 0. then t.clock.sleep pause;
         if over_budget () then
           give_up ~attempts:n ~timed_out:true

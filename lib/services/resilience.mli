@@ -90,9 +90,16 @@ type stats = {
 }
 
 val zero_stats : stats
+(** All counters at zero. *)
+
 val add_stats : stats -> stats -> stats
+(** Pointwise sum, e.g. to aggregate several services. *)
+
 val diff_stats : before:stats -> stats -> stats
+(** Counter deltas: the guard activity between two snapshots. *)
+
 val pp_stats : stats Fmt.t
+(** One-line human rendering of the counters. *)
 
 (** {1 Guards} *)
 
@@ -110,8 +117,20 @@ val guard :
     @raise Axml_core.Execute.Invocation_failed on give-up. *)
 
 val wrap_behaviour : t -> name:string -> Service.behaviour -> Service.behaviour
+(** [wrap_behaviour t ~name b] is [b] guarded under [name]'s policy
+    and breaker — a drop-in replacement wherever a
+    {!Service.behaviour} is expected. *)
+
 val wrap_service : t -> Service.t -> Service.t
+(** A service equal to the original except that its behaviour is
+    guarded (under the service's own name); the declared signature and
+    metadata are untouched. *)
+
 val wrap_invoker : t -> Axml_core.Execute.invoker -> Axml_core.Execute.invoker
+(** Guards a whole invoker: each function name invoked through it gets
+    its own breaker and counters in [t]. This is what
+    [Axml_peer.Enforcement] applies when a [resilience] guard is
+    configured. *)
 
 (** {1 Introspection} *)
 

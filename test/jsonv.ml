@@ -1,0 +1,129 @@
+(* A minimal recursive-descent JSON syntax checker, shared by the test
+   executables that assert exported JSON (metrics dumps, batch stats,
+   trace events) actually parses. It builds no AST and accepts exactly
+   one top-level value. *)
+
+exception Bad of string * int
+
+let validate (s : string) : unit =
+  let n = String.length s in
+  let i = ref 0 in
+  let peek () = if !i < n then Some s.[!i] else None in
+  let advance () = incr i in
+  let error msg = raise (Bad (msg, !i)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> error (Printf.sprintf "expected %C" c)
+  in
+  let literal w =
+    let l = String.length w in
+    if !i + l <= n && String.sub s !i l = w then i := !i + l
+    else error ("expected " ^ w)
+  in
+  let digits () =
+    let saw = ref false in
+    let rec go () =
+      match peek () with
+      | Some '0' .. '9' -> saw := true; advance (); go ()
+      | _ -> ()
+    in
+    go ();
+    if not !saw then error "digit expected"
+  in
+  let string_lit () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> error "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+           advance (); go ()
+         | Some 'u' ->
+           advance ();
+           for _ = 1 to 4 do
+             match peek () with
+             | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+             | _ -> error "bad \\u escape"
+           done;
+           go ()
+         | _ -> error "bad escape")
+      | Some c when Char.code c < 0x20 -> error "raw control character"
+      | Some _ -> advance (); go ()
+    in
+    go ()
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> string_lit ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | _ -> error "value expected"
+  and number () =
+    (match peek () with Some '-' -> advance () | _ -> ());
+    digits ();
+    (match peek () with Some '.' -> advance (); digits () | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ()
+  and obj () =
+    expect '{';
+    skip_ws ();
+    match peek () with
+    | Some '}' -> advance ()
+    | _ ->
+      let rec members () =
+        skip_ws ();
+        string_lit ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance (); members ()
+        | Some '}' -> advance ()
+        | _ -> error "',' or '}' expected"
+      in
+      members ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    match peek () with
+    | Some ']' -> advance ()
+    | _ ->
+      let rec elems () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' -> advance (); elems ()
+        | Some ']' -> advance ()
+        | _ -> error "',' or ']' expected"
+      in
+      elems ()
+  in
+  value ();
+  skip_ws ();
+  if !i <> n then error "trailing garbage"
+
+let is_valid s = match validate s with () -> true | exception Bad _ -> false
+
+let explain s =
+  match validate s with
+  | () -> None
+  | exception Bad (msg, pos) -> Some (Printf.sprintf "%s at offset %d" msg pos)

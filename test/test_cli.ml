@@ -201,6 +201,89 @@ let test_batch_fault_tolerance () =
   check "no faults surfaced" true (contains json "\"faults\": 0");
   check "one retry recorded" true (contains json "\"retries\": 1")
 
+let test_batch_stats_json_shape () =
+  setup ();
+  let json_file = path "shape_stats.json" in
+  let code, _ =
+    run [ "batch"; "-f"; path "sender.axs"; "-t"; path "exchange.axs";
+          "--stats-json"; json_file; path "doc.xml" ]
+  in
+  check_int "exit 0" 0 code;
+  let json = read_file json_file in
+  (match Jsonv.explain json with
+   | None -> ()
+   | Some why -> Alcotest.failf "stats JSON does not parse: %s" why);
+  check "names the sender schema" true (contains json "\"sender_schema\"");
+  check "names the exchange schema" true (contains json "\"exchange_schema\"");
+  check "records the schema path" true (contains json (path "exchange.axs"));
+  check "stamps the run" true (contains json "\"timestamp\": \"2")
+
+let test_batch_metrics_out () =
+  setup ();
+  let prom_file = path "metrics.prom" in
+  let code, _ =
+    run [ "batch"; "-f"; path "sender.axs"; "-t"; path "exchange.axs";
+          "--metrics-out"; prom_file; path "doc.xml"; path "doc.xml" ]
+  in
+  check_int "exit 0" 0 code;
+  let prom = read_file prom_file in
+  check "typed counter" true
+    (contains prom "# TYPE axml_enforcement_documents_total counter");
+  check "labelled sample" true
+    (contains prom "axml_enforcement_documents_total{outcome=\"rewritten\"} 2");
+  check "histogram exported" true
+    (contains prom "# TYPE axml_enforcement_seconds histogram");
+  check "+Inf bucket" true
+    (contains prom "axml_enforcement_seconds_bucket{le=\"+Inf\"} 2");
+  (* a .json suffix switches the dump format *)
+  let json_file = path "metrics.json" in
+  let code, _ =
+    run [ "batch"; "-f"; path "sender.axs"; "-t"; path "exchange.axs";
+          "--metrics-out"; json_file; path "doc.xml" ]
+  in
+  check_int "json variant: exit 0" 0 code;
+  let json = read_file json_file in
+  (match Jsonv.explain json with
+   | None -> ()
+   | Some why -> Alcotest.failf "metrics JSON does not parse: %s" why);
+  check "execute metrics present" true
+    (contains json "axml_execute_invocations_total")
+
+let test_trace () =
+  setup ();
+  let jsonl_file = path "trace.jsonl" in
+  let code, out =
+    run [ "trace"; "-f"; path "sender.axs"; "-t"; path "exchange.axs";
+          "--jsonl"; jsonl_file; path "doc.xml" ]
+  in
+  check_int "exit 0" 0 code;
+  check "header line" true (contains out "trace:");
+  check "validation step" true (contains out "validate newspaper");
+  check "cache query" true (contains out "cache safe");
+  check "fork choice" true (contains out "fork Get_Temp: invoke");
+  check "invocation outcome" true (contains out "invoke Get_Temp: ok");
+  check "verdict" true (contains out "decision newspaper: ACCEPT");
+  (* every recorded event round-trips as one JSON object per line *)
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (read_file jsonl_file))
+  in
+  check "events exported" true (List.length lines > 5);
+  List.iter
+    (fun l ->
+      match Jsonv.explain l with
+      | None -> ()
+      | Some why -> Alcotest.failf "bad JSONL line %S: %s" l why)
+    lines;
+  (* a rejected document still yields a trace, and the exit code says so *)
+  let code, out =
+    run [ "trace"; "-f"; path "sender.axs"; "-t"; path "strict.axs";
+          path "doc.xml" ]
+  in
+  check_int "rejection: exit 1" 1 code;
+  check "reject verdict traced" true (contains out "REJECT")
+
 let test_compat () =
   setup ();
   let code, out =
@@ -248,6 +331,9 @@ let () =
          Alcotest.test_case "rewrite rejected" `Quick test_rewrite_rejected;
          Alcotest.test_case "batch" `Quick test_batch;
          Alcotest.test_case "batch fault tolerance" `Quick test_batch_fault_tolerance;
+         Alcotest.test_case "batch stats json shape" `Quick test_batch_stats_json_shape;
+         Alcotest.test_case "batch metrics out" `Quick test_batch_metrics_out;
+         Alcotest.test_case "trace" `Quick test_trace;
          Alcotest.test_case "compat" `Quick test_compat;
          Alcotest.test_case "schema convert" `Quick test_schema_convert;
          Alcotest.test_case "bad inputs" `Quick test_bad_inputs

@@ -1,0 +1,324 @@
+(* Tests for the observability layer (lib/obs): metrics registry
+   semantics, exporter formats, the trace ring buffer, and the
+   guarantee that attaching a sink never changes enforcement
+   outcomes. *)
+
+module Metrics = Axml_obs.Metrics
+module Trace = Axml_obs.Trace
+module Schema_parser = Axml_schema.Schema_parser
+module D = Axml_core.Document
+module Generate = Axml_core.Generate
+module Enforcement = Axml_peer.Enforcement
+module Pipeline = Enforcement.Pipeline
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* ---------------- counters and gauges ---------------- *)
+
+let test_counter_basics () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "test_total" in
+  check_int "starts at 0" 0 (Metrics.counter_value c);
+  Metrics.inc c;
+  Metrics.inc ~by:4 c;
+  check_int "1 + 4" 5 (Metrics.counter_value c);
+  Metrics.inc ~by:0 c;
+  check_int "by:0 is a no-op" 5 (Metrics.counter_value c);
+  (* same name + labels = same underlying child *)
+  let c' = Metrics.counter ~registry:r "test_total" in
+  Metrics.inc c';
+  check_int "idempotent registration" 6 (Metrics.counter_value c);
+  check "negative increment rejected" true
+    (match Metrics.inc ~by:(-1) c with
+     | () -> false
+     | exception Invalid_argument _ -> true)
+
+let test_labels_canonical () =
+  let r = Metrics.create () in
+  let a = Metrics.counter ~registry:r ~labels:[ ("x", "1"); ("y", "2") ] "lbl_total" in
+  let b = Metrics.counter ~registry:r ~labels:[ ("y", "2"); ("x", "1") ] "lbl_total" in
+  Metrics.inc a;
+  Metrics.inc b;
+  check_int "label order does not split children" 2 (Metrics.counter_value a)
+
+let test_type_conflict () =
+  let r = Metrics.create () in
+  let _ = Metrics.counter ~registry:r "conflict_metric" in
+  check "re-registering as a gauge raises" true
+    (match Metrics.gauge ~registry:r "conflict_metric" with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
+let test_gauge () =
+  let r = Metrics.create () in
+  let g = Metrics.gauge ~registry:r "g" in
+  Metrics.set g 2.5;
+  Metrics.add g (-1.0);
+  Alcotest.(check (float 1e-9)) "set then add" 1.5 (Metrics.gauge_value g)
+
+(* ---------------- histograms ---------------- *)
+
+let test_histogram_le_semantics () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r ~buckets:[ 1.0; 2.0; 5.0 ] "h_seconds" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 1.5; 2.0; 6.0 ];
+  let s = Metrics.histogram_snapshot h in
+  check_int "count" 5 s.Metrics.count;
+  Alcotest.(check (float 1e-9)) "sum" 11.0 s.Metrics.sum;
+  (* cumulative buckets, le semantics: a value equal to a bound lands
+     in that bound's bucket *)
+  (match s.Metrics.buckets with
+   | [ (b1, c1); (b2, c2); (b3, c3) ] ->
+     Alcotest.(check (float 0.)) "bound 1" 1.0 b1;
+     check_int "le 1.0 (0.5 and 1.0)" 2 c1;
+     Alcotest.(check (float 0.)) "bound 2" 2.0 b2;
+     check_int "le 2.0 (+ 1.5 and 2.0)" 4 c2;
+     Alcotest.(check (float 0.)) "bound 5" 5.0 b3;
+     check_int "le 5.0 (6.0 overflows to +Inf)" 4 c3
+   | bs -> Alcotest.failf "expected 3 buckets, got %d" (List.length bs))
+
+let test_histogram_time_uses_clock () =
+  let r = Metrics.create () in
+  let now = ref 10.0 in
+  Metrics.set_clock r (fun () -> !now);
+  let h = Metrics.histogram ~registry:r ~buckets:[ 1.0 ] "timed_seconds" in
+  let v = Metrics.time h (fun () -> now := !now +. 0.25; 42) in
+  check_int "returns the result" 42 v;
+  let s = Metrics.histogram_snapshot h in
+  check_int "one observation" 1 s.Metrics.count;
+  Alcotest.(check (float 1e-9)) "observed the clock delta" 0.25 s.Metrics.sum
+
+(* ---------------- exporters ---------------- *)
+
+let populated_registry () =
+  let r = Metrics.create () in
+  let c =
+    Metrics.counter ~registry:r ~help:"help with \\ and\nnewline"
+      ~labels:[ ("svc", "we\"ird\\na\nme") ]
+      "exp_total"
+  in
+  Metrics.inc ~by:3 c;
+  let h = Metrics.histogram ~registry:r ~buckets:[ 0.1; 1.0 ] "exp_seconds" in
+  Metrics.observe h 0.05;
+  Metrics.observe h 5.0;
+  let g = Metrics.gauge ~registry:r "exp_state" in
+  Metrics.set g 2.0;
+  r
+
+let test_prometheus_format () =
+  let out = Metrics.to_prometheus (populated_registry ()) in
+  check "TYPE line" true (contains out "# TYPE exp_total counter");
+  check "histogram TYPE" true (contains out "# TYPE exp_seconds histogram");
+  check "label value escaped" true
+    (contains out "svc=\"we\\\"ird\\\\na\\nme\"");
+  check "help escaped" true (contains out "help with \\\\ and\\nnewline");
+  check "cumulative +Inf bucket" true
+    (contains out "exp_seconds_bucket{le=\"+Inf\"} 2");
+  check "sum line" true (contains out "exp_seconds_sum");
+  check "count line" true (contains out "exp_seconds_count 2");
+  check "gauge sample" true (contains out "exp_state 2")
+
+let test_json_export_valid () =
+  let out = Metrics.to_json (populated_registry ()) in
+  (match Jsonv.explain out with
+   | None -> ()
+   | Some e -> Alcotest.failf "invalid JSON: %s\n%s" e out);
+  check "metrics array" true (contains out "\"metrics\"");
+  check "counter value" true (contains out "\"value\": 3");
+  check "+Inf spelled as string" true (contains out "\"le\": \"+Inf\"")
+
+let test_json_string_escaping () =
+  check_str "plain" "\"abc\"" (Metrics.json_string "abc");
+  check_str "quote and backslash" "\"a\\\"b\\\\c\""
+    (Metrics.json_string "a\"b\\c");
+  check_str "newline and tab" "\"a\\nb\\tc\"" (Metrics.json_string "a\nb\tc");
+  check "control chars escaped" true
+    (contains (Metrics.json_string "a\x01b") "\\u0001");
+  check "result is valid JSON" true
+    (Jsonv.is_valid (Metrics.json_string "we\"ird\\\n\x02"))
+
+(* ---------------- trace ring buffer ---------------- *)
+
+let test_ring_wraparound () =
+  let buf = Trace.buffer ~capacity:3 () in
+  let now = ref 0.0 in
+  let tracer = Trace.create ~clock:(fun () -> now := !now +. 1.0; !now) () in
+  Trace.set_clock_every tracer 1;
+  Trace.set_sink tracer (Trace.Memory buf);
+  for i = 1 to 8 do
+    Trace.emit ~tracer (Trace.Note (string_of_int i))
+  done;
+  check_int "pushed counts everything" 8 (Trace.buffer_pushed buf);
+  check_int "capacity" 3 (Trace.buffer_capacity buf);
+  let events = Trace.buffer_events buf in
+  check_int "retains capacity events" 3 (List.length events);
+  let notes =
+    List.map
+      (fun e -> match e.Trace.kind with Trace.Note s -> s | _ -> "?")
+      events
+  in
+  Alcotest.(check (list string)) "last three, oldest first" [ "6"; "7"; "8" ] notes;
+  let seqs = List.map (fun e -> e.Trace.seq) events in
+  Alcotest.(check (list int)) "sequence numbers survive" [ 5; 6; 7 ] seqs;
+  check "timestamps monotone" true
+    (let ts = List.map (fun e -> e.Trace.time_s) events in
+     List.sort compare ts = ts);
+  Trace.buffer_clear buf;
+  check_int "clear resets pushed" 0 (Trace.buffer_pushed buf);
+  check_int "clear drops events" 0 (List.length (Trace.buffer_events buf))
+
+let test_with_span_depth_and_errors () =
+  let buf = Trace.buffer ~capacity:16 () in
+  let tracer = Trace.create ~sink:(Trace.Memory buf) () in
+  (try
+     Trace.with_span ~tracer "outer" (fun () ->
+         Trace.emit ~tracer (Trace.Note "inside");
+         failwith "boom")
+   with Failure _ -> ());
+  let events = Trace.buffer_events buf in
+  check_int "open + note + close" 3 (List.length events);
+  (match events with
+   | [ o; n; c ] ->
+     check "opens outer" true
+       (match o.Trace.kind with Trace.Span_open { name = "outer"; _ } -> true | _ -> false);
+     check_int "note is nested" 1 n.Trace.depth;
+     check "span closed despite the raise" true
+       (match c.Trace.kind with Trace.Span_close { name = "outer"; _ } -> true | _ -> false);
+     check_int "close back at depth 0" 0 c.Trace.depth
+   | _ -> Alcotest.fail "unexpected event shape");
+  (* detail thunks must not be forced when the tracer is disabled *)
+  let disabled = Trace.create () in
+  let forced = ref false in
+  let v =
+    Trace.with_span ~tracer:disabled ~detail:(fun () -> forced := true; "d")
+      "quiet" (fun () -> 7)
+  in
+  check_int "passthrough result" 7 v;
+  check "detail not forced on Null" false !forced
+
+let test_event_json () =
+  let kinds =
+    [ Trace.Span_open { name = "enforce"; detail = "doc \"1\"" };
+      Trace.Span_close { name = "enforce"; elapsed_s = 1e-4 };
+      Trace.Cache_query { cache = "safe"; hit = true };
+      Trace.Validation { subject = "newspaper"; violations = 2 };
+      Trace.Fork_choice { fname = "Get_Temp"; choice = "invoke" };
+      Trace.Attempt { fname = "f"; number = 1 };
+      Trace.Retry { fname = "f"; attempt = 1; backoff_s = 0.01 };
+      Trace.Breaker { fname = "f"; transition = "trip" };
+      Trace.Invocation { fname = "f"; attempts = 2; ok = false };
+      Trace.Decision
+        { subject = "doc"; verdict = Trace.Accept; detail = "a\\b\nc" };
+      Trace.Note "free\tform" ]
+  in
+  List.iteri
+    (fun i kind ->
+      let e = { Trace.seq = i; time_s = 0.5; depth = 1; kind } in
+      let json = Trace.event_to_json e in
+      match Jsonv.explain json with
+      | None -> ()
+      | Some err -> Alcotest.failf "event %d: %s\n%s" i err json)
+    kinds
+
+(* ---------------- sink parity ---------------- *)
+
+let parse_schema text =
+  match Schema_parser.parse_result text with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "schema parse error: %s" e
+
+let common = {|
+element title = #data
+element date = #data
+element temp = #data
+element city = #data
+element exhibit = title.(Get_Date | date)
+element performance = title.date
+function Get_Temp : city -> temp
+function TimeOut : #data -> (exhibit | performance)*
+function Get_Date : title -> date
+|}
+
+let schema_star =
+  parse_schema
+    ({|
+root newspaper
+element newspaper = title.date.(Get_Temp | temp).(TimeOut | exhibit*)
+|} ^ common)
+
+let schema_star2 =
+  parse_schema
+    ({|
+root newspaper
+element newspaper = title.date.temp.(TimeOut | exhibit*)
+|} ^ common)
+
+(* One enforcement run over [seed]-generated documents with honest
+   random services, entirely deterministic in [seed]. *)
+let run_batch ~seed sink =
+  let g = Generate.create ~seed schema_star in
+  let docs = List.init 30 (fun _ -> Generate.document g) in
+  let oracle = Generate.create ~seed:(seed + 1) schema_star in
+  let invoker fname _params = Generate.output_instance oracle fname in
+  let p = Pipeline.create ~s0:schema_star ~exchange:schema_star2 ~invoker () in
+  Trace.set_sink Trace.default sink;
+  Fun.protect
+    ~finally:(fun () -> Trace.set_sink Trace.default Trace.Null)
+    (fun () -> fst (Pipeline.enforce_many p docs))
+
+let outcome_equal a b =
+  match (a, b) with
+  | Ok (d1, r1), Ok (d2, r2) ->
+    D.equal d1 d2
+    && r1.Enforcement.action = r2.Enforcement.action
+    && List.length r1.Enforcement.invocations
+       = List.length r2.Enforcement.invocations
+  | Error (Enforcement.Rejected _), Error (Enforcement.Rejected _)
+  | Error (Enforcement.Attempt_failed _), Error (Enforcement.Attempt_failed _)
+  | Error (Enforcement.Service_fault _), Error (Enforcement.Service_fault _) ->
+    true
+  | _ -> false
+
+let test_sink_parity =
+  QCheck.Test.make ~name:"memory sink never changes enforcement outcomes"
+    ~count:20
+    QCheck.(small_int)
+    (fun seed ->
+      let plain = run_batch ~seed Trace.Null in
+      let traced = run_batch ~seed (Trace.Memory (Trace.buffer ~capacity:64 ())) in
+      List.length plain = List.length traced
+      && List.for_all2 outcome_equal plain traced)
+
+(* ---------------- suite ---------------- *)
+
+let () =
+  Alcotest.run "obs"
+    [ ( "metrics",
+        [ Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "label canonicalization" `Quick test_labels_canonical;
+          Alcotest.test_case "type conflict" `Quick test_type_conflict;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram le buckets" `Quick
+            test_histogram_le_semantics;
+          Alcotest.test_case "histogram time + clock" `Quick
+            test_histogram_time_uses_clock ] );
+      ( "export",
+        [ Alcotest.test_case "prometheus text format" `Quick
+            test_prometheus_format;
+          Alcotest.test_case "json export is valid" `Quick test_json_export_valid;
+          Alcotest.test_case "json string escaping" `Quick
+            test_json_string_escaping ] );
+      ( "trace",
+        [ Alcotest.test_case "ring wraparound" `Quick test_ring_wraparound;
+          Alcotest.test_case "span depth and errors" `Quick
+            test_with_span_depth_and_errors;
+          Alcotest.test_case "event json" `Quick test_event_json ] );
+      ( "parity",
+        [ QCheck_alcotest.to_alcotest test_sink_parity ] ) ]
