@@ -1128,6 +1128,132 @@ let e19 () =
   Fmt.pr "machine-readable results written to BENCH_E19.json@."
 
 (* ------------------------------------------------------------------ *)
+(* E20: static analysis — lint throughput over synthetic schemas       *)
+(* ------------------------------------------------------------------ *)
+
+module Lint = Axml_analysis.Lint
+module Diagnostic = Axml_analysis.Diagnostic
+
+(* A deterministic pseudo-random schema with [n] elements: content
+   models mix sequences, alternations, stars and calls over the earlier
+   declarations and a fixed pool of functions — the shape a grown
+   service repository schema takes, with enough rot (unreachable and
+   ambiguous declarations) for every rule to do real work. *)
+let synthetic_schema rng n =
+  let label i = "e" ^ string_of_int i in
+  let atom i =
+    match Random.State.int rng 4 with
+    | 0 -> R.sym Schema.A_data
+    | 1 | 2 -> R.sym (Schema.A_label (label (Random.State.int rng i)))
+    | _ -> R.sym (Schema.A_fun ("F" ^ string_of_int (Random.State.int rng 8)))
+  in
+  let rec content depth i =
+    if depth = 0 then atom i
+    else
+      match Random.State.int rng 5 with
+      | 0 -> R.seq (content (depth - 1) i) (content (depth - 1) i)
+      | 1 -> R.alt (content (depth - 1) i) (content (depth - 1) i)
+      | 2 -> R.star (content (depth - 1) i)
+      | 3 -> R.opt (content (depth - 1) i)
+      | _ -> atom i
+  in
+  let s = Schema.add_element Schema.empty (label 0) (R.sym Schema.A_data) in
+  let s =
+    List.fold_left
+      (fun s i -> Schema.add_element s (label i) (content 3 i))
+      s
+      (List.init (n - 1) (fun i -> i + 1))
+  in
+  let s =
+    List.fold_left
+      (fun s j ->
+        Schema.add_function s
+          (Schema.func
+             ("F" ^ string_of_int j)
+             ~input:(R.sym Schema.A_data)
+             ~output:(R.sym (Schema.A_label (label (Random.State.int rng n))))))
+      s
+      (List.init 8 Fun.id)
+  in
+  Schema.with_root s (label (n - 1))
+
+let e20 () =
+  section "e20" "static analysis: lint throughput";
+  expectation
+    "every rule reuses the compile-time automata of Sections 4-6, so a \
+     full schema lint should stay in the milliseconds even for \
+     hundreds of declarations and grow roughly linearly with them; \
+     contract lint is dominated by the Section 6 schema-rewriting \
+     check, and a pipeline re-serves its cached verdict for free";
+  let sizes = [ 10; 40; 160 ] in
+  let rows =
+    List.map
+      (fun n ->
+        (* same seed per size: the schema, and so the measurement, is
+           reproducible run to run *)
+        let rng = Random.State.make [| 0xE20; n |] in
+        let s = synthetic_schema rng n in
+        let ns = measure_ns (Fmt.str "lint %d elements" n) (fun () -> Lint.lint_schema s) in
+        let ds = Lint.lint_schema s in
+        let count sev = Diagnostic.count sev ds in
+        Fmt.pr
+          "%4d elements: %a per lint  (%7.0f schemas/s, %.1f us/element)  \
+           %d errors %d warnings %d hints@."
+          n pp_ns ns (1e9 /. ns)
+          (ns /. 1e3 /. float_of_int n)
+          (count Diagnostic.Error) (count Diagnostic.Warning)
+          (count Diagnostic.Hint);
+        (n, ns, count Diagnostic.Error, count Diagnostic.Warning,
+         count Diagnostic.Hint))
+      sizes
+  in
+  (* contract- and document-level passes on the paper's example *)
+  let contract =
+    Axml_core.Contract.create ~s0:schema_star ~target:schema_star2 ()
+  in
+  let contract_ns =
+    measure_ns "lint contract" (fun () -> Lint.lint_contract contract)
+  in
+  let doc_ns =
+    measure_ns "lint document" (fun () -> Lint.lint_document contract fig2a)
+  in
+  Fmt.pr "contract lint (star -> star2): %a@." pp_ns contract_ns;
+  Fmt.pr "document lint (Figure 2a)    : %a@." pp_ns doc_ns;
+  (* the pipeline memoizes its contract lint with the compiled artifacts *)
+  let p =
+    Pipeline.create ~s0:schema_star ~exchange:schema_star2
+      ~invoker:(Registry.invoker (example_registry ())) ()
+  in
+  let t0 = Unix.gettimeofday () in
+  ignore (Pipeline.lint p);
+  let first_s = Unix.gettimeofday () -. t0 in
+  let cached_ns = measure_ns "cached pipeline lint" (fun () -> Pipeline.lint p) in
+  Fmt.pr "pipeline lint: first force %.3f ms, cached read %a@."
+    (first_s *. 1e3) pp_ns cached_ns;
+  let oc = open_out "BENCH_E20.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"e20\",\n\
+    \  \"schemas\": [\n%s\n  ],\n\
+    \  \"contract_lint_ns\": %.0f,\n\
+    \  \"document_lint_ns\": %.0f,\n\
+    \  \"pipeline_lint_first_ms\": %.3f,\n\
+    \  \"pipeline_lint_cached_ns\": %.0f\n\
+     }\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (n, ns, e, w, h) ->
+            Printf.sprintf
+              "    {\"elements\": %d, \"lint_ns\": %.0f, \
+               \"schemas_per_s\": %.1f, \"errors\": %d, \"warnings\": %d, \
+               \"hints\": %d}"
+              n ns (1e9 /. ns) e w h)
+          rows))
+    contract_ns doc_ns (first_s *. 1e3) cached_ns;
+  close_out oc;
+  Fmt.pr "machine-readable results written to BENCH_E20.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1135,7 +1261,7 @@ let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17); ("e18", e18); ("e19", e19) ]
+    ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20) ]
 
 let () =
   let selected =

@@ -13,6 +13,9 @@
      axml trace     -f sender.axs -t exchange.axs doc.xml [-k N] [--possible]
                     [--oracle random|fail|flaky] [--retries N]
                     [--buffer N] [--jsonl FILE] [--metrics-out FILE]
+     axml lint      -s schema.axs | -f sender.axs -t exchange.axs [doc.xml...]
+                    [--format text|json] [--deny error|warning|hint]
+                    [-k N] [--metrics-out FILE]
 
    Schema files may use the compact textual syntax (see README) or the
    XML Schema_int syntax; the format is auto-detected. Documents are
@@ -199,40 +202,6 @@ let make_invoker ~env ~s0 oracle =
       if !count mod 7 = 0 then failwith ("service " ^ name ^ ": transient failure")
       else Generate.output_instance g name
 
-let action_string = function
-  | Enforcement.Conformed -> "conformed"
-  | Enforcement.Rewritten -> "rewritten"
-  | Enforcement.Rewritten_possible -> "rewritten-possible"
-
-let error_tag = function
-  | Enforcement.Rejected _ -> "REJECTED"
-  | Enforcement.Attempt_failed _ -> "ATTEMPT-FAILED"
-  | Enforcement.Service_fault _ -> "SERVICE-FAULT"
-
-(* One shared per-document outcome printer (batch, rewrite and trace
-   all format outcomes through here): the outcome line on stdout,
-   error details on stderr. *)
-let print_outcome ?(ppf = Fmt.stdout) ~label = function
-  | Ok (_, report) ->
-    Fmt.pf ppf "%s: %s, %d invocation(s)@." label
-      (action_string report.Enforcement.action)
-      (List.length report.Enforcement.invocations)
-  | Error e ->
-    Fmt.pf ppf "%s: %s@." label (error_tag e);
-    Fmt.epr "%s: %a@." label Enforcement.pp_error e
-
-(* The shared run-statistics printer (batch and trace). *)
-let print_run_stats stats = Fmt.epr "%a@." Enforcement.Pipeline.pp_stats stats
-
-(* Dump the process-wide metrics registry: Prometheus text format, or
-   JSON when the file name ends in .json. *)
-let write_metrics file =
-  let data =
-    if Filename.check_suffix file ".json" then Metrics.to_json Metrics.default
-    else Metrics.to_prometheus Metrics.default
-  in
-  write_output (Some file) data
-
 let metrics_out_arg =
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
          ~doc:"Dump the metrics registry to $(docv) on exit: Prometheus \
@@ -257,7 +226,7 @@ let rewrite_cmd =
         in
         let result = Enforcement.enforce ~config ~s0 ~exchange ~invoker doc in
         (* the materialized document owns stdout; outcomes go to stderr *)
-        print_outcome ~ppf:Fmt.stderr ~label:doc_path result;
+        Report.print_outcome ~ppf:Fmt.stderr ~label:doc_path result;
         match result with
         | Ok (doc', _) ->
           write_output out (Syntax.to_xml_string doc');
@@ -274,52 +243,6 @@ let rewrite_cmd =
 (* ------------------------------------------------------------------ *)
 (* batch                                                               *)
 (* ------------------------------------------------------------------ *)
-
-let iso8601 t =
-  let tm = Unix.gmtime t in
-  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
-    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
-    tm.Unix.tm_sec
-
-let stats_json ~sender ~exchange (s : Enforcement.Pipeline.stats) =
-  let c = s.Enforcement.Pipeline.cache in
-  let r = s.Enforcement.Pipeline.resilience in
-  Printf.sprintf
-    "{\n\
-    \  \"timestamp\": %s,\n\
-    \  \"sender_schema\": %s,\n\
-    \  \"exchange_schema\": %s,\n\
-    \  \"docs\": %d,\n\
-    \  \"conformed\": %d,\n\
-    \  \"rewritten\": %d,\n\
-    \  \"rewritten_possible\": %d,\n\
-    \  \"rejected\": %d,\n\
-    \  \"attempt_failed\": %d,\n\
-    \  \"faults\": %d,\n\
-    \  \"invocations\": %d,\n\
-    \  \"elapsed_s\": %.6f,\n\
-    \  \"docs_per_s\": %.1f,\n\
-    \  \"cache\": { \"hits\": %d, \"misses\": %d, \"evictions\": %d, \
-     \"entries\": %d },\n\
-    \  \"cache_hit_rate\": %.4f,\n\
-    \  \"resilience\": { \"calls\": %d, \"attempts\": %d, \"retries\": %d, \
-     \"successes\": %d, \"gave_up\": %d, \"timeouts\": %d, \"trips\": %d, \
-     \"short_circuited\": %d }\n\
-     }\n"
-    (Metrics.json_string (iso8601 (Unix.gettimeofday ())))
-    (Metrics.json_string sender)
-    (Metrics.json_string exchange)
-    s.Enforcement.Pipeline.docs s.Enforcement.Pipeline.conformed
-    s.Enforcement.Pipeline.rewritten s.Enforcement.Pipeline.rewritten_possible
-    s.Enforcement.Pipeline.rejected s.Enforcement.Pipeline.attempt_failed
-    s.Enforcement.Pipeline.faults
-    s.Enforcement.Pipeline.invocations s.Enforcement.Pipeline.elapsed_s
-    s.Enforcement.Pipeline.docs_per_s c.Axml_core.Contract.hits
-    c.Axml_core.Contract.misses c.Axml_core.Contract.evictions
-    c.Axml_core.Contract.entries s.Enforcement.Pipeline.cache_hit_rate
-    r.Resilience.calls r.Resilience.attempts r.Resilience.retries
-    r.Resilience.successes r.Resilience.gave_up r.Resilience.timeouts
-    r.Resilience.trips r.Resilience.short_circuited
 
 let batch_cmd =
   let docs_arg =
@@ -372,16 +295,16 @@ let batch_cmd =
             let doc = load_document path in
             let result = Enforcement.Pipeline.enforce pipeline doc in
             if Result.is_error result then incr failed;
-            print_outcome ~label:path result)
+            Report.print_outcome ~label:path result)
           doc_paths;
         let stats = Enforcement.Pipeline.stats pipeline in
-        print_run_stats stats;
+        Report.print_run_stats stats;
         Option.iter
           (fun file ->
             write_output (Some file)
-              (stats_json ~sender ~exchange:target stats))
+              (Report.stats_json ~sender ~exchange:target stats))
           stats_out;
-        Option.iter write_metrics metrics_out;
+        Option.iter Report.write_metrics metrics_out;
         if !failed = 0 then 0 else 1)
   in
   Cmd.v
@@ -477,9 +400,9 @@ let trace_cmd =
               events;
             close_out oc)
           jsonl;
-        print_outcome ~label:doc_path result;
-        print_run_stats (Enforcement.Pipeline.stats pipeline);
-        Option.iter write_metrics metrics_out;
+        Report.print_outcome ~label:doc_path result;
+        Report.print_run_stats (Enforcement.Pipeline.stats pipeline);
+        Option.iter Report.write_metrics metrics_out;
         if Result.is_ok result then 0 else 1)
   in
   Cmd.v
@@ -491,6 +414,115 @@ let trace_cmd =
     Term.(const run $ sender_arg $ target_arg $ k_arg $ possible_arg
           $ engine_arg $ oracle_arg $ retries_arg $ buffer_arg $ jsonl_arg
           $ metrics_out_arg $ doc_arg)
+
+(* ------------------------------------------------------------------ *)
+(* lint                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Load a schema for linting: textual schemas come back with the source
+   positions of their declarations, XML ones without. *)
+let load_schema_positions path =
+  let text = read_file path in
+  let trimmed = String.trim text in
+  if String.length trimmed > 0 && trimmed.[0] = '<' then
+    try (Xml_schema_int.of_string text, None)
+    with Xml_schema_int.Schema_syntax_error m -> fail "%s: %s" path m
+  else
+    match Schema_parser.parse_with_positions text with
+    | s, positions -> (s, Some positions)
+    | exception Schema_parser.Parse_error { line; col; message } ->
+      if line = 0 then fail "%s: %s" path message
+      else fail "%s: line %d, col %d: %s" path line col message
+
+let lint_cmd =
+  let schema_opt_arg =
+    Arg.(value & opt (some file) None
+         & info [ "s"; "schema" ] ~docv:"SCHEMA"
+             ~doc:"Lint a single schema (schema-level rules only).")
+  in
+  let sender_opt_arg =
+    Arg.(value & opt (some file) None & info [ "f"; "from" ] ~docv:"SCHEMA"
+           ~doc:"The sender schema (s0) of an exchange to lint.")
+  in
+  let target_opt_arg =
+    Arg.(value & opt (some file) None & info [ "t"; "to" ] ~docv:"SCHEMA"
+           ~doc:"The exchange schema of an exchange to lint.")
+  in
+  let docs_arg =
+    Arg.(value & pos_all file [] & info [] ~docv:"DOC.xml"
+           ~doc:"Intensional XML documents to lint against the exchange \
+                 contract (requires $(b,-f)/$(b,-t)).")
+  in
+  let format_arg =
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FORMAT"
+             ~doc:"Report format: $(b,text) or $(b,json).")
+  in
+  let deny_arg =
+    let sev =
+      Arg.enum
+        [ ("error", Axml_analysis.Diagnostic.Error);
+          ("warning", Axml_analysis.Diagnostic.Warning);
+          ("hint", Axml_analysis.Diagnostic.Hint) ]
+    in
+    Arg.(value & opt sev Axml_analysis.Diagnostic.Error
+         & info [ "deny" ] ~docv:"SEVERITY"
+             ~doc:"Exit non-zero when any diagnostic reaches $(docv) \
+                   ($(b,error), $(b,warning) or $(b,hint); default \
+                   $(b,error)).")
+  in
+  let run schema_opt sender_opt target_opt k engine format deny metrics_out
+      doc_paths =
+    wrap (fun () ->
+        let module Lint = Axml_analysis.Lint in
+        let module Diagnostic = Axml_analysis.Diagnostic in
+        let lint_schema_file path =
+          let s, positions = load_schema_positions path in
+          Lint.lint_schema ~file:path ?positions s
+        in
+        let diagnostics =
+          match (schema_opt, sender_opt, target_opt) with
+          | Some path, None, None ->
+            if doc_paths <> [] then
+              fail "linting documents needs the exchange pair (-f/-t), not -s";
+            lint_schema_file path
+          | None, Some sender, Some target ->
+            let s0, _ = load_schema_positions sender in
+            let exchange, _ = load_schema_positions target in
+            let contract =
+              try
+                Axml_core.Contract.create ~k ~engine ~s0 ~target:exchange ()
+              with Schema.Schema_error e ->
+                fail "%s" (Fmt.str "schema pair: %a" Schema.pp_error e)
+            in
+            let tag path (d : Diagnostic.t) =
+              { d with Diagnostic.loc = { d.Diagnostic.loc with
+                                          Diagnostic.file = Some path } }
+            in
+            lint_schema_file sender @ lint_schema_file target
+            @ List.map (tag sender) (Lint.lint_contract contract)
+            @ List.concat_map
+                (fun path ->
+                  List.map (tag path)
+                    (Lint.lint_document contract (load_document path)))
+                doc_paths
+          | _ ->
+            fail
+              "pass either -s SCHEMA, or -f SENDER -t EXCHANGE [DOC.xml ...]"
+        in
+        Report.print_diagnostics ~format diagnostics;
+        Option.iter Report.write_metrics metrics_out;
+        if Diagnostic.exceeds ~deny diagnostics then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyze schemas, exchange contracts and documents: \
+             empty or ambiguous content models, unreachable or uninhabited \
+             elements, never-safe functions, incompatible schema pairs, \
+             doomed calls — before anything is exchanged or invoked.")
+    Term.(const run $ schema_opt_arg $ sender_opt_arg $ target_opt_arg
+          $ k_arg $ engine_arg $ format_arg $ deny_arg $ metrics_out_arg
+          $ docs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compat                                                              *)
@@ -568,4 +600,4 @@ let () =
   in
   exit (Cmd.eval' (Cmd.group info
                      [ validate_cmd; check_cmd; rewrite_cmd; batch_cmd;
-                       trace_cmd; compat_cmd; schema_cmd ]))
+                       trace_cmd; lint_cmd; compat_cmd; schema_cmd ]))

@@ -1,0 +1,108 @@
+(* Shared rendering for the axml CLI. Per-document outcomes, run
+   statistics, metrics dumps and lint diagnostics are formatted in one
+   place so that batch, rewrite, trace and lint agree on their output
+   (and a new command cannot fork the format by copy-pasting). *)
+
+module Enforcement = Axml_peer.Enforcement
+module Resilience = Axml_services.Resilience
+module Metrics = Axml_obs.Metrics
+module Diagnostic = Axml_analysis.Diagnostic
+
+let action_string = function
+  | Enforcement.Conformed -> "conformed"
+  | Enforcement.Rewritten -> "rewritten"
+  | Enforcement.Rewritten_possible -> "rewritten-possible"
+
+let error_tag = function
+  | Enforcement.Rejected _ -> "REJECTED"
+  | Enforcement.Attempt_failed _ -> "ATTEMPT-FAILED"
+  | Enforcement.Service_fault _ -> "SERVICE-FAULT"
+  | Enforcement.Precluded _ -> "PRECLUDED"
+
+(* One shared per-document outcome printer: the outcome line on stdout
+   (or [ppf]), error details on stderr. *)
+let print_outcome ?(ppf = Fmt.stdout) ~label = function
+  | Ok (_, report) ->
+    Fmt.pf ppf "%s: %s, %d invocation(s)@." label
+      (action_string report.Enforcement.action)
+      (List.length report.Enforcement.invocations)
+  | Error e ->
+    Fmt.pf ppf "%s: %s@." label (error_tag e);
+    Fmt.epr "%s: %a@." label Enforcement.pp_error e
+
+(* The shared run-statistics printer. *)
+let print_run_stats stats = Fmt.epr "%a@." Enforcement.Pipeline.pp_stats stats
+
+let write_file path text =
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc
+
+(* Dump the process-wide metrics registry: Prometheus text format, or
+   JSON when the file name ends in .json. *)
+let write_metrics file =
+  let data =
+    if Filename.check_suffix file ".json" then Metrics.to_json Metrics.default
+    else Metrics.to_prometheus Metrics.default
+  in
+  write_file file data
+
+let iso8601 t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let stats_json ~sender ~exchange (s : Enforcement.Pipeline.stats) =
+  let c = s.Enforcement.Pipeline.cache in
+  let r = s.Enforcement.Pipeline.resilience in
+  Printf.sprintf
+    "{\n\
+    \  \"timestamp\": %s,\n\
+    \  \"sender_schema\": %s,\n\
+    \  \"exchange_schema\": %s,\n\
+    \  \"docs\": %d,\n\
+    \  \"conformed\": %d,\n\
+    \  \"rewritten\": %d,\n\
+    \  \"rewritten_possible\": %d,\n\
+    \  \"rejected\": %d,\n\
+    \  \"attempt_failed\": %d,\n\
+    \  \"faults\": %d,\n\
+    \  \"precluded\": %d,\n\
+    \  \"invocations\": %d,\n\
+    \  \"elapsed_s\": %.6f,\n\
+    \  \"docs_per_s\": %.1f,\n\
+    \  \"cache\": { \"hits\": %d, \"misses\": %d, \"evictions\": %d, \
+     \"entries\": %d },\n\
+    \  \"cache_hit_rate\": %.4f,\n\
+    \  \"resilience\": { \"calls\": %d, \"attempts\": %d, \"retries\": %d, \
+     \"successes\": %d, \"gave_up\": %d, \"timeouts\": %d, \"trips\": %d, \
+     \"short_circuited\": %d }\n\
+     }\n"
+    (Metrics.json_string (iso8601 (Unix.gettimeofday ())))
+    (Metrics.json_string sender)
+    (Metrics.json_string exchange)
+    s.Enforcement.Pipeline.docs s.Enforcement.Pipeline.conformed
+    s.Enforcement.Pipeline.rewritten s.Enforcement.Pipeline.rewritten_possible
+    s.Enforcement.Pipeline.rejected s.Enforcement.Pipeline.attempt_failed
+    s.Enforcement.Pipeline.faults s.Enforcement.Pipeline.precluded
+    s.Enforcement.Pipeline.invocations s.Enforcement.Pipeline.elapsed_s
+    s.Enforcement.Pipeline.docs_per_s c.Axml_core.Contract.hits
+    c.Axml_core.Contract.misses c.Axml_core.Contract.evictions
+    c.Axml_core.Contract.entries s.Enforcement.Pipeline.cache_hit_rate
+    r.Resilience.calls r.Resilience.attempts r.Resilience.retries
+    r.Resilience.successes r.Resilience.gave_up r.Resilience.timeouts
+    r.Resilience.trips r.Resilience.short_circuited
+
+(* Lint diagnostics: one line (plus hint) per finding in text mode with
+   a trailing severity summary, or the stable JSON report. *)
+let print_diagnostics ?(ppf = Fmt.stdout) ~format ds =
+  let ds = List.sort Diagnostic.compare ds in
+  match format with
+  | `Json -> Fmt.pf ppf "%s@." (Diagnostic.report_to_json ds)
+  | `Text ->
+    List.iter (fun d -> Fmt.pf ppf "@[<v>%a@]@." Diagnostic.pp d) ds;
+    Fmt.pf ppf "%d error(s), %d warning(s), %d hint(s)@."
+      (Diagnostic.count Diagnostic.Error ds)
+      (Diagnostic.count Diagnostic.Warning ds)
+      (Diagnostic.count Diagnostic.Hint ds)

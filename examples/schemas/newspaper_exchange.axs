@@ -1,0 +1,8 @@
+# The agreed exchange schema: fully extensional — every call the sender
+# may embed must be materialized before the data crosses the wire.
+root newspaper
+element newspaper = title.date.temp.exhibit*
+element title = #data
+element date = #data
+element temp = #data
+element exhibit = title.date

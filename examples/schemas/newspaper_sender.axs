@@ -1,0 +1,12 @@
+# The sender's local schema for the newspaper example (paper, Fig. 1):
+# the newspaper may ship the temperature and the exhibit list either as
+# plain data or as embedded service calls.
+root newspaper
+element newspaper = title.date.(Get_Temp | temp).(TimeOut | exhibit*)
+element title = #data
+element date = #data
+element temp = #data
+element exhibit = title.(Get_Date | date)
+function Get_Temp : #data -> temp
+function Get_Date : title -> date
+function TimeOut : #data -> exhibit*

@@ -1,0 +1,153 @@
+type severity = Error | Warning | Hint
+
+let severity_rank = function Error -> 2 | Warning -> 1 | Hint -> 0
+
+let pp_severity ppf s =
+  Fmt.string ppf
+    (match s with Error -> "error" | Warning -> "warning" | Hint -> "hint")
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "hint" -> Some Hint
+  | _ -> None
+
+let severity_geq a b = severity_rank a >= severity_rank b
+
+type subject =
+  | Element of string
+  | Function of string
+  | Pattern of string
+  | Root
+  | Schema_pair of string
+  | Node of int list
+
+let pp_subject ppf = function
+  | Element l -> Fmt.pf ppf "element '%s'" l
+  | Function f -> Fmt.pf ppf "function '%s'" f
+  | Pattern p -> Fmt.pf ppf "pattern '%s'" p
+  | Root -> Fmt.string ppf "root"
+  | Schema_pair l -> Fmt.pf ppf "exchange of '%s'" l
+  | Node path ->
+    Fmt.pf ppf "node /%a" Fmt.(list ~sep:(any "/") int) path
+
+type pos = { line : int; col : int }
+
+type location = {
+  file : string option;
+  pos : pos option;
+  subject : subject;
+}
+
+let at ?file ?pos subject = { file; pos; subject }
+
+type t = {
+  code : string;
+  severity : severity;
+  loc : location;
+  message : string;
+  hint : string option;
+}
+
+let make ?file ?pos ?hint ~code ~severity subject message =
+  { code; severity; loc = at ?file ?pos subject; message; hint }
+
+let subject_key = function
+  | Element l -> (0, l, [])
+  | Function f -> (1, f, [])
+  | Pattern p -> (2, p, [])
+  | Root -> (3, "", [])
+  | Schema_pair l -> (4, l, [])
+  | Node path -> (5, "", path)
+
+let compare a b =
+  let file l = Option.value l.file ~default:"" in
+  let posn l = match l.pos with Some p -> (p.line, p.col) | None -> (0, 0) in
+  Stdlib.compare
+    (file a.loc, posn a.loc, a.code, subject_key a.loc.subject, a.message)
+    (file b.loc, posn b.loc, b.code, subject_key b.loc.subject, b.message)
+
+let count sev ds =
+  List.length (List.filter (fun d -> d.severity = sev) ds)
+
+let max_severity = function
+  | [] -> None
+  | ds ->
+    Some
+      (List.fold_left
+         (fun acc d -> if severity_geq d.severity acc then d.severity else acc)
+         Hint ds)
+
+let exceeds ~deny ds = List.exists (fun d -> severity_geq d.severity deny) ds
+
+let pp ppf d =
+  let place ppf loc =
+    match (loc.file, loc.pos) with
+    | Some f, Some p -> Fmt.pf ppf "%s:%d:%d " f p.line p.col
+    | Some f, None -> Fmt.pf ppf "%s: " f
+    | None, Some p -> Fmt.pf ppf "%d:%d " p.line p.col
+    | None, None -> ()
+  in
+  Fmt.pf ppf "%a[%s] %a%a: %s" pp_severity d.severity d.code place d.loc
+    pp_subject d.loc.subject d.message;
+  match d.hint with
+  | Some h -> Fmt.pf ppf "@,  hint: %s" h
+  | None -> ()
+
+(* JSON rendering reuses the registry's escaper so the two observability
+   surfaces agree on string encoding. *)
+let js = Axml_obs.Metrics.json_string
+
+let subject_json = function
+  | Element l -> Fmt.str {|{"kind":"element","name":%s}|} (js l)
+  | Function f -> Fmt.str {|{"kind":"function","name":%s}|} (js f)
+  | Pattern p -> Fmt.str {|{"kind":"pattern","name":%s}|} (js p)
+  | Root -> {|{"kind":"root"}|}
+  | Schema_pair l -> Fmt.str {|{"kind":"exchange","label":%s}|} (js l)
+  | Node path ->
+    Fmt.str {|{"kind":"node","path":[%s]}|}
+      (String.concat "," (List.map string_of_int path))
+
+let to_json d =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Fmt.str {|{"code":%s,"severity":%s,"subject":%s|} (js d.code)
+       (js (Fmt.str "%a" pp_severity d.severity))
+       (subject_json d.loc.subject));
+  (match d.loc.file with
+  | Some f -> Buffer.add_string b (Fmt.str {|,"file":%s|} (js f))
+  | None -> ());
+  (match d.loc.pos with
+  | Some p ->
+    Buffer.add_string b (Fmt.str {|,"line":%d,"col":%d|} p.line p.col)
+  | None -> ());
+  Buffer.add_string b (Fmt.str {|,"message":%s|} (js d.message));
+  (match d.hint with
+  | Some h -> Buffer.add_string b (Fmt.str {|,"hint":%s|} (js h))
+  | None -> ());
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let report_to_json ds =
+  let ds = List.sort compare ds in
+  Fmt.str
+    {|{"diagnostics":[%s],"summary":{"errors":%d,"warnings":%d,"hints":%d}}|}
+    (String.concat "," (List.map to_json ds))
+    (count Error ds) (count Warning ds) (count Hint ds)
+
+let rules =
+  [
+    ("AXM001", Error, "content model or signature is the empty language");
+    ("AXM002", Warning, "content model is not 1-unambiguous");
+    ("AXM003", Warning, "alternative branch is subsumed by earlier branches");
+    ("AXM010", Warning, "element is unreachable from the root");
+    ("AXM011", Error, "element admits no finite document (cyclic without base case)");
+    ("AXM012", Warning, "function or pattern is declared but never referenced");
+    ("AXM014", Hint, "schema declares no root");
+    ("AXM020", Error, "sender document type cannot be safely exchanged at this label");
+    ("AXM021", Error, "function can never be safely rewritten in any context it occurs in");
+    ("AXM022", Hint, "function is absent from the target schema and must always materialize");
+    ("AXM023", Warning, "invocable function never occurs in a sender document");
+    ("AXM030", Error, "call to a function the contract does not declare");
+    ("AXM031", Error, "call can never contribute to a valid exchanged document");
+  ]

@@ -23,6 +23,8 @@ module Execute = Axml_core.Execute
 module Resilience = Axml_services.Resilience
 module Metrics = Axml_obs.Metrics
 module Trace = Axml_obs.Trace
+module Diagnostic = Axml_analysis.Diagnostic
+module Lint = Axml_analysis.Lint
 
 (* [enforce_compiled] is the single chokepoint every enforcement goes
    through (one-shot [enforce] and [Pipeline] both), so the
@@ -39,6 +41,7 @@ let m_doc_rewritten_possible = m_documents "rewritten_possible"
 let m_doc_rejected = m_documents "rejected"
 let m_doc_attempt_failed = m_documents "attempt_failed"
 let m_doc_fault = m_documents "fault"
+let m_doc_precluded = m_documents "precluded"
 
 let m_invocations =
   Metrics.counter ~help:"Invocations recorded on accepted documents"
@@ -57,6 +60,11 @@ type config = {
     (* mixed approach: services to invoke up-front (Section 5) *)
   resilience : Resilience.t option;
     (* retry/timeout/breaker guard around every invocation *)
+  lint_gate : bool;
+    (* refuse statically-doomed work before invoking anything: a
+       contract carrying error-level lint diagnostics precludes every
+       document; a document whose calls lint at error level is
+       precluded individually *)
 }
 
 let default_config = {
@@ -65,6 +73,7 @@ let default_config = {
   fallback_possible = false;
   eager_calls = None;
   resilience = None;
+  lint_gate = false;
 }
 
 type action =
@@ -84,6 +93,10 @@ type error =
       (* the environment's fault, not the document's: a service broke its
          contract, crashed past its retry policy, or an engine invariant
          failed — the document may well be rewritable on a healthy path *)
+  | Precluded of Diagnostic.t list
+      (* the lint gate refused up front: static analysis proved the
+         exchange (or this document) can never succeed, so nothing was
+         validated or invoked *)
 
 let pp_error ppf = function
   | Rejected fs ->
@@ -92,6 +105,8 @@ let pp_error ppf = function
     Fmt.pf ppf "attempt failed: %a" Fmt.(list ~sep:(any "; ") Rewriter.pp_failure) fs
   | Service_fault fs ->
     Fmt.pf ppf "service fault: %a" Fmt.(list ~sep:(any "; ") Rewriter.pp_failure) fs
+  | Precluded ds ->
+    Fmt.pf ppf "precluded: %a" Fmt.(list ~sep:(any "; ") Diagnostic.pp) ds
 
 (* ------------------------------------------------------------------ *)
 (* The three steps over precompiled artifacts                          *)
@@ -102,21 +117,24 @@ let pp_error ppf = function
 type compiled = {
   c_rewriter : Rewriter.t;
   c_validate : Validate.ctx;
+  c_lint : Diagnostic.t list Lazy.t;
+    (* contract-level diagnostics, computed once per compiled path on
+       first use (lint gate or [Pipeline.lint]) *)
 }
 
-let compile ?predicate ~config ~s0 ~exchange () =
-  let rw =
-    Rewriter.create ~k:config.k ~engine:config.engine ?predicate ~s0
-      ~target:exchange ()
-  in
-  { c_rewriter = rw;
-    c_validate = Validate.ctx ~env:(Rewriter.env rw) exchange }
-
-let compile_of_rewriter rw =
+let of_rewriter rw =
   { c_rewriter = rw;
     c_validate =
       Validate.ctx ~env:(Rewriter.env rw)
-        (Contract.target (Rewriter.contract rw)) }
+        (Contract.target (Rewriter.contract rw));
+    c_lint = lazy (Lint.lint_contract (Rewriter.contract rw)) }
+
+let compile ?predicate ~config ~s0 ~exchange () =
+  of_rewriter
+    (Rewriter.create ~k:config.k ~engine:config.engine ?predicate ~s0
+       ~target:exchange ())
+
+let compile_of_rewriter = of_rewriter
 
 let classify fs =
   (* a fault is the environment's problem, never a verdict on the
@@ -132,8 +150,27 @@ let subject_of doc =
   | Axml_schema.Symbol.Fun f -> f ^ "()"
   | Axml_schema.Symbol.Data -> "#data"
 
+(* The lint gate (step (0), optional): refuse statically-doomed work
+   before validating or invoking anything. Only error-level findings
+   gate — warnings and hints never block an exchange. *)
+let gate_errors ~compiled doc =
+  let errors ds =
+    List.filter (fun (d : Diagnostic.t) -> d.severity = Diagnostic.Error) ds
+  in
+  match errors (Lazy.force compiled.c_lint) with
+  | _ :: _ as ds -> Some ds
+  | [] -> (
+    match
+      errors (Lint.lint_document (Rewriter.contract compiled.c_rewriter) doc)
+    with
+    | _ :: _ as ds -> Some ds
+    | [] -> None)
+
 let enforce_steps ~config ~compiled ~(invoker : Execute.invoker)
     (doc : Document.t) : (Document.t * report, error) result =
+  match if config.lint_gate then gate_errors ~compiled doc else None with
+  | Some ds -> Error (Precluded ds)
+  | None ->
   (* step (i): validation *)
   let violations = Validate.document_violations compiled.c_validate doc in
   if Trace.enabled Trace.default then
@@ -210,7 +247,8 @@ let enforce_compiled ~config ~compiled ~(invoker : Execute.invoker)
        Metrics.inc m_invocations ~by:(List.length report.invocations)
      | Error (Rejected _) -> Metrics.inc m_doc_rejected
      | Error (Attempt_failed _) -> Metrics.inc m_doc_attempt_failed
-     | Error (Service_fault _) -> Metrics.inc m_doc_fault);
+     | Error (Service_fault _) -> Metrics.inc m_doc_fault
+     | Error (Precluded _) -> Metrics.inc m_doc_precluded);
     if Trace.enabled Trace.default then begin
       let verdict, detail =
         match result with
@@ -236,6 +274,11 @@ let enforce_compiled ~config ~compiled ~(invoker : Execute.invoker)
         | Error (Service_fault fs) ->
           (Trace.Fault,
            string_of_int (List.length fs) ^ " service failure(s)")
+        | Error (Precluded ds) ->
+          (Trace.Reject,
+           "statically precluded ("
+           ^ string_of_int (List.length ds)
+           ^ " lint error(s))")
       in
       Trace.emit (Decision { subject = subject (); verdict; detail })
     end;
@@ -274,6 +317,7 @@ module Pipeline = struct
     mutable p_rejected : int;
     mutable p_attempt_failed : int;
     mutable p_faults : int;
+    mutable p_precluded : int;
     mutable p_invocations : int;
     mutable p_elapsed : float;
     mutable p_cache_base : Contract.stats;
@@ -283,6 +327,7 @@ module Pipeline = struct
   let contract t = Rewriter.contract t.p_compiled.c_rewriter
   let rewriter t = t.p_compiled.c_rewriter
   let config t = t.p_config
+  let lint t = Lazy.force t.p_compiled.c_lint
 
   let resilience_total config =
     match config.resilience with
@@ -294,7 +339,8 @@ module Pipeline = struct
       p_compiled = compiled;
       p_invoker = invoker;
       p_docs = 0; p_conformed = 0; p_rewritten = 0; p_rewritten_possible = 0;
-      p_rejected = 0; p_attempt_failed = 0; p_faults = 0; p_invocations = 0;
+      p_rejected = 0; p_attempt_failed = 0; p_faults = 0; p_precluded = 0;
+      p_invocations = 0;
       p_elapsed = 0.;
       p_cache_base = Contract.stats (Rewriter.contract compiled.c_rewriter);
       p_resilience_base = resilience_total config }
@@ -317,6 +363,7 @@ module Pipeline = struct
     rejected : int;
     attempt_failed : int;
     faults : int;
+    precluded : int;
     invocations : int;
     elapsed_s : float;
     docs_per_s : float;
@@ -336,6 +383,7 @@ module Pipeline = struct
       rejected = t.p_rejected;
       attempt_failed = t.p_attempt_failed;
       faults = t.p_faults;
+      precluded = t.p_precluded;
       invocations = t.p_invocations;
       elapsed_s = t.p_elapsed;
       docs_per_s =
@@ -349,11 +397,11 @@ module Pipeline = struct
   let pp_stats ppf s =
     Fmt.pf ppf
       "%d docs (%d conformed, %d rewritten, %d possible, %d rejected, %d \
-       attempt-failed, %d faulted), %d invocations, %.3f s (%.0f docs/s), \
-       cache: %a, resilience: %a"
+       attempt-failed, %d faulted, %d precluded), %d invocations, %.3f s \
+       (%.0f docs/s), cache: %a, resilience: %a"
       s.docs s.conformed s.rewritten s.rewritten_possible s.rejected
-      s.attempt_failed s.faults s.invocations s.elapsed_s s.docs_per_s
-      Contract.pp_stats s.cache Resilience.pp_stats s.resilience
+      s.attempt_failed s.faults s.precluded s.invocations s.elapsed_s
+      s.docs_per_s Contract.pp_stats s.cache Resilience.pp_stats s.resilience
 
   let reset_stats (t : t) =
     t.p_docs <- 0;
@@ -363,6 +411,7 @@ module Pipeline = struct
     t.p_rejected <- 0;
     t.p_attempt_failed <- 0;
     t.p_faults <- 0;
+    t.p_precluded <- 0;
     t.p_invocations <- 0;
     t.p_elapsed <- 0.;
     t.p_cache_base <- Contract.stats (contract t);
@@ -381,7 +430,8 @@ module Pipeline = struct
           t.p_rewritten_possible <- t.p_rewritten_possible + 1)
      | Error (Rejected _) -> t.p_rejected <- t.p_rejected + 1
      | Error (Attempt_failed _) -> t.p_attempt_failed <- t.p_attempt_failed + 1
-     | Error (Service_fault _) -> t.p_faults <- t.p_faults + 1);
+     | Error (Service_fault _) -> t.p_faults <- t.p_faults + 1
+     | Error (Precluded _) -> t.p_precluded <- t.p_precluded + 1);
     result
 
   let enforce t doc =
@@ -402,6 +452,7 @@ module Pipeline = struct
         rejected = after.rejected - before.rejected;
         attempt_failed = after.attempt_failed - before.attempt_failed;
         faults = after.faults - before.faults;
+        precluded = after.precluded - before.precluded;
         invocations = after.invocations - before.invocations;
         elapsed_s = after.elapsed_s -. before.elapsed_s;
         docs_per_s =

@@ -21,11 +21,17 @@ type config = {
   resilience : Axml_services.Resilience.t option;
     (** wrap every invocation in a retry/timeout/circuit-breaker guard;
         the guard's counters surface in {!Pipeline.stats} *)
+  lint_gate : bool;
+    (** refuse statically-doomed work before validating or invoking
+        anything: a contract whose lint ({!Axml_analysis.Lint}) carries
+        error-level diagnostics precludes every document; a document
+        whose calls lint at error level is precluded individually.
+        Warnings and hints never block. *)
 }
 
 val default_config : config
 (** [k = 1], lazy engine, no fallback, no eager calls, no resilience
-    guard. *)
+    guard, no lint gate. *)
 
 type action =
   | Conformed           (** already an instance, nothing invoked *)
@@ -49,6 +55,10 @@ type error =
         {!Axml_core.Rewriter.failure_is_fault}). The document may well
         enforce cleanly once the services recover; batch pipelines count
         these separately and keep going. *)
+  | Precluded of Axml_analysis.Diagnostic.t list
+    (** the lint gate ([config.lint_gate]) refused up front: static
+        analysis proved the exchange (or this document) can never
+        succeed, so nothing was validated and no service was invoked *)
 
 val pp_error : error Fmt.t
 
@@ -95,6 +105,11 @@ module Pipeline : sig
   val rewriter : t -> Axml_core.Rewriter.t
   val config : t -> config
 
+  val lint : t -> Axml_analysis.Diagnostic.t list
+  (** Contract-level lint diagnostics for this path (AXM020–AXM023),
+      computed once per pipeline on first use and cached with the
+      compiled artifacts — also what the lint gate consults. *)
+
   val enforce : t -> Axml_core.Document.t ->
     (Axml_core.Document.t * report, error) result
   (** The three steps of {!enforce}, against the precompiled artifacts;
@@ -108,6 +123,7 @@ module Pipeline : sig
     rejected : int;
     attempt_failed : int;
     faults : int;                (** documents that hit a service fault *)
+    precluded : int;             (** documents refused by the lint gate *)
     invocations : int;
     elapsed_s : float;           (** CPU seconds spent enforcing *)
     docs_per_s : float;

@@ -223,6 +223,11 @@ let exchange_pipeline t ~exchange =
       Enforcement.Pipeline.create ~config:t.enforcement ~s0:t.schema ~exchange
         ~invoker:(Registry.invoker t.registry) ())
 
+(* Contract-level lint for an exchange agreement, served from the cached
+   pipeline (the diagnostics the lint gate would refuse on). *)
+let lint_exchange t ~exchange =
+  Enforcement.Pipeline.lint (exchange_pipeline t ~exchange)
+
 (* The receiver-side validation context for an exchange schema. *)
 let receive_ctx t ~exchange =
   cached t

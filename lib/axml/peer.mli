@@ -40,6 +40,14 @@ val exchange_pipeline :
     unchanged (so its contract-analysis cache and counters persist
     across {!send}s of the same agreement). *)
 
+val lint_exchange :
+  t -> exchange:Axml_schema.Schema.t -> Axml_analysis.Diagnostic.t list
+(** Contract-level lint diagnostics ({!Axml_analysis.Lint.lint_contract})
+    for the peer's side of an exchange agreement — the diagnostics the
+    lint gate ([enforcement.lint_gate]) would refuse on. Served from the
+    cached {!exchange_pipeline}, so repeated calls (and subsequent
+    {!send}s) reuse both the compiled contract and its lint. *)
+
 (** {1 Repository} *)
 
 val store : t -> string -> Axml_core.Document.t -> unit

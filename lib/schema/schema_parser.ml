@@ -11,91 +11,148 @@
    Names used in content models resolve to functions or patterns when
    declared as such anywhere in the file, otherwise to element labels.
    The XML-syntax schemas of Section 7 are handled separately by the
-   Active XML layer (Xml_schema_int). *)
+   Active XML layer (Xml_schema_int).
 
-module R = Axml_regex.Regex
+   The parser tracks source positions: every declaration remembers the
+   1-based column of its name and of each regular-expression body, so
+   parse errors point at line AND column (offsets inside a regex body
+   are translated back to columns of the original line) and the
+   diagnostics layer can attach file:line:col locations to the names it
+   reports on ([parse_with_positions]). *)
 
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { line : int; col : int; message : string }
 
-let fail line message = raise (Parse_error { line; message })
+let fail ?(col = 1) line message = raise (Parse_error { line; col; message })
 
+type pos = { line : int; col : int }
+
+(* Raw declarations; [*_col] fields are 1-based columns in the source
+   line (name of the declaration, start of each regex text). *)
 type raw_decl =
-  | D_root of string
-  | D_element of string * string                          (* name, regex text *)
-  | D_function of { name : string; input : string; output : string; invocable : bool }
-  | D_pattern of { name : string; predicates : string list;
-                   input : string; output : string; invocable : bool }
+  | D_root of { name : string; name_col : int }
+  | D_element of { name : string; name_col : int; body : string; body_col : int }
+  | D_function of
+      { name : string; name_col : int;
+        input : string; input_col : int;
+        output : string; output_col : int;
+        invocable : bool }
+  | D_pattern of
+      { name : string; name_col : int; predicates : string list;
+        input : string; input_col : int;
+        output : string; output_col : int;
+        invocable : bool }
 
 let split_words s =
   String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
 
-(* Find the first occurrence of "->" at top level of a signature text. *)
-let split_arrow line text =
-  let n = String.length text in
-  let rec find i =
-    if i + 1 >= n then fail line "expected '->' in signature"
-    else if text.[i] = '-' && text.[i + 1] = '>' then i
-    else find (i + 1)
-  in
-  let i = find 0 in
-  (String.trim (String.sub text 0 i), String.trim (String.sub text (i + 2) (n - i - 2)))
+let is_ws c = c = ' ' || c = '\t' || c = '\r'
 
-let split_colon line text =
-  match String.index_opt text ':' with
-  | None -> fail line "expected ':' before the signature"
-  | Some i ->
-    (String.trim (String.sub text 0 i),
-     String.trim (String.sub text (i + 1) (String.length text - i - 1)))
+let skip_ws s i =
+  let n = String.length s in
+  let rec go i = if i < n && is_ws s.[i] then go (i + 1) else i in
+  go i
+
+let word_end s i =
+  let n = String.length s in
+  let rec go i = if i < n && not (is_ws s.[i]) then go (i + 1) else i in
+  go i
+
+(* Trimmed substring of s[a..b) together with the index its text starts
+   at (equals [b] when the slice is all whitespace). *)
+let trimmed_sub s a b =
+  let a = skip_ws s a in
+  let rec back b = if b > a && is_ws s.[b - 1] then back (b - 1) else b in
+  let b = back b in
+  (String.sub s a (b - a), a)
+
+(* First occurrence of "->" at or after [start]. *)
+let find_arrow lineno line start =
+  let n = String.length line in
+  let rec go i =
+    if i + 1 >= n then fail ~col:(n + 1) lineno "expected '->' in signature"
+    else if line.[i] = '-' && line.[i + 1] = '>' then i
+    else go (i + 1)
+  in
+  go start
 
 let parse_decl lineno line : raw_decl option =
-  let trimmed = String.trim line in
-  if trimmed = "" || trimmed.[0] = '#' then None
+  let n = String.length line in
+  let col i = i + 1 in
+  let i0 = skip_ws line 0 in
+  if i0 >= n || line.[i0] = '#' then None
   else begin
-    let invocable, rest =
-      match split_words trimmed with
-      | "noninvocable" :: rest -> (false, String.concat " " rest)
-      | _ -> (true, trimmed)
+    let w1_end = word_end line i0 in
+    let invocable, kw_start =
+      if String.sub line i0 (w1_end - i0) = "noninvocable" then
+        (false, skip_ws line w1_end)
+      else (true, i0)
     in
-    match split_words rest with
-    | "root" :: [ name ] -> Some (D_root name)
-    | "root" :: _ -> fail lineno "root takes exactly one name"
-    | "element" :: _ ->
-      let after = String.trim (String.sub rest 7 (String.length rest - 7)) in
-      (match String.index_opt after '=' with
-       | None -> fail lineno "element declaration needs '='"
-       | Some i ->
-         let name = String.trim (String.sub after 0 i) in
-         let body = String.trim (String.sub after (i + 1) (String.length after - i - 1)) in
-         if name = "" then fail lineno "element declaration needs a name";
-         Some (D_element (name, body)))
-    | "function" :: _ ->
-      let after = String.trim (String.sub rest 8 (String.length rest - 8)) in
-      let name, signature = split_colon lineno after in
-      let input, output = split_arrow lineno signature in
-      if name = "" then fail lineno "function declaration needs a name";
-      Some (D_function { name; input; output; invocable })
-    | "pattern" :: _ ->
-      let after = String.trim (String.sub rest 7 (String.length rest - 7)) in
-      let head, signature = split_colon lineno after in
-      let input, output = split_arrow lineno signature in
-      let name, predicates =
-        match split_words head with
-        | name :: "requires" :: preds when preds <> [] -> (name, preds)
-        | [ name ] -> (name, [])
-        | _ -> fail lineno "malformed pattern head (use: pattern NAME [requires P..] : IN -> OUT)"
-      in
-      Some (D_pattern { name; predicates; input; output; invocable })
-    | word :: _ -> fail lineno (Fmt.str "unknown declaration %S" word)
-    | [] -> None
+    let kw_end = word_end line kw_start in
+    let kw = String.sub line kw_start (kw_end - kw_start) in
+    let signature_parts after_colon =
+      let arrow = find_arrow lineno line after_colon in
+      let input, input_i = trimmed_sub line after_colon arrow in
+      let output, output_i = trimmed_sub line (arrow + 2) n in
+      (input, col input_i, output, col output_i)
+    in
+    match kw with
+    | "" -> None
+    | "root" ->
+      let rest, rest_i = trimmed_sub line kw_end n in
+      (match split_words rest with
+       | [ name ] -> Some (D_root { name; name_col = col rest_i })
+       | _ -> fail ~col:(col kw_start) lineno "root takes exactly one name")
+    | "element" ->
+      (match String.index_from_opt line kw_end '=' with
+       | None -> fail ~col:(col kw_start) lineno "element declaration needs '='"
+       | Some eq ->
+         let name, name_i = trimmed_sub line kw_end eq in
+         let body, body_i = trimmed_sub line (eq + 1) n in
+         if name = "" then
+           fail ~col:(col kw_start) lineno "element declaration needs a name";
+         Some (D_element { name; name_col = col name_i; body; body_col = col body_i }))
+    | "function" ->
+      (match String.index_from_opt line kw_end ':' with
+       | None ->
+         fail ~col:(col kw_start) lineno "expected ':' before the signature"
+       | Some c ->
+         let name, name_i = trimmed_sub line kw_end c in
+         let input, input_col, output, output_col = signature_parts (c + 1) in
+         if name = "" then
+           fail ~col:(col kw_start) lineno "function declaration needs a name";
+         Some (D_function { name; name_col = col name_i; input; input_col;
+                            output; output_col; invocable }))
+    | "pattern" ->
+      (match String.index_from_opt line kw_end ':' with
+       | None ->
+         fail ~col:(col kw_start) lineno "expected ':' before the signature"
+       | Some c ->
+         let head, head_i = trimmed_sub line kw_end c in
+         let input, input_col, output, output_col = signature_parts (c + 1) in
+         let name, predicates =
+           match split_words head with
+           | name :: "requires" :: preds when preds <> [] -> (name, preds)
+           | [ name ] -> (name, [])
+           | _ ->
+             fail ~col:(col kw_start) lineno
+               "malformed pattern head (use: pattern NAME [requires P..] : IN -> OUT)"
+         in
+         Some (D_pattern { name; name_col = col head_i; predicates;
+                           input; input_col; output; output_col; invocable }))
+    | word -> fail ~col:(col kw_start) lineno (Fmt.str "unknown declaration %S" word)
   end
 
-let parse_regex lineno text =
-  match Axml_regex.Regex_parser.parse_result text with
-  | Ok r -> r
-  | Error e -> fail lineno (Fmt.str "bad regular expression %S: %s" text e)
+(* Offsets reported by the regex parser are relative to the body text,
+   which starts at [col] of its line: translate them back. *)
+let parse_regex lineno col text =
+  match Axml_regex.Regex_parser.parse text with
+  | r -> r
+  | exception Axml_regex.Regex_parser.Error { pos; message } ->
+    fail ~col:(col + pos) lineno (Fmt.str "bad regular expression: %s" message)
 
-(* [parse input] parses a whole schema file. *)
-let parse input : Schema.t =
+(* [parse_with_positions input] parses a whole schema file, also
+   returning where each declaration's name sits in the source. *)
+let parse_with_positions input : Schema.t * pos Schema.String_map.t =
   let lines = String.split_on_char '\n' input in
   let decls =
     List.concat
@@ -117,37 +174,55 @@ let parse input : Schema.t =
       (Schema.String_set.empty, Schema.String_set.empty)
       decls
   in
-  let resolve lineno text =
-    Schema.resolve_content ~functions ~patterns (parse_regex lineno text)
+  let resolve lineno col text =
+    Schema.resolve_content ~functions ~patterns (parse_regex lineno col text)
   in
-  (* Pass 2: build the schema. *)
-  let schema =
+  (* Pass 2: build the schema and the source map. *)
+  let schema, positions =
     List.fold_left
-      (fun s (lineno, d) ->
-        try
-          match d with
-          | D_root name -> Schema.with_root s name
-          | D_element (name, body) -> Schema.add_element s name (resolve lineno body)
-          | D_function { name; input; output; invocable } ->
-            Schema.add_function s
-              (Schema.func ~invocable name
-                 ~input:(resolve lineno input)
-                 ~output:(resolve lineno output))
-          | D_pattern { name; predicates; input; output; invocable } ->
-            Schema.add_pattern s
-              (Schema.pattern ~invocable ~predicates name
-                 ~input:(resolve lineno input)
-                 ~output:(resolve lineno output))
-        with Schema.Schema_error e ->
-          fail lineno (Fmt.str "%a" Schema.pp_error e))
-      Schema.empty decls
+      (fun (s, posmap) (lineno, d) ->
+        let declare name name_col build =
+          let posmap =
+            if Schema.String_map.mem name posmap then posmap
+            else Schema.String_map.add name { line = lineno; col = name_col } posmap
+          in
+          try (build (), posmap)
+          with Schema.Schema_error e ->
+            fail ~col:name_col lineno (Fmt.str "%a" Schema.pp_error e)
+        in
+        match d with
+        | D_root { name; name_col } ->
+          (try (Schema.with_root s name, posmap)
+           with Schema.Schema_error e ->
+             fail ~col:name_col lineno (Fmt.str "%a" Schema.pp_error e))
+        | D_element { name; name_col; body; body_col } ->
+          declare name name_col (fun () ->
+              Schema.add_element s name (resolve lineno body_col body))
+        | D_function { name; name_col; input; input_col; output; output_col;
+                       invocable } ->
+          declare name name_col (fun () ->
+              Schema.add_function s
+                (Schema.func ~invocable name
+                   ~input:(resolve lineno input_col input)
+                   ~output:(resolve lineno output_col output)))
+        | D_pattern { name; name_col; predicates; input; input_col;
+                      output; output_col; invocable } ->
+          declare name name_col (fun () ->
+              Schema.add_pattern s
+                (Schema.pattern ~invocable ~predicates name
+                   ~input:(resolve lineno input_col input)
+                   ~output:(resolve lineno output_col output))))
+      (Schema.empty, Schema.String_map.empty) decls
   in
   (try Schema.check schema
-   with Schema.Schema_error e -> fail 0 (Fmt.str "%a" Schema.pp_error e));
-  schema
+   with Schema.Schema_error e -> fail 0 ~col:0 (Fmt.str "%a" Schema.pp_error e));
+  (schema, positions)
+
+let parse input = fst (parse_with_positions input)
 
 let parse_result input =
   match parse input with
   | s -> Ok s
-  | exception Parse_error { line; message } ->
-    Result.error (Fmt.str "line %d: %s" line message)
+  | exception Parse_error { line; col; message } ->
+    if line = 0 then Result.error (Fmt.str "schema: %s" message)
+    else Result.error (Fmt.str "line %d, col %d: %s" line col message)

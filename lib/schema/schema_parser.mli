@@ -14,11 +14,25 @@ pattern Forecast requires UDDIF InACL : city -> temp
     content models resolve to functions or patterns when declared as
     such anywhere in the file, otherwise to element labels. The
     XML-syntax schemas of Section 7 are handled by
-    [Axml_peer.Xml_schema_int]. *)
+    [Axml_peer.Xml_schema_int].
 
-exception Parse_error of { line : int; message : string }
+    Errors carry full source positions: 1-based line and column, with
+    offsets reported inside regular-expression bodies translated back to
+    columns of the original line. *)
+
+exception Parse_error of { line : int; col : int; message : string }
+
+type pos = { line : int; col : int }
+(** A 1-based source position. *)
 
 val parse : string -> Schema.t
 (** @raise Parse_error (line 0 carries whole-schema errors). *)
 
+val parse_with_positions : string -> Schema.t * pos Schema.String_map.t
+(** As {!parse}, also returning where each element / function / pattern
+    declaration's name sits in the source (first declaration wins), so
+    downstream diagnostics can point at it. *)
+
 val parse_result : string -> (Schema.t, string) result
+(** Errors render as ["line L, col C: ..."] (or ["schema: ..."] for
+    whole-schema errors). *)

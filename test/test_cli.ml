@@ -309,6 +309,136 @@ let test_schema_convert () =
   let code, _ = run [ "compat"; "-f"; xml_file; "-t"; path "exchange.axs" ] in
   check_int "xml schema usable: exit 0" 0 code
 
+(* ------------------------------------------------------------------ *)
+(* lint                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let messy_schema = {|
+root r
+element r = (a.b | a.c).s
+element s = d* | d
+element a = #data
+element b = #data
+element c = #data
+element d = #data
+element orphan = #data
+element loop = loop.e
+element e = #data
+function Unused : #data -> #data
+|}
+
+let doomed_sender = {|
+root r
+element r = a | F
+element a = #data
+element b = #data
+function F : #data -> b
+function G : #data -> a
+|}
+
+let doomed_target = {|
+root r
+element r = a
+element a = #data
+element b = #data
+function F : #data -> b
+|}
+
+let clean_pair_sender = {|
+root r
+element r = a.(F | b)
+element a = #data
+element b = #data
+function F : #data -> b
+|}
+
+let clean_pair_target = {|
+root r
+element r = a.b
+element a = #data
+element b = #data
+|}
+
+let doomed_doc = {|<r xmlns:int="http://www.activexml.com/ns/int">
+  <int:fun methodName="Ghost"><int:params><int:param>x</int:param></int:params></int:fun>
+  <int:fun methodName="F"><int:params><int:param>x</int:param></int:params></int:fun>
+</r>
+|}
+
+let setup_lint () =
+  write_file (path "messy.axs") messy_schema;
+  write_file (path "noroot.axs") "element a = #data\n";
+  write_file (path "doomed_sender.axs") doomed_sender;
+  write_file (path "doomed_target.axs") doomed_target;
+  write_file (path "clean_sender.axs") clean_pair_sender;
+  write_file (path "clean_target.axs") clean_pair_target;
+  write_file (path "doomed_doc.xml") doomed_doc
+
+let test_lint_schema () =
+  setup_lint ();
+  let code, out = run [ "lint"; "-s"; path "messy.axs" ] in
+  check_int "errors deny by default: exit 1" 1 code;
+  List.iter
+    (fun c -> check (c ^ " reported") true (contains out c))
+    [ "AXM002"; "AXM003"; "AXM010"; "AXM011"; "AXM012" ];
+  check "position rendered" true (contains out "messy.axs:9:");
+  check "summary line" true (contains out "error(s)");
+  let code, out = run [ "lint"; "-s"; path "noroot.axs" ] in
+  check_int "hints alone pass: exit 0" 0 code;
+  check "missing root hinted" true (contains out "AXM014");
+  (* a quiet schema under the strictest threshold *)
+  let code, out = run [ "lint"; "--deny"; "hint"; "-s"; path "clean_sender.axs" ] in
+  check_int "clean schema: exit 0" 0 code;
+  check "nothing found" true (contains out "0 error(s), 0 warning(s), 0 hint(s)")
+
+let test_lint_contract_json () =
+  setup_lint ();
+  let code, out =
+    run [ "lint"; "--format"; "json"; "-f"; path "doomed_sender.axs";
+          "-t"; path "doomed_target.axs"; path "doomed_doc.xml" ]
+  in
+  check_int "doomed pair: exit 1" 1 code;
+  (match Jsonv.explain out with
+   | None -> ()
+   | Some why -> Alcotest.failf "lint JSON does not parse: %s" why);
+  (* contract, schema and document level findings, all in one report *)
+  List.iter
+    (fun c -> check (c ^ " reported") true (contains out c))
+    [ "AXM012"; "AXM020"; "AXM021"; "AXM022"; "AXM023"; "AXM030"; "AXM031" ];
+  check "summary object" true (contains out "\"summary\"");
+  check "files attributed" true (contains out (path "doomed_doc.xml"))
+
+let test_lint_deny_thresholds () =
+  setup_lint ();
+  (* identical schemas: nothing at all, even at the hint threshold *)
+  let code, _ =
+    run [ "lint"; "--deny"; "hint"; "-f"; path "clean_sender.axs";
+          "-t"; path "clean_sender.axs" ]
+  in
+  check_int "identical pair: exit 0" 0 code;
+  (* dropping F from the target content leaves one AXM022 hint: visible
+     at --deny hint, ignored at --deny warning *)
+  let code, out =
+    run [ "lint"; "-f"; path "clean_sender.axs"; "-t"; path "clean_target.axs" ]
+  in
+  check_int "hints don't deny by default: exit 0" 0 code;
+  check "materialize hint" true (contains out "AXM022");
+  let code, _ =
+    run [ "lint"; "--deny"; "warning"; "-f"; path "clean_sender.axs";
+          "-t"; path "clean_target.axs" ]
+  in
+  check_int "deny warning ignores hints: exit 0" 0 code;
+  let code, _ =
+    run [ "lint"; "--deny"; "hint"; "-f"; path "clean_sender.axs";
+          "-t"; path "clean_target.axs" ]
+  in
+  check_int "deny hint: exit 1" 1 code;
+  (* bad usage *)
+  let code, _ = run [ "lint"; "-s"; path "messy.axs"; path "doomed_doc.xml" ] in
+  check_int "docs with -s: exit 2" 2 code;
+  let code, _ = run [ "lint" ] in
+  check_int "no schemas: exit 2" 2 code
+
 let test_bad_inputs () =
   setup ();
   write_file (path "broken.axs") "element = nonsense";
@@ -335,6 +465,9 @@ let () =
          Alcotest.test_case "batch metrics out" `Quick test_batch_metrics_out;
          Alcotest.test_case "trace" `Quick test_trace;
          Alcotest.test_case "compat" `Quick test_compat;
+         Alcotest.test_case "lint schema" `Quick test_lint_schema;
+         Alcotest.test_case "lint contract json" `Quick test_lint_contract_json;
+         Alcotest.test_case "lint deny thresholds" `Quick test_lint_deny_thresholds;
          Alcotest.test_case "schema convert" `Quick test_schema_convert;
          Alcotest.test_case "bad inputs" `Quick test_bad_inputs
        ])
