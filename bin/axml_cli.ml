@@ -188,19 +188,26 @@ let oracle_arg =
                  the signatures, $(b,fail) stubs that refuse every call, or \
                  $(b,flaky) honest services that fail every 7th call.")
 
+(* Invokers must be thread-safe: [batch --jobs N] calls them from
+   several domains at once. The generator is one mutable PRNG stream,
+   so draws are serialized behind a mutex; the flaky counter is an
+   atomic. *)
 let make_invoker ~env ~s0 oracle =
   match oracle with
   | `Fail -> fun name _ -> fail "service %s is unavailable (--oracle fail)" name
   | `Random ->
     let g = Generate.create ~env s0 in
-    fun name _params -> Generate.output_instance g name
+    let lock = Mutex.create () in
+    fun name _params ->
+      Mutex.protect lock (fun () -> Generate.output_instance g name)
   | `Flaky ->
     let g = Generate.create ~env s0 in
-    let count = ref 0 in
+    let lock = Mutex.create () in
+    let count = Atomic.make 0 in
     fun name _params ->
-      incr count;
-      if !count mod 7 = 0 then failwith ("service " ^ name ^ ": transient failure")
-      else Generate.output_instance g name
+      if (Atomic.fetch_and_add count 1 + 1) mod 7 = 0 then
+        failwith ("service " ^ name ^ ": transient failure")
+      else Mutex.protect lock (fun () -> Generate.output_instance g name)
 
 let metrics_out_arg =
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE"
@@ -268,8 +275,13 @@ let batch_cmd =
            ~doc:"Trip a per-service circuit breaker after $(docv) \
                  consecutive failures.")
   in
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N"
+           ~doc:"Enforce the batch on $(docv) domains in parallel. \
+                 Outcomes are reported in input order regardless.")
+  in
   let run sender target k possible engine oracle retries timeout_ms
-      breaker_threshold stats_out metrics_out doc_paths =
+      breaker_threshold jobs stats_out metrics_out doc_paths =
     wrap (fun () ->
         let s0 = load_schema sender in
         let exchange = load_schema target in
@@ -283,20 +295,37 @@ let batch_cmd =
                  ~breaker_threshold ())
             ()
         in
+        let executor =
+          if jobs <= 1 then Enforcement.Sequential
+          else Enforcement.Parallel { jobs }
+        in
         let config =
           { Enforcement.default_config with
             Enforcement.k; engine; fallback_possible = possible;
-            resilience = Some resilience }
+            resilience = Some resilience; executor }
         in
         let pipeline = Enforcement.Pipeline.create ~config ~s0 ~exchange ~invoker () in
         let failed = ref 0 in
-        List.iter
-          (fun path ->
-            let doc = load_document path in
-            let result = Enforcement.Pipeline.enforce pipeline doc in
-            if Result.is_error result then incr failed;
-            Report.print_outcome ~label:path result)
-          doc_paths;
+        (match executor with
+         | Enforcement.Sequential ->
+           (* stream: enforce and report one document at a time *)
+           List.iter
+             (fun path ->
+               let doc = load_document path in
+               let result = Enforcement.Pipeline.enforce pipeline doc in
+               if Result.is_error result then incr failed;
+               Report.print_outcome ~label:path result)
+             doc_paths
+         | Enforcement.Parallel _ ->
+           (* batch: results come back in input order, so the report
+              reads exactly like the sequential one *)
+           let docs = List.map load_document doc_paths in
+           let results, _batch = Enforcement.Pipeline.enforce_many pipeline docs in
+           List.iter2
+             (fun path result ->
+               if Result.is_error result then incr failed;
+               Report.print_outcome ~label:path result)
+             doc_paths results);
         let stats = Enforcement.Pipeline.stats pipeline in
         Report.print_run_stats stats;
         Option.iter
@@ -312,10 +341,12 @@ let batch_cmd =
        ~doc:"Enforce an exchange schema over a stream of documents through \
              one compiled pipeline (shared contract-analysis cache and \
              retry/timeout/circuit-breaker guard), reporting per-document \
-             outcomes and batch statistics.")
+             outcomes and batch statistics. With $(b,--jobs) N the batch \
+             is sharded across N domains.")
     Term.(const run $ sender_arg $ target_arg $ k_arg $ possible_arg
           $ engine_arg $ oracle_arg $ retries_arg $ timeout_ms_arg
-          $ breaker_arg $ stats_json_arg $ metrics_out_arg $ docs_arg)
+          $ breaker_arg $ jobs_arg $ stats_json_arg $ metrics_out_arg
+          $ docs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)

@@ -51,6 +51,21 @@ let h_enforce =
   Metrics.histogram ~help:"Wall-clock seconds to enforce one document"
     "axml_enforcement_seconds"
 
+let m_jobs =
+  Metrics.gauge ~help:"Worker domains used by the most recent batch"
+    "axml_pipeline_jobs"
+
+(* Wall clock for pipeline accounting: the injectable registry clock
+   (defaults to [Unix.gettimeofday]). [Sys.time] would report process
+   CPU time — blind to service waits and summed across domains. *)
+let wall () = Metrics.now Metrics.default
+
+type executor =
+  | Sequential
+  | Parallel of { jobs : int }
+      (* shard batches across [jobs] OCaml domains; results keep input
+         order. Invokers must be thread-safe (see mli). *)
+
 type config = {
   k : int;
   engine : Rewriter.engine;
@@ -65,6 +80,8 @@ type config = {
        contract carrying error-level lint diagnostics precludes every
        document; a document whose calls lint at error level is
        precluded individually *)
+  executor : executor;
+    (* how [Pipeline.enforce_many] runs a batch *)
 }
 
 let default_config = {
@@ -74,6 +91,7 @@ let default_config = {
   eager_calls = None;
   resilience = None;
   lint_gate = false;
+  executor = Sequential;
 }
 
 type action =
@@ -310,6 +328,10 @@ module Pipeline = struct
     p_config : config;
     p_compiled : compiled;
     p_invoker : Execute.invoker;
+    mutable p_clones : compiled array;
+      (* per-worker-domain compiled artifacts for parallel batches
+         (worker 0 reuses [p_compiled]); grown on demand, kept across
+         batches so clone caches stay warm *)
     mutable p_docs : int;
     mutable p_conformed : int;
     mutable p_rewritten : int;
@@ -334,10 +356,22 @@ module Pipeline = struct
     | Some r -> Resilience.total r
     | None -> Resilience.zero_stats
 
+  (* The shared contract's counters plus every clone's: the batch-level
+     cache view a parallel pipeline reports. Clones are born with
+     zeroed counters, so growing the pool mid-window never perturbs a
+     running [diff_stats] window. *)
+  let cache_total t =
+    Array.fold_left
+      (fun acc c ->
+        Contract.add_stats acc (Contract.stats (Rewriter.contract c.c_rewriter)))
+      (Contract.stats (contract t))
+      t.p_clones
+
   let make ~config ~compiled ~invoker =
     { p_config = config;
       p_compiled = compiled;
       p_invoker = invoker;
+      p_clones = [||];
       p_docs = 0; p_conformed = 0; p_rewritten = 0; p_rewritten_possible = 0;
       p_rejected = 0; p_attempt_failed = 0; p_faults = 0; p_precluded = 0;
       p_invocations = 0;
@@ -373,9 +407,7 @@ module Pipeline = struct
   }
 
   let stats (t : t) =
-    let cache =
-      Contract.diff_stats ~before:t.p_cache_base (Contract.stats (contract t))
-    in
+    let cache = Contract.diff_stats ~before:t.p_cache_base (cache_total t) in
     { docs = t.p_docs;
       conformed = t.p_conformed;
       rewritten = t.p_rewritten;
@@ -414,11 +446,13 @@ module Pipeline = struct
     t.p_precluded <- 0;
     t.p_invocations <- 0;
     t.p_elapsed <- 0.;
-    t.p_cache_base <- Contract.stats (contract t);
+    t.p_cache_base <- cache_total t;
     t.p_resilience_base <- resilience_total t.p_config
 
-  let record t started result =
-    t.p_elapsed <- t.p_elapsed +. (Sys.time () -. started);
+  (* Outcome bookkeeping shared by the sequential and parallel paths.
+     Only the main domain tallies: parallel workers hand their results
+     back first, so these plain mutable fields never race. *)
+  let tally t result =
     t.p_docs <- t.p_docs + 1;
     (match result with
      | Ok (_, (report : report)) ->
@@ -431,40 +465,112 @@ module Pipeline = struct
      | Error (Rejected _) -> t.p_rejected <- t.p_rejected + 1
      | Error (Attempt_failed _) -> t.p_attempt_failed <- t.p_attempt_failed + 1
      | Error (Service_fault _) -> t.p_faults <- t.p_faults + 1
-     | Error (Precluded _) -> t.p_precluded <- t.p_precluded + 1);
+     | Error (Precluded _) -> t.p_precluded <- t.p_precluded + 1)
+
+  let record t started result =
+    t.p_elapsed <- t.p_elapsed +. (wall () -. started);
+    tally t result;
     result
 
   let enforce t doc =
-    let started = Sys.time () in
+    let started = wall () in
     record t started
       (enforce_compiled ~config:t.p_config ~compiled:t.p_compiled
          ~invoker:t.p_invoker doc)
 
-  let enforce_many t docs =
+  let diff_batch ~(before : stats) (after : stats) =
+    let cache = Contract.diff_stats ~before:before.cache after.cache in
+    { docs = after.docs - before.docs;
+      conformed = after.conformed - before.conformed;
+      rewritten = after.rewritten - before.rewritten;
+      rewritten_possible = after.rewritten_possible - before.rewritten_possible;
+      rejected = after.rejected - before.rejected;
+      attempt_failed = after.attempt_failed - before.attempt_failed;
+      faults = after.faults - before.faults;
+      precluded = after.precluded - before.precluded;
+      invocations = after.invocations - before.invocations;
+      elapsed_s = after.elapsed_s -. before.elapsed_s;
+      docs_per_s =
+        (let dt = after.elapsed_s -. before.elapsed_s in
+         if dt > 0. then float_of_int (after.docs - before.docs) /. dt else 0.);
+      cache;
+      cache_hit_rate = Contract.hit_rate cache;
+      resilience =
+        Resilience.diff_stats ~before:before.resilience after.resilience }
+
+  let enforce_many_seq t docs =
     let before = stats t in
+    Metrics.set m_jobs 1.;
     let results = List.map (enforce t) docs in
-    let after = stats t in
-    let batch =
-      { docs = after.docs - before.docs;
-        conformed = after.conformed - before.conformed;
-        rewritten = after.rewritten - before.rewritten;
-        rewritten_possible = after.rewritten_possible - before.rewritten_possible;
-        rejected = after.rejected - before.rejected;
-        attempt_failed = after.attempt_failed - before.attempt_failed;
-        faults = after.faults - before.faults;
-        precluded = after.precluded - before.precluded;
-        invocations = after.invocations - before.invocations;
-        elapsed_s = after.elapsed_s -. before.elapsed_s;
-        docs_per_s =
-          (let dt = after.elapsed_s -. before.elapsed_s in
-           if dt > 0. then float_of_int (after.docs - before.docs) /. dt else 0.);
-        cache = Contract.diff_stats ~before:before.cache after.cache;
-        cache_hit_rate =
-          Contract.hit_rate (Contract.diff_stats ~before:before.cache after.cache);
-        resilience =
-          Resilience.diff_stats ~before:before.resilience after.resilience }
+    (results, diff_batch ~before (stats t))
+
+  (* Grow the clone pool to at least [n] private compiled artifacts.
+     Each clone shares the immutable compiled schemas but owns its
+     analysis cache, products and validation memos, so a worker domain
+     never mutates state another domain reads (see DESIGN.md). *)
+  let ensure_clones t n =
+    let have = Array.length t.p_clones in
+    if n > have then
+      t.p_clones <-
+        Array.append t.p_clones
+          (Array.init (n - have) (fun _ ->
+               of_rewriter (Rewriter.of_contract (Contract.clone (contract t)))))
+
+  let enforce_parallel t ~jobs docs =
+    let docs = Array.of_list docs in
+    let n = Array.length docs in
+    (* never spawn more domains than there are documents *)
+    let jobs = max 1 (min jobs (max 1 n)) in
+    let before = stats t in
+    Metrics.set m_jobs (float_of_int jobs);
+    ensure_clones t (jobs - 1);
+    let results = Array.make n None in
+    (* Chunked work stealing off one atomic cursor: chunks are small
+       enough (>= 8 per worker) that an unlucky run of slow documents
+       cannot straggle one domain, and claiming is one fetch-and-add. *)
+    let chunk = max 1 (n / (jobs * 8)) in
+    let cursor = Atomic.make 0 in
+    let worker compiled () =
+      let rec loop () =
+        let start = Atomic.fetch_and_add cursor chunk in
+        if start < n then begin
+          let stop = min n (start + chunk) in
+          for i = start to stop - 1 do
+            results.(i) <-
+              Some
+                (enforce_compiled ~config:t.p_config ~compiled
+                   ~invoker:t.p_invoker docs.(i))
+          done;
+          loop ()
+        end
+      in
+      loop ()
     in
-    (results, batch)
+    let started = wall () in
+    (* workers 1..jobs-1 run on fresh domains with their own clone;
+       worker 0 runs right here with the shared compiled artifacts *)
+    let spawned =
+      Array.init (jobs - 1) (fun i ->
+          Domain.spawn (worker t.p_clones.(i)))
+    in
+    worker t.p_compiled ();
+    Array.iter Domain.join spawned;
+    t.p_elapsed <- t.p_elapsed +. (wall () -. started);
+    (* deterministic in-order assembly: slot [i] belongs to input [i] *)
+    let results =
+      Array.to_list
+        (Array.map
+           (function
+             | Some r -> tally t r; r
+             | None -> assert false (* every index below [n] was claimed *))
+           results)
+    in
+    (results, diff_batch ~before (stats t))
+
+  let enforce_many t docs =
+    match t.p_config.executor with
+    | Sequential -> enforce_many_seq t docs
+    | Parallel { jobs } -> enforce_parallel t ~jobs docs
 
   let enforce_seq t docs = Seq.map (enforce t) docs
 end

@@ -11,6 +11,16 @@
     stream; {!enforce} stays as the one-shot entry point and accepts a
     prebuilt rewriter for callers that manage their own contracts. *)
 
+type executor =
+  | Sequential  (** one document after another, on the calling domain *)
+  | Parallel of { jobs : int }
+    (** shard each batch across [jobs] OCaml domains (clamped to at
+        least 1, and to the batch size). Results keep input order.
+        {b The invoker must be thread-safe}: workers call it
+        concurrently. The built-in {!Axml_services.Oracle} behaviours
+        and {!Axml_services.Registry.invoke} are; a hand-rolled invoker
+        closing over unguarded mutable state is not. *)
+
 type config = {
   k : int;
   engine : Axml_core.Rewriter.engine;
@@ -27,11 +37,14 @@ type config = {
         error-level diagnostics precludes every document; a document
         whose calls lint at error level is precluded individually.
         Warnings and hints never block. *)
+  executor : executor;
+    (** how {!Pipeline.enforce_many} runs a batch (default
+        {!Sequential}) *)
 }
 
 val default_config : config
 (** [k = 1], lazy engine, no fallback, no eager calls, no resilience
-    guard, no lint gate. *)
+    guard, no lint gate, sequential executor. *)
 
 type action =
   | Conformed           (** already an instance, nothing invoked *)
@@ -125,7 +138,10 @@ module Pipeline : sig
     faults : int;                (** documents that hit a service fault *)
     precluded : int;             (** documents refused by the lint gate *)
     invocations : int;
-    elapsed_s : float;           (** CPU seconds spent enforcing *)
+    elapsed_s : float;
+      (** wall-clock seconds spent enforcing (the injectable
+          [Axml_obs.Metrics] clock); for a parallel batch this is the
+          batch's wall time, not the per-domain sum *)
     docs_per_s : float;
     cache : Axml_core.Contract.stats;  (** contract-cache activity *)
     cache_hit_rate : float;
@@ -139,7 +155,27 @@ module Pipeline : sig
   val enforce_many :
     t -> Axml_core.Document.t list ->
     (Axml_core.Document.t * report, error) result list * stats
-  (** Enforce a batch; the returned stats cover exactly this batch. *)
+  (** Enforce a batch; the returned stats cover exactly this batch.
+      Dispatches on [config.executor]: {!Sequential} enforces in order
+      on the calling domain, [Parallel {jobs}] behaves like
+      {!enforce_parallel}. *)
+
+  val enforce_parallel :
+    t -> jobs:int -> Axml_core.Document.t list ->
+    (Axml_core.Document.t * report, error) result list * stats
+  (** Enforce a batch on [jobs] domains (clamped to at least 1 and to
+      the batch size): documents are claimed in chunks off an atomic
+      cursor, each worker domain enforces against its own
+      {!Axml_core.Contract.clone} of the compiled artifacts (worker 0
+      reuses the shared ones), and results are assembled in input
+      order — for deterministic services the result list is identical
+      to the sequential one. Clones persist on the pipeline, so
+      repeated batches keep their analysis caches warm; {!stats}
+      reports the shared cache plus all clones, and [elapsed_s] grows
+      by the batch's wall time. The pipeline's invoker (and
+      [config.resilience] guard) are shared across workers — the
+      invoker must be thread-safe, and a circuit breaker opened by one
+      domain short-circuits the others. *)
 
   val enforce_seq :
     t -> Axml_core.Document.t Seq.t ->

@@ -113,6 +113,13 @@ let set_enforcement t config =
 let set_resilience t resilience =
   set_enforcement t { t.enforcement with Enforcement.resilience }
 
+let set_jobs t jobs =
+  set_enforcement t
+    { t.enforcement with
+      Enforcement.executor =
+        (if jobs <= 1 then Enforcement.Sequential
+         else Enforcement.Parallel { jobs }) }
+
 let set_schema t schema =
   t.schema <- schema;
   invalidate t

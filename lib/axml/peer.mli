@@ -32,6 +32,12 @@ val set_resilience : t -> Axml_services.Resilience.t option -> unit
     every invocation the peer's enforcement performs; invalidates the
     compiled artifacts like {!set_enforcement}. *)
 
+val set_jobs : t -> int -> unit
+(** Run the peer's batch enforcement on this many domains
+    ([Enforcement.Parallel]); [jobs <= 1] restores the sequential
+    executor. Invalidates the compiled artifacts like
+    {!set_enforcement}. *)
+
 val exchange_pipeline :
   t -> exchange:Axml_schema.Schema.t -> Enforcement.Pipeline.t
 (** The peer's sender-side enforcement pipeline for an exchange schema:

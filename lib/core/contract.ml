@@ -3,7 +3,16 @@
    bounded memo table from (content-model regex, children word) to the
    safe/possible analyses — the amortization that lets a peer's
    enforcement module pay the automata construction once per distinct
-   word instead of once per document. *)
+   word instead of once per document.
+
+   Domain safety: all mutable state (the regex memo tables, the FIFO
+   analysis cache and its counters) sits behind [lock], and uncached
+   analyses are computed while holding it, so concurrent callers see
+   each (word, kind) computed exactly once and the counters never
+   tear. The returned analyses carry lazily-extended products that are
+   NOT safe to execute from several domains at once — parallel
+   pipelines give each domain its own [clone] instead (see
+   DESIGN.md). *)
 
 module R = Axml_regex.Regex
 module Schema = Axml_schema.Schema
@@ -71,6 +80,7 @@ type t = {
   k : int;
   engine : engine;
   capacity : int;
+  lock : Mutex.t;  (* guards every mutable field below *)
   element_regexes : (string, Symbol.t R.t option) Hashtbl.t;
   input_regexes : (string, Symbol.t R.t option) Hashtbl.t;
   cache : entry Tbl.t;
@@ -85,11 +95,28 @@ let create ?(k = 1) ?(engine = Lazy) ?predicate ?(cache_capacity = 4096)
   let env = Schema.env_of_schemas ?predicate s0 target in
   { env; s0; target; k; engine;
     capacity = max 1 cache_capacity;
+    lock = Mutex.create ();
     element_regexes = Hashtbl.create 16;
     input_regexes = Hashtbl.create 16;
     cache = Tbl.create 64;
     order = Queue.create ();
     hits = 0; misses = 0; evictions = 0 }
+
+(* A private contract over the same immutable compiled schemas: the
+   merged environment, schema values and (already compiled) content
+   regexes are shared, the analysis cache and counters start fresh.
+   This is what parallel pipelines hand each worker domain, so cached
+   analyses — whose products are extended in place during execution —
+   are never shared across domains. *)
+let clone (t : t) =
+  Mutex.protect t.lock (fun () ->
+      { t with
+        lock = Mutex.create ();
+        element_regexes = Hashtbl.copy t.element_regexes;
+        input_regexes = Hashtbl.copy t.input_regexes;
+        cache = Tbl.create 64;
+        order = Queue.create ();
+        hits = 0; misses = 0; evictions = 0 })
 
 let env t = t.env
 let s0 t = t.s0
@@ -101,20 +128,21 @@ let engine t = t.engine
 (* Static artifacts                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let memo table key compute =
-  match Hashtbl.find_opt table key with
-  | Some v -> v
-  | None ->
-    let v = compute () in
-    Hashtbl.add table key v;
-    v
+let memo lock table key compute =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt table key with
+      | Some v -> v
+      | None ->
+        let v = compute () in
+        Hashtbl.add table key v;
+        v)
 
 let element_regex t label =
-  memo t.element_regexes label (fun () ->
+  memo t.lock t.element_regexes label (fun () ->
       Option.map (Schema.compile_content t.env) (Schema.find_element t.target label))
 
 let input_regex t fname =
-  memo t.input_regexes fname (fun () ->
+  memo t.lock t.input_regexes fname (fun () ->
       Option.map
         (fun (f : Schema.func) -> Schema.compile_content t.env f.Schema.f_input)
         (Schema.String_map.find_opt fname t.env.Schema.env_functions))
@@ -142,7 +170,8 @@ let product t ~target_regex word =
 
 (* The queue mirrors the table exactly (keys are enqueued once, on
    entry creation, and leave only through eviction or [clear]), so the
-   queue front is always the oldest resident entry. *)
+   queue front is always the oldest resident entry. Caller holds
+   [t.lock]. *)
 let entry t ~target_regex word =
   let key = (target_regex, word) in
   match Tbl.find_opt t.cache key with
@@ -159,7 +188,13 @@ let entry t ~target_regex word =
     Queue.push key t.order;
     e
 
+(* Uncached analyses are computed while still holding [t.lock]: slower
+   under contention than a compute-outside-retry scheme, but it keeps
+   the counters exact (each (word, kind) is computed at most once
+   process-wide), which the qcheck reference model relies on. Parallel
+   pipelines avoid the contention entirely by running on [clone]s. *)
 let safe_analysis t ~target_regex word =
+  Mutex.protect t.lock @@ fun () ->
   let e = entry t ~target_regex word in
   match e.e_safe with
   | Some a ->
@@ -182,6 +217,7 @@ let safe_analysis t ~target_regex word =
     a
 
 let possible_analysis t ~target_regex word =
+  Mutex.protect t.lock @@ fun () ->
   let e = entry t ~target_regex word in
   match e.e_possible with
   | Some a ->
@@ -231,8 +267,15 @@ let analyze t ~context word =
 type stats = { hits : int; misses : int; evictions : int; entries : int }
 
 let stats (t : t) =
-  { hits = t.hits; misses = t.misses; evictions = t.evictions;
-    entries = Tbl.length t.cache }
+  Mutex.protect t.lock (fun () ->
+      { hits = t.hits; misses = t.misses; evictions = t.evictions;
+        entries = Tbl.length t.cache })
+
+let add_stats a b =
+  { hits = a.hits + b.hits;
+    misses = a.misses + b.misses;
+    evictions = a.evictions + b.evictions;
+    entries = a.entries + b.entries }
 
 let hit_rate s =
   let total = s.hits + s.misses in
@@ -249,11 +292,15 @@ let pp_stats ppf s =
     s.hits s.misses (100. *. hit_rate s) s.entries s.evictions
 
 let reset_stats (t : t) =
-  t.hits <- 0;
-  t.misses <- 0;
-  t.evictions <- 0
+  Mutex.protect t.lock (fun () ->
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0)
 
 let clear (t : t) =
-  Tbl.reset t.cache;
-  Queue.clear t.order;
-  reset_stats t
+  Mutex.protect t.lock (fun () ->
+      Tbl.reset t.cache;
+      Queue.clear t.order;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0)

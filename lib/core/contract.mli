@@ -17,7 +17,16 @@
     The cache is bounded ([cache_capacity], FIFO eviction) and counts
     hits, misses and evictions so callers can observe the amortization
     ({!stats}). {!Rewriter} is a thin view over this module;
-    [Axml_peer.Enforcement.Pipeline] drives it over document streams. *)
+    [Axml_peer.Enforcement.Pipeline] drives it over document streams.
+
+    {b Domain safety.} All mutable contract state (regex memo tables,
+    the analysis cache, the counters) is guarded by an internal mutex,
+    so {!analyze}, {!stats} etc. may be called from several domains
+    concurrently, and each [(word, kind)] analysis is computed at most
+    once. The {e returned} analyses, however, carry products that are
+    extended in place during {!Execute.run} — executing one analysis
+    from several domains at once is a race. Parallel pipelines give
+    each worker domain a private {!clone} instead. *)
 
 type engine =
   | Eager  (** the literal algorithm of Figure 3 *)
@@ -36,6 +45,14 @@ val create :
     entries, clamped to at least 1).
     @raise Axml_schema.Schema.Schema_error when [s0] and [target]
     disagree on a common function signature. *)
+
+val clone : t -> t
+(** A private contract over the same compiled artifacts: shares the
+    (immutable) merged environment, schemas, [k], [engine] and
+    capacity; copies the compiled-regex memo tables; starts with an
+    empty analysis cache and zeroed counters. This is how parallel
+    pipelines give each worker domain its own analyses without
+    recompiling the schemas — see DESIGN.md. *)
 
 (** {1 Static artifacts} *)
 
@@ -158,6 +175,10 @@ val hit_rate : stats -> float
 val diff_stats : before:stats -> stats -> stats
 (** Counter deltas ([entries] is the later absolute value): the cache
     activity between two {!stats} snapshots. *)
+
+val add_stats : stats -> stats -> stats
+(** Field-wise sum — merges the windows of a shared contract and its
+    {!clone}s into one batch-level view. *)
 
 val pp_stats : stats Fmt.t
 

@@ -1,7 +1,12 @@
 (* Service behaviours for tests, benchmarks and simulations:
    scripted replies, honest random output instances ("the adversary picks
    any output instance of f", Definition 4), and misbehaving services for
-   failure injection. *)
+   failure injection.
+
+   All built-ins are thread-safe — parallel enforcement pipelines call
+   behaviours from several domains at once, so the stateful ones keep
+   their state in [Atomic]s (or behind a mutex where the state is a
+   whole generator). *)
 
 module Schema = Axml_schema.Schema
 module Document = Axml_core.Document
@@ -15,19 +20,27 @@ let constant forest : Service.behaviour = fun _params -> forest
 let scripted (replies : Document.forest list) : Service.behaviour =
   if replies = [] then invalid_arg "Oracle.scripted: no replies";
   let replies = Array.of_list replies in
-  let i = ref 0 in
+  let n = Array.length replies in
+  let i = Atomic.make 0 in
   fun _params ->
-    let r = replies.(!i) in
     (* wrap in place: an unbounded counter would eventually overflow on
-       long benchmark runs *)
-    i := (!i + 1) mod Array.length replies;
-    r
+       long benchmark runs. CAS loop so concurrent callers each consume
+       a distinct script position. *)
+    let rec claim () =
+      let cur = Atomic.get i in
+      if Atomic.compare_and_set i cur ((cur + 1) mod n) then cur
+      else claim ()
+    in
+    replies.(claim ())
 
 (* An honest random service: every call returns a fresh random output
-   instance of [fname]'s declared type. *)
+   instance of [fname]'s declared type. The generator is one mutable
+   PRNG stream, so calls are serialized behind a mutex. *)
 let honest_random ?(seed = 7) ?env schema fname : Service.behaviour =
   let g = Generate.create ~seed ?env schema in
-  fun _params -> Generate.output_instance g fname
+  let lock = Mutex.create () in
+  fun _params ->
+    Mutex.protect lock (fun () -> Generate.output_instance g fname)
 
 (* Echo a parameter back (handy for identity-style services). *)
 let echo : Service.behaviour = fun params -> params
@@ -48,14 +61,14 @@ let timing_out ?(clock = Resilience.wall_clock) ~delay_s (inner : Service.behavi
 
 (* Fails every [period]-th call, otherwise behaves like [inner]. *)
 let flaky ~period (inner : Service.behaviour) : Service.behaviour =
-  let count = ref 0 in
+  let count = Atomic.make 0 in
   fun params ->
-    incr count;
-    if !count mod period = 0 then failwith "flaky service failure"
+    if (Atomic.fetch_and_add count 1 + 1) mod period = 0 then
+      failwith "flaky service failure"
     else inner params
 
 (* Count invocations of [inner] (for side-effect assertions). *)
 let counting (inner : Service.behaviour) =
-  let count = ref 0 in
-  let behaviour params = incr count; inner params in
-  (behaviour, fun () -> !count)
+  let count = Atomic.make 0 in
+  let behaviour params = Atomic.incr count; inner params in
+  (behaviour, fun () -> Atomic.get count)

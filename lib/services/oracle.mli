@@ -1,7 +1,14 @@
 (** Service behaviours for tests, benchmarks and simulations: scripted
     replies, honest random output instances ("the adversary picks any
     output instance of f", Definition 4), and misbehaving services for
-    failure injection. *)
+    failure injection.
+
+    All built-ins are thread-safe: parallel enforcement pipelines call
+    behaviours from several domains concurrently, so the stateful ones
+    ({!scripted}, {!flaky}, {!counting}) use atomics and
+    {!honest_random} serializes its generator behind a mutex. A
+    hand-rolled behaviour used with a parallel pipeline must offer the
+    same guarantee. *)
 
 val constant : Axml_core.Document.forest -> Service.behaviour
 

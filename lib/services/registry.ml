@@ -29,6 +29,10 @@ type check_mode =
 
 type t = {
   services : (string, Service.t) Hashtbl.t;
+  lock : Mutex.t;
+    (* guards the accounting fields and the contract checks below, so
+       [invoke] is safe to call from several domains concurrently
+       (parallel pipelines do); behaviours run outside the lock *)
   mutable log : record list;  (* newest first *)
   mutable invocation_count : int;
   mutable total_cost : float;
@@ -40,6 +44,7 @@ type t = {
 
 let create ?(principal = "anonymous") () = {
   services = Hashtbl.create 16;
+  lock = Mutex.create ();
   log = [];
   invocation_count = 0;
   total_cost = 0.;
@@ -85,38 +90,45 @@ let reset_accounting t =
   t.invocation_count <- 0;
   t.total_cost <- 0.
 
-(* Invoke [name]: the registry is an [Execute.invoker]. *)
+(* Invoke [name]: the registry is an [Execute.invoker]. The budget
+   gate and contract checks run under the lock (the check contexts
+   memoize DFAs mutably), the behaviour itself does not — a slow
+   service never serializes the other domains. *)
 let invoke t name params =
   match find t name with
   | None -> raise (Unknown_service name)
   | Some service ->
     if not (Service.allows service t.principal) then
       raise (Access_denied { service = name; principal = t.principal });
-    (match t.budget with
-     | Some budget when t.total_cost +. service.Service.cost > budget ->
-       raise (Budget_exhausted { service = name; budget })
-     | Some _ | None -> ());
-    (match t.check, t.check_ctx with
-     | (Check_input | Check_both), Some ctx ->
-       (match Validate.input_instance ctx name params with
-        | [] -> ()
-        | violations ->
-          raise (Contract_violation { service = name; what = `Input; violations }))
-     | _ -> ());
+    Mutex.protect t.lock (fun () ->
+        (match t.budget with
+         | Some budget when t.total_cost +. service.Service.cost > budget ->
+           raise (Budget_exhausted { service = name; budget })
+         | Some _ | None -> ());
+        (match t.check, t.check_ctx with
+         | (Check_input | Check_both), Some ctx ->
+           (match Validate.input_instance ctx name params with
+            | [] -> ()
+            | violations ->
+              raise
+                (Contract_violation { service = name; what = `Input; violations }))
+         | _ -> ()));
     let result = service.Service.behaviour params in
-    (match t.check, t.check_ctx with
-     | (Check_output | Check_both), Some ctx ->
-       (match Validate.output_instance ctx name result with
-        | [] -> ()
-        | violations ->
-          raise (Contract_violation { service = name; what = `Output; violations }))
-     | _ -> ());
-    t.invocation_count <- t.invocation_count + 1;
-    t.total_cost <- t.total_cost +. service.Service.cost;
-    t.log <-
-      { seq = t.invocation_count; service = name; params; result;
-        cost = service.Service.cost }
-      :: t.log;
+    Mutex.protect t.lock (fun () ->
+        (match t.check, t.check_ctx with
+         | (Check_output | Check_both), Some ctx ->
+           (match Validate.output_instance ctx name result with
+            | [] -> ()
+            | violations ->
+              raise
+                (Contract_violation { service = name; what = `Output; violations }))
+         | _ -> ());
+        t.invocation_count <- t.invocation_count + 1;
+        t.total_cost <- t.total_cost +. service.Service.cost;
+        t.log <-
+          { seq = t.invocation_count; service = name; params; result;
+            cost = service.Service.cost }
+          :: t.log);
     result
 
 let invoker t : Axml_core.Execute.invoker = fun name params -> invoke t name params

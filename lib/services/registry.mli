@@ -50,7 +50,11 @@ val log : t -> record list
 val reset_accounting : t -> unit
 
 val invoke : t -> string -> Axml_core.Document.forest -> Axml_core.Document.forest
-(** @raise Unknown_service, Access_denied, Budget_exhausted,
+(** Safe to call from several domains concurrently: the budget gate,
+    contract checks and accounting are serialized behind an internal
+    mutex; the service behaviour runs outside it (and must itself be
+    thread-safe to be used with a parallel pipeline).
+    @raise Unknown_service, Access_denied, Budget_exhausted,
     Contract_violation as applicable. *)
 
 val invoker : t -> Axml_core.Execute.invoker

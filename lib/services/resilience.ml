@@ -196,12 +196,23 @@ type t = {
   clock : clock;
   rng : Random.State.t;
   services : (string, entry) Hashtbl.t;
+  lock : Mutex.t;
+    (* guards [services], every entry's [st]/[breaker], and [rng].
+       Behaviour calls and sleeps happen OUTSIDE the lock: only the
+       (cheap) bookkeeping transitions are serialized, so a slow
+       service on one domain never blocks another domain's guard.
+       This is what makes one guard shareable by all the worker
+       domains of a parallel pipeline — and why a breaker tripped by
+       one domain short-circuits the others. *)
 }
 
 let create ?(policy = default_policy) ?(clock = wall_clock) ?(seed = 0x5e51) () =
   { pol = policy; clock; rng = Random.State.make [| seed |];
-    services = Hashtbl.create 8 }
+    services = Hashtbl.create 8; lock = Mutex.create () }
 
+let locked t f = Mutex.protect t.lock f
+
+(* Caller holds [t.lock]. *)
 let entry t fname =
   match Hashtbl.find_opt t.services fname with
   | Some e -> e
@@ -214,17 +225,21 @@ let entry t fname =
     e
 
 let stats t fname =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.services fname with
   | Some e -> e.st
   | None -> zero_stats
 
 let total t =
+  locked t @@ fun () ->
   Hashtbl.fold (fun _ e acc -> add_stats acc e.st) t.services zero_stats
 
 let reset_stats t =
+  locked t @@ fun () ->
   Hashtbl.iter (fun _ e -> e.st <- zero_stats) t.services
 
 let breaker_state t fname : breaker_state =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.services fname with
   | None | Some { breaker = Closed _; _ } -> `Closed
   | Some ({ breaker = Open_until until; _ } as e) ->
@@ -275,6 +290,7 @@ let breaker_success e =
   e.breaker <- Closed 0;
   Metrics.set e.m.mg_breaker 0.
 
+(* Caller holds [t.lock] ([t.rng] is guarded state). *)
 let jittered t base =
   if t.pol.jitter <= 0. then base
   else
@@ -283,47 +299,58 @@ let jittered t base =
 
 (* [guard t ~name behaviour params] runs [behaviour params] under the
    policy. On give-up it raises [Execute.Invocation_failed] so the
-   executor (or any caller) receives a structured report. *)
+   executor (or any caller) receives a structured report.
+
+   Locking discipline: every stats bump and breaker transition happens
+   in a short [locked] section; the behaviour call and the backoff
+   sleep do not hold the lock. [Mutex.protect] releases the lock when
+   a section raises, so the give-up raises may happen inside one. *)
 let guard t ~name behaviour params =
-  let e = entry t name in
   let start = t.clock.now () in
-  bump e (fun s -> { s with calls = s.calls + 1 });
-  Metrics.inc e.m.mc_calls;
-  (* breaker gate *)
-  (match e.breaker with
-   | Open_until until when t.clock.now () < until ->
-     bump e (fun s -> { s with short_circuited = s.short_circuited + 1 });
-     Metrics.inc e.m.mc_short;
-     if Trace.enabled Trace.default then
-       Trace.emit (Breaker { fname = name; transition = "short-circuit" });
-     raise
-       (Execute.Invocation_failed
-          { fname = name; attempts = 0;
-            cause = Circuit_open { fname = name; retry_at_s = until } })
-   | Open_until _ ->
-     e.breaker <- Half_open;
-     Metrics.set e.m.mg_breaker 1.;
-     if Trace.enabled Trace.default then
-       Trace.emit (Breaker { fname = name; transition = "half-open" })
-   | Closed _ | Half_open -> ());
+  let e =
+    locked t @@ fun () ->
+    let e = entry t name in
+    bump e (fun s -> { s with calls = s.calls + 1 });
+    Metrics.inc e.m.mc_calls;
+    (* breaker gate *)
+    (match e.breaker with
+     | Open_until until when t.clock.now () < until ->
+       bump e (fun s -> { s with short_circuited = s.short_circuited + 1 });
+       Metrics.inc e.m.mc_short;
+       if Trace.enabled Trace.default then
+         Trace.emit (Breaker { fname = name; transition = "short-circuit" });
+       raise
+         (Execute.Invocation_failed
+            { fname = name; attempts = 0;
+              cause = Circuit_open { fname = name; retry_at_s = until } })
+     | Open_until _ ->
+       e.breaker <- Half_open;
+       Metrics.set e.m.mg_breaker 1.;
+       if Trace.enabled Trace.default then
+         Trace.emit (Breaker { fname = name; transition = "half-open" })
+     | Closed _ | Half_open -> ());
+    e
+  in
   let deadline =
     match t.pol.timeout_s with None -> infinity | Some b -> start +. b
   in
   let over_budget () = t.clock.now () > deadline in
   let give_up ~attempts ~timed_out cause =
-    bump e (fun s ->
-        { s with
-          gave_up = s.gave_up + 1;
-          timeouts = (if timed_out then s.timeouts + 1 else s.timeouts) });
+    locked t (fun () ->
+        bump e (fun s ->
+            { s with
+              gave_up = s.gave_up + 1;
+              timeouts = (if timed_out then s.timeouts + 1 else s.timeouts) }));
     Metrics.inc e.m.mc_gave_up;
     if timed_out then Metrics.inc e.m.mc_timeouts;
     raise (Execute.Invocation_failed { fname = name; attempts; cause })
   in
   let rec attempt n backoff =
-    bump e (fun s ->
-        { s with
-          attempts = s.attempts + 1;
-          retries = (if n > 1 then s.retries + 1 else s.retries) });
+    locked t (fun () ->
+        bump e (fun s ->
+            { s with
+              attempts = s.attempts + 1;
+              retries = (if n > 1 then s.retries + 1 else s.retries) }));
     Metrics.inc e.m.mc_attempts;
     if n > 1 then Metrics.inc e.m.mc_retries;
     if Trace.enabled Trace.default then
@@ -332,15 +359,16 @@ let guard t ~name behaviour params =
     | result ->
       if over_budget () then begin
         (* the call answered too late: the budget is the contract *)
-        ignore (breaker_fail t e);
+        locked t (fun () -> ignore (breaker_fail t e));
         give_up ~attempts:n ~timed_out:true
           (Timed_out
              { fname = name; elapsed_s = t.clock.now () -. start;
                budget_s = deadline -. start })
       end
       else begin
-        breaker_success e;
-        bump e (fun s -> { s with successes = s.successes + 1 });
+        locked t (fun () ->
+            breaker_success e;
+            bump e (fun s -> { s with successes = s.successes + 1 }));
         Metrics.inc e.m.mc_successes;
         result
       end
@@ -349,7 +377,7 @@ let guard t ~name behaviour params =
       (* an already-guarded inner invoker gave up: pass the report on *)
       raise inner
     | exception cause ->
-      let tripped = breaker_fail t e in
+      let tripped = locked t (fun () -> breaker_fail t e) in
       if tripped || n > t.pol.max_retries then
         give_up ~attempts:n ~timed_out:false cause
       else if over_budget () then
@@ -358,7 +386,10 @@ let guard t ~name behaviour params =
              { fname = name; elapsed_s = t.clock.now () -. start;
                budget_s = deadline -. start })
       else begin
-        let pause = Float.min (jittered t backoff) (deadline -. t.clock.now ()) in
+        let pause =
+          locked t (fun () ->
+              Float.min (jittered t backoff) (deadline -. t.clock.now ()))
+        in
         if Trace.enabled Trace.default then
           Trace.emit (Retry { fname = name; attempt = n; backoff_s = Float.max pause 0. });
         if pause > 0. then t.clock.sleep pause;

@@ -18,7 +18,16 @@
     [Execute.Invocation_failed] carrying the service name, the number of
     physical attempts, and the final cause ({!Circuit_open},
     {!Timed_out}, or the behaviour's own exception). The executor turns
-    this into a typed [Service_error] failure. *)
+    this into a typed [Service_error] failure.
+
+    {b Domain safety.} One guard may be shared by several domains (a
+    parallel enforcement pipeline does exactly this): every stats bump
+    and breaker transition is serialized behind an internal mutex,
+    while behaviour calls and backoff sleeps run outside it. Breaker
+    state is therefore global across domains — a circuit tripped by
+    one worker short-circuits the others until the cooldown elapses.
+    The wrapped behaviour itself must be thread-safe if it touches
+    shared mutable state. *)
 
 (** {1 Clocks} *)
 

@@ -904,7 +904,125 @@ let prop_xml_schema_int_roundtrip =
             content_language_equal env f1.Schema.f_output f2.Schema.f_output
           | _ -> false))
 
-let axml_qcheck = List.map QCheck_alcotest.to_alcotest [ prop_xml_schema_int_roundtrip ]
+(* ------------------------------------------------------------------ *)
+(* Parallel batch enforcement                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Generate = Axml_core.Generate
+
+(* Results rendered for exact comparison: the document wire syntax on
+   success, the printed error otherwise. *)
+let render_result = function
+  | Ok (doc, (report : Enforcement.report)) ->
+    Printf.sprintf "%s#%d"
+      (Syntax.to_xml_string ~pretty:false doc)
+      (List.length report.Enforcement.invocations)
+  | Error e -> Fmt.str "%a" Enforcement.pp_error e
+
+let prop_parallel_matches_sequential =
+  QCheck.Test.make ~count:25
+    ~name:
+      "enforce_parallel returns sequential results in input order (honest \
+       services)"
+    QCheck.(pair (oneofl [ 1; 2; 4 ]) small_int)
+    (fun (jobs, seed) ->
+      let g = Generate.create ~seed schema_star in
+      let docs = List.init 24 (fun _ -> Generate.document g) in
+      let config =
+        { Enforcement.default_config with
+          Enforcement.fallback_possible = true }
+      in
+      let sequential =
+        let p =
+          Pipeline.create ~config ~s0:schema_star ~exchange:schema_star2
+            ~invoker:(Registry.invoker (make_registry ())) ()
+        in
+        fst (Pipeline.enforce_many p docs)
+      in
+      let p =
+        Pipeline.create ~config ~s0:schema_star ~exchange:schema_star2
+          ~invoker:(Registry.invoker (make_registry ())) ()
+      in
+      let parallel, batch = Pipeline.enforce_parallel p ~jobs docs in
+      if batch.Pipeline.docs <> 24 then
+        QCheck.Test.fail_reportf "batch counted %d docs" batch.Pipeline.docs;
+      List.iteri
+        (fun i (s, q) ->
+          let s = render_result s and q = render_result q in
+          if not (String.equal s q) then
+            QCheck.Test.fail_reportf
+              "jobs=%d: result %d diverges:@.sequential: %s@.parallel:   %s"
+              jobs i s q)
+        (List.combine sequential parallel);
+      true)
+
+(* The executor config routes enforce_many through the parallel path. *)
+let test_parallel_executor_config () =
+  let config =
+    { Enforcement.default_config with
+      Enforcement.executor = Enforcement.Parallel { jobs = 2 } }
+  in
+  let p =
+    Pipeline.create ~config ~s0:schema_star ~exchange:schema_star2
+      ~invoker:(Registry.invoker (make_registry ())) ()
+  in
+  let results, batch = Pipeline.enforce_many p [ fig2a; fig2a; fig2a; fig2a ] in
+  check_int "four results" 4 (List.length results);
+  check "all rewritten" true
+    (List.for_all
+       (function
+         | Ok (_, r) -> r.Enforcement.action = Enforcement.Rewritten
+         | Error _ -> false)
+       results);
+  check_int "batch docs" 4 batch.Pipeline.docs;
+  (* only Get_Temp is materialized (TimeOut may stay intensional under
+     the exchange schema): one invocation per document *)
+  check_int "batch invocations" 4 batch.Pipeline.invocations;
+  (* the merged cache view spans the shared contract and the clones *)
+  check "cache activity merged" true
+    (batch.Pipeline.cache.Contract.misses > 0
+     || batch.Pipeline.cache.Contract.hits > 0)
+
+(* A breaker tripped by whichever domain fails first is observed by the
+   other: with a permanently-dead service, two domains and a threshold
+   of 2, most of the batch must be short-circuited rather than
+   attempted. *)
+let test_parallel_breaker_shared () =
+  let reg = make_registry () in
+  Registry.register reg
+    (Service.make ~input:(R.sym (Schema.A_label "city"))
+       ~output:(R.sym (Schema.A_label "temp")) "Get_Temp"
+       (Oracle.failing "permanently down"));
+  let guard =
+    Resilience.create
+      ~policy:
+        (Resilience.policy ~max_retries:0 ~breaker_threshold:2
+           ~breaker_cooldown_s:3600. ())
+      ()
+  in
+  let config =
+    { Enforcement.default_config with Enforcement.resilience = Some guard }
+  in
+  let p =
+    Pipeline.create ~config ~s0:schema_star ~exchange:schema_star2
+      ~invoker:(Registry.invoker reg) ()
+  in
+  let docs = List.init 12 (fun _ -> fig2a) in
+  let results, batch = Pipeline.enforce_parallel p ~jobs:2 docs in
+  check "every document faulted" true
+    (List.for_all
+       (function Error (Enforcement.Service_fault _) -> true | _ -> false)
+       results);
+  let r = Resilience.stats guard "Get_Temp" in
+  check "breaker tripped" true (r.Resilience.trips >= 1);
+  check "other domains short-circuited" true (r.Resilience.short_circuited > 0);
+  check "attempts stopped after the trip" true
+    (r.Resilience.attempts < List.length docs);
+  check_int "faults counted" 12 batch.Pipeline.faults
+
+let axml_qcheck =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_xml_schema_int_roundtrip; prop_parallel_matches_sequential ]
 
 (* ------------------------------------------------------------------ *)
 (* Persistent storage                                                  *)
@@ -1027,7 +1145,9 @@ let () =
          Alcotest.test_case "survives a dead service" `Quick test_pipeline_survives_dead_service;
          Alcotest.test_case "ill-typed service fault" `Quick test_pipeline_ill_typed_service_fault;
          Alcotest.test_case "fault skips possible fallback" `Quick test_pipeline_fault_skips_possible_fallback;
-         Alcotest.test_case "peer pipeline caching" `Quick test_peer_exchange_pipeline_cached
+         Alcotest.test_case "peer pipeline caching" `Quick test_peer_exchange_pipeline_cached;
+         Alcotest.test_case "parallel executor config" `Quick test_parallel_executor_config;
+         Alcotest.test_case "parallel shares the breaker" `Quick test_parallel_breaker_shared
        ]);
       ("storage",
        [ Alcotest.test_case "save/load roundtrip" `Quick test_storage_roundtrip;

@@ -1375,6 +1375,127 @@ let prop_contract_check_parity =
             Contract.pp_stats warm.Rewriter.cache;
         true)
 
+(* ------------------------------------------------------------------ *)
+(* Analysis-cache accounting: FIFO reference model, domain safety      *)
+(* ------------------------------------------------------------------ *)
+
+(* One declared element [a = #data]; the analyzed words are a^i, so a
+   word is identified by its length and the target regex [star a]
+   accepts everything — the analyses themselves are trivial, the cache
+   bookkeeping is the subject. *)
+let cache_schema =
+  Schema.with_root
+    (Schema.add_element Schema.empty "a" (R.sym Schema.A_data))
+    "a"
+
+let cache_regex = R.star (R.sym (Symbol.Label "a"))
+let cache_word len = List.init len (fun _ -> Symbol.Label "a")
+
+let run_cache_op c = function
+  | len, `Safe -> ignore (Contract.safe_analysis c ~target_regex:cache_regex (cache_word len))
+  | len, `Possible ->
+    ignore (Contract.possible_analysis c ~target_regex:cache_regex (cache_word len))
+
+(* Exact sequential reference: a FIFO of resident keys, each holding
+   the set of kinds already computed (both kinds of one word share the
+   slot, as in the implementation). *)
+let cache_reference ~capacity ops =
+  let resident = ref [] in  (* oldest first: (len, kinds) *)
+  let hits = ref 0 and misses = ref 0 and evictions = ref 0 in
+  List.iter
+    (fun (len, kind) ->
+      match List.assoc_opt len !resident with
+      | Some kinds when List.mem kind !kinds -> incr hits
+      | Some kinds -> incr misses; kinds := kind :: !kinds
+      | None ->
+        incr misses;
+        if List.length !resident >= capacity then begin
+          resident := List.tl !resident;
+          incr evictions
+        end;
+        resident := !resident @ [ (len, ref [ kind ]) ])
+    ops;
+  (!hits, !misses, !evictions, List.length !resident)
+
+let arb_cache_ops =
+  QCheck.(
+    pair
+      (int_range 1 4)  (* capacity *)
+      (small_list (pair (int_range 0 5) (oneofl [ `Safe; `Possible ]))))
+
+let prop_cache_fifo_model =
+  QCheck.Test.make ~count:300
+    ~name:"cache counters match the FIFO reference model (sequential)"
+    arb_cache_ops
+    (fun (capacity, ops) ->
+      let c =
+        Contract.create ~cache_capacity:capacity ~s0:cache_schema
+          ~target:cache_schema ()
+      in
+      List.iter
+        (fun op ->
+          run_cache_op c op;
+          (* residency never exceeds capacity, at any point *)
+          if (Contract.stats c).Contract.entries > capacity then
+            QCheck.Test.fail_reportf "residency exceeded capacity %d: %a"
+              capacity Contract.pp_stats (Contract.stats c))
+        ops;
+      let st = Contract.stats c in
+      let hits, misses, evictions, entries = cache_reference ~capacity ops in
+      if st.Contract.hits <> hits || st.Contract.misses <> misses
+         || st.Contract.evictions <> evictions || st.Contract.entries <> entries
+      then
+        QCheck.Test.fail_reportf
+          "model (%d/%d/%d/%d) <> cache %a (capacity %d)" hits misses
+          evictions entries Contract.pp_stats st capacity;
+      (* entry creations - residents = evictions, so the eviction count
+         is never below the distinct-words floor *)
+      if st.Contract.evictions
+         < max 0
+             (List.length (List.sort_uniq compare (List.map fst ops)) - capacity)
+      then QCheck.Test.fail_reportf "too few evictions: %a" Contract.pp_stats st;
+      true)
+
+(* Concurrent access: [jobs] domains replay the same op list against
+   one shared contract. With capacity >= distinct words nothing is
+   ever evicted, and because uncached analyses are computed under the
+   cache lock, each (word, kind) is computed exactly once process-wide
+   — so the counters are deterministic even under interleaving. *)
+let prop_cache_domain_safe =
+  QCheck.Test.make ~count:60
+    ~name:"cache counters stay exact under concurrent domains"
+    QCheck.(
+      pair (oneofl [ 2; 4 ])
+        (small_list (pair (int_range 0 5) (oneofl [ `Safe; `Possible ]))))
+    (fun (jobs, ops) ->
+      let c =
+        Contract.create ~cache_capacity:64 ~s0:cache_schema
+          ~target:cache_schema ()
+      in
+      let domains =
+        Array.init jobs (fun _ ->
+            Domain.spawn (fun () -> List.iter (run_cache_op c) ops))
+      in
+      Array.iter Domain.join domains;
+      let st = Contract.stats c in
+      let distinct_words =
+        List.length (List.sort_uniq compare (List.map fst ops))
+      in
+      let distinct_pairs = List.length (List.sort_uniq compare ops) in
+      let total = jobs * List.length ops in
+      if st.Contract.evictions <> 0 then
+        QCheck.Test.fail_reportf "unexpected evictions: %a" Contract.pp_stats st;
+      if st.Contract.entries <> distinct_words then
+        QCheck.Test.fail_reportf "expected %d entries: %a" distinct_words
+          Contract.pp_stats st;
+      if st.Contract.misses <> distinct_pairs then
+        QCheck.Test.fail_reportf "expected %d misses (one per (word, kind)): %a"
+          distinct_pairs Contract.pp_stats st;
+      if st.Contract.hits <> total - distinct_pairs then
+        QCheck.Test.fail_reportf "expected %d hits: %a" (total - distinct_pairs)
+          Contract.pp_stats st;
+      true)
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_engines_match_reference;
@@ -1385,7 +1506,9 @@ let qcheck_tests =
       prop_schema_compat_sound;
       prop_tree_materialization_sound;
       prop_contract_cache_transparent;
-      prop_contract_check_parity
+      prop_contract_check_parity;
+      prop_cache_fifo_model;
+      prop_cache_domain_safe
     ]
 
 let () =
