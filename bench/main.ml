@@ -1354,6 +1354,123 @@ let e21 () =
   Fmt.pr "machine-readable results written to BENCH_E21.json@."
 
 (* ------------------------------------------------------------------ *)
+(* E22: networked vs in-process exchange on a 1k-doc stream            *)
+(* ------------------------------------------------------------------ *)
+
+module Server = Axml_net.Server
+module Endpoint = Axml_net.Endpoint
+module Client = Axml_net.Client
+
+let e22 () =
+  section "e22" "networked vs in-process exchange: 1k-doc stream over loopback";
+  expectation
+    "the endpoint layer adds framing, a socket round-trip and one XML \
+     re-parse per document on top of the identical enforcement path, so \
+     over loopback the networked stream should stay within a small \
+     constant factor of in-process — with verdicts byte-identical — and \
+     sharding the stream over 2 and 4 connections should hold throughput \
+     steady (client and server share this process's runtime lock, so the \
+     arms measure protocol pipelining, not parallel speedup)";
+  let n = 1000 in
+  let g = Generate.create ~seed:2003 schema_star in
+  let docs = Array.init n (fun i -> (Printf.sprintf "doc-%d" i, Generate.document g)) in
+  let make_sender () =
+    let p = Peer.create ~name:"newspaper.com" ~schema:schema_star () in
+    Registry.register_all (Peer.registry p) (example_services ());
+    p
+  in
+  let render = function
+    | Ok (o : Peer.exchange_outcome) ->
+      Printf.sprintf "ok %d %s" o.Peer.wire_bytes
+        (Syntax.to_xml_string ~pretty:false o.Peer.sent)
+    | Error e -> Fmt.str "refused %a" Enforcement.pp_error e
+  in
+  (* in-process reference: one sender, one receiver, same stream *)
+  let reference = Array.make n "" in
+  let in_process_s =
+    let sender = make_sender () in
+    let receiver = Peer.create ~name:"reader" ~schema:schema_star2 () in
+    let t0 = Unix.gettimeofday () in
+    Array.iteri
+      (fun i (as_name, doc) ->
+        reference.(i) <-
+          render (Peer.send sender ~receiver ~exchange:schema_star2 ~as_name doc))
+      docs;
+    Unix.gettimeofday () -. t0
+  in
+  let accepted =
+    Array.fold_left
+      (fun acc v -> if String.length v > 2 && String.sub v 0 2 = "ok" then acc + 1 else acc)
+      0 reference
+  in
+  Fmt.pr "in-process: %8.3f s  (%7.0f docs/s)  %d/%d accepted@."
+    in_process_s (float_of_int n /. in_process_s) accepted n;
+  (* networked arms: the same stream sharded over C connections, each
+     with its own client and sender peer (senders enforce locally;
+     pipelines are per-peer, so threads never share compiled state) *)
+  let networked connections =
+    let receiver = Peer.create ~name:"reader" ~schema:schema_star2 () in
+    let server = Server.start (Endpoint.create receiver) in
+    let got = Array.make n "" in
+    let worker tid () =
+      let sender = make_sender () in
+      let client = Client.connect ~port:(Server.port server) () in
+      let i = ref tid in
+      while !i < n do
+        let as_name, doc = docs.(!i) in
+        got.(!i) <-
+          render (Client.send client ~sender ~exchange:schema_star2 ~as_name doc);
+        i := !i + connections
+      done;
+      Client.close client
+    in
+    let t0 = Unix.gettimeofday () in
+    let ts = List.init connections (fun tid -> Thread.create (worker tid) ()) in
+    List.iter Thread.join ts;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    Server.stop server;
+    (elapsed, got = reference)
+  in
+  let arms =
+    List.map
+      (fun connections ->
+        let elapsed, identical = networked connections in
+        Fmt.pr
+          "%d connection%s: %8.3f s  (%7.0f docs/s)  %.2fx in-process  %s@."
+          connections (if connections = 1 then " " else "s")
+          elapsed (float_of_int n /. elapsed) (elapsed /. in_process_s)
+          (if identical then "verdicts = in-process" else "VERDICT MISMATCH");
+        (connections, elapsed, identical))
+      [ 1; 2; 4 ]
+  in
+  let oc = open_out "BENCH_E22.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"e22\",\n\
+    \  \"docs\": %d,\n\
+    \  \"accepted\": %d,\n\
+    \  \"in_process_s\": %.6f,\n\
+    \  \"in_process_docs_per_s\": %.1f,\n\
+    \  \"arms\": [\n%s\n  ],\n\
+    \  \"all_verdicts_identical\": %b\n\
+     }\n"
+    n accepted in_process_s
+    (float_of_int n /. in_process_s)
+    (String.concat ",\n"
+       (List.map
+          (fun (connections, elapsed, identical) ->
+            Printf.sprintf
+              "    {\"connections\": %d, \"elapsed_s\": %.6f, \
+               \"docs_per_s\": %.1f, \"overhead_vs_in_process\": %.2f, \
+               \"identical\": %b}"
+              connections elapsed (float_of_int n /. elapsed)
+              (elapsed /. in_process_s) identical)
+          arms))
+    (List.for_all (fun (_, _, identical) -> identical) arms);
+  close_out oc;
+  Fmt.pr "machine-readable results written to BENCH_E22.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1361,7 +1478,8 @@ let experiments =
   [ ("e1", e1); ("e2", e2); ("e3", e3); ("e4", e4); ("e5", e5); ("e6", e6);
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
-    ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21) ]
+    ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21);
+    ("e22", e22) ]
 
 let () =
   let selected =

@@ -556,6 +556,245 @@ let lint_cmd =
           $ docs_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve / call / send / federation (the networked peer)               *)
+(* ------------------------------------------------------------------ *)
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"ADDR"
+         ~doc:"Address to bind or connect to.")
+
+let port_arg ~default doc =
+  Arg.(value & opt int default & info [ "p"; "port" ] ~docv:"PORT" ~doc)
+
+let serve_cmd =
+  let dir_arg =
+    Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Persist the repository under $(docv) (journal + \
+                 snapshots); recovered on restart.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N"
+           ~doc:"Domains for batch enforcement on this peer.")
+  in
+  let name_srv_arg =
+    Arg.(value & opt string "axml" & info [ "name" ] ~docv:"NAME"
+           ~doc:"The peer's name (answered to pings).")
+  in
+  let run name schema_path dir host port k possible engine jobs oracle =
+    wrap (fun () ->
+        let schema = load_schema schema_path in
+        let peer = Axml_peer.Peer.create ~name ~schema () in
+        (* every declared function becomes a provided service, served by
+           the chosen oracle — the peer answers calls out of the box *)
+        (match oracle with
+         | `Fail -> ()
+         | (`Random | `Flaky) as o ->
+           let env = Schema.env_of_schemas schema schema in
+           List.iter
+             (fun fname ->
+               match Schema.find_function schema fname with
+               | None -> ()
+               | Some f ->
+                 let behaviour =
+                   let honest =
+                     Axml_services.Oracle.honest_random ~env schema fname
+                   in
+                   match o with
+                   | `Random -> honest
+                   | `Flaky -> Axml_services.Oracle.flaky ~period:7 honest
+                 in
+                 Axml_peer.Peer.provide peer ~name:fname
+                   ~input:f.Schema.f_input ~output:f.Schema.f_output
+                   (Axml_peer.Peer.Compute behaviour))
+             (Schema.function_names schema));
+        Axml_peer.Peer.configure peer
+          { Axml_peer.Peer.default_config with
+            Axml_peer.Peer.k; engine; fallback_possible = possible; jobs };
+        let repo = Option.map (fun dir -> Axml_net.Repo.attach ~dir peer) dir in
+        let endpoint = Axml_net.Endpoint.create ?repo peer in
+        let server = Axml_net.Server.start ~host ~port endpoint in
+        Fmt.pr "%s: serving on %s:%d (binary + HTTP; GET /metrics, POST \
+                /exchange)@."
+          name host (Axml_net.Server.port server);
+        Option.iter
+          (fun r ->
+            Fmt.pr "%s: repository under %s (%d document(s) recovered)@." name
+              (Axml_net.Repo.dir r) (Axml_net.Repo.recovered r))
+          repo;
+        let stop = ref false in
+        let request_stop _ = stop := true in
+        Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+        while not !stop do Unix.sleepf 0.2 done;
+        Fmt.pr "%s: draining...@." name;
+        Axml_net.Server.stop server;
+        Option.iter Axml_net.Repo.close repo;
+        0)
+  in
+  let schema = schema_arg [ "s"; "schema" ] "SCHEMA" "The peer's schema." in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run a peer as a network server: the framed binary protocol \
+             and a minimal HTTP front (GET /metrics, POST /exchange) on one \
+             port. Declared functions are provided as services backed by \
+             the chosen oracle. Stops gracefully on SIGINT/SIGTERM.")
+    Term.(const run $ name_srv_arg $ schema $ dir_arg $ host_arg
+          $ port_arg ~default:7411 "Port to listen on (0 = ephemeral)."
+          $ k_arg $ possible_arg $ engine_arg $ jobs_arg $ oracle_arg)
+
+let call_cmd =
+  let method_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"METHOD"
+           ~doc:"The service to invoke.")
+  in
+  let params_arg =
+    Arg.(value & pos_right 0 string [] & info [] ~docv:"PARAM"
+           ~doc:"Parameters: existing files are parsed as intensional XML \
+                 documents, anything else is passed as character data.")
+  in
+  let run host port method_name params =
+    wrap (fun () ->
+        let params =
+          List.map
+            (fun p ->
+              if Sys.file_exists p then load_document p
+              else Axml_core.Document.data p)
+            params
+        in
+        let client = Axml_net.Client.connect ~host ~port () in
+        Fun.protect ~finally:(fun () -> Axml_net.Client.close client)
+        @@ fun () ->
+        match Axml_net.Client.call client method_name params with
+        | result ->
+          List.iter
+            (fun d -> print_string (Syntax.to_xml_string d))
+            result;
+          0
+        | exception Axml_peer.Peer.Peer_error m ->
+          Fmt.epr "fault: %s@." m;
+          1
+        | exception Axml_net.Client.Net_error m ->
+          Fmt.epr "error: %s@." m;
+          2)
+  in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:"Invoke a service on a served peer (a SOAP envelope over the \
+             wire) and print the result forest.")
+    Term.(const run $ host_arg
+          $ port_arg ~default:7411 "Port the peer listens on."
+          $ method_arg $ params_arg)
+
+let send_cmd =
+  let as_arg =
+    Arg.(value & opt string "inbox" & info [ "as" ] ~docv:"NAME"
+           ~doc:"Store the document under $(docv) on the receiving peer.")
+  in
+  let import_arg =
+    Arg.(value & flag & info [ "import" ]
+           ~doc:"Import the receiver's services (via their WSDL) to \
+                 materialize calls, instead of simulating them with \
+                 oracles.")
+  in
+  let run host port sender_path exchange_path k possible engine oracle
+      import as_name doc_path =
+    wrap (fun () ->
+        let s0 = load_schema sender_path in
+        let exchange = load_schema exchange_path in
+        let doc = load_document doc_path in
+        let sender = Axml_peer.Peer.create ~name:"axml-send" ~schema:s0 () in
+        Axml_peer.Peer.configure sender
+          { Axml_peer.Peer.default_config with
+            Axml_peer.Peer.k; engine; fallback_possible = possible };
+        let client = Axml_net.Client.connect ~host ~port () in
+        Fun.protect ~finally:(fun () -> Axml_net.Client.close client)
+        @@ fun () ->
+        if import then
+          ignore (Axml_net.Client.import_services client ~into:sender)
+        else begin
+          let env = Schema.env_of_schemas s0 exchange in
+          let invoker = make_invoker ~env ~s0 oracle in
+          List.iter
+            (fun fname ->
+              match Schema.find_function s0 fname with
+              | None -> ()
+              | Some f ->
+                Axml_services.Registry.register
+                  (Axml_peer.Peer.registry sender)
+                  (Axml_services.Service.make ~input:f.Schema.f_input
+                     ~output:f.Schema.f_output fname
+                     (fun ps -> invoker fname ps)))
+            (Schema.function_names s0)
+        end;
+        match
+          Axml_net.Client.send client ~sender ~exchange ~as_name doc
+        with
+        | Ok outcome ->
+          Fmt.pr "accepted: stored as %S (%d wire byte(s), %d invocation(s))@."
+            as_name outcome.Axml_peer.Peer.wire_bytes
+            (List.length outcome.Axml_peer.Peer.report.Enforcement.invocations);
+          0
+        | Error e ->
+          Fmt.pr "%a@." Enforcement.pp_error e;
+          1
+        | exception Axml_net.Client.Net_error m ->
+          Fmt.epr "error: %s@." m;
+          2)
+  in
+  Cmd.v
+    (Cmd.info "send"
+       ~doc:"Enforce a document against an exchange schema locally (the \
+             sender side) and ship it to a served peer, which re-validates \
+             and stores it.")
+    Term.(const run $ host_arg
+          $ port_arg ~default:7411 "Port the receiving peer listens on."
+          $ sender_arg $ target_arg $ k_arg $ possible_arg $ engine_arg
+          $ oracle_arg $ import_arg $ as_arg $ doc_arg)
+
+let federation_cmd =
+  let smoke_arg =
+    Arg.(value & flag & info [ "smoke" ]
+           ~doc:"CI mode: a short stream and quiet output.")
+  in
+  let docs_n_arg =
+    Arg.(value & opt (some int) None & info [ "docs" ] ~docv:"N"
+           ~doc:"Documents to stream from sender to receiver (default 25, \
+                 or 5 with $(b,--smoke)).")
+  in
+  let dir_arg =
+    Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Repository directory for the receiving peer (default: a \
+                 fresh temporary directory).")
+  in
+  let run smoke docs_n dir =
+    wrap (fun () ->
+        let docs =
+          match docs_n with Some n -> n | None -> if smoke then 5 else 25
+        in
+        let dir =
+          match dir with
+          | Some d -> d
+          | None ->
+            let d =
+              Filename.concat (Filename.get_temp_dir_name ())
+                (Fmt.str "axml-federation-%d" (Unix.getpid ()))
+            in
+            d
+        in
+        Federation.run ~docs ~dir ~quiet:smoke ())
+  in
+  Cmd.v
+    (Cmd.info "federation"
+       ~doc:"Run the three-peer federation demo over loopback sockets: one \
+             peer hosts services, a sender imports them from their WSDL and \
+             enforces documents against a receiver's exchange schema, and \
+             every outcome is checked byte-for-byte against an in-process \
+             twin. Also exercises killed clients, a slow-service brownout, \
+             the HTTP front and crash recovery. Exits 0 only if every check \
+             passes.")
+    Term.(const run $ smoke_arg $ docs_n_arg $ dir_arg)
+
+(* ------------------------------------------------------------------ *)
 (* compat                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -631,4 +870,5 @@ let () =
   in
   exit (Cmd.eval' (Cmd.group info
                      [ validate_cmd; check_cmd; rewrite_cmd; batch_cmd;
-                       trace_cmd; lint_cmd; compat_cmd; schema_cmd ]))
+                       trace_cmd; lint_cmd; compat_cmd; schema_cmd;
+                       serve_cmd; call_cmd; send_cmd; federation_cmd ]))

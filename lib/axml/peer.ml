@@ -99,6 +99,7 @@ let create ?(enforcement = Enforcement.default_config) ~name ~schema () = {
   serve_cache = Hashtbl.create 8;
 }
 
+let name t = t.name
 let schema t = t.schema
 let registry t = t.registry
 
@@ -106,19 +107,67 @@ let registry t = t.registry
    every compiled artifact. *)
 let invalidate t = t.generation <- t.generation + 1
 
+(* One record for every tunable of the peer; the legacy set_* mutators
+   below are thin shims over [configure]. *)
+type config = {
+  k : int;
+  engine : Rewriter.engine;
+  fallback_possible : bool;
+  eager_calls : (string -> bool) option;
+  lint_gate : bool;
+  resilience : Axml_services.Resilience.t option;
+  jobs : int;
+}
+
+let default_config =
+  let e = Enforcement.default_config in
+  { k = e.Enforcement.k;
+    engine = e.Enforcement.engine;
+    fallback_possible = e.Enforcement.fallback_possible;
+    eager_calls = e.Enforcement.eager_calls;
+    lint_gate = e.Enforcement.lint_gate;
+    resilience = e.Enforcement.resilience;
+    jobs = 1 }
+
+let enforcement_of_config (c : config) : Enforcement.config =
+  { Enforcement.k = c.k;
+    engine = c.engine;
+    fallback_possible = c.fallback_possible;
+    eager_calls = c.eager_calls;
+    lint_gate = c.lint_gate;
+    resilience = c.resilience;
+    executor =
+      (if c.jobs <= 1 then Enforcement.Sequential
+       else Enforcement.Parallel { jobs = c.jobs }) }
+
+let config_of_enforcement (e : Enforcement.config) : config =
+  { k = e.Enforcement.k;
+    engine = e.Enforcement.engine;
+    fallback_possible = e.Enforcement.fallback_possible;
+    eager_calls = e.Enforcement.eager_calls;
+    lint_gate = e.Enforcement.lint_gate;
+    resilience = e.Enforcement.resilience;
+    jobs =
+      (match e.Enforcement.executor with
+       | Enforcement.Sequential -> 1
+       | Enforcement.Parallel { jobs } -> jobs) }
+
+let configure t config =
+  t.enforcement <- enforcement_of_config config;
+  invalidate t
+
+let current_config t = config_of_enforcement t.enforcement
+
+(* Deprecated shims, kept so existing callers compile: each is a
+   read-modify-write through [configure]'s invalidation path. *)
 let set_enforcement t config =
   t.enforcement <- config;
   invalidate t
 
 let set_resilience t resilience =
-  set_enforcement t { t.enforcement with Enforcement.resilience }
+  configure t { (current_config t) with resilience }
 
-let set_jobs t jobs =
-  set_enforcement t
-    { t.enforcement with
-      Enforcement.executor =
-        (if jobs <= 1 then Enforcement.Sequential
-         else Enforcement.Parallel { jobs }) }
+let set_jobs t jobs = configure t { (current_config t) with jobs }
 
 let set_schema t schema =
   t.schema <- schema;
@@ -299,10 +348,34 @@ let serve t ~method_name (params : Document.forest) : Document.forest =
       Metrics.inc m_serves_error;
       raise e
 
+(* A provided service as a [Service.t] whose behaviour is [serve] — the
+   view WSDL description and networked invocation need. *)
+let provided_service t name =
+  match Hashtbl.find_opt t.provided name with
+  | None -> None
+  | Some p ->
+    Some
+      (Service.make
+         ~endpoint:("axml://" ^ t.name)
+         ~namespace:"urn:axml:peer" ~cost:p.p_cost ~input:p.p_input
+         ~output:p.p_output p.p_name
+         (fun params -> serve t ~method_name:name params))
+
 (* The SOAP endpoint of the peer: a request envelope in, a response (or
-   fault) envelope out. *)
+   fault) envelope out. Never raises on bad input: malformed envelopes
+   and unsupported protocol versions come back as faults, so a network
+   server can pass arbitrary bytes through. *)
 let handle_wire t (wire : string) : string =
   match Soap.decode wire with
+  | exception Soap.Unsupported_version { got; supported } ->
+    Soap.encode
+      (Soap.Fault
+         { code = "VersionMismatch";
+           reason =
+             Fmt.str "protocol version %d not supported (this peer speaks <= %d)"
+               got supported })
+  | exception Soap.Protocol_error m ->
+    Soap.encode (Soap.Fault { code = "Client"; reason = m })
   | Soap.Request { method_name; params } ->
     (try Soap.encode (Soap.Response { method_name; result = serve t ~method_name params })
      with
@@ -358,6 +431,12 @@ let connect t ~(provider : t) =
    through SOAP). *)
 let call t name params = Registry.invoke t.registry name params
 
+(* The wire-level counterpart of [connect] for one service: a networked
+   proxy plus its parsed WSDL declaration. *)
+let register_remote t ~service ~declaration =
+  Registry.register t.registry service;
+  set_schema t (Wsdl.import t.schema declaration)
+
 (* ------------------------------------------------------------------ *)
 (* Document exchange                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -376,6 +455,41 @@ type exchange_outcome = {
    With no [predicate], both sides reuse their cached compiled
    artifacts (sender pipeline, receiver validation context); a
    [predicate] is an arbitrary closure, so those calls compile fresh. *)
+(* The receiver-side half of an exchange — shared by [send] and the
+   network endpoint: parse the XML wire bytes, validate against the
+   exchange schema (never trust the sender), store the document. *)
+let receive t ~exchange ?predicate ~as_name (wire : string) :
+    (Document.t, Enforcement.error) result =
+  let rejected failures = Error (Enforcement.Rejected failures) in
+  match Syntax.of_xml_string wire with
+  | exception Syntax.Syntax_error m ->
+    rejected
+      [ { Rewriter.at = [];
+          reason =
+            Rewriter.Unsafe_word { context = "malformed document: " ^ m; word = [] } } ]
+  | received ->
+    let ctx =
+      match predicate with
+      | None -> receive_ctx t ~exchange
+      | Some _ ->
+        Validate.ctx ~env:(Schema.env_of_schemas ?predicate t.schema exchange)
+          exchange
+    in
+    (match Validate.document_violations ctx received with
+     | [] ->
+       store t as_name received;
+       Ok received
+     | violations ->
+       rejected
+         (List.map
+            (fun v ->
+              { Rewriter.at = v.Validate.at;
+                reason =
+                  Rewriter.Unsafe_word
+                    { context = Fmt.str "%a" Validate.pp_violation_kind v.Validate.kind;
+                      word = [] } })
+            violations))
+
 let send t ~(receiver : t) ~exchange ?predicate ~as_name doc :
     (exchange_outcome, Enforcement.error) result =
   let outcome =
@@ -393,30 +507,9 @@ let send t ~(receiver : t) ~exchange ?predicate ~as_name doc :
   | Error e -> Error e
   | Ok (doc', report) ->
     let wire = Syntax.to_xml_string ~pretty:false doc' in
-    let received = Syntax.of_xml_string wire in
-    (* receiver-side validation: never trust the sender *)
-    let ctx =
-      match predicate with
-      | None -> receive_ctx receiver ~exchange
-      | Some _ ->
-        Validate.ctx ~env:(Schema.env_of_schemas ?predicate receiver.schema exchange)
-          exchange
-    in
-    (match Validate.document_violations ctx received with
-     | [] ->
-       store receiver as_name received;
-       Ok { sent = doc'; report; wire_bytes = String.length wire }
-     | violations ->
-       Error
-         (Enforcement.Rejected
-            (List.map
-               (fun v ->
-                 { Rewriter.at = v.Validate.at;
-                   reason =
-                     Rewriter.Unsafe_word
-                       { context = Fmt.str "%a" Validate.pp_violation_kind v.Validate.kind;
-                         word = [] } })
-               violations)))
+    (match receive receiver ~exchange ?predicate ~as_name wire with
+     | Ok _ -> Ok { sent = doc'; report; wire_bytes = String.length wire }
+     | Error e -> Error e)
   in
   (match outcome with
    | Ok { wire_bytes; _ } ->

@@ -21,22 +21,59 @@ val create :
   ?enforcement:Enforcement.config -> name:string ->
   schema:Axml_schema.Schema.t -> unit -> t
 
+val name : t -> string
 val schema : t -> Axml_schema.Schema.t
 val registry : t -> Axml_services.Registry.t
 
+(** {1 Configuration}
+
+    All the peer's tunables live in one {!config} record, applied
+    atomically by {!configure}; any change invalidates every compiled
+    enforcement artifact of the peer. The record is shared with the
+    network endpoint ([Axml_net.Endpoint]), so an in-process peer and a
+    served one are configured identically. *)
+
+type config = {
+  k : int;                 (** maximum rewriting depth (Definition 7) *)
+  engine : Axml_core.Rewriter.engine;
+  fallback_possible : bool;
+      (** attempt a possible rewriting when no safe one exists *)
+  eager_calls : (string -> bool) option;
+      (** mixed approach: services to invoke up-front (Section 5) *)
+  lint_gate : bool;
+      (** refuse statically-doomed exchanges before invoking anything *)
+  resilience : Axml_services.Resilience.t option;
+      (** retry/timeout/circuit-breaker guard around every invocation *)
+  jobs : int;
+      (** domains for batch enforcement; [<= 1] means sequential *)
+}
+
+val default_config : config
+(** [k = 1], lazy engine, no fallback, no eager calls, no lint gate, no
+    resilience guard, sequential ([jobs = 1]). *)
+
+val configure : t -> config -> unit
+(** Replace the peer's configuration and invalidate every compiled
+    enforcement artifact (pipelines, validation contexts, serve
+    caches). *)
+
+val current_config : t -> config
+
+val enforcement_of_config : config -> Enforcement.config
+(** The pipeline-level view of a peer config (the [executor] field is
+    derived from [jobs]). *)
+
 val set_enforcement : t -> Enforcement.config -> unit
-(** Also invalidates every compiled enforcement artifact of the peer. *)
+(** Deprecated shim over {!configure}: replaces the enforcement part of
+    the configuration wholesale (including resilience and executor). *)
 
 val set_resilience : t -> Axml_services.Resilience.t option -> unit
-(** Install (or remove) a retry/timeout/circuit-breaker guard around
-    every invocation the peer's enforcement performs; invalidates the
-    compiled artifacts like {!set_enforcement}. *)
+(** Deprecated shim over {!configure}: install (or remove) the
+    resilience guard, keeping everything else. *)
 
 val set_jobs : t -> int -> unit
-(** Run the peer's batch enforcement on this many domains
-    ([Enforcement.Parallel]); [jobs <= 1] restores the sequential
-    executor. Invalidates the compiled artifacts like
-    {!set_enforcement}. *)
+(** Deprecated shim over {!configure}: set the executor parallelism,
+    keeping everything else. *)
 
 val exchange_pipeline :
   t -> exchange:Axml_schema.Schema.t -> Enforcement.Pipeline.t
@@ -81,9 +118,16 @@ val serve : t -> method_name:string -> Axml_core.Document.forest ->
     parameters and the result (the "three steps", Section 7).
     @raise Peer_error on rejection. *)
 
+val provided_service : t -> string -> Axml_services.Service.t option
+(** A provided service as a {!Axml_services.Service.t} whose behaviour
+    is {!serve} — the view WSDL description and networked invocation
+    need. *)
+
 val handle_wire : t -> string -> string
 (** The peer's SOAP endpoint: request envelope in, response or fault
-    envelope out. *)
+    envelope out. A request in an unsupported protocol version answers
+    with a ["VersionMismatch"] fault; a malformed envelope with a
+    ["Client"] fault — the handler never raises on bad input. *)
 
 (** {1 Connecting peers} *)
 
@@ -91,6 +135,15 @@ val connect : t -> provider:t -> unit
 (** Make every service provided by [provider] callable from the peer
     (through SOAP), importing the provider's WSDL declarations into the
     peer's schema. *)
+
+val register_remote :
+  t -> service:Axml_services.Service.t ->
+  declaration:(Axml_schema.Schema.func * Axml_schema.Schema.t) -> unit
+(** The wire-level counterpart of {!connect} for one service: register
+    [service] (typically a networked proxy) in the peer's registry and
+    import its parsed WSDL [declaration] (see {!Wsdl.parse_string}) into
+    the peer's schema.
+    @raise Wsdl.Wsdl_error on a signature conflict. *)
 
 val call : t -> string -> Axml_core.Document.forest -> Axml_core.Document.forest
 (** Call a connected service by name (through the registry, with full
@@ -111,3 +164,14 @@ val send :
 (** Sender-side enforcement, wire crossing in XML, receiver-side
     validation, then storage under [as_name] in the receiver's
     repository. *)
+
+val receive :
+  t -> exchange:Axml_schema.Schema.t ->
+  ?predicate:(string -> string -> bool) -> as_name:string -> string ->
+  (Axml_core.Document.t, Enforcement.error) result
+(** The receiver-side half of {!send}, also what a network endpoint runs
+    on an inbound exchange: parse the XML wire bytes, validate against
+    the [exchange] schema (never trust the sender), and store the
+    document under [as_name]. Returns the stored document; a malformed
+    or non-conforming payload is an [Error (Rejected _)] carrying one
+    failure per violation. *)

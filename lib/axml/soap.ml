@@ -8,16 +8,23 @@ module T = Axml_xml.Xml_tree
 
 let soap_ns = "http://schemas.xmlsoap.org/soap/envelope/"
 
+(* Version 1 is the historical unversioned envelope; version 2 stamps
+   [int:protocol] on the envelope root so peers across a real wire can
+   detect (and cleanly reject) an envelope dialect they do not speak. *)
+let protocol_version = 2
+
 exception Protocol_error of string
+exception Unsupported_version of { got : int; supported : int }
 
 type message =
   | Request of { method_name : string; params : D.forest }
   | Response of { method_name : string; result : D.forest }
   | Fault of { code : string; reason : string }
 
-let envelope body =
+let envelope ~version body =
   T.element
-    ~attrs:[ T.attr "xmlns:soap" soap_ns; T.attr "xmlns:int" Syntax.axml_ns ]
+    ~attrs:[ T.attr "xmlns:soap" soap_ns; T.attr "xmlns:int" Syntax.axml_ns;
+             T.attr "int:protocol" (string_of_int version) ]
     "soap:Envelope"
     [ T.element "soap:Body" [ body ] ]
 
@@ -25,7 +32,7 @@ let wrap_forest tag (forest : D.forest) =
   T.element tag
     (List.map (fun d -> Syntax.node_to_xml ~locate:Syntax.default_locator d) forest)
 
-let encode message : string =
+let encode ?(version = protocol_version) message : string =
   let body =
     match message with
     | Request { method_name; params } ->
@@ -39,10 +46,26 @@ let encode message : string =
         [ T.element "faultcode" [ T.text code ];
           T.element "faultstring" [ T.text reason ] ]
   in
-  Axml_xml.Xml_print.to_string (envelope body)
+  Axml_xml.Xml_print.to_string (envelope ~version body)
 
 let forest_of_children env children : D.forest =
   List.concat_map (Syntax.xml_to_node env) children
+
+(* The declared version of an envelope element: the [int:protocol]
+   attribute, or 1 for the historical unversioned envelope. *)
+let version_of_root root =
+  match T.attr_value root "int:protocol" with
+  | None -> Some 1
+  | Some v ->
+    (match int_of_string_opt (String.trim v) with
+     | Some v when v >= 1 -> Some v
+     | _ -> None)
+
+let wire_version (wire : string) : int option =
+  match Axml_xml.Xml_parser.parse_result wire with
+  | Error _ -> None
+  | Ok (T.Element root) -> version_of_root root
+  | Ok _ -> None
 
 let decode (wire : string) : message =
   let tree =
@@ -54,6 +77,11 @@ let decode (wire : string) : message =
     | T.Element e -> e
     | _ -> raise (Protocol_error "envelope is not an element")
   in
+  (match version_of_root root with
+   | None -> raise (Protocol_error "malformed int:protocol version")
+   | Some got when got > protocol_version ->
+     raise (Unsupported_version { got; supported = protocol_version })
+   | Some _ -> ());
   let env = Axml_xml.Xml_ns.extend Axml_xml.Xml_ns.empty_env root in
   let body =
     match T.child_element root "soap:Body" with

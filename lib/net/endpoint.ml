@@ -1,0 +1,135 @@
+(* The transport-agnostic endpoint: Wire.request -> Wire.response over a
+   peer. All transports (in-process, framed socket, HTTP, CLI) funnel
+   through [handle], so served and in-process peers give byte-identical
+   answers. *)
+
+module Peer = Axml_peer.Peer
+module Schema = Axml_schema.Schema
+module Metrics = Axml_obs.Metrics
+
+type t = {
+  peer : Peer.t;
+  repo : Repo.t option;
+  exchanges : (int, Schema.t) Hashtbl.t;
+  lock : Mutex.t;
+  mutable next_id : int;
+}
+
+type transport = Wire.request -> Wire.response
+
+(* One requests counter per operation label, shared across endpoints. *)
+let m_requests : (string, Metrics.counter) Hashtbl.t = Hashtbl.create 16
+let m_requests_lock = Mutex.create ()
+
+let count_request op =
+  Mutex.lock m_requests_lock;
+  let c =
+    match Hashtbl.find_opt m_requests op with
+    | Some c -> c
+    | None ->
+      let c =
+        Metrics.counter ~help:"Endpoint requests served, by operation"
+          ~labels:[ ("op", op) ] "axml_net_requests_total"
+      in
+      Hashtbl.add m_requests op c;
+      c
+  in
+  Mutex.unlock m_requests_lock;
+  Metrics.inc c
+
+let create ?config ?repo peer =
+  (match config with Some c -> Peer.configure peer c | None -> ());
+  { peer; repo; exchanges = Hashtbl.create 8; lock = Mutex.create ();
+    next_id = 1 }
+
+let peer t = t.peer
+
+let open_exchanges t =
+  Mutex.lock t.lock;
+  let n = Hashtbl.length t.exchanges in
+  Mutex.unlock t.lock;
+  n
+
+let err code fmt = Fmt.kstr (fun reason -> Wire.Error { code; reason }) fmt
+
+let parse_schema schema_xml k =
+  match Axml_peer.Xml_schema_int.of_string schema_xml with
+  | exception Axml_peer.Xml_schema_int.Schema_syntax_error m ->
+    err "protocol" "malformed exchange schema: %s" m
+  | schema -> k schema
+
+(* [Peer.receive] reports every violation as [Unsafe_word {context;
+   word = []}] with the full message in [context]; carry that raw string
+   so the client can rebuild the exact same failure value (byte-equal
+   verdicts across transports). Any other reason shape is formatted. *)
+let refusals_of_failures failures =
+  List.map
+    (fun (f : Axml_core.Rewriter.failure) ->
+       let context =
+         match f.reason with
+         | Axml_core.Rewriter.Unsafe_word { context; word = [] } -> context
+         | reason -> Fmt.str "%a" Axml_core.Rewriter.pp_reason reason
+       in
+       { Wire.at = f.at; context })
+    failures
+
+let dispatch t : Wire.request -> Wire.response = function
+  | Ping -> Pong { peer = Peer.name t.peer; protocol = Wire.protocol_version }
+  | Open_exchange { schema_xml } ->
+    parse_schema schema_xml @@ fun schema ->
+    Mutex.lock t.lock;
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    Hashtbl.replace t.exchanges id schema;
+    Mutex.unlock t.lock;
+    Exchange_opened { id }
+  | Exchange { exchange; as_name; doc_xml } ->
+    (Mutex.lock t.lock;
+     let schema = Hashtbl.find_opt t.exchanges exchange in
+     Mutex.unlock t.lock;
+     match schema with
+     | None -> err "unknown-exchange" "no open exchange agreement #%d" exchange
+     | Some schema ->
+       (match Peer.receive t.peer ~exchange:schema ~as_name doc_xml with
+        | Ok doc ->
+          (match t.repo with
+           | Some repo -> Repo.record_store repo as_name doc
+           | None -> ());
+          Accepted { as_name; wire_bytes = String.length doc_xml }
+        | Error (Axml_peer.Enforcement.Rejected failures) ->
+          Refused { refusals = refusals_of_failures failures }
+        | Error e -> err "fault" "%a" Axml_peer.Enforcement.pp_error e))
+  | Invoke { envelope } -> Envelope { envelope = Peer.handle_wire t.peer envelope }
+  | Get_wsdl { service } ->
+    (match Peer.provided_service t.peer service with
+     | None -> err "unknown-service" "peer %s provides no service %S"
+                 (Peer.name t.peer) service
+     | Some s ->
+       (match Axml_peer.Wsdl.describe_string ~types:(Peer.schema t.peer) s with
+        | wsdl -> Wsdl { wsdl }
+        | exception Axml_peer.Wsdl.Wsdl_error m -> err "fault" "%s" m))
+  | List_services -> Names { names = Peer.provided_names t.peer }
+  | List_documents -> Names { names = Peer.documents t.peer }
+  | Get_document { name } ->
+    (match Peer.fetch t.peer name with
+     | doc -> Document { doc_xml = Axml_peer.Syntax.to_xml_string ~pretty:false doc }
+     | exception Peer.Peer_error _ ->
+       err "unknown-document" "peer %s stores no document %S"
+         (Peer.name t.peer) name)
+  | Lint_exchange { schema_xml } ->
+    parse_schema schema_xml @@ fun schema ->
+    let diags = Peer.lint_exchange t.peer ~exchange:schema in
+    Report { json = Axml_analysis.Diagnostic.report_to_json diags }
+  | Get_metrics { format } ->
+    let body =
+      match format with
+      | Wire.Prometheus -> Metrics.to_prometheus Metrics.default
+      | Wire.Json -> Metrics.to_json Metrics.default
+    in
+    Metrics { format; body }
+
+let handle t req =
+  count_request (Wire.request_op req);
+  match dispatch t req with
+  | resp -> resp
+  | exception e -> err "fault" "%s" (Printexc.to_string e)

@@ -1,0 +1,33 @@
+(** The transport-agnostic peer endpoint: one handler mapping
+    {!Wire.request}s to {!Wire.response}s over an {!Axml_peer.Peer.t}.
+
+    The same [handle] backs every transport — the in-process
+    {!transport} used by tests, the framed socket protocol and the HTTP
+    front of {!Server}, and the CLI. It never raises on bad input:
+    protocol-level problems come back as [Wire.Error] responses with
+    stable codes. *)
+
+type t
+
+val create :
+  ?config:Axml_peer.Peer.config -> ?repo:Repo.t -> Axml_peer.Peer.t -> t
+(** Wrap a peer. [config], when given, is applied with
+    {!Axml_peer.Peer.configure} — the served peer and an in-process one
+    configured from the same record behave identically. [repo] journals
+    every accepted exchange ({!Repo.record_store}). *)
+
+val peer : t -> Axml_peer.Peer.t
+
+val handle : t -> Wire.request -> Wire.response
+(** Serve one request. Documents accepted through [Exchange] are stored
+    in the peer's repository (and journaled when a {!Repo.t} is
+    attached). Never raises. *)
+
+type transport = Wire.request -> Wire.response
+(** What a client needs: any function with the semantics of {!handle}.
+    [handle t] is the in-process transport; [Client.transport] is the
+    socket-backed one. *)
+
+val open_exchanges : t -> int
+(** Agreements currently opened (monotonic ids handed out by
+    [Open_exchange] and still resolvable). *)

@@ -1,0 +1,87 @@
+(* Minimal HTTP/1.1: exactly what the server's /metrics and /exchange
+   routes need. *)
+
+exception Http_error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Http_error m)) fmt
+
+type request = {
+  meth : string;
+  path : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+let status_text = function
+  | 200 -> "OK"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 413 -> "Payload Too Large"
+  | 422 -> "Unprocessable Entity"
+  | 503 -> "Service Unavailable"
+  | _ -> "Internal Server Error"
+
+(* Read one CRLF- (or bare-LF-) terminated line, without the ending. *)
+let read_line_opt ic =
+  match input_line ic with
+  | line ->
+    let n = String.length line in
+    Some (if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line)
+  | exception End_of_file -> None
+
+let header req name =
+  let name = String.lowercase_ascii name in
+  List.assoc_opt name req.headers
+
+let read_request ?(max_body = Wire.default_max_frame_bytes) ic =
+  match read_line_opt ic with
+  | None -> None
+  | Some request_line ->
+    let meth, path =
+      match String.split_on_char ' ' request_line with
+      | [ meth; target; version ]
+        when String.length version >= 5 && String.sub version 0 5 = "HTTP/" ->
+        (String.uppercase_ascii meth, target)
+      | _ -> fail "malformed request line %S" request_line
+    in
+    let rec headers acc =
+      match read_line_opt ic with
+      | None -> fail "EOF in headers"
+      | Some "" -> List.rev acc
+      | Some line ->
+        (match String.index_opt line ':' with
+         | None -> fail "malformed header %S" line
+         | Some i ->
+           let name = String.lowercase_ascii (String.sub line 0 i) in
+           let value =
+             String.trim (String.sub line (i + 1) (String.length line - i - 1))
+           in
+           headers ((name, value) :: acc))
+    in
+    let headers = headers [] in
+    let body =
+      match List.assoc_opt "content-length" headers with
+      | None -> ""
+      | Some l ->
+        (match int_of_string_opt (String.trim l) with
+         | None -> fail "malformed Content-Length %S" l
+         | Some n when n < 0 -> fail "malformed Content-Length %S" l
+         | Some n when n > max_body ->
+           fail "body of %d bytes exceeds the %d limit" n max_body
+         | Some n ->
+           let b = Bytes.create n in
+           (try really_input ic b 0 n
+            with End_of_file -> fail "EOF in body (%d bytes expected)" n);
+           Bytes.unsafe_to_string b)
+    in
+    Some { meth; path; headers; body }
+
+let write_response oc ~status ?(content_type = "text/plain; charset=utf-8") body =
+  Printf.fprintf oc "HTTP/1.1 %d %s\r\n" status (status_text status);
+  Printf.fprintf oc "Content-Type: %s\r\n" content_type;
+  Printf.fprintf oc "Content-Length: %d\r\n" (String.length body);
+  output_string oc "Connection: close\r\n\r\n";
+  output_string oc body;
+  flush oc

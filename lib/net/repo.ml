@@ -1,0 +1,184 @@
+(* Append-only journal + snapshot persistence for a peer's repository.
+
+   Journal records reuse the wire framing (magic + length prefix), so a
+   crash mid-append leaves a torn tail the framing detects; recovery
+   truncates it and keeps everything before. *)
+
+module D = Axml_core.Document
+module Peer = Axml_peer.Peer
+module Storage = Axml_peer.Storage
+
+exception Repo_error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Repo_error m)) fmt
+
+type t = {
+  dir : string;
+  peer : Peer.t;
+  auto_compact : int;
+  lock : Mutex.t;
+  mutable oc : out_channel option; (* [None] after {!close} *)
+  mutable entries : int;
+  mutable recovered : int;
+}
+
+let journal_path dir = Filename.concat dir "journal.log"
+let snapshot_dir dir = Filename.concat dir "snapshot"
+let manifest_path dir = Filename.concat (snapshot_dir dir) "MANIFEST"
+
+let mkdir_p path =
+  let rec go path =
+    if path <> "" && path <> "/" && not (Sys.file_exists path) then begin
+      go (Filename.dirname path);
+      try Unix.mkdir path 0o755
+      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go path
+
+(* One journal record: length-prefixed repository name, then the
+   document's XML wire syntax to the end of the payload. *)
+
+let encode_record name doc =
+  let xml = Axml_peer.Syntax.to_xml_string ~pretty:false doc in
+  let buf = Buffer.create (String.length name + String.length xml + 4) in
+  let n = String.length name in
+  Buffer.add_char buf (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr (n land 0xff));
+  Buffer.add_string buf name;
+  Buffer.add_string buf xml;
+  Buffer.contents buf
+
+let decode_record payload =
+  if String.length payload < 4 then fail "journal record too short";
+  let b i = Char.code payload.[i] in
+  let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+  if 4 + n > String.length payload then fail "journal record name overruns";
+  let name = String.sub payload 4 n in
+  let xml = String.sub payload (4 + n) (String.length payload - 4 - n) in
+  (name, xml)
+
+let replay_snapshot t =
+  let manifest = manifest_path t.dir in
+  if Sys.file_exists manifest then begin
+    let ic = open_in manifest in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    try
+      while true do
+        let name = Storage.decode_name (input_line ic) in
+        let path =
+          Filename.concat (snapshot_dir t.dir) (Storage.encode_name name ^ ".xml")
+        in
+        let doc =
+          try Storage.load_document ~path
+          with Storage.Storage_error m -> fail "snapshot %s: %s" path m
+        in
+        Peer.store t.peer name doc;
+        t.recovered <- t.recovered + 1
+      done
+    with End_of_file -> ()
+  end
+
+(* Replay intact records; on the first torn or corrupt one, truncate the
+   journal there and stop — that is the record the crash interrupted. *)
+let replay_journal t =
+  let path = journal_path t.dir in
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let truncate_at = ref (-1) in
+    (Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+     let rec go () =
+       let pos = pos_in ic in
+       match Wire.read_frame ic with
+       | None -> ()
+       | Some payload ->
+         let name, xml = decode_record payload in
+         let doc =
+           try Axml_peer.Syntax.of_xml_string xml
+           with Axml_peer.Syntax.Syntax_error m ->
+             fail "journal record %S: %s" name m
+         in
+         Peer.store t.peer name doc;
+         t.recovered <- t.recovered + 1;
+         t.entries <- t.entries + 1;
+         go ()
+       | exception Wire.Wire_error _ -> truncate_at := pos
+     in
+     go ());
+    if !truncate_at >= 0 then begin
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+      Unix.ftruncate fd !truncate_at;
+      Unix.close fd
+    end
+  end
+
+let journal_channel t =
+  match t.oc with
+  | Some oc -> oc
+  | None -> fail "repository %s is closed" t.dir
+
+let snapshot_locked t =
+  let snap = snapshot_dir t.dir in
+  mkdir_p snap;
+  let names = Peer.documents t.peer in
+  List.iter
+    (fun name ->
+       let path = Filename.concat snap (Storage.encode_name name ^ ".xml") in
+       Storage.save_document ~path (Peer.fetch t.peer name))
+    names;
+  (* The manifest is written last and renamed into place: a crash during
+     the snapshot leaves the previous manifest (and journal) intact. *)
+  let tmp = manifest_path t.dir ^ ".tmp" in
+  let oc = open_out tmp in
+  List.iter (fun name -> output_string oc (Storage.encode_name name ^ "\n")) names;
+  close_out oc;
+  Sys.rename tmp (manifest_path t.dir)
+
+let compact_locked t =
+  snapshot_locked t;
+  (match t.oc with Some oc -> close_out_noerr oc | None -> ());
+  t.oc <- Some (open_out_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ]
+                  0o644 (journal_path t.dir));
+  t.entries <- 0
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let attach ?(auto_compact = 1024) ~dir peer =
+  mkdir_p dir;
+  let t =
+    { dir; peer; auto_compact; lock = Mutex.create (); oc = None;
+      entries = 0; recovered = 0 }
+  in
+  replay_snapshot t;
+  replay_journal t;
+  t.oc <- Some (open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644
+                  (journal_path t.dir));
+  t
+
+let record_store t name doc =
+  with_lock t @@ fun () ->
+  let oc = journal_channel t in
+  Wire.write_frame oc (encode_record name doc);
+  t.entries <- t.entries + 1;
+  if t.auto_compact > 0 && t.entries >= t.auto_compact then compact_locked t
+
+let compact t =
+  with_lock t @@ fun () ->
+  ignore (journal_channel t);
+  compact_locked t
+
+let journal_entries t = t.entries
+let recovered t = t.recovered
+let dir t = t.dir
+
+let close t =
+  with_lock t @@ fun () ->
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+    close_out_noerr oc;
+    t.oc <- None

@@ -1,0 +1,48 @@
+(** A persistent document repository behind a peer: an append-only
+    journal of stores plus periodic snapshots, with recovery on startup.
+
+    Layout under the repository directory:
+
+    {v
+<dir>/snapshot/MANIFEST        one repository name per line (written last)
+<dir>/snapshot/<enc>.xml       one intensional document per entry
+<dir>/journal.log              framed store records since the snapshot
+    v}
+
+    {!attach} replays snapshot then journal into the peer's in-memory
+    repository; a torn journal tail (the record being appended when the
+    process died) is detected by the framing and dropped, everything
+    before it is recovered. {!record_store} appends one frame per store
+    and compacts automatically every [auto_compact] records
+    ({!compact}: snapshot everything, truncate the journal). *)
+
+exception Repo_error of string
+
+type t
+
+val attach : ?auto_compact:int -> dir:string -> Axml_peer.Peer.t -> t
+(** Open (creating directories as needed) and recover: every snapshot
+    document and every intact journal record is {!Axml_peer.Peer.store}d
+    into the peer. [auto_compact] (default 1024, [0] disables) bounds
+    the journal length. A torn trailing record is truncated away.
+    @raise Repo_error on unreadable state. *)
+
+val record_store : t -> string -> Axml_core.Document.t -> unit
+(** Append one store to the journal (and compact if due). Serialized
+    behind an internal mutex: safe from concurrent server threads. *)
+
+val compact : t -> unit
+(** Snapshot the peer's current repository and truncate the journal. *)
+
+val journal_entries : t -> int
+(** Records appended since the last snapshot (after recovery: the
+    replayed count). *)
+
+val recovered : t -> int
+(** Documents recovered by {!attach} (snapshot + journal). *)
+
+val dir : t -> string
+
+val close : t -> unit
+(** Flush and close the journal. The repository stays readable for a
+    later {!attach}; using [t] after [close] raises [Repo_error]. *)

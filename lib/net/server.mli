@@ -1,0 +1,61 @@
+(** A threaded socket server for an {!Endpoint.t}: one listener speaking
+    both the framed binary protocol (connections starting with
+    {!Wire.magic}) and minimal HTTP/1.1 (everything else), told apart by
+    peeking the first bytes.
+
+    Resource bounds are explicit: a cap on concurrent connections, an
+    admission-control cap on requests in flight {e before} any
+    enforcement pipeline runs (excess answered with an ["overloaded"]
+    error, never queued), a per-connection protocol-error budget, and a
+    frame-size limit. {!stop} drains gracefully: stop accepting, let
+    in-flight requests finish (up to a timeout), unblock idle readers,
+    join every connection thread. *)
+
+type config = {
+  max_connections : int;
+      (** concurrent connections; excess are refused at accept *)
+  max_in_flight : int;
+      (** requests being served at once across all connections — the
+          backpressure bound in front of {!Axml_peer.Enforcement.Pipeline} *)
+  max_frame_bytes : int;   (** per-request payload bound, both protocols *)
+  error_budget : int;
+      (** undecodable-but-framed requests tolerated per connection
+          before it is closed *)
+  drain_timeout_s : float; (** how long {!stop} waits for in-flight work *)
+}
+
+val default_config : config
+(** 64 connections, 32 in flight, {!Wire.default_max_frame_bytes},
+    error budget 8, 5 s drain. *)
+
+type t
+
+val start : ?config:config -> ?host:string -> ?port:int -> Endpoint.t -> t
+(** Bind (default [127.0.0.1], port [0] = ephemeral), listen, and serve
+    on background threads until {!stop}.
+    @raise Unix.Unix_error when the address cannot be bound. *)
+
+val port : t -> int
+(** The bound port (useful with [port:0]). *)
+
+val endpoint : t -> Endpoint.t
+
+val connections : t -> int
+(** Connections currently open. *)
+
+val in_flight : t -> int
+(** Requests currently being served. *)
+
+val stop : t -> unit
+(** Graceful shutdown; idempotent. Returns once every connection thread
+    has been joined — no threads or fds outlive it. *)
+
+(** {1 HTTP routes}
+
+    - [GET /metrics] — Prometheus text for the default registry
+    - [GET /metrics.json] — the same registry as JSON
+    - [GET /health] — ["ok"], 200
+    - [POST /exchange?as=NAME] — body is one intensional document in XML;
+      it is validated against the {e server peer's own schema} and stored
+      under [NAME] (default ["inbox"]). [200] on accept, [422] with one
+      violation per line on refusal, [503] when overloaded. *)

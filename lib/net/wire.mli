@@ -1,0 +1,107 @@
+(** The Active XML wire protocol: typed requests/responses for the full
+    peer surface, a deterministic binary codec, and length-prefixed
+    framing.
+
+    The protocol is the {e transport-agnostic} contract between peers:
+    [Endpoint.handle] consumes {!request}s and produces {!response}s
+    whether they arrived over a socket, an HTTP POST, or an in-process
+    function call. XML payloads (documents, schemas, SOAP envelopes)
+    travel as their existing XML wire syntax inside binary
+    length-prefixed fields, so the codec never has to re-escape them and
+    [decode ∘ encode] is the identity on every message
+    (property-tested). *)
+
+exception Wire_error of string
+(** Corrupt framing or an undecodable payload. *)
+
+val protocol_version : int
+(** Version of the framed binary protocol (independent of
+    {!Axml_peer.Soap.protocol_version}, which versions envelopes). *)
+
+(** {1 Messages}
+
+    Document, schema and envelope payloads are carried as XML strings
+    ([Axml_peer.Syntax] / [Axml_peer.Xml_schema_int] / [Axml_peer.Soap]
+    syntax); parsing happens at the endpoint, once per stream for
+    schemas (see {!Open_exchange}). *)
+
+type metrics_format = Prometheus | Json
+
+type request =
+  | Ping
+  | Open_exchange of { schema_xml : string }
+      (** Declare the agreed exchange schema once; subsequent
+          {!Exchange}s reference the returned id, so the receiver
+          compiles its validation context once per agreement, not once
+          per document. *)
+  | Exchange of { exchange : int; as_name : string; doc_xml : string }
+      (** One document crossing the wire under an opened agreement. *)
+  | Invoke of { envelope : string }
+      (** Remote service invocation: a {!Axml_peer.Soap} request
+          envelope, answered by a response or fault envelope. *)
+  | Get_wsdl of { service : string }
+  | List_services
+  | List_documents
+  | Get_document of { name : string }
+  | Lint_exchange of { schema_xml : string }
+      (** Contract-level lint of the receiver's side of an agreement. *)
+  | Get_metrics of { format : metrics_format }
+
+type refusal = { at : Axml_core.Document.path; context : string }
+(** One validation violation of a refused exchange, mirroring the
+    failures [Axml_peer.Peer.receive] reports in-process. *)
+
+type response =
+  | Pong of { peer : string; protocol : int }
+  | Exchange_opened of { id : int }
+  | Accepted of { as_name : string; wire_bytes : int }
+  | Refused of { refusals : refusal list }
+  | Envelope of { envelope : string }
+  | Wsdl of { wsdl : string }
+  | Names of { names : string list }
+  | Document of { doc_xml : string }
+  | Report of { json : string }
+  | Metrics of { format : metrics_format; body : string }
+  | Error of { code : string; reason : string }
+      (** Transport- or endpoint-level failure; stable [code]s:
+          ["overloaded"], ["shutting-down"], ["unknown-exchange"],
+          ["unknown-service"], ["unknown-document"], ["protocol"],
+          ["fault"]. *)
+
+val request_op : request -> string
+(** Stable lowercase operation name (metrics label / logging). *)
+
+val response_op : response -> string
+
+val pp_request : request Fmt.t
+val pp_response : response Fmt.t
+
+(** {1 Codec} *)
+
+val encode_request : request -> string
+val decode_request : string -> request
+(** @raise Wire_error on an undecodable payload. *)
+
+val encode_response : response -> string
+val decode_response : string -> response
+(** @raise Wire_error on an undecodable payload. *)
+
+(** {1 Framing}
+
+    A frame is [magic] (4 bytes), a big-endian 32-bit payload length,
+    then the payload. Peers sniff the first bytes of a connection to
+    tell framed protocol from HTTP. *)
+
+val magic : string
+(** ["AXF1"]. *)
+
+val default_max_frame_bytes : int
+(** 16 MiB: the admission-control bound on a single payload. *)
+
+val write_frame : out_channel -> string -> unit
+(** Write one frame and flush. *)
+
+val read_frame : ?max_bytes:int -> in_channel -> string option
+(** [None] on clean EOF before any byte of a frame.
+    @raise Wire_error on a bad magic, an oversized declared length, or
+    EOF mid-frame (a torn frame). *)

@@ -157,6 +157,36 @@ let test_soap_garbage () =
    | exception Soap.Protocol_error _ -> ()
    | _ -> Alcotest.fail "expected Protocol_error")
 
+let test_soap_versioning () =
+  let msg = Soap.Request { method_name = "M"; params = [] } in
+  (* the current version is stamped on every envelope *)
+  check "wire declares current version" true
+    (Soap.wire_version (Soap.encode msg) = Some Soap.protocol_version);
+  (* older versions up to the current one still decode *)
+  (match Soap.decode (Soap.encode ~version:1 msg) with
+   | Soap.Request { method_name = "M"; _ } -> ()
+   | _ -> Alcotest.fail "version-1 envelope refused");
+  (* an envelope without the attribute is the historical version 1 *)
+  let legacy =
+    Fmt.str
+      {|<soap:Envelope xmlns:soap=%S xmlns:int=%S><soap:Body><int:request method="M"><int:args/></int:request></soap:Body></soap:Envelope>|}
+      Soap.soap_ns Syntax.axml_ns
+  in
+  check "legacy envelope is version 1" true (Soap.wire_version legacy = Some 1);
+  (match Soap.decode legacy with
+   | Soap.Request { method_name = "M"; params = [] } -> ()
+   | _ -> Alcotest.fail "legacy envelope refused");
+  (* a future version is a typed refusal, not a generic decode error *)
+  let future = Soap.encode ~version:99 msg in
+  check "future version visible pre-flight" true
+    (Soap.wire_version future = Some 99);
+  (match Soap.decode future with
+   | exception Soap.Unsupported_version { got = 99; supported } ->
+     check_int "supported version" Soap.protocol_version supported
+   | _ -> Alcotest.fail "expected Unsupported_version");
+  (* bytes that are not XML at all have no version to report *)
+  check "non-XML has no version" true (Soap.wire_version "not xml <" = None)
+
 (* ------------------------------------------------------------------ *)
 (* XML Schema_int                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -793,6 +823,49 @@ let test_peer_send_document () =
     check "stored copy conforms" true (Validate.document_violations ctx stored = [])
   | Error e -> Alcotest.failf "send failed: %a" Enforcement.pp_error e
 
+let test_peer_version_mismatch_fault () =
+  let provider = Peer.create ~name:"p" ~schema:schema_star () in
+  let wire =
+    Soap.encode ~version:99
+      (Soap.Request { method_name = "Get_Temp"; params = [] })
+  in
+  match Soap.decode (Peer.handle_wire provider wire) with
+  | Soap.Fault { code = "VersionMismatch"; _ } -> ()
+  | _ -> Alcotest.fail "expected a VersionMismatch fault"
+
+let test_peer_configure () =
+  let peer = Peer.create ~name:"p" ~schema:schema_star () in
+  let d = Peer.default_config in
+  let c = Peer.current_config peer in
+  check_int "default k" d.Peer.k c.Peer.k;
+  check_int "default jobs" d.Peer.jobs c.Peer.jobs;
+  check "no fallback by default" false c.Peer.fallback_possible;
+  (* compiled artifacts are cached while the config is stable... *)
+  let p1 = Peer.exchange_pipeline peer ~exchange:schema_star2 in
+  check "pipeline cached" true (p1 == Peer.exchange_pipeline peer ~exchange:schema_star2);
+  (* ...and configure replaces the whole record atomically and
+     invalidates them *)
+  Peer.configure peer { d with Peer.k = 3; jobs = 4; fallback_possible = true };
+  let c = Peer.current_config peer in
+  check_int "k applied" 3 c.Peer.k;
+  check_int "jobs applied" 4 c.Peer.jobs;
+  check "fallback applied" true c.Peer.fallback_possible;
+  check "configure invalidates compiled pipelines" true
+    (p1 != Peer.exchange_pipeline peer ~exchange:schema_star2);
+  (* the deprecated shims are views over configure: each touches its own
+     field and preserves the rest *)
+  Peer.set_jobs peer 2;
+  let c = Peer.current_config peer in
+  check_int "set_jobs only touches jobs" 3 c.Peer.k;
+  check_int "set_jobs applied" 2 c.Peer.jobs;
+  check "set_jobs keeps fallback" true c.Peer.fallback_possible;
+  Peer.set_resilience peer (Some (Resilience.create ()));
+  let c = Peer.current_config peer in
+  check_int "set_resilience keeps jobs" 2 c.Peer.jobs;
+  check "set_resilience installs the guard" true
+    (Option.is_some c.Peer.resilience);
+  check "set_resilience keeps fallback" true c.Peer.fallback_possible
+
 let test_peer_unknown_service_fault () =
   let provider = Peer.create ~name:"p" ~schema:schema_star () in
   let client = Peer.create ~name:"c" ~schema:schema_star () in
@@ -1113,7 +1186,8 @@ let () =
        ]);
       ("soap",
        [ Alcotest.test_case "roundtrip" `Quick test_soap_roundtrip;
-         Alcotest.test_case "garbage" `Quick test_soap_garbage
+         Alcotest.test_case "garbage" `Quick test_soap_garbage;
+         Alcotest.test_case "versioning" `Quick test_soap_versioning
        ]);
       ("xml-schema-int",
        [ Alcotest.test_case "parse newspaper schema" `Quick test_xml_schema_int_parse;
@@ -1164,6 +1238,8 @@ let () =
          Alcotest.test_case "serve enforces output" `Quick test_peer_serve_enforces_output;
          Alcotest.test_case "send document" `Quick test_peer_send_document;
          Alcotest.test_case "unknown service fault" `Quick test_peer_unknown_service_fault;
+         Alcotest.test_case "version mismatch fault" `Quick test_peer_version_mismatch_fault;
+         Alcotest.test_case "configure" `Quick test_peer_configure;
          Alcotest.test_case "select with predicates" `Quick test_peer_select_with_predicates;
          Alcotest.test_case "three-hop call" `Quick test_peer_three_hop
        ])

@@ -1,0 +1,607 @@
+(* Tests for the networked peer (lib/net): wire codec round-trips,
+   framing, the transport-agnostic endpoint, the socket server under
+   concurrency and abuse, the persistent repository, and the HTTP
+   front. *)
+
+module R = Axml_regex.Regex
+module Schema = Axml_schema.Schema
+module Schema_parser = Axml_schema.Schema_parser
+module D = Axml_core.Document
+module Rewriter = Axml_core.Rewriter
+module Service = Axml_services.Service
+module Registry = Axml_services.Registry
+module Oracle = Axml_services.Oracle
+module Peer = Axml_peer.Peer
+module Enforcement = Axml_peer.Enforcement
+module Syntax = Axml_peer.Syntax
+module Xml_schema_int = Axml_peer.Xml_schema_int
+module Wire = Axml_net.Wire
+module Endpoint = Axml_net.Endpoint
+module Server = Axml_net.Server
+module Client = Axml_net.Client
+module Repo = Axml_net.Repo
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let parse_schema text =
+  match Schema_parser.parse_result text with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "schema parse error: %s" e
+
+let common = {|
+element title = #data
+element date = #data
+element temp = #data
+element city = #data
+element exhibit = title.date
+|}
+
+let schema_sender =
+  parse_schema
+    ({|
+root newspaper
+element newspaper = title.date.(Get_Temp | temp)
+function Get_Temp : city -> temp
+|} ^ common)
+
+let schema_exchange =
+  parse_schema
+    ({|
+root newspaper
+element newspaper = title.date.temp
+function Get_Temp : city -> temp
+|} ^ common)
+
+let fig2a title =
+  D.elem "newspaper"
+    [ D.elem "title" [ D.data title ];
+      D.elem "date" [ D.data "04/10/2002" ];
+      D.call "Get_Temp" [ D.elem "city" [ D.data "Paris" ] ] ]
+
+let register_get_temp peer =
+  Registry.register (Peer.registry peer)
+    (Service.make ~input:(R.sym (Schema.A_label "city"))
+       ~output:(R.sym (Schema.A_label "temp")) "Get_Temp"
+       (Oracle.constant [ D.elem "temp" [ D.data "15" ] ]))
+
+let make_receiver () = Peer.create ~name:"reader" ~schema:schema_exchange ()
+
+let make_sender () =
+  let p = Peer.create ~name:"newspaper.com" ~schema:schema_sender () in
+  register_get_temp p;
+  p
+
+let with_server ?config ?repo peer f =
+  let server = Server.start ?config (Endpoint.create ?repo peer) in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server)
+
+let with_client server f =
+  let client = Client.connect ~port:(Server.port server) () in
+  Fun.protect ~finally:(fun () -> Client.close client) (fun () -> f client)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Fmt.str "axml-test-net-%d-%d" (Unix.getpid ()) (Random.int 1_000_000))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Sys.command (Filename.quote_command "rm" [ "-rf"; dir ])))
+    (fun () -> f dir)
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec: property-tested round-trips                              *)
+(* ------------------------------------------------------------------ *)
+
+let gen_string = QCheck.Gen.(string_size ~gen:char (int_bound 64))
+
+let gen_request : Wire.request QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneof
+    [ return Wire.Ping;
+      map (fun s -> Wire.Open_exchange { schema_xml = s }) gen_string;
+      map3
+        (fun exchange as_name doc_xml -> Wire.Exchange { exchange; as_name; doc_xml })
+        (int_bound 0xffff) gen_string gen_string;
+      map (fun s -> Wire.Invoke { envelope = s }) gen_string;
+      map (fun s -> Wire.Get_wsdl { service = s }) gen_string;
+      return Wire.List_services;
+      return Wire.List_documents;
+      map (fun s -> Wire.Get_document { name = s }) gen_string;
+      map (fun s -> Wire.Lint_exchange { schema_xml = s }) gen_string;
+      map
+        (fun b -> Wire.Get_metrics { format = (if b then Wire.Prometheus else Wire.Json) })
+        bool ]
+
+let gen_refusal : Wire.refusal QCheck.Gen.t =
+  let open QCheck.Gen in
+  map2
+    (fun at context -> { Wire.at; context })
+    (list_size (int_bound 6) (int_bound 0xffff))
+    gen_string
+
+let gen_response : Wire.response QCheck.Gen.t =
+  let open QCheck.Gen in
+  oneof
+    [ map2 (fun peer protocol -> Wire.Pong { peer; protocol }) gen_string
+        (int_bound 0xff);
+      map (fun id -> Wire.Exchange_opened { id }) (int_bound 0xffff);
+      map2 (fun as_name wire_bytes -> Wire.Accepted { as_name; wire_bytes })
+        gen_string (int_bound 0xffffff);
+      map (fun refusals -> Wire.Refused { refusals })
+        (list_size (int_bound 5) gen_refusal);
+      map (fun s -> Wire.Envelope { envelope = s }) gen_string;
+      map (fun s -> Wire.Wsdl { wsdl = s }) gen_string;
+      map (fun names -> Wire.Names { names }) (list_size (int_bound 8) gen_string);
+      map (fun s -> Wire.Document { doc_xml = s }) gen_string;
+      map (fun s -> Wire.Report { json = s }) gen_string;
+      map2
+        (fun b body ->
+          Wire.Metrics
+            { format = (if b then Wire.Prometheus else Wire.Json); body })
+        bool gen_string;
+      map2 (fun code reason -> Wire.Error { code; reason }) gen_string gen_string ]
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"wire: request decode ∘ encode = id"
+    (QCheck.make ~print:(Fmt.str "%a" Wire.pp_request) gen_request)
+    (fun req -> Wire.decode_request (Wire.encode_request req) = req)
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"wire: response decode ∘ encode = id"
+    (QCheck.make ~print:(Fmt.str "%a" Wire.pp_response) gen_response)
+    (fun resp -> Wire.decode_response (Wire.encode_response resp) = resp)
+
+let test_wire_rejects_garbage () =
+  (try
+     ignore (Wire.decode_request "");
+     Alcotest.fail "empty payload decoded"
+   with Wire.Wire_error _ -> ());
+  (try
+     ignore (Wire.decode_request "\xfe");
+     Alcotest.fail "unknown tag decoded"
+   with Wire.Wire_error _ -> ());
+  (* trailing garbage after a valid message must be rejected *)
+  try
+    ignore (Wire.decode_request (Wire.encode_request Wire.Ping ^ "x"));
+    Alcotest.fail "trailing garbage accepted"
+  with Wire.Wire_error _ -> ()
+
+let test_wire_framing () =
+  let path = Filename.temp_file "axml" ".frames" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out_bin path in
+  Wire.write_frame oc "hello";
+  Wire.write_frame oc "";
+  close_out oc;
+  let ic = open_in_bin path in
+  check "frame 1" true (Wire.read_frame ic = Some "hello");
+  check "frame 2" true (Wire.read_frame ic = Some "");
+  check "clean EOF" true (Wire.read_frame ic = None);
+  close_in ic;
+  (* torn header *)
+  let oc = open_out_bin path in
+  output_string oc "AXF1\x00\x00";
+  close_out oc;
+  let ic = open_in_bin path in
+  (try
+     ignore (Wire.read_frame ic);
+     Alcotest.fail "torn header accepted"
+   with Wire.Wire_error _ -> ());
+  close_in ic;
+  (* bad magic *)
+  let oc = open_out_bin path in
+  output_string oc "HTTP/1.1 200\r\n";
+  close_out oc;
+  let ic = open_in_bin path in
+  (try
+     ignore (Wire.read_frame ic);
+     Alcotest.fail "bad magic accepted"
+   with Wire.Wire_error _ -> ());
+  close_in ic;
+  (* declared length over the cap *)
+  let oc = open_out_bin path in
+  output_string oc "AXF1\xff\xff\xff\xff";
+  close_out oc;
+  let ic = open_in_bin path in
+  (try
+     ignore (Wire.read_frame ~max_bytes:1024 ic);
+     Alcotest.fail "oversized frame accepted"
+   with Wire.Wire_error _ -> ());
+  close_in ic
+
+(* ------------------------------------------------------------------ *)
+(* Endpoint (in-process transport)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let open_exchange handle schema =
+  match handle (Wire.Open_exchange { schema_xml = Xml_schema_int.to_string schema }) with
+  | Wire.Exchange_opened { id } -> id
+  | r -> Alcotest.failf "open-exchange: %a" Wire.pp_response r
+
+let test_endpoint_basics () =
+  let receiver = make_receiver () in
+  let handle = Endpoint.handle (Endpoint.create receiver) in
+  (match handle Wire.Ping with
+   | Wire.Pong { peer = "reader"; protocol } ->
+     check_int "protocol" Wire.protocol_version protocol
+   | r -> Alcotest.failf "ping: %a" Wire.pp_response r);
+  let id = open_exchange handle schema_exchange in
+  let good =
+    Syntax.to_xml_string ~pretty:false
+      (D.elem "newspaper"
+         [ D.elem "title" [ D.data "t" ]; D.elem "date" [ D.data "d" ];
+           D.elem "temp" [ D.data "15" ] ])
+  in
+  (match handle (Wire.Exchange { exchange = id; as_name = "front"; doc_xml = good }) with
+   | Wire.Accepted { as_name = "front"; wire_bytes } ->
+     check_int "wire bytes" (String.length good) wire_bytes
+   | r -> Alcotest.failf "exchange: %a" Wire.pp_response r);
+  check "stored" true (Peer.documents receiver = [ "front" ]);
+  (match handle (Wire.Get_document { name = "front" }) with
+   | Wire.Document { doc_xml } -> check_string "fetch round-trip" good doc_xml
+   | r -> Alcotest.failf "get-document: %a" Wire.pp_response r);
+  (match handle (Wire.Get_document { name = "nope" }) with
+   | Wire.Error { code = "unknown-document"; _ } -> ()
+   | r -> Alcotest.failf "unknown document: %a" Wire.pp_response r);
+  (match handle (Wire.Exchange { exchange = 999; as_name = "x"; doc_xml = good }) with
+   | Wire.Error { code = "unknown-exchange"; _ } -> ()
+   | r -> Alcotest.failf "unknown exchange: %a" Wire.pp_response r);
+  (* a violating document is refused with located violations *)
+  let bad = Syntax.to_xml_string (D.elem "newspaper" [ D.elem "title" [] ]) in
+  (match handle (Wire.Exchange { exchange = id; as_name = "bad"; doc_xml = bad }) with
+   | Wire.Refused { refusals } -> check "has refusals" true (refusals <> [])
+   | r -> Alcotest.failf "bad exchange: %a" Wire.pp_response r);
+  check "refused not stored" false (List.mem "bad" (Peer.documents receiver));
+  (* malformed schema is a protocol error, not a crash *)
+  (match handle (Wire.Open_exchange { schema_xml = "<not-a-schema" }) with
+   | Wire.Error { code = "protocol"; _ } -> ()
+   | r -> Alcotest.failf "bad schema: %a" Wire.pp_response r);
+  (match handle (Wire.Get_metrics { format = Wire.Prometheus }) with
+   | Wire.Metrics { body; _ } ->
+     check "prometheus body" true (String.length body > 0)
+   | r -> Alcotest.failf "metrics: %a" Wire.pp_response r);
+  (match handle (Wire.Lint_exchange { schema_xml = Xml_schema_int.to_string schema_exchange }) with
+   | Wire.Report { json } -> check "lint json" true (String.length json >= 2)
+   | r -> Alcotest.failf "lint: %a" Wire.pp_response r)
+
+let test_endpoint_services () =
+  let provider = Peer.create ~name:"timeout.com" ~schema:schema_exchange () in
+  Peer.provide provider ~name:"Get_Temp" ~input:(R.sym (Schema.A_label "city"))
+    ~output:(R.sym (Schema.A_label "temp"))
+    (Peer.Const [ D.elem "temp" [ D.data "15" ] ]);
+  let handle = Endpoint.handle (Endpoint.create provider) in
+  (match handle Wire.List_services with
+   | Wire.Names { names } -> check "provides Get_Temp" true (names = [ "Get_Temp" ])
+   | r -> Alcotest.failf "list-services: %a" Wire.pp_response r);
+  (match handle (Wire.Get_wsdl { service = "Get_Temp" }) with
+   | Wire.Wsdl { wsdl } ->
+     let f, _ = Axml_peer.Wsdl.parse_string wsdl in
+     check_string "wsdl function" "Get_Temp" f.Schema.f_name
+   | r -> Alcotest.failf "wsdl: %a" Wire.pp_response r);
+  (match handle (Wire.Get_wsdl { service = "Nope" }) with
+   | Wire.Error { code = "unknown-service"; _ } -> ()
+   | r -> Alcotest.failf "unknown service: %a" Wire.pp_response r);
+  let envelope =
+    Axml_peer.Soap.encode
+      (Axml_peer.Soap.Request
+         { method_name = "Get_Temp";
+           params = [ D.elem "city" [ D.data "Paris" ] ] })
+  in
+  match handle (Wire.Invoke { envelope }) with
+  | Wire.Envelope { envelope } ->
+    (match Axml_peer.Soap.decode envelope with
+     | Axml_peer.Soap.Response { result = [ D.Elem { label = "temp"; _ } ]; _ } -> ()
+     | _ -> Alcotest.fail "unexpected invoke result")
+  | r -> Alcotest.failf "invoke: %a" Wire.pp_response r
+
+(* ------------------------------------------------------------------ *)
+(* Server: concurrency, parity, abuse                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* N client threads stream exchanges concurrently; every response must
+   match its request (the echoed [as_name] proves no cross-talk), and
+   every verdict must equal the in-process reference. *)
+let test_server_concurrent_clients () =
+  let receiver = make_receiver () in
+  with_server receiver @@ fun server ->
+  (* in-process reference: same sender construction, direct receive *)
+  let reference = make_receiver () in
+  let threads = 4 and per_thread = 12 in
+  let failures = Atomic.make 0 in
+  let note_failure fmt =
+    Fmt.kstr (fun m -> Atomic.incr failures; Fmt.epr "%s@." m) fmt
+  in
+  let worker tid =
+    let sender = make_sender () in
+    let twin = make_sender () in
+    with_client server @@ fun client ->
+    for i = 1 to per_thread do
+      let as_name = Fmt.str "doc-%d-%d" tid i in
+      let doc = fig2a as_name in
+      match
+        ( Client.send client ~sender ~exchange:schema_exchange ~as_name doc,
+          Peer.send twin ~receiver:reference ~exchange:schema_exchange ~as_name doc )
+      with
+      | Ok net, Ok r ->
+        if not (D.equal net.Peer.sent r.Peer.sent) then
+          note_failure "%s: sent documents differ" as_name;
+        if net.Peer.wire_bytes <> r.Peer.wire_bytes then
+          note_failure "%s: wire bytes differ" as_name
+      | Error e, _ | _, Error e ->
+        note_failure "%s: failed: %a" as_name Enforcement.pp_error e
+    done
+  in
+  let ts = List.init threads (fun tid -> Thread.create worker tid) in
+  List.iter Thread.join ts;
+  check_int "no cross-talk or parity failures" 0 (Atomic.get failures);
+  check_int "all documents stored" (threads * per_thread)
+    (List.length (Peer.documents receiver))
+
+let test_server_killed_client_and_budget () =
+  let receiver = make_receiver () in
+  with_server receiver @@ fun server ->
+  let port = Server.port server in
+  (* a client dying mid-frame must not hurt the server *)
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  ignore (Unix.write_substring fd "AXF1\x00\x00" 0 6);
+  Unix.close fd;
+  (* a framed but undecodable payload is answered with a protocol error *)
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let junk = "\xfegarbage" in
+  let frame = Buffer.create 16 in
+  Buffer.add_string frame Wire.magic;
+  List.iter
+    (fun shift ->
+      Buffer.add_char frame (Char.chr ((String.length junk lsr shift) land 0xff)))
+    [ 24; 16; 8; 0 ];
+  Buffer.add_string frame junk;
+  let bytes = Buffer.contents frame in
+  ignore (Unix.write_substring fd bytes 0 (String.length bytes));
+  let ic = Unix.in_channel_of_descr fd in
+  (match Wire.read_frame ic with
+   | Some payload ->
+     (match Wire.decode_response payload with
+      | Wire.Error { code = "protocol"; _ } -> ()
+      | r -> Alcotest.failf "expected protocol error, got %a" Wire.pp_response r)
+   | None -> Alcotest.fail "no response to garbage frame");
+  Unix.close fd;
+  (* the server is still healthy *)
+  with_client server @@ fun client ->
+  check_string "healthy after abuse" "reader" (fst (Client.ping client))
+
+let test_server_error_budget_closes () =
+  let receiver = make_receiver () in
+  let config = { Server.default_config with Server.error_budget = 2 } in
+  with_server ~config receiver @@ fun server ->
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port server));
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (* exhaust the budget with undecodable frames *)
+  Wire.write_frame oc "\xfe";
+  check "first junk answered" true (Wire.read_frame ic <> None);
+  Wire.write_frame oc "\xfe";
+  check "second junk answered" true (Wire.read_frame ic <> None);
+  (* budget exhausted: the connection is closed *)
+  (match Wire.write_frame oc "\xfe"; Wire.read_frame ic with
+   | None -> ()
+   | Some _ -> Alcotest.fail "connection survived an exhausted error budget"
+   | exception Wire.Wire_error _ -> ()
+   | exception Sys_error _ -> ())
+
+let test_server_admission_control () =
+  (* one in-flight slot, held by a gated service call: the second
+     request must be refused as "overloaded", never queued *)
+  let gate = Semaphore.Binary.make false in
+  let entered = Semaphore.Binary.make false in
+  let provider = Peer.create ~name:"gated" ~schema:schema_exchange () in
+  Peer.provide provider ~name:"Gated" ~input:(R.sym Schema.A_data)
+    ~output:(R.sym Schema.A_data)
+    (Peer.Compute
+       (fun _ ->
+         Semaphore.Binary.release entered;
+         Semaphore.Binary.acquire gate;
+         [ D.data "done" ]));
+  let config = { Server.default_config with Server.max_in_flight = 1 } in
+  with_server ~config provider @@ fun server ->
+  let slow_result = ref None in
+  let slow =
+    Thread.create
+      (fun () ->
+        with_client server @@ fun client ->
+        slow_result := Some (Client.call client "Gated" [ D.data "x" ]))
+      ()
+  in
+  Semaphore.Binary.acquire entered;
+  (* the slot is held; admission control must refuse the next request *)
+  (with_client server @@ fun client ->
+   match Client.rpc client Wire.Ping with
+   | Wire.Error { code = "overloaded"; _ } -> ()
+   | r -> Alcotest.failf "expected overloaded, got %a" Wire.pp_response r);
+  Semaphore.Binary.release gate;
+  Thread.join slow;
+  (match !slow_result with
+   | Some [ D.Data "done" ] -> ()
+   | _ -> Alcotest.fail "gated call did not complete");
+  (* the slot is free again *)
+  with_client server @@ fun client ->
+  check_string "healthy after overload" "gated" (fst (Client.ping client))
+
+let test_server_graceful_stop () =
+  let receiver = make_receiver () in
+  let server = Server.start (Endpoint.create receiver) in
+  let client = Client.connect ~port:(Server.port server) () in
+  check_string "served" "reader" (fst (Client.ping client));
+  Server.stop server;
+  Server.stop server (* idempotent *);
+  check_int "no connections survive stop" 0 (Server.connections server);
+  (* the socket is gone: requests fail cleanly *)
+  (match Client.rpc client Wire.Ping with
+   | exception Client.Net_error _ -> ()
+   | Wire.Error _ -> ()
+   | r -> Alcotest.failf "request served after stop: %a" Wire.pp_response r);
+  Client.close client
+
+(* ------------------------------------------------------------------ *)
+(* Repository: journal, snapshot, recovery                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_repo_journal_recovery () =
+  with_temp_dir @@ fun dir ->
+  let peer = make_receiver () in
+  let repo = Repo.attach ~dir peer in
+  let doc name = D.elem "newspaper" [ D.elem "title" [ D.data name ] ] in
+  List.iter
+    (fun name ->
+      Peer.store peer name (doc name);
+      Repo.record_store repo name (doc name))
+    [ "a"; "b"; "c" ];
+  check_int "journal entries" 3 (Repo.journal_entries repo);
+  Repo.close repo;
+  let reborn = make_receiver () in
+  let repo2 = Repo.attach ~dir reborn in
+  check_int "recovered" 3 (Repo.recovered repo2);
+  check "document intact" true (D.equal (doc "b") (Peer.fetch reborn "b"));
+  Repo.close repo2
+
+let test_repo_torn_tail () =
+  with_temp_dir @@ fun dir ->
+  let peer = make_receiver () in
+  let repo = Repo.attach ~dir peer in
+  let doc name = D.elem "newspaper" [ D.elem "title" [ D.data name ] ] in
+  Repo.record_store repo "intact" (doc "intact");
+  Repo.close repo;
+  (* simulate a crash mid-append: half a frame at the tail *)
+  let oc =
+    open_out_gen [ Open_append; Open_binary ] 0o644
+      (Filename.concat dir "journal.log")
+  in
+  output_string oc "AXF1\x00\x00\x01";
+  close_out oc;
+  let reborn = make_receiver () in
+  let repo2 = Repo.attach ~dir reborn in
+  check_int "intact prefix recovered" 1 (Repo.recovered repo2);
+  check "torn tail truncated, journal usable" true
+    (D.equal (doc "intact") (Peer.fetch reborn "intact"));
+  (* appending after recovery still works *)
+  Repo.record_store repo2 "after" (doc "after");
+  Repo.close repo2;
+  let third = make_receiver () in
+  let repo3 = Repo.attach ~dir third in
+  check_int "both records recovered" 2 (Repo.recovered repo3);
+  Repo.close repo3
+
+let test_repo_compaction () =
+  with_temp_dir @@ fun dir ->
+  let peer = make_receiver () in
+  let repo = Repo.attach ~auto_compact:2 ~dir peer in
+  let doc name = D.elem "newspaper" [ D.elem "title" [ D.data name ] ] in
+  List.iter
+    (fun name ->
+      Peer.store peer name (doc name);
+      Repo.record_store repo name (doc name))
+    [ "a"; "b"; "c" ];
+  (* auto-compacted at 2: snapshot exists, journal restarted *)
+  check "snapshot manifest written" true
+    (Sys.file_exists (Filename.concat dir "snapshot/MANIFEST"));
+  check_int "journal restarted after compaction" 1 (Repo.journal_entries repo);
+  Repo.close repo;
+  let reborn = make_receiver () in
+  let repo2 = Repo.attach ~dir reborn in
+  check_int "snapshot + journal recovered" 3 (Repo.recovered repo2);
+  check "snapshot document intact" true (D.equal (doc "a") (Peer.fetch reborn "a"));
+  Repo.close repo2
+
+let test_repo_odd_names () =
+  with_temp_dir @@ fun dir ->
+  let peer = make_receiver () in
+  let repo = Repo.attach ~dir peer in
+  let name = "weird/na me%β.xml" in
+  let doc = D.elem "newspaper" [ D.elem "title" [ D.data "x" ] ] in
+  Peer.store peer name doc;
+  Repo.record_store repo name doc;
+  Repo.compact repo (* force the snapshot path through encode_name *);
+  Repo.close repo;
+  let reborn = make_receiver () in
+  let repo2 = Repo.attach ~dir reborn in
+  check "odd name round-trips" true (D.equal doc (Peer.fetch reborn name));
+  Repo.close repo2
+
+(* ------------------------------------------------------------------ *)
+(* HTTP front                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_http_routes () =
+  let receiver = make_receiver () in
+  with_server receiver @@ fun server ->
+  let port = Server.port server in
+  let status, body = Client.http ~port ~meth:"GET" ~path:"/health" () in
+  check_int "health status" 200 status;
+  check_string "health body" "ok\n" body;
+  let status, body = Client.http ~port ~meth:"GET" ~path:"/metrics" () in
+  check_int "metrics status" 200 status;
+  check "metrics body" true (String.length body > 0);
+  let status, body = Client.http ~port ~meth:"GET" ~path:"/metrics.json" () in
+  check_int "metrics.json status" 200 status;
+  check "json body" true (String.length body > 0 && body.[0] = '{');
+  let status, _ = Client.http ~port ~meth:"GET" ~path:"/nope" () in
+  check_int "404" 404 status;
+  let good =
+    Syntax.to_xml_string ~pretty:false
+      (D.elem "newspaper"
+         [ D.elem "title" [ D.data "t" ]; D.elem "date" [ D.data "d" ];
+           D.elem "temp" [ D.data "15" ] ])
+  in
+  let status, _ =
+    Client.http ~port ~meth:"POST" ~path:"/exchange?as=posted" ~body:good ()
+  in
+  check_int "post accepted" 200 status;
+  check "stored via HTTP" true (List.mem "posted" (Peer.documents receiver));
+  let status, body =
+    Client.http ~port ~meth:"POST" ~path:"/exchange"
+      ~body:"<newspaper><title>no</title></newspaper>" ()
+  in
+  check_int "violating post refused" 422 status;
+  check "violation reported" true (String.length body > 0);
+  let status, _ =
+    Client.http ~port ~meth:"POST" ~path:"/exchange" ~body:"<not-xml" ()
+  in
+  check_int "malformed post refused" 422 status
+
+(* ------------------------------------------------------------------ *)
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+    [ prop_request_roundtrip; prop_response_roundtrip ]
+
+let () =
+  Alcotest.run "net"
+    [ ("wire",
+       [ Alcotest.test_case "rejects garbage" `Quick test_wire_rejects_garbage;
+         Alcotest.test_case "framing" `Quick test_wire_framing ]);
+      ("wire-properties", qcheck);
+      ("endpoint",
+       [ Alcotest.test_case "documents and metrics" `Quick test_endpoint_basics;
+         Alcotest.test_case "services over the wire" `Quick test_endpoint_services ]);
+      ("server",
+       [ Alcotest.test_case "concurrent clients, verdict parity" `Quick
+           test_server_concurrent_clients;
+         Alcotest.test_case "killed client and garbage frames" `Quick
+           test_server_killed_client_and_budget;
+         Alcotest.test_case "error budget closes the connection" `Quick
+           test_server_error_budget_closes;
+         Alcotest.test_case "admission control refuses, never queues" `Quick
+           test_server_admission_control;
+         Alcotest.test_case "graceful stop" `Quick test_server_graceful_stop ]);
+      ("repo",
+       [ Alcotest.test_case "journal recovery" `Quick test_repo_journal_recovery;
+         Alcotest.test_case "torn tail" `Quick test_repo_torn_tail;
+         Alcotest.test_case "compaction" `Quick test_repo_compaction;
+         Alcotest.test_case "odd repository names" `Quick test_repo_odd_names ]);
+      ("http", [ Alcotest.test_case "routes" `Quick test_http_routes ]) ]
