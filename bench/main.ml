@@ -1471,6 +1471,161 @@ let e22 () =
   Fmt.pr "machine-readable results written to BENCH_E22.json@."
 
 (* ------------------------------------------------------------------ *)
+(* E23: verdict cost and outcome growth in the rewriting depth k       *)
+(* ------------------------------------------------------------------ *)
+
+(* A fully extensional exchange schema: the receiver accepts no calls
+   at all, so any call left in an enforced document is a depth gap. *)
+let schema_extensional =
+  parse_schema
+    {|
+root newspaper
+element newspaper = title.date.temp.exhibit*
+element title = #data
+element date = #data
+element temp = #data
+element city = #data
+element exhibit = title.date
+element performance = title.date
+|}
+
+(* The example services, except that TimeOut answers intensionally: its
+   exhibits carry an embedded Get_Date call (legal under the sender's
+   exhibit type). Flattening one such result needs a second rewriting
+   level — exactly the k=1 enforcement gap. *)
+let deep_registry () =
+  let reg = example_registry () in
+  Registry.register reg
+    (Service.make "TimeOut" ~cost:1.0 ~input:(R.sym Schema.A_data)
+       ~output:
+         (R.star
+            (R.alt (R.sym (Schema.A_label "exhibit"))
+               (R.sym (Schema.A_label "performance"))))
+       (Oracle.constant
+          [ D.elem "exhibit"
+              [ D.elem "title" [ D.data "Monet" ];
+                D.call "Get_Date" [ D.elem "title" [ D.data "Monet" ] ] ] ]));
+  reg
+
+let e23 () =
+  section "e23" "k-bounded enforcement: verdict cost and outcomes at k = 1, 2, 3";
+  expectation
+    "the safety verdict splices function outputs one level deeper per \
+     unit of k (Definition 7), so static-analysis latency grows with k \
+     but stays polynomial; on a stream whose TimeOut service answers \
+     with intensional exhibits, k=1 leaves the embedded Get_Date in the \
+     enforced output (the depth gap a fully extensional receiver then \
+     refuses) while k>=2 re-enforces materialized results against the \
+     remaining budget and ships extensional documents — the residual-call \
+     count must drop to zero from k=2 on";
+  let n = 300 in
+  let ks = [ 1; 2; 3 ] in
+  (* static verdict cost: the safe-rewriting analysis of the Figure-2
+     word against the extensional target, per depth *)
+  let verdicts =
+    List.map
+      (fun k ->
+        let rw =
+          Rewriter.create ~k ~s0:schema_star ~target:schema_extensional ()
+        in
+        let regex = Option.get (Rewriter.element_regex rw "newspaper") in
+        let ns =
+          measure_ns
+            (Printf.sprintf "e23-k%d" k)
+            (fun () ->
+              Rewriter.word_safe_analysis rw ~target_regex:regex newspaper_word)
+        in
+        Fmt.pr "verdict latency at k=%d: %a@." k pp_ns ns;
+        (k, ns))
+      ks
+  in
+  (* dynamic arms: the same generated stream enforced at each depth,
+     with minimal-k tracking on *)
+  let g = Generate.create ~seed:2304 schema_star in
+  let docs = List.init n (fun _ -> Generate.document g) in
+  let residual_calls results =
+    List.fold_left
+      (fun acc -> function
+        | Ok (doc, _) when D.calls_with_paths doc <> [] -> acc + 1
+        | _ -> acc)
+      0 results
+  in
+  let arms =
+    List.map
+      (fun k ->
+        let config =
+          (* possible rewriting on: TimeOut's performance branch rules
+             out a safe verdict, and the depth gap only shows once the
+             call is actually invoked *)
+          { Enforcement.default_config with
+            Enforcement.k; track_min_k = true; fallback_possible = true }
+        in
+        let p =
+          Pipeline.create ~config ~s0:schema_star ~exchange:schema_extensional
+            ~invoker:(Registry.invoker (deep_registry ())) ()
+        in
+        let results, stats = Pipeline.enforce_many p docs in
+        let residual = residual_calls results in
+        let ok =
+          List.length (List.filter (function Ok _ -> true | _ -> false) results)
+        in
+        Fmt.pr
+          "k=%d: %8.3f s  (%7.0f docs/s)  %d/%d accepted, %d rejected, %d \
+           invocation(s), %d residual intensional result(s)@."
+          k stats.Pipeline.elapsed_s stats.Pipeline.docs_per_s ok n
+          stats.Pipeline.rejected stats.Pipeline.invocations residual;
+        let m = stats.Pipeline.min_k in
+        Fmt.pr "  minimal k: measured %d, over budget %d, distribution %a@."
+          m.Pipeline.measured m.Pipeline.unbounded
+          Fmt.(list ~sep:sp (pair ~sep:(any ":") int int))
+          m.Pipeline.distribution;
+        (k, stats, ok, residual))
+      ks
+  in
+  let gap_closed =
+    List.for_all (fun (k, _, _, residual) -> k < 2 || residual = 0) arms
+  in
+  let gap_shown =
+    List.exists (fun (k, _, _, residual) -> k = 1 && residual > 0) arms
+  in
+  Fmt.pr "depth gap at k=1: %s; closed from k=2 on: %s@."
+    (if gap_shown then "reproduced" else "NOT REPRODUCED")
+    (if gap_closed then "yes" else "NO — residual calls above budget");
+  let oc = open_out "BENCH_E23.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"e23\",\n\
+    \  \"docs\": %d,\n\
+    \  \"verdict_ns\": { %s },\n\
+    \  \"arms\": [\n%s\n  ],\n\
+    \  \"gap_at_k1\": %b,\n\
+    \  \"gap_closed_at_k2\": %b\n\
+     }\n"
+    n
+    (String.concat ", "
+       (List.map (fun (k, ns) -> Printf.sprintf "\"k%d\": %.1f" k ns) verdicts))
+    (String.concat ",\n"
+       (List.map
+          (fun (k, (stats : Pipeline.stats), ok, residual) ->
+            let m = stats.Pipeline.min_k in
+            Printf.sprintf
+              "    {\"k\": %d, \"elapsed_s\": %.6f, \"docs_per_s\": %.1f, \
+               \"accepted\": %d, \"rejected\": %d, \"invocations\": %d, \
+               \"residual_intensional\": %d, \"min_k\": {\"measured\": %d, \
+               \"over_budget\": %d, \"distribution\": {%s}}}"
+              k stats.Pipeline.elapsed_s stats.Pipeline.docs_per_s ok
+              stats.Pipeline.rejected stats.Pipeline.invocations residual
+              m.Pipeline.measured m.Pipeline.unbounded
+              (String.concat ", "
+                 (List.map
+                    (fun (d, c) -> Printf.sprintf "\"%d\": %d" d c)
+                    m.Pipeline.distribution)))
+          arms))
+    gap_shown gap_closed;
+  close_out oc;
+  Fmt.pr "machine-readable results written to BENCH_E23.json@."
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1479,7 +1634,7 @@ let experiments =
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
     ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21);
-    ("e22", e22) ]
+    ("e22", e22); ("e23", e23) ]
 
 let () =
   let selected =

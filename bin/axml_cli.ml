@@ -280,8 +280,15 @@ let batch_cmd =
            ~doc:"Enforce the batch on $(docv) domains in parallel. \
                  Outcomes are reported in input order regardless.")
   in
+  let min_k_arg =
+    Arg.(value & flag & info [ "min-k" ]
+           ~doc:"Also search, per document, for the minimal depth at which \
+                 a safe (and a possible) rewriting exists, up to $(b,--k); \
+                 the distribution lands in the batch statistics and the \
+                 $(b,axml_enforce_min_k_total) metric.")
+  in
   let run sender target k possible engine oracle retries timeout_ms
-      breaker_threshold jobs stats_out metrics_out doc_paths =
+      breaker_threshold jobs min_k stats_out metrics_out doc_paths =
     wrap (fun () ->
         let s0 = load_schema sender in
         let exchange = load_schema target in
@@ -302,7 +309,7 @@ let batch_cmd =
         let config =
           { Enforcement.default_config with
             Enforcement.k; engine; fallback_possible = possible;
-            resilience = Some resilience; executor }
+            resilience = Some resilience; executor; track_min_k = min_k }
         in
         let pipeline = Enforcement.Pipeline.create ~config ~s0 ~exchange ~invoker () in
         let failed = ref 0 in
@@ -345,8 +352,8 @@ let batch_cmd =
              is sharded across N domains.")
     Term.(const run $ sender_arg $ target_arg $ k_arg $ possible_arg
           $ engine_arg $ oracle_arg $ retries_arg $ timeout_ms_arg
-          $ breaker_arg $ jobs_arg $ stats_json_arg $ metrics_out_arg
-          $ docs_arg)
+          $ breaker_arg $ jobs_arg $ min_k_arg $ stats_json_arg
+          $ metrics_out_arg $ docs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -766,7 +773,13 @@ let federation_cmd =
            ~doc:"Repository directory for the receiving peer (default: a \
                  fresh temporary directory).")
   in
-  let run smoke docs_n dir =
+  let fed_k_arg =
+    Arg.(value & opt int 2 & info [ "k"; "depth" ] ~docv:"N"
+           ~doc:"Rewriting depth for the whole federation, agreed on the \
+                 wire. The demo's document stream needs $(docv) >= 2 to be \
+                 accepted; at 1 both transports must refuse identically.")
+  in
+  let run smoke docs_n dir k =
     wrap (fun () ->
         let docs =
           match docs_n with Some n -> n | None -> if smoke then 5 else 25
@@ -781,7 +794,7 @@ let federation_cmd =
             in
             d
         in
-        Federation.run ~docs ~dir ~quiet:smoke ())
+        Federation.run ~docs ~dir ~quiet:smoke ~k ())
   in
   Cmd.v
     (Cmd.info "federation"
@@ -789,10 +802,11 @@ let federation_cmd =
              peer hosts services, a sender imports them from their WSDL and \
              enforces documents against a receiver's exchange schema, and \
              every outcome is checked byte-for-byte against an in-process \
-             twin. Also exercises killed clients, a slow-service brownout, \
-             the HTTP front and crash recovery. Exits 0 only if every check \
-             passes.")
-    Term.(const run $ smoke_arg $ docs_n_arg $ dir_arg)
+             twin. The whole federation enforces at one rewriting depth \
+             ($(b,--k)), agreed when each exchange opens. Also exercises \
+             killed clients, a slow-service brownout, the HTTP front and \
+             crash recovery. Exits 0 only if every check passes.")
+    Term.(const run $ smoke_arg $ docs_n_arg $ dir_arg $ fed_k_arg)
 
 (* ------------------------------------------------------------------ *)
 (* compat                                                              *)

@@ -12,7 +12,14 @@
    in-process ones byte for byte (an identical twin federation runs
    entirely in-process as the reference), the server must survive a
    killed client and a slow-service brownout, the repository must
-   recover after the server goes away, and no fds may leak. *)
+   recover after the server goes away, and no fds may leak.
+
+   The whole federation runs at one rewriting depth k, agreed on the
+   wire when the exchange opens. TimeOut's exhibits embed Get_Date
+   calls one level down, so the document stream is only shippable at
+   k >= 2 — at k = 1 both transports must refuse identically, and a
+   depth-mismatched agreement must be turned away before any document
+   flows. *)
 
 module R = Axml_regex.Regex
 module Schema = Axml_schema.Schema
@@ -58,7 +65,9 @@ function TimeOut : #data -> (exhibit | performance)*
 function Get_Date : title -> date
 |}
 
-(* A's local schema: temperature and exhibits may still be calls. *)
+(* A's local schema: temperature and exhibits may still be calls, and an
+   exhibit may itself embed a Get_Date call (intensional one level
+   deeper — the depth the k bound governs). *)
 let schema_sender =
   parse_schema
     ({|
@@ -66,17 +75,24 @@ root newspaper
 element newspaper = title.date.(Get_Temp | temp).(TimeOut | exhibit*)
 |} ^ common)
 
-(* The agreed exchange schema: fully extensional. *)
-let schema_exchange =
-  parse_schema
-    ({|
+(* The agreed exchange schema: fully extensional, down to the exhibits.
+   TimeOut's exhibits still embed Get_Date calls, so only a sender
+   rewriting at k >= 2 can honour this agreement. *)
+let schema_exchange = parse_schema {|
 root newspaper
 element newspaper = title.date.temp.exhibit*
-|} ^ common)
+element title = #data
+element date = #data
+element temp = #data
+element city = #data
+element exhibit = title.date
+element performance = title.date
+|}
 
-(* C's schema: extensional element types only, so every provided
-   signature is WSDL-describable (a WSDL_int descriptor carries element
-   types, not other functions). *)
+(* C's schema: its exhibits are intensional (they embed Get_Date), so
+   TimeOut's WSDL_int descriptor carries the Get_Date declaration along
+   with the element types. Every provided signature itself stays over
+   element types. *)
 let schema_provider = parse_schema {|
 root listing
 element listing = exhibit*
@@ -84,8 +100,9 @@ element title = #data
 element date = #data
 element temp = #data
 element city = #data
-element exhibit = title.date
+element exhibit = title.(Get_Date | date)
 element performance = title.date
+function Get_Date : title -> date
 |}
 
 let fig2a title =
@@ -106,6 +123,9 @@ let provide_services ?(slow_started = Atomic.make false) peer =
   Peer.provide peer ~name:"Get_Temp" ~input:(R.sym (Schema.A_label "city"))
     ~output:(R.sym (Schema.A_label "temp"))
     (Peer.Const [ D.elem "temp" [ D.data "15" ] ]);
+  (* TimeOut answers with an exhibit that still embeds a Get_Date call:
+     perfectly legal under C's (and A's) intensional exhibit type, but
+     one rewriting level short of the extensional exchange schema. *)
   Peer.provide peer ~name:"TimeOut" ~input:(R.sym Schema.A_data)
     ~output:
       (R.star
@@ -114,7 +134,7 @@ let provide_services ?(slow_started = Atomic.make false) peer =
     (Peer.Const
        [ D.elem "exhibit"
            [ D.elem "title" [ D.data "Monet" ];
-             D.elem "date" [ D.data "04/10/2002" ] ] ]);
+             D.call "Get_Date" [ D.elem "title" [ D.data "Monet" ] ] ] ]);
   Peer.provide peer ~name:"Get_Date" ~input:(R.sym (Schema.A_label "title"))
     ~output:(R.sym (Schema.A_label "date"))
     (Peer.Const [ D.elem "date" [ D.data "04/10/2002" ] ]);
@@ -145,7 +165,7 @@ let with_raw_socket port f =
 (* The demo                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let run ~docs ~dir ~quiet () =
+let run ~docs ~dir ~quiet ~k () =
   let say fmt = say quiet fmt in
   let fds_before = open_fds () in
 
@@ -155,18 +175,23 @@ let run ~docs ~dir ~quiet () =
   provide_services ~slow_started peer_c;
   let server_c = Server.start (Endpoint.create peer_c) in
 
+  (* The receiver enforces at the same depth [k] as the sender; the wire
+     agreement ([Open_exchange]) proves it before any document flows. *)
+  let receiver_config = { Peer.default_config with Peer.k } in
   let peer_b = Peer.create ~name:"reader" ~schema:schema_exchange () in
   let repo_b = Repo.attach ~dir peer_b in
-  let server_b = Server.start (Endpoint.create ~repo:repo_b peer_b) in
-  say "serving timeout.com on 127.0.0.1:%d, reader on 127.0.0.1:%d"
-    (Server.port server_c) (Server.port server_b);
+  let server_b =
+    Server.start (Endpoint.create ~config:receiver_config ~repo:repo_b peer_b)
+  in
+  say "serving timeout.com on 127.0.0.1:%d, reader on 127.0.0.1:%d (k=%d)"
+    (Server.port server_c) (Server.port server_b) k;
 
   (* TimeOut's output type [(exhibit | performance)*] does not guarantee
      the exchange's [exhibit*], so safe rewriting alone cannot ship
      fig2a: both senders run with the possible-rewriting fallback — the
      same config record, applied through [Peer.configure]. *)
   let sender_config =
-    { Peer.default_config with Peer.fallback_possible = true }
+    { Peer.default_config with Peer.fallback_possible = true; Peer.k }
   in
   let peer_a = Peer.create ~name:"newspaper.com" ~schema:schema_sender () in
   Peer.configure peer_a sender_config;
@@ -177,6 +202,7 @@ let run ~docs ~dir ~quiet () =
   let twin_c = Peer.create ~name:"timeout.com" ~schema:schema_provider () in
   provide_services twin_c;
   let twin_b = Peer.create ~name:"reader" ~schema:schema_exchange () in
+  Peer.configure twin_b receiver_config;
   let twin_a = Peer.create ~name:"newspaper.com" ~schema:schema_sender () in
   Peer.configure twin_a sender_config;
   Peer.connect twin_a ~provider:twin_c;
@@ -198,8 +224,14 @@ let run ~docs ~dir ~quiet () =
    | [ D.Elem { label = "temp"; _ } ] -> say "called Get_Temp on %s over the wire" c_name
    | other -> failf "Get_Temp returned %s" (Fmt.str "%a" D.pp_forest other));
 
-  (* --- the document stream: networked vs in-process parity -------- *)
-  let accepted = ref 0 in
+  (* --- the document stream: networked vs in-process parity --------
+     Every fig2a needs TimeOut, whose exhibits embed Get_Date calls one
+     level down: at k >= 2 the sender re-enforces the returned forest
+     and every document must be accepted; at k = 1 the sender cannot
+     reach the embedded call and the receiver must refuse — on both
+     transports, with equal verdicts (no sender-pass/receiver-refuse
+     disagreement between the networked and in-process paths). *)
+  let accepted = ref 0 and refused = ref 0 in
   for i = 1 to docs do
     let doc = fig2a (Fmt.str "The Sun #%d" i) in
     let as_name = Fmt.str "front-page-%d" i in
@@ -218,11 +250,26 @@ let run ~docs ~dir ~quiet () =
          failf "doc %d: wire sizes differ (%d vs %d)" i n.Peer.wire_bytes
            r.Peer.wire_bytes;
        incr accepted
-     | Error e, _ | _, Error e ->
-       failf "doc %d: exchange failed: %a" i Enforcement.pp_error e)
+     | Error en, Error er ->
+       if en <> er then
+         failf "doc %d: networked and in-process refusal verdicts differ" i;
+       incr refused
+     | Ok _, Error e ->
+       failf "doc %d: networked exchange accepted what the in-process one \
+              refused: %a" i Enforcement.pp_error e
+     | Error e, Ok _ ->
+       failf "doc %d: networked exchange refused what the in-process one \
+              accepted: %a" i Enforcement.pp_error e)
   done;
-  say "exchanged %d document(s); networked outcomes byte-identical to \
-       in-process ones" !accepted;
+  if k >= 2 && !refused > 0 then
+    failf "%d document(s) refused at k=%d — the TimeOut re-enforcement gap is \
+           back" !refused k;
+  if k <= 1 && !accepted > 0 then
+    failf "%d document(s) accepted at k=1 — an embedded Get_Date call slipped \
+           through validation" !accepted;
+  say "exchanged %d document(s) at k=%d (%d accepted, %d refused); networked \
+       outcomes byte-identical to in-process ones"
+    docs k !accepted !refused;
 
   (* A document the receiver must refuse: verdicts must also agree.
      Both verdicts are computed from the same agreement bytes — the
@@ -232,11 +279,22 @@ let run ~docs ~dir ~quiet () =
   let bad_xml = Syntax.to_xml_string ~pretty:false bad in
   let agreement_xml = Axml_peer.Xml_schema_int.to_string schema_exchange in
   let agreement = Axml_peer.Xml_schema_int.of_string agreement_xml in
+  (* A sender configured at another depth must be turned away at the
+     agreement, before any document flows. *)
+  (match
+     Client.rpc client_b
+       (Wire.Open_exchange { schema_xml = agreement_xml; k = k + 1 })
+   with
+   | Wire.Error { code = "k-mismatch"; _ } ->
+     say "agreement at k=%d refused by a k=%d receiver (code k-mismatch)"
+       (k + 1) k
+   | r -> failf "mismatched-depth agreement was not refused: %a" Wire.pp_response r);
+
   let net_verdict =
     match
-      Client.rpc client_b (Wire.Open_exchange { schema_xml = agreement_xml })
+      Client.rpc client_b (Wire.Open_exchange { schema_xml = agreement_xml; k })
     with
-    | Wire.Exchange_opened { id } ->
+    | Wire.Exchange_opened { id; k = _ } ->
       (match
          Client.rpc client_b
            (Wire.Exchange { exchange = id; as_name = "bad"; doc_xml = bad_xml })
@@ -260,6 +318,35 @@ let run ~docs ~dir ~quiet () =
     failf "refusal verdicts differ:@.  net: %a@.  ref: %a" Enforcement.pp_error
       net_verdict Enforcement.pp_error ref_verdict;
   say "refusal verdicts identical across transports";
+
+  (* --- the k=1 gap, reproduced in process -------------------------
+     At k=1 the sender's own enforcement passes fig2a (TimeOut's answer
+     conforms to its declared output type) yet the shipped document
+     still embeds Get_Date — so a receiver honouring the extensional
+     agreement must refuse it. k >= 2 closes the gap by re-enforcing
+     TimeOut's answer against the remaining budget. *)
+  let gap_config = { sender_config with Peer.k = 1 } in
+  let gap_a = Peer.create ~name:"newspaper.com" ~schema:schema_sender () in
+  Peer.configure gap_a gap_config;
+  Peer.connect gap_a ~provider:twin_c;
+  let gap_doc = fig2a "The Sun (k=1)" in
+  (match
+     Enforcement.Pipeline.enforce
+       (Peer.exchange_pipeline gap_a ~exchange:schema_exchange) gap_doc
+   with
+   | Error e -> failf "k=1 sender enforcement refused fig2a: %a" Enforcement.pp_error e
+   | Ok (sent, _) ->
+     let gap_b = Peer.create ~name:"reader" ~schema:schema_exchange () in
+     (match
+        Peer.receive gap_b ~exchange:agreement ~as_name:"gap"
+          (Syntax.to_xml_string ~pretty:false sent)
+      with
+      | Error (Enforcement.Rejected _) ->
+        say "k=1 gap reproduced: sender enforcement passed, receiver refused \
+             the embedded Get_Date (closed at k>=2)"
+      | Ok _ ->
+        failf "k=1: receiver accepted a document with an embedded call"
+      | Error e -> failf "k=1 receive failed oddly: %a" Enforcement.pp_error e));
 
   (* --- resilience: a killed client must not hurt the server ------- *)
   with_raw_socket (Server.port server_b) (fun fd ->
@@ -363,18 +450,20 @@ let run ~docs ~dir ~quiet () =
   if Repo.recovered repo2 < expect then
     failf "recovery lost documents: %d recovered, %d expected"
       (Repo.recovered repo2) expect;
-  let original = Peer.fetch peer_b "front-page-1" in
-  let recovered_doc = Peer.fetch reborn "front-page-1" in
-  if not (D.equal original recovered_doc) then
-    failf "recovered document differs from the stored one";
+  if !accepted > 0 then begin
+    let original = Peer.fetch peer_b "front-page-1" in
+    let recovered_doc = Peer.fetch reborn "front-page-1" in
+    if not (D.equal original recovered_doc) then
+      failf "recovered document differs from the stored one"
+  end;
   Repo.close repo2;
   say "repository recovered %d document(s) after restart" (Repo.recovered repo2);
 
   say "federation demo passed";
   0
 
-let run ~docs ~dir ~quiet () =
-  match run ~docs ~dir ~quiet () with
+let run ~docs ~dir ~quiet ~k () =
+  match run ~docs ~dir ~quiet ~k () with
   | code -> code
   | exception Demo_failed m ->
     Fmt.epr "federation demo FAILED: %s@." m;

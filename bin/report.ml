@@ -53,6 +53,16 @@ let iso8601 t =
     (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
     tm.Unix.tm_sec
 
+let min_k_json (m : Enforcement.Pipeline.min_k_stats) =
+  let dist =
+    m.Enforcement.Pipeline.distribution
+    |> List.map (fun (k, n) -> Printf.sprintf "\"%d\": %d" k n)
+    |> String.concat ", "
+  in
+  Printf.sprintf
+    "{ \"measured\": %d, \"distribution\": { %s }, \"over_budget\": %d }"
+    m.Enforcement.Pipeline.measured dist m.Enforcement.Pipeline.unbounded
+
 let stats_json ~sender ~exchange (s : Enforcement.Pipeline.stats) =
   let c = s.Enforcement.Pipeline.cache in
   let r = s.Enforcement.Pipeline.resilience in
@@ -77,7 +87,8 @@ let stats_json ~sender ~exchange (s : Enforcement.Pipeline.stats) =
     \  \"cache_hit_rate\": %.4f,\n\
     \  \"resilience\": { \"calls\": %d, \"attempts\": %d, \"retries\": %d, \
      \"successes\": %d, \"gave_up\": %d, \"timeouts\": %d, \"trips\": %d, \
-     \"short_circuited\": %d }\n\
+     \"short_circuited\": %d },\n\
+    \  \"min_k\": %s\n\
      }\n"
     (Metrics.json_string (iso8601 (Unix.gettimeofday ())))
     (Metrics.json_string sender)
@@ -93,6 +104,7 @@ let stats_json ~sender ~exchange (s : Enforcement.Pipeline.stats) =
     r.Resilience.calls r.Resilience.attempts r.Resilience.retries
     r.Resilience.successes r.Resilience.gave_up r.Resilience.timeouts
     r.Resilience.trips r.Resilience.short_circuited
+    (min_k_json s.Enforcement.Pipeline.min_k)
 
 (* Lint diagnostics: one line (plus hint) per finding in text mode with
    a trailing severity summary, or the stable JSON report. *)

@@ -150,4 +150,8 @@ let rules =
     ("AXM023", Warning, "invocable function never occurs in a sender document");
     ("AXM030", Error, "call to a function the contract does not declare");
     ("AXM031", Error, "call can never contribute to a valid exchanged document");
+    ( "AXM032",
+      Warning,
+      "declared output can embed invocable calls deeper than the configured \
+       rewriting depth k" );
   ]

@@ -369,6 +369,68 @@ let lint_contract c =
         Option.map (fun r -> (l, r)) (Schema.compiled_element env s0 l))
       (Schema.element_names s0)
   in
+  (* Materialization depth demanded by a function's declared output
+     (AXM032). [Some d]: fully flattening a call to this function needs
+     [d] rewriting levels in the worst case (1 = the output is already
+     extensional); [None]: the embeds-a-call relation is cyclic and no
+     finite budget suffices. Label symbols in an output are expanded
+     through their content models, so a call embedded two elements down
+     still counts. *)
+  let output_depth =
+    let compiled_label l =
+      match Schema.compiled_element env s0 l with
+      | Some r -> Some r
+      | None -> Schema.compiled_element env target l
+    in
+    let embedded_invocables r =
+      let seen = ref Schema.String_set.empty in
+      let funs = ref Schema.String_set.empty in
+      let rec visit r =
+        List.iter
+          (function
+            | Symbol.Fun f ->
+              (match Schema.String_map.find_opt f env.Schema.env_functions with
+               | Some (fn : Schema.func) when fn.Schema.f_invocable ->
+                 funs := Schema.String_set.add f !funs
+               | _ -> ())
+            | Symbol.Label l ->
+              if not (Schema.String_set.mem l !seen) then begin
+                seen := Schema.String_set.add l !seen;
+                Option.iter visit (compiled_label l)
+              end
+            | Symbol.Data -> ())
+          (R.symbols r)
+      in
+      visit r;
+      !funs
+    in
+    let memo = Hashtbl.create 16 in
+    (* A stack hit means a genuine cycle in the embeds relation: every
+       function on (or reaching) it has unbounded depth, so memoizing
+       [None] for them is exact, not an artifact of the traversal. *)
+    let rec depth stack name =
+      match Hashtbl.find_opt memo name with
+      | Some d -> d
+      | None ->
+        let d =
+          if Schema.String_set.mem name stack then None
+          else
+            match Schema.compiled_output env name with
+            | None -> Some 1
+            | Some out ->
+              let stack = Schema.String_set.add name stack in
+              Schema.String_set.fold
+                (fun g acc ->
+                  match (acc, depth stack g) with
+                  | None, _ | _, None -> None
+                  | Some a, Some dg -> Some (max a (1 + dg)))
+                (embedded_invocables out) (Some 1)
+        in
+        Hashtbl.replace memo name d;
+        d
+    in
+    fun name -> depth Schema.String_set.empty name
+  in
   let per_function (name, (fn : Schema.func)) =
     let sym = Symbol.Fun name in
     let in_sender = Auto.Sym_set.mem sym sender_alpha in
@@ -391,6 +453,38 @@ let lint_contract c =
              materialized before the exchange";
         ]
       else []
+    in
+    let depth_gap =
+      if not (fn.Schema.f_invocable && in_sender) then []
+      else
+        let k = Contract.k c in
+        match output_depth name with
+        | Some d when d <= k -> []
+        | verdict ->
+          let message, hint =
+            match verdict with
+            | Some d ->
+              ( Fmt.str
+                  "declared output can embed invocable calls %d level(s) \
+                   deep, but the contract enforces at k=%d: a materialized \
+                   result may still carry calls the receiver will refuse"
+                  (d - 1) k,
+                Fmt.str
+                  "raise the rewriting depth to k=%d, or make the output \
+                   type extensional" d )
+            | None ->
+              ( Fmt.str
+                  "declared output can embed invocable calls at unbounded \
+                   depth (the embeds-a-call relation is cyclic); no finite \
+                   budget (configured k=%d) guarantees extensional results"
+                  k,
+                "break the cycle in the output types, or declare the inner \
+                 functions noninvocable" )
+          in
+          [
+            D.make ~code:"AXM032" ~severity:D.Warning ~hint (D.Function name)
+              message;
+          ]
     in
     let never_safe =
       if not in_sender then []
@@ -468,7 +562,7 @@ let lint_contract c =
                       no rewriting at all");
               ]
     in
-    dead_invocable @ always_materialize @ never_safe
+    dead_invocable @ always_materialize @ depth_gap @ never_safe
   in
   let per_label =
     match s0.Schema.root with

@@ -16,10 +16,15 @@
       (AXM014);
     - {b contract level} ({!lint_contract}): per-function verdicts —
       never-safe (AXM021), always-materialize (AXM022), dead-invocable
-      (AXM023) — and per-label schema-compatibility verdicts through
-      [Schema_rewrite] (AXM020). The word analyses behind AXM021 run
-      through [Contract.is_safe]/[is_possible] and are therefore
-      memoized in the contract's existing analysis cache;
+      (AXM023), output deeper than the rewriting budget (AXM032: the
+      function's declared output can embed invocable calls — expanding
+      element labels through their content models — at a nesting depth
+      exceeding the contract's configured k, so even a successful
+      materialization may return a forest the receiver refuses) — and
+      per-label schema-compatibility verdicts through [Schema_rewrite]
+      (AXM020). The word analyses behind AXM021 run through
+      [Contract.is_safe]/[is_possible] and are therefore memoized in
+      the contract's existing analysis cache;
     - {b document level} ({!lint_document}): calls to undeclared
       functions (AXM030) and calls that can neither remain in nor
       materialize into their context's content model (AXM031).
@@ -49,10 +54,11 @@ val lint_schema :
     predicates when expanding patterns (default: accept everything). *)
 
 val lint_contract : Axml_core.Contract.t -> Diagnostic.t list
-(** The contract-level rules (AXM020–AXM023) for a compiled exchange
-    contract. The schema-compatibility pass (AXM020) needs the sender
-    schema to declare a root; it is skipped (schema lint reports
-    AXM014) otherwise. *)
+(** The contract-level rules (AXM020–AXM023, AXM032) for a compiled
+    exchange contract. The schema-compatibility pass (AXM020) needs the
+    sender schema to declare a root; it is skipped (schema lint reports
+    AXM014) otherwise. AXM032 compares each invocable sender function's
+    output-call depth against the contract's k (see {!Axml_core.Contract.k}). *)
 
 val lint_document :
   Axml_core.Contract.t -> Axml_core.Document.t -> Diagnostic.t list

@@ -55,6 +55,19 @@ let m_jobs =
   Metrics.gauge ~help:"Worker domains used by the most recent batch"
     "axml_pipeline_jobs"
 
+let g_enforce_k =
+  Metrics.gauge ~help:"Configured rewriting depth k of the most recent enforcement"
+    "axml_enforce_k"
+
+(* Registration is idempotent (same name + labels = same child), so
+   the dynamic k label can go straight through [Metrics.counter]; the
+   registry mutex is only taken on this opt-in path. *)
+let m_min_k ~kind ~k =
+  Metrics.counter
+    ~help:"Documents by minimal rewriting depth (capacity planning)"
+    ~labels:[ ("kind", kind); ("k", k) ]
+    "axml_enforce_min_k_total"
+
 (* Wall clock for pipeline accounting: the injectable registry clock
    (defaults to [Unix.gettimeofday]). [Sys.time] would report process
    CPU time — blind to service waits and summed across domains. *)
@@ -82,6 +95,12 @@ type config = {
        precluded individually *)
   executor : executor;
     (* how [Pipeline.enforce_many] runs a batch *)
+  track_min_k : bool;
+    (* per accepted/checked document, also search for the smallest
+       depth at which it would enforce (Rewriter.minimal_k) and surface
+       the distribution in pipeline stats, axml_enforce_min_k_total and
+       trace notes. Off by default: the search costs extra analyses at
+       depths below k (cached, but not free). *)
 }
 
 let default_config = {
@@ -92,6 +111,7 @@ let default_config = {
   resilience = None;
   lint_gate = false;
   executor = Sequential;
+  track_min_k = false;
 }
 
 type action =
@@ -239,7 +259,8 @@ let enforce_steps ~config ~compiled ~(invoker : Execute.invoker)
               List.exists
                 (fun f ->
                   match f.Rewriter.reason with
-                  | Rewriter.Execution_failed _ -> true
+                  | Rewriter.Execution_failed _
+                  | Rewriter.Unrewritable_output _ -> true
                   | _ -> false)
                 fs
             in
@@ -249,6 +270,7 @@ let enforce_steps ~config ~compiled ~(invoker : Execute.invoker)
 
 let enforce_compiled ~config ~compiled ~(invoker : Execute.invoker)
     (doc : Document.t) : (Document.t * report, error) result =
+  Metrics.set g_enforce_k (float_of_int config.k);
   let subject () = subject_of doc in
   let result =
     Trace.with_span "enforce" ~detail:subject @@ fun () ->
@@ -344,6 +366,11 @@ module Pipeline = struct
     mutable p_elapsed : float;
     mutable p_cache_base : Contract.stats;
     mutable p_resilience_base : Resilience.stats;
+    (* minimal-k bookkeeping, populated only when [config.track_min_k] *)
+    p_min_k : (int, int) Hashtbl.t;  (* minimal safe depth -> documents *)
+    mutable p_min_k_unbounded : int;
+      (* documents with no safe depth within [config.k] *)
+    mutable p_min_k_measured : int;
   }
 
   let contract t = Rewriter.contract t.p_compiled.c_rewriter
@@ -377,7 +404,10 @@ module Pipeline = struct
       p_invocations = 0;
       p_elapsed = 0.;
       p_cache_base = Contract.stats (Rewriter.contract compiled.c_rewriter);
-      p_resilience_base = resilience_total config }
+      p_resilience_base = resilience_total config;
+      p_min_k = Hashtbl.create 8;
+      p_min_k_unbounded = 0;
+      p_min_k_measured = 0 }
 
   let create ?(config = default_config) ?predicate ~s0 ~exchange ~invoker () =
     make ~config ~compiled:(compile ?predicate ~config ~s0 ~exchange ()) ~invoker
@@ -388,6 +418,13 @@ module Pipeline = struct
     make ~config
       ~compiled:(compile_of_rewriter (Rewriter.of_contract contract))
       ~invoker
+
+  type min_k_stats = {
+    measured : int;
+    distribution : (int * int) list;
+      (* (minimal safe depth, documents), ascending in depth *)
+    unbounded : int;
+  }
 
   type stats = {
     docs : int;
@@ -404,7 +441,15 @@ module Pipeline = struct
     cache : Contract.stats;
     cache_hit_rate : float;
     resilience : Resilience.stats;
+    min_k : min_k_stats;
   }
+
+  let min_k_snapshot t =
+    { measured = t.p_min_k_measured;
+      unbounded = t.p_min_k_unbounded;
+      distribution =
+        Hashtbl.fold (fun k n acc -> (k, n) :: acc) t.p_min_k []
+        |> List.sort (fun (a, _) (b, _) -> compare a b) }
 
   let stats (t : t) =
     let cache = Contract.diff_stats ~before:t.p_cache_base (cache_total t) in
@@ -424,16 +469,32 @@ module Pipeline = struct
       cache_hit_rate = Contract.hit_rate cache;
       resilience =
         Resilience.diff_stats ~before:t.p_resilience_base
-          (resilience_total t.p_config) }
+          (resilience_total t.p_config);
+      min_k = min_k_snapshot t }
+
+  let pp_min_k ppf m =
+    if m.measured = 0 then Fmt.string ppf "not tracked"
+    else
+      Fmt.pf ppf "%d measured (%a%s)" m.measured
+        Fmt.(
+          list ~sep:(any ", ")
+            (fun ppf (k, n) -> Fmt.pf ppf "k=%d: %d" k n))
+        m.distribution
+        (if m.unbounded > 0 then
+           Fmt.str "%sover budget: %d"
+             (if m.distribution = [] then "" else ", ")
+             m.unbounded
+         else "")
 
   let pp_stats ppf s =
     Fmt.pf ppf
       "%d docs (%d conformed, %d rewritten, %d possible, %d rejected, %d \
        attempt-failed, %d faulted, %d precluded), %d invocations, %.3f s \
-       (%.0f docs/s), cache: %a, resilience: %a"
+       (%.0f docs/s), cache: %a, resilience: %a, min-k: %a"
       s.docs s.conformed s.rewritten s.rewritten_possible s.rejected
       s.attempt_failed s.faults s.precluded s.invocations s.elapsed_s
       s.docs_per_s Contract.pp_stats s.cache Resilience.pp_stats s.resilience
+      pp_min_k s.min_k
 
   let reset_stats (t : t) =
     t.p_docs <- 0;
@@ -447,7 +508,10 @@ module Pipeline = struct
     t.p_invocations <- 0;
     t.p_elapsed <- 0.;
     t.p_cache_base <- cache_total t;
-    t.p_resilience_base <- resilience_total t.p_config
+    t.p_resilience_base <- resilience_total t.p_config;
+    Hashtbl.reset t.p_min_k;
+    t.p_min_k_unbounded <- 0;
+    t.p_min_k_measured <- 0
 
   (* Outcome bookkeeping shared by the sequential and parallel paths.
      Only the main domain tallies: parallel workers hand their results
@@ -472,11 +536,59 @@ module Pipeline = struct
     tally t result;
     result
 
+  (* The minimal-k search (opt-in): how deep does this document
+     actually need the rewriter to go? Every per-word query runs
+     through the k-keyed analysis cache, so a stream of similar
+     documents pays the sub-k analyses once. Main-domain only — the
+     histogram fields are plain mutable state. *)
+  let observe_min_k t doc =
+    if t.p_config.track_min_k then begin
+      let m =
+        Rewriter.minimal_k ~max_k:t.p_config.k (rewriter t) doc
+      in
+      t.p_min_k_measured <- t.p_min_k_measured + 1;
+      let safe_label =
+        match m.Rewriter.safe_k with
+        | Some k ->
+          Hashtbl.replace t.p_min_k k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt t.p_min_k k));
+          string_of_int k
+        | None ->
+          t.p_min_k_unbounded <- t.p_min_k_unbounded + 1;
+          "over-budget"
+      in
+      let possible_label =
+        match m.Rewriter.possible_k with
+        | Some k -> string_of_int k
+        | None -> "over-budget"
+      in
+      Metrics.inc (m_min_k ~kind:"safe" ~k:safe_label);
+      Metrics.inc (m_min_k ~kind:"possible" ~k:possible_label);
+      if Trace.enabled Trace.default then
+        Trace.emit
+          (Note
+             ("min-k " ^ subject_of doc ^ ": safe=" ^ safe_label
+            ^ " possible=" ^ possible_label))
+    end
+
   let enforce t doc =
     let started = wall () in
+    observe_min_k t doc;
     record t started
       (enforce_compiled ~config:t.p_config ~compiled:t.p_compiled
          ~invoker:t.p_invoker doc)
+
+  let diff_min_k ~(before : min_k_stats) (after : min_k_stats) =
+    { measured = after.measured - before.measured;
+      unbounded = after.unbounded - before.unbounded;
+      distribution =
+        List.filter_map
+          (fun (k, n) ->
+            let b =
+              Option.value ~default:0 (List.assoc_opt k before.distribution)
+            in
+            if n - b > 0 then Some (k, n - b) else None)
+          after.distribution }
 
   let diff_batch ~(before : stats) (after : stats) =
     let cache = Contract.diff_stats ~before:before.cache after.cache in
@@ -496,7 +608,8 @@ module Pipeline = struct
       cache;
       cache_hit_rate = Contract.hit_rate cache;
       resilience =
-        Resilience.diff_stats ~before:before.resilience after.resilience }
+        Resilience.diff_stats ~before:before.resilience after.resilience;
+      min_k = diff_min_k ~before:before.min_k after.min_k }
 
   let enforce_many_seq t docs =
     let before = stats t in
@@ -556,12 +669,18 @@ module Pipeline = struct
     worker t.p_compiled ();
     Array.iter Domain.join spawned;
     t.p_elapsed <- t.p_elapsed +. (wall () -. started);
-    (* deterministic in-order assembly: slot [i] belongs to input [i] *)
+    (* deterministic in-order assembly: slot [i] belongs to input [i].
+       Minimal-k observation happens here on the main domain (the
+       shared contract's k-keyed cache answers most of it). *)
     let results =
       Array.to_list
-        (Array.map
-           (function
-             | Some r -> tally t r; r
+        (Array.mapi
+           (fun i r ->
+             match r with
+             | Some r ->
+               observe_min_k t docs.(i);
+               tally t r;
+               r
              | None -> assert false (* every index below [n] was claimed *))
            results)
     in

@@ -40,11 +40,19 @@ type config = {
   executor : executor;
     (** how {!Pipeline.enforce_many} runs a batch (default
         {!Sequential}) *)
+  track_min_k : bool;
+    (** also search, per document, for the smallest rewriting depth at
+        which its static check would pass ({!Axml_core.Rewriter.minimal_k},
+        bounded by [k]) and surface the distribution in
+        {!Pipeline.stats}, the [axml_enforce_min_k_total] metric and
+        trace notes — a capacity-planning signal ("would k=1 have been
+        enough for this traffic?"). Off by default: the search costs
+        extra (cached) analyses at depths below [k]. *)
 }
 
 val default_config : config
 (** [k = 1], lazy engine, no fallback, no eager calls, no resilience
-    guard, no lint gate, sequential executor. *)
+    guard, no lint gate, sequential executor, no min-k tracking. *)
 
 type action =
   | Conformed           (** already an instance, nothing invoked *)
@@ -128,6 +136,15 @@ module Pipeline : sig
   (** The three steps of {!enforce}, against the precompiled artifacts;
       updates the pipeline counters. *)
 
+  type min_k_stats = {
+    measured : int;    (** documents the minimal-k search ran on *)
+    distribution : (int * int) list;
+      (** [(minimal safe depth, documents)] pairs, ascending in depth;
+          depth 0 means the document already conformed statically *)
+    unbounded : int;
+      (** documents with no safe depth within [config.k] *)
+  }
+
   type stats = {
     docs : int;
     conformed : int;
@@ -148,6 +165,9 @@ module Pipeline : sig
     resilience : Axml_services.Resilience.stats;
       (** retry/breaker activity of [config.resilience] over the same
           window (all-zero without a guard) *)
+    min_k : min_k_stats;
+      (** the minimal-k distribution of the window (all-zero unless
+          [config.track_min_k]) *)
   }
 
   val pp_stats : stats Fmt.t

@@ -117,6 +117,7 @@ type config = {
   lint_gate : bool;
   resilience : Axml_services.Resilience.t option;
   jobs : int;
+  track_min_k : bool;
 }
 
 let default_config =
@@ -127,7 +128,8 @@ let default_config =
     eager_calls = e.Enforcement.eager_calls;
     lint_gate = e.Enforcement.lint_gate;
     resilience = e.Enforcement.resilience;
-    jobs = 1 }
+    jobs = 1;
+    track_min_k = e.Enforcement.track_min_k }
 
 let enforcement_of_config (c : config) : Enforcement.config =
   { Enforcement.k = c.k;
@@ -138,7 +140,8 @@ let enforcement_of_config (c : config) : Enforcement.config =
     resilience = c.resilience;
     executor =
       (if c.jobs <= 1 then Enforcement.Sequential
-       else Enforcement.Parallel { jobs = c.jobs }) }
+       else Enforcement.Parallel { jobs = c.jobs });
+    track_min_k = c.track_min_k }
 
 let config_of_enforcement (e : Enforcement.config) : config =
   { k = e.Enforcement.k;
@@ -150,7 +153,8 @@ let config_of_enforcement (e : Enforcement.config) : config =
     jobs =
       (match e.Enforcement.executor with
        | Enforcement.Sequential -> 1
-       | Enforcement.Parallel { jobs } -> jobs) }
+       | Enforcement.Parallel { jobs } -> jobs);
+    track_min_k = e.Enforcement.track_min_k }
 
 let configure t config =
   t.enforcement <- enforcement_of_config config;

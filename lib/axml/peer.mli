@@ -46,11 +46,14 @@ type config = {
       (** retry/timeout/circuit-breaker guard around every invocation *)
   jobs : int;
       (** domains for batch enforcement; [<= 1] means sequential *)
+  track_min_k : bool;
+      (** per-document minimal-k search surfaced in pipeline stats and
+          [axml_enforce_min_k_total] (see [Enforcement.config]) *)
 }
 
 val default_config : config
 (** [k = 1], lazy engine, no fallback, no eager calls, no lint gate, no
-    resilience guard, sequential ([jobs = 1]). *)
+    resilience guard, sequential ([jobs = 1]), no min-k tracking. *)
 
 val configure : t -> config -> unit
 (** Replace the peer's configuration and invalidate every compiled

@@ -49,15 +49,18 @@ let h_possible = h_analysis "possible"
 
 type engine = Eager | Lazy
 
-(* Analyses are memoized by (content-model regex, word). Regexes are
-   pure symbol trees, so structural equality is exact; [Hashtbl.hash]
-   only inspects a bounded prefix of the structure, which is fine —
-   collisions fall back to full structural equality. *)
+(* Analyses are memoized by (content-model regex, word, depth): the
+   same word can be unsafe at k=1 and safe at k=2, so verdicts at
+   different depths must never alias. Regexes are pure symbol trees,
+   so structural equality is exact; [Hashtbl.hash] only inspects a
+   bounded prefix of the structure, which is fine — collisions fall
+   back to full structural equality. *)
 module Key = struct
-  type t = Symbol.t R.t * Symbol.t list
+  type t = Symbol.t R.t * Symbol.t list * int
 
-  let equal (r1, w1) (r2, w2) =
-    (try List.for_all2 Symbol.equal w1 w2 with Invalid_argument _ -> false)
+  let equal (r1, w1, k1) (r2, w2, k2) =
+    k1 = k2
+    && (try List.for_all2 Symbol.equal w1 w2 with Invalid_argument _ -> false)
     && R.equal Symbol.equal r1 r2
 
   let hash = Hashtbl.hash
@@ -163,8 +166,9 @@ let context_regex t = function
 (* The analysis cache                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let product t ~target_regex word =
-  let fork = Fork_automaton.build ~env:t.env ~k:t.k word in
+let product ?k t ~target_regex word =
+  let k = Option.value k ~default:t.k in
+  let fork = Fork_automaton.build ~env:t.env ~k word in
   let nfa = Auto.Nfa.glushkov target_regex in
   Product.create ~fork ~target:nfa
 
@@ -172,8 +176,8 @@ let product t ~target_regex word =
    entry creation, and leave only through eviction or [clear]), so the
    queue front is always the oldest resident entry. Caller holds
    [t.lock]. *)
-let entry t ~target_regex word =
-  let key = (target_regex, word) in
+let entry t ~target_regex ~k word =
+  let key = (target_regex, word, k) in
   match Tbl.find_opt t.cache key with
   | Some e -> e
   | None ->
@@ -193,9 +197,10 @@ let entry t ~target_regex word =
    the counters exact (each (word, kind) is computed at most once
    process-wide), which the qcheck reference model relies on. Parallel
    pipelines avoid the contention entirely by running on [clone]s. *)
-let safe_analysis t ~target_regex word =
+let safe_analysis ?k t ~target_regex word =
+  let k = Option.value k ~default:t.k in
   Mutex.protect t.lock @@ fun () ->
-  let e = entry t ~target_regex word in
+  let e = entry t ~target_regex ~k word in
   match e.e_safe with
   | Some a ->
     t.hits <- t.hits + 1;
@@ -208,7 +213,7 @@ let safe_analysis t ~target_regex word =
     Trace.emit (Cache_query { cache = "safe"; hit = false });
     let a =
       Metrics.time h_safe (fun () ->
-          let p = product t ~target_regex word in
+          let p = product ~k t ~target_regex word in
           match t.engine with
           | Eager -> Marking.analyze_eager p
           | Lazy -> Marking.analyze_lazy p)
@@ -216,9 +221,10 @@ let safe_analysis t ~target_regex word =
     e.e_safe <- Some a;
     a
 
-let possible_analysis t ~target_regex word =
+let possible_analysis ?k t ~target_regex word =
+  let k = Option.value k ~default:t.k in
   Mutex.protect t.lock @@ fun () ->
-  let e = entry t ~target_regex word in
+  let e = entry t ~target_regex ~k word in
   match e.e_possible with
   | Some a ->
     t.hits <- t.hits + 1;
@@ -231,15 +237,16 @@ let possible_analysis t ~target_regex word =
     Trace.emit (Cache_query { cache = "possible"; hit = false });
     let a =
       Metrics.time h_possible (fun () ->
-          Possible.analyze (product t ~target_regex word))
+          Possible.analyze (product ~k t ~target_regex word))
     in
     e.e_possible <- Some a;
     a
 
-let is_safe t ~target_regex word = (safe_analysis t ~target_regex word).Marking.safe
+let is_safe ?k t ~target_regex word =
+  (safe_analysis ?k t ~target_regex word).Marking.safe
 
-let is_possible t ~target_regex word =
-  (possible_analysis t ~target_regex word).Possible.possible
+let is_possible ?k t ~target_regex word =
+  (possible_analysis ?k t ~target_regex word).Possible.possible
 
 (* ------------------------------------------------------------------ *)
 (* Verdicts                                                            *)
@@ -252,13 +259,42 @@ let pp_verdict ppf = function
   | Possible_only -> Fmt.string ppf "possible (not safe)"
   | Impossible -> Fmt.string ppf "impossible"
 
-let analyze t ~context word =
+let analyze ?k t ~context word =
   match context_regex t context with
   | None -> raise (Unknown_context context)
   | Some target_regex ->
-    if is_safe t ~target_regex word then Safe
-    else if is_possible t ~target_regex word then Possible_only
+    if is_safe ?k t ~target_regex word then Safe
+    else if is_possible ?k t ~target_regex word then Possible_only
     else Impossible
+
+(* ------------------------------------------------------------------ *)
+(* Minimal-k search                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type minimal = { safe_at : int option; possible_at : int option }
+
+(* Player options only grow with the depth (A_w^{k+1} contains every
+   strategy of A_w^k; the adversary's choices are fixed by the output
+   types), so safety and possibility are monotone in k and the first
+   depth that answers "yes" is the minimum. k=0 is a legal start: the
+   fork automaton degenerates to the linear word automaton, so
+   [safe_at = Some 0] means the word already conforms extensionally. *)
+let minimal_k ?max_k t ~target_regex word =
+  let max_k = match max_k with Some m -> max 0 m | None -> t.k in
+  let rec find pred k =
+    if k > max_k then None
+    else if pred k then Some k
+    else find pred (k + 1)
+  in
+  let possible_at = find (fun k -> is_possible ~k t ~target_regex word) 0 in
+  let safe_at =
+    (* Safe implies possible, so the safe search can start where the
+       possible one succeeded — and is hopeless if nothing is possible. *)
+    match possible_at with
+    | None -> None
+    | Some p -> find (fun k -> is_safe ~k t ~target_regex word) p
+  in
+  { safe_at; possible_at }
 
 (* ------------------------------------------------------------------ *)
 (* Cache accounting                                                    *)

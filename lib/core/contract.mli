@@ -105,36 +105,41 @@ val context_regex :
 
 (** {1 Cached analyses}
 
-    Keyed by [(content-model regex, word)]: two contexts sharing a
-    content model share their analyses. The returned analyses carry the
-    winning strategy; they are safe to hand to {!Execute.run} (the
-    underlying product is extended on demand, never invalidated). *)
+    Keyed by [(content-model regex, word, k)]: two contexts sharing a
+    content model share their analyses, and verdicts computed at
+    different rewriting depths never alias. Every analysis entry point
+    takes an optional [?k] overriding the contract's configured depth
+    for that one query (used by the depth-threading rewriter and by
+    {!minimal_k}); omitted, the contract's [k] applies. The returned
+    analyses carry the winning strategy; they are safe to hand to
+    {!Execute.run} (the underlying product is extended on demand,
+    never invalidated). *)
 
 val product :
-  t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
+  ?k:int -> t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
   Axml_schema.Symbol.t list -> Product.t
 (** A fresh (uncached) product of A_w^k with the target automaton. *)
 
 val safe_analysis :
-  t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
+  ?k:int -> t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
   Axml_schema.Symbol.t list -> Marking.t
 (** The marking game of Figure 3 for [word] against [target_regex],
     memoized. *)
 
 val possible_analysis :
-  t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
+  ?k:int -> t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
   Axml_schema.Symbol.t list -> Possible.t
 (** The reachability analysis of Figure 9, memoized. *)
 
 val is_safe :
-  t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
+  ?k:int -> t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
   Axml_schema.Symbol.t list -> bool
 (** [is_safe c ~target_regex w]: does a safe rewriting of [w] into the
     target language exist? The verdict of {!safe_analysis}, cached
     alike. *)
 
 val is_possible :
-  t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
+  ?k:int -> t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
   Axml_schema.Symbol.t list -> bool
 (** [is_possible c ~target_regex w]: can {e some} run of a rewriting
     of [w] land in the target language? The verdict of
@@ -150,10 +155,37 @@ type verdict =
 val pp_verdict : verdict Fmt.t
 (** Renders [safe] / [possible (not safe)] / [impossible]. *)
 
-val analyze : t -> context:context -> Axml_schema.Symbol.t list -> verdict
-(** One-stop entry point: analyze a children word in its context.
+val analyze :
+  ?k:int -> t -> context:context -> Axml_schema.Symbol.t list -> verdict
+(** One-stop entry point: analyze a children word in its context at
+    depth [?k] (the contract's configured depth when omitted).
     @raise Unknown_context when the context is not part of the
     contract. *)
+
+(** {1 Minimal-k search} *)
+
+type minimal = {
+  safe_at : int option;
+      (** smallest depth at which the word is safe; [None] if not safe
+          even at the search bound *)
+  possible_at : int option;
+      (** smallest depth at which the word is possible; [None] if not
+          possible even at the search bound *)
+}
+
+val minimal_k :
+  ?max_k:int -> t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
+  Axml_schema.Symbol.t list -> minimal
+(** The smallest rewriting depth at which [word] becomes safe
+    (resp. possible), searched linearly from [k = 0] up to [max_k]
+    (default: the contract's configured depth). Soundness of the
+    linear search rests on monotonicity: the player's options only
+    grow with k while the adversary's are fixed, so a word safe at k
+    is safe at every k' ≥ k (possibility likewise — qcheck-verified in
+    the test suite). [safe_at = Some 0] means the word already
+    conforms without any materialization; every answer is served
+    through the (k-keyed) analysis cache, so the search piggybacks on
+    enforcement's own queries. *)
 
 (** {1 Cache accounting} *)
 

@@ -52,6 +52,15 @@ let m_runs outcome =
 let m_runs_ok = m_runs "ok"
 let m_runs_failed = m_runs "failed"
 
+let m_reenforce result =
+  Metrics.counter
+    ~help:"Returned forests re-enforced against the remaining depth budget"
+    ~labels:[ ("result", result) ]
+    "axml_execute_reenforcements_total"
+
+let m_reenforce_ok = m_reenforce "ok"
+let m_reenforce_refused = m_reenforce "refused"
+
 type invoker = string -> Document.forest -> Document.forest
 
 exception Invocation_failed of { fname : string; attempts : int; cause : exn }
@@ -68,6 +77,7 @@ type strategy =
 
 type failure =
   | Ill_typed_output of invocation
+  | Unrewritable_output of invocation
   | Service_error of { fname : string; attempts : int; cause : exn }
   | No_possible_path
   | Invariant_violation of string
@@ -75,6 +85,11 @@ type failure =
 let pp_failure ppf = function
   | Ill_typed_output inv ->
     Fmt.pf ppf "service %s returned a value outside its declared output type"
+      inv.inv_name
+  | Unrewritable_output inv ->
+    Fmt.pf ppf
+      "service %s returned a value that cannot be rewritten into the target \
+       within the remaining depth budget"
       inv.inv_name
   | Service_error { fname; attempts; cause } ->
     Fmt.pf ppf "service %s failed after %d attempt(s): %s" fname attempts
@@ -107,14 +122,24 @@ let good_of = function
 
    [validate fname forest] decides whether [forest] is an output
    instance of [fname]'s declared type; it is only consulted post
-   mortem, to identify the offending invocation of a failed SAFE walk. *)
-let run ?plan ?(fee = fun _ -> 0.) ?validate strategy invoker
+   mortem, to identify the offending invocation of a failed SAFE walk.
+
+   [reenforce fname returned] rewrites a service's raw return value
+   against the remaining depth budget (the k-bounded game needs results
+   of round-r invocations to themselves land in the target within k-r
+   further rounds). [Some enforced] replaces the raw forest in the
+   walk; [None] means the result cannot be rewritten — the fork option
+   is treated as unavailable and the walk backtracks, exactly like a
+   downed service. Without [reenforce] results are spliced as returned
+   (the paper's footnote-5 behaviour, correct only at k = 1). *)
+let run ?plan ?(fee = fun _ -> 0.) ?validate ?reenforce strategy invoker
     (items : Document.forest) : (outcome, failure) result =
   let p = product_of strategy in
   let good = good_of strategy in
   let fork = Product.fork p in
   let invocations = ref [] in
   let service_error = ref None in
+  let reenforce_refused = ref None in
   let cache : (int, ((int * Document.t) list, unit) result) Hashtbl.t =
     Hashtbl.create 8
   in
@@ -137,14 +162,41 @@ let run ?plan ?(fee = fun _ -> 0.) ?validate strategy invoker
     | None ->
       let r =
         match invoker fname params with
-        | returned ->
+        | returned -> (
           invocations :=
             { inv_name = fname; inv_params = params; inv_result = returned }
             :: !invocations;
           Metrics.inc m_invoke_ok;
           if Trace.enabled Trace.default then
             Trace.emit (Invocation { fname; attempts = 0; ok = true });
-          Ok (wrap returned)
+          match reenforce with
+          | None -> Ok (wrap returned)
+          | Some re -> (
+            (* The raw invocation is already recorded above — the
+               re-enforcement verdict only decides whether this fork
+               option stays on the table. *)
+            match re fname returned with
+            | Some enforced ->
+              Metrics.inc m_reenforce_ok;
+              Ok (wrap enforced)
+            | None ->
+              Metrics.inc m_reenforce_refused;
+              if !reenforce_refused = None then
+                reenforce_refused :=
+                  Some
+                    (Unrewritable_output
+                       { inv_name = fname; inv_params = params;
+                         inv_result = returned });
+              Error ()
+            | exception ((Stack_overflow | Out_of_memory) as fatal) ->
+              raise fatal
+            | exception cause ->
+              (* A genuine fault inside nested materialization: classify
+                 like any service failure so blame lands on a service,
+                 not on the verdict. *)
+              record_error fname 1 cause;
+              Metrics.inc m_invoke_error;
+              Error ()))
         | exception Invocation_failed { fname; attempts; cause } ->
           record_error fname attempts cause;
           Metrics.inc m_invoke_error;
@@ -285,6 +337,9 @@ let run ?plan ?(fee = fun _ -> 0.) ?validate strategy invoker
       (match !service_error with
        | Some f -> f  (* no surviving path once the broken calls are out *)
        | None ->
+         match !reenforce_refused with
+         | Some f -> f  (* a result no remaining budget could rewrite *)
+         | None ->
          match strategy with
          | Follow_possible _ -> No_possible_path
          | Follow_safe _ ->

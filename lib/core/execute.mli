@@ -44,6 +44,11 @@ type failure =
       (** a service broke its WSDL contract during a safe execution; the
           invocation is the one whose cached result fails validation
           against its declared output type *)
+  | Unrewritable_output of invocation
+      (** a service's (well-typed) result could not be rewritten into
+          the target within the remaining depth budget, and no
+          surviving path avoids the call — only possible when [run] is
+          given [?reenforce] *)
   | Service_error of { fname : string; attempts : int; cause : exn }
       (** a service call raised and no surviving path avoids it *)
   | No_possible_path
@@ -62,6 +67,7 @@ type outcome = {
 val run :
   ?plan:(int -> float) -> ?fee:(string -> float) ->
   ?validate:(string -> Document.forest -> bool) ->
+  ?reenforce:(string -> Document.forest -> Document.forest option) ->
   strategy -> invoker -> Document.forest -> (outcome, failure) result
 (** [Error No_possible_path] means a possible-rewriting attempt failed
     at run time (it cannot happen in safe mode with honest services —
@@ -78,4 +84,15 @@ val run :
     instance of [fname]'s declared type (e.g. via
     [Validate.output_instance]); it is consulted only post mortem to
     name the offender of a failed SAFE walk. Without it the most recent
-    invocation is blamed. *)
+    invocation is blamed.
+
+    [reenforce fname returned] rewrites a raw service return against
+    the remaining rewriting-depth budget (k-bounded enforcement: a
+    round-r result must itself land in the target within k−r further
+    rounds). [Some enforced] is spliced into the walk in place of the
+    raw forest; [None] marks the fork option unavailable — the walk
+    backtracks, and if no path survives the failure is
+    {!Unrewritable_output} naming the first refused invocation. An
+    exception from [reenforce] is classified like a service failure.
+    Without [reenforce], results are spliced as returned (footnote-5
+    behaviour, correct only at depth 1). *)

@@ -15,9 +15,18 @@
    node's interior — parameter subtrees included — before rewriting its
    children word, which yields exactly the paper's deepest-first order),
    and every node's children word is rewritten against the content model
-   of its type; forests returned by invoked services are spliced in as-is
-   (footnote 5: since s0 and the exchange schema agree on function
-   signatures, returned data needs no further rewriting). *)
+   of its type.
+
+   Depth bookkeeping (Definition 7): the walk carries the remaining
+   rewriting budget. The top of the document is enforced at the
+   contract's k; a forest returned by a round-r invocation is
+   re-enforced at depth k-r via [Execute.run]'s [reenforce] hook —
+   its nodes' children words must themselves land in the target within
+   the remaining rounds. At depth 1 returned forests are spliced in
+   as-is (footnote 5: since s0 and the exchange schema agree on
+   function signatures, returned data needs no further *word-level*
+   rewriting — but its children may still embed calls the target
+   forbids, which is exactly the k=1 enforcement gap k>1 closes). *)
 
 module R = Axml_regex.Regex
 module Schema = Axml_schema.Schema
@@ -78,6 +87,7 @@ type reason =
   | Impossible_word of { context : string; word : Symbol.t list }
   | Root_mismatch of { expected : string; found : string }
   | Execution_failed of { context : string }
+  | Unrewritable_output of { context : string; fname : string }
   | Ill_typed_service of { context : string; fname : string }
   | Service_failure of
       { context : string; fname : string; attempts : int; message : string }
@@ -100,6 +110,11 @@ let pp_reason ppf = function
     Fmt.pf ppf "root is <%s> but the exchange schema requires <%s>" found expected
   | Execution_failed { context } ->
     Fmt.pf ppf "a possible rewriting of the children of %s failed at run time" context
+  | Unrewritable_output { context; fname } ->
+    Fmt.pf ppf
+      "service %s (invoked while rewriting the children of %s) returned data \
+       that cannot be rewritten within the remaining depth budget"
+      fname context
   | Ill_typed_service { context; fname } ->
     Fmt.pf ppf
       "service %s broke its output contract while rewriting the children of %s"
@@ -126,7 +141,7 @@ let reason_is_fault = function
   | Ill_typed_service _ | Service_failure _ | Invariant_failure _
   | Invalid_root_forest _ -> true
   | Unknown_element _ | Unknown_function _ | Unsafe_word _ | Impossible_word _
-  | Root_mismatch _ | Execution_failed _ -> false
+  | Root_mismatch _ | Execution_failed _ | Unrewritable_output _ -> false
 
 let failure_is_fault f = reason_is_fault f.reason
 
@@ -142,7 +157,7 @@ let root_failures t doc =
 
 (* Static check: no invocation happens; every node's children word is
    analyzed against its type. Returns the failures ([] = verdict holds). *)
-let collect_failures mode t (doc : Document.t) : failure list =
+let collect_failures ?k mode t (doc : Document.t) : failure list =
   let acc = ref [] in
   let push at reason = acc := { at; reason } :: !acc in
   let rec visit path (node : Document.t) =
@@ -161,10 +176,10 @@ let collect_failures mode t (doc : Document.t) : failure list =
     let word = Document.word forest in
     match mode with
     | Safe ->
-      if not (word_is_safe t ~target_regex:regex word) then
+      if not (Contract.is_safe ?k t.contract ~target_regex:regex word) then
         push (List.rev path) (Unsafe_word { context; word })
     | Possible_mode ->
-      if not (word_is_possible t ~target_regex:regex word) then
+      if not (Contract.is_possible ?k t.contract ~target_regex:regex word) then
         push (List.rev path) (Impossible_word { context; word })
   in
   visit [] doc;
@@ -178,51 +193,86 @@ type located_invocation = { at : Document.path; invocation : Execute.invocation 
 
 exception Failed of failure
 
+let () =
+  Printexc.register_printer (function
+    | Failed f -> Some (Fmt.str "Axml_core.Rewriter.Failed (%a)" pp_failure f)
+    | _ -> None)
+
 (* Materialize [doc] so that it conforms to the exchange schema,
    invoking services through [invoker]. In [Safe] mode the rewriting is
    guaranteed (exception [Failed] means the document is not safely
    rewritable; [Execute.Ill_typed_output] means a service broke its
    WSDL contract). In [Possible_mode] a run-time failure surfaces as
-   [Failed { reason = Execution_failed _; _ }]. *)
-let materialize ?(mode = Safe) t ~(invoker : Execute.invoker) (doc : Document.t) :
+   [Failed { reason = Execution_failed _; _ }].
+
+   [depth] is the remaining rewriting budget: the top of the document
+   runs at the contract's k (or the caller's [?k]); every forest a
+   service returns is re-enforced at [depth - 1] through [Execute]'s
+   [reenforce] hook, so a round-r result must land in the target within
+   the k-r rounds that remain. At depth <= 1 returned forests are
+   spliced as-is (footnote 5). *)
+let materialize ?(mode = Safe) ?k t ~(invoker : Execute.invoker) (doc : Document.t) :
     (Document.t * located_invocation list, failure list) result =
+  let top_k = max 0 (Option.value k ~default:(Contract.k t.contract)) in
   match root_failures t doc with
   | _ :: _ as fs -> Error fs
   | [] ->
   let invocations = ref [] in
-  let rec interior path (node : Document.t) : Document.t =
+  let rec interior depth path (node : Document.t) : Document.t =
     match node with
     | Document.Data v -> Document.Data v
     | Document.Elem { label; children } ->
       (match element_regex t label with
        | None -> raise (Failed { at = List.rev path; reason = Unknown_element label })
        | Some regex ->
-         Document.elem label (forest path ("<" ^ label ^ ">") regex children))
+         Document.elem label
+           (forest depth path ("<" ^ label ^ ">") regex children))
     | Document.Call { name; params } ->
       (match input_regex t name with
        | None -> raise (Failed { at = List.rev path; reason = Unknown_function name })
        | Some regex ->
-         Document.call name (forest path (name ^ "()") regex params))
-  and forest path context regex (children : Document.forest) : Document.forest =
+         Document.call name (forest depth path (name ^ "()") regex params))
+  and forest depth path context regex (children : Document.forest) :
+      Document.forest =
     (* deepest-first: materialize interiors (and hence parameters of
        function children) before rewriting this children word *)
-    let children = List.mapi (fun i c -> interior (i :: path) c) children in
+    let children = List.mapi (fun i c -> interior depth (i :: path) c) children in
     let word = Document.word children in
     let strategy =
       match mode with
       | Safe ->
-        let analysis = word_safe_analysis t ~target_regex:regex word in
+        let analysis =
+          Contract.safe_analysis ~k:depth t.contract ~target_regex:regex word
+        in
         if not analysis.Marking.safe then
           raise (Failed { at = List.rev path; reason = Unsafe_word { context; word } });
         Execute.Follow_safe analysis
       | Possible_mode ->
-        let analysis = word_possible_analysis t ~target_regex:regex word in
+        let analysis =
+          Contract.possible_analysis ~k:depth t.contract ~target_regex:regex word
+        in
         if not analysis.Possible.possible then
           raise
             (Failed { at = List.rev path; reason = Impossible_word { context; word } });
         Execute.Follow_possible analysis
     in
-    match Execute.run ~validate:(output_ok t) strategy invoker children with
+    (* The k-bounded hook: rewrite each returned node against the
+       remaining budget. A non-fault [Failed] from the nested walk is
+       the verdict "this result cannot be rewritten" — reported as
+       [None] so the outer walk treats the option as unavailable and
+       backtracks. Faults re-raise and come back as service errors. *)
+    let reenforce =
+      if depth <= 1 then None
+      else
+        Some
+          (fun _fname returned ->
+            match
+              List.mapi (fun i d -> interior (depth - 1) (i :: path) d) returned
+            with
+            | enforced -> Some enforced
+            | exception Failed f when not (failure_is_fault f) -> None)
+    in
+    match Execute.run ~validate:(output_ok t) ?reenforce strategy invoker children with
     | Ok outcome ->
       List.iter
         (fun inv ->
@@ -236,6 +286,8 @@ let materialize ?(mode = Safe) t ~(invoker : Execute.invoker) (doc : Document.t)
         | Execute.No_possible_path -> Execution_failed { context }
         | Execute.Ill_typed_output inv ->
           Ill_typed_service { context; fname = inv.Execute.inv_name }
+        | Execute.Unrewritable_output inv ->
+          Unrewritable_output { context; fname = inv.Execute.inv_name }
         | Execute.Service_error { fname; attempts; cause } ->
           Service_failure
             { context; fname; attempts; message = Printexc.to_string cause }
@@ -244,7 +296,7 @@ let materialize ?(mode = Safe) t ~(invoker : Execute.invoker) (doc : Document.t)
       in
       raise (Failed { at; reason })
   in
-  match interior [] doc with
+  match interior top_k [] doc with
   | doc' -> Ok (doc', List.rev !invocations)
   | exception Failed f -> Error [ f ]
 
@@ -312,11 +364,11 @@ let pre_materialize t ~eager_calls ~(invoker : Execute.invoker) doc :
     Error { at = []; reason = Invalid_root_forest { width = List.length forest } }
   | exception Failed f -> Error f
 
-let materialize_mixed t ~eager_calls ~invoker doc =
+let materialize_mixed ?k t ~eager_calls ~invoker doc =
   match pre_materialize t ~eager_calls ~invoker doc with
   | Error f -> Error [ f ]
   | Ok (doc', pre) ->
-    (match materialize ~mode:Safe t ~invoker doc' with
+    (match materialize ~mode:Safe ?k t ~invoker doc' with
      | Ok (doc'', invs) -> Ok (doc'', pre @ invs)
      | Error fs -> Error fs)
 
@@ -354,18 +406,18 @@ let m_checks_table =
     (fun mode -> List.map (fun ok -> ((mode, ok), m_checks mode ok)) [ true; false ])
     [ "safe"; "possible"; "mixed" ]
 
-let check ?(mode = Check_safe) t doc =
+let check ?(mode = Check_safe) ?k t doc =
   let mode_name = check_mode_name mode in
   Axml_obs.Trace.with_span "rewriter.check" ~detail:(fun () -> mode_name)
   @@ fun () ->
   let before = Contract.stats t.contract in
   let failures =
     match mode with
-    | Check_safe -> collect_failures Safe t doc
-    | Check_possible -> collect_failures Possible_mode t doc
+    | Check_safe -> collect_failures ?k Safe t doc
+    | Check_possible -> collect_failures ?k Possible_mode t doc
     | Check_mixed { eager_calls; invoker } ->
       (match pre_materialize t ~eager_calls ~invoker doc with
-       | Ok (doc', _pre) -> collect_failures Safe t doc'
+       | Ok (doc', _pre) -> collect_failures ?k Safe t doc'
        | Error f -> [ f ])
   in
   let ok = failures = [] in
@@ -383,3 +435,53 @@ let check_mixed t ~eager_calls ~invoker doc =
 
 let is_safe t doc = (check ~mode:Check_safe t doc).ok
 let is_possible t doc = (check ~mode:Check_possible t doc).ok
+
+(* ------------------------------------------------------------------ *)
+(* Document-level minimal-k                                            *)
+(* ------------------------------------------------------------------ *)
+
+type doc_minimal = { safe_k : int option; possible_k : int option }
+
+exception Hopeless
+
+(* The static safe-at-k verdict requires *every* children word safe at
+   k, so the document's minimum is the max over its words' minima
+   (monotonicity makes the per-word minima well-defined). Unknown
+   labels/functions and a root mismatch can never become rewritable at
+   any depth, so they answer None/None. Every per-word query goes
+   through the k-keyed analysis cache. *)
+let minimal_k ?max_k t (doc : Document.t) =
+  if root_failures t doc <> [] then { safe_k = None; possible_k = None }
+  else begin
+    let safe_k = ref (Some 0) and possible_k = ref (Some 0) in
+    let join cell v =
+      match (!cell, v) with
+      | Some a, Some b -> cell := Some (max a b)
+      | (None | Some _), None -> cell := None
+      | None, Some _ -> ()
+    in
+    let rec visit (node : Document.t) =
+      (match node with
+       | Document.Data _ -> ()
+       | Document.Elem { label; children } ->
+         (match element_regex t label with
+          | None -> raise Hopeless
+          | Some regex -> word regex children)
+       | Document.Call { name; params } ->
+         (match input_regex t name with
+          | None -> raise Hopeless
+          | Some regex -> word regex params));
+      List.iter visit (Document.children node)
+    and word regex forest =
+      let m =
+        Contract.minimal_k ?max_k t.contract ~target_regex:regex
+          (Document.word forest)
+      in
+      join safe_k m.Contract.safe_at;
+      join possible_k m.Contract.possible_at;
+      if !safe_k = None && !possible_k = None then raise Hopeless
+    in
+    match visit doc with
+    | () -> { safe_k = !safe_k; possible_k = !possible_k }
+    | exception Hopeless -> { safe_k = None; possible_k = None }
+  end

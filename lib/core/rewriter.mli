@@ -13,8 +13,11 @@
     The tree algorithm follows Section 4: parameters of function nodes
     are rewritten against their [tau_in] before the function may fire
     (deepest first); every node's children word is rewritten against the
-    content model of its type; forests returned by invoked services are
-    spliced in as-is (footnote 5). *)
+    content model of its type. Materialization carries the remaining
+    rewriting budget (Definition 7): the top of the document runs at the
+    contract's k, and a forest returned by a round-r invocation is
+    re-enforced at depth k-r — at depth 1 returned forests are spliced
+    in as-is (footnote 5). *)
 
 type engine = Contract.engine =
   | Eager  (** the literal algorithm of Figure 3 *)
@@ -84,6 +87,10 @@ type reason =
   | Root_mismatch of { expected : string; found : string }
   | Execution_failed of { context : string }
       (** a possible rewriting died on the actual answers *)
+  | Unrewritable_output of { context : string; fname : string }
+      (** a service's (well-typed) result could not be rewritten into
+          the target within the remaining depth budget — a genuine
+          k-bounded verdict, not a fault; raising k may clear it *)
   | Ill_typed_service of { context : string; fname : string }
       (** a service broke its declared output type (the offender is
           identified by re-validating cached results, see
@@ -135,9 +142,11 @@ type check_report = {
                                  (deltas; [entries] is absolute) *)
 }
 
-val check : ?mode:check_mode -> t -> Document.t -> check_report
+val check : ?mode:check_mode -> ?k:int -> t -> Document.t -> check_report
 (** Static check, no invocation (except the eager calls of
-    [Check_mixed]). Default mode is [Check_safe]. *)
+    [Check_mixed]). Default mode is [Check_safe]; [?k] overrides the
+    contract's rewriting depth for this one check (verdicts at
+    different depths are cached separately and never alias). *)
 
 (** {2 Deprecated shims}
 
@@ -162,13 +171,39 @@ type located_invocation = { at : Document.path; invocation : Execute.invocation 
 exception Failed of failure
 
 val materialize :
-  ?mode:mode -> t -> invoker:Execute.invoker -> Document.t ->
+  ?mode:mode -> ?k:int -> t -> invoker:Execute.invoker -> Document.t ->
   (Document.t * located_invocation list, failure list) result
 (** In [Safe] mode success is guaranteed once the check passes and the
     services behave; service misbehaviour surfaces as a typed fault
     ([Ill_typed_service] / [Service_failure], see {!failure_is_fault})
     instead of an exception. In [Possible_mode] a run-time failure
-    surfaces as [Execution_failed]. *)
+    surfaces as [Execution_failed].
+
+    [?k] overrides the contract's rewriting depth. At depth > 1 every
+    returned forest is re-enforced against the remaining budget
+    (depth − 1) before being spliced in; a result no budget can
+    rewrite makes the walk backtrack, and if no path survives the
+    failure is [Unrewritable_output]. At depth 1 results are spliced
+    as returned (footnote 5). *)
+
+(** {1 Document-level minimal-k} *)
+
+type doc_minimal = {
+  safe_k : int option;
+      (** smallest k at which every children word checks safe *)
+  possible_k : int option;
+      (** smallest k at which every children word checks possible *)
+}
+
+val minimal_k : ?max_k:int -> t -> Document.t -> doc_minimal
+(** The smallest rewriting depth at which the {e static} check of the
+    whole document passes, i.e. the max over its words' per-word
+    minima ({!Contract.minimal_k}); [None] when some word stays
+    unsafe/impossible even at [max_k] (default: the contract's k), or
+    when the document mentions unknown labels/functions or the wrong
+    root — those no depth can fix. A capacity-planning signal: it is
+    what the pipeline surfaces as min-k stats and
+    [axml_enforce_min_k_total]. *)
 
 (** {1 The mixed approach (Section 5)} *)
 
@@ -183,6 +218,6 @@ val pre_materialize :
     root call expands to a non-singleton forest) instead of escaping. *)
 
 val materialize_mixed :
-  t -> eager_calls:(string -> bool) -> invoker:Execute.invoker ->
+  ?k:int -> t -> eager_calls:(string -> bool) -> invoker:Execute.invoker ->
   Document.t ->
   (Document.t * located_invocation list, failure list) result

@@ -18,9 +18,10 @@ type t = {
   oc : out_channel;
   lock : Mutex.t;
   mutable closed : bool;
-  (* Agreement ids by exchange schema value (physical equality, like the
-     peer's own artifact caches): one [Open_exchange] per agreement. *)
-  mutable agreements : (Axml_schema.Schema.t * int) list;
+  (* Agreement ids by exchange schema value and depth. Structural
+     equality: a re-parsed or re-built schema equal to a cached one
+     reuses its agreement instead of leaking a new id per send. *)
+  mutable agreements : (Axml_schema.Schema.t * int * int) list;
 }
 
 let connect ?(host = "127.0.0.1") ~port () =
@@ -62,24 +63,32 @@ let ping t =
   | Wire.Error { code; reason } -> fail "ping refused (%s): %s" code reason
   | r -> fail "unexpected ping response: %a" Wire.pp_response r
 
-(* The agreement id for an exchange schema value, opening it on first
-   use. Guarded by the rpc lock's owner thread only through [rpc], so a
-   plain mutable list with its own small critical sections suffices. *)
-let agreement t exchange =
+let forget_agreement t id =
+  Mutex.lock t.lock;
+  t.agreements <- List.filter (fun (_, _, i) -> i <> id) t.agreements;
+  Mutex.unlock t.lock
+
+(* The agreement id for an exchange schema value at depth [k], opening
+   it on first use. Guarded by the rpc lock's owner thread only through
+   [rpc], so a plain mutable list with its own small critical sections
+   suffices. *)
+let agreement t ~k exchange =
   let found =
     Mutex.lock t.lock;
-    let r = List.find_opt (fun (s, _) -> s == exchange) t.agreements in
+    let r =
+      List.find_opt (fun (s, sk, _) -> sk = k && s = exchange) t.agreements
+    in
     Mutex.unlock t.lock;
     r
   in
   match found with
-  | Some (_, id) -> id
+  | Some (_, _, id) -> id
   | None ->
     let schema_xml = Axml_peer.Xml_schema_int.to_string exchange in
-    (match rpc t (Wire.Open_exchange { schema_xml }) with
-     | Wire.Exchange_opened { id } ->
+    (match rpc t (Wire.Open_exchange { schema_xml; k }) with
+     | Wire.Exchange_opened { id; k = _ } ->
        Mutex.lock t.lock;
-       t.agreements <- (exchange, id) :: t.agreements;
+       t.agreements <- (exchange, k, id) :: t.agreements;
        Mutex.unlock t.lock;
        id
      | Wire.Error { code; reason } -> fail "open-exchange refused (%s): %s" code reason
@@ -99,8 +108,22 @@ let send t ~sender ~exchange ~as_name doc :
   | Error e -> Error e
   | Ok (doc', report) ->
     let wire = Syntax.to_xml_string ~pretty:false doc' in
-    let id = agreement t exchange in
-    (match rpc t (Wire.Exchange { exchange = id; as_name; doc_xml = wire }) with
+    let k = (Peer.current_config sender).Peer.k in
+    let exchange_once () =
+      let id = agreement t ~k exchange in
+      (id, rpc t (Wire.Exchange { exchange = id; as_name; doc_xml = wire }))
+    in
+    let id, resp = exchange_once () in
+    let resp =
+      match resp with
+      | Wire.Error { code = "unknown-exchange"; _ } ->
+        (* The server restarted (or dropped its agreements) since we
+           opened ours; forget the stale id, re-open once, retry once. *)
+        forget_agreement t id;
+        snd (exchange_once ())
+      | r -> r
+    in
+    (match resp with
      | Wire.Accepted { wire_bytes; _ } -> Ok { Peer.sent = doc'; report; wire_bytes }
      | Wire.Refused { refusals } ->
        Error (Enforcement.Rejected (failures_of_refusals refusals))
@@ -136,7 +159,9 @@ let import_services t ~into =
          | Wire.Error { code; reason } -> fail "wsdl %s refused (%s): %s" name code reason
          | r -> fail "unexpected wsdl response: %a" Wire.pp_response r
        in
-       let ((func, _) as declaration) = Axml_peer.Wsdl.parse_string wsdl in
+       let ((func, _) as declaration) =
+         Axml_peer.Wsdl.parse_string ~service:name wsdl
+       in
        let service =
          Axml_services.Service.make
            ~endpoint:(Option.value func.Axml_schema.Schema.f_endpoint

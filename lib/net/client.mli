@@ -40,7 +40,12 @@ val send :
   (Axml_peer.Peer.exchange_outcome, Axml_peer.Enforcement.error) result
 (** The networked counterpart of {!Axml_peer.Peer.send}: enforce on
     [sender], open (and cache) the exchange agreement for this [exchange]
-    schema value, ship the wire document, map the server's verdict back.
+    schema at the sender's configured depth [k] (the receiver refuses
+    with ["k-mismatch"] unless it enforces at the same bound), ship the
+    wire document, map the server's verdict back. Agreements are cached
+    by structural schema equality; a stale agreement id (the server
+    restarted and answered ["unknown-exchange"]) is re-opened once and
+    the exchange retried once, transparently.
     @raise Net_error on transport or protocol errors. *)
 
 val call : t -> string -> Axml_core.Document.forest -> Axml_core.Document.forest

@@ -10,7 +10,7 @@ module Metrics = Axml_obs.Metrics
 type t = {
   peer : Peer.t;
   repo : Repo.t option;
-  exchanges : (int, Schema.t) Hashtbl.t;
+  exchanges : (int, Schema.t * int) Hashtbl.t;
   lock : Mutex.t;
   mutable next_id : int;
 }
@@ -50,6 +50,13 @@ let open_exchanges t =
   Mutex.unlock t.lock;
   n
 
+(* Drop every open agreement, as a restarted server would. Clients must
+   re-open; [Client] recovers from the resulting "unknown-exchange". *)
+let reset_exchanges t =
+  Mutex.lock t.lock;
+  Hashtbl.reset t.exchanges;
+  Mutex.unlock t.lock
+
 let err code fmt = Fmt.kstr (fun reason -> Wire.Error { code; reason }) fmt
 
 let parse_schema schema_xml k =
@@ -75,21 +82,26 @@ let refusals_of_failures failures =
 
 let dispatch t : Wire.request -> Wire.response = function
   | Ping -> Pong { peer = Peer.name t.peer; protocol = Wire.protocol_version }
-  | Open_exchange { schema_xml } ->
-    parse_schema schema_xml @@ fun schema ->
-    Mutex.lock t.lock;
-    let id = t.next_id in
-    t.next_id <- id + 1;
-    Hashtbl.replace t.exchanges id schema;
-    Mutex.unlock t.lock;
-    Exchange_opened { id }
+  | Open_exchange { schema_xml; k } ->
+    let mine = (Peer.current_config t.peer).k in
+    if k <> mine then
+      err "k-mismatch"
+        "sender enforces at k=%d but this peer enforces at k=%d" k mine
+    else
+      parse_schema schema_xml @@ fun schema ->
+      Mutex.lock t.lock;
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      Hashtbl.replace t.exchanges id (schema, k);
+      Mutex.unlock t.lock;
+      Exchange_opened { id; k }
   | Exchange { exchange; as_name; doc_xml } ->
     (Mutex.lock t.lock;
      let schema = Hashtbl.find_opt t.exchanges exchange in
      Mutex.unlock t.lock;
      match schema with
      | None -> err "unknown-exchange" "no open exchange agreement #%d" exchange
-     | Some schema ->
+     | Some (schema, _k) ->
        (match Peer.receive t.peer ~exchange:schema ~as_name doc_xml with
         | Ok doc ->
           (match t.repo with

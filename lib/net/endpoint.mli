@@ -31,3 +31,8 @@ type transport = Wire.request -> Wire.response
 val open_exchanges : t -> int
 (** Agreements currently opened (monotonic ids handed out by
     [Open_exchange] and still resolvable). *)
+
+val reset_exchanges : t -> unit
+(** Forget every open agreement, as a restarted server would. Subsequent
+    [Exchange] requests under an old id answer ["unknown-exchange"];
+    {!Client} transparently re-opens its agreement once and retries. *)

@@ -20,6 +20,7 @@ type t = {
   mutable oc : out_channel option; (* [None] after {!close} *)
   mutable entries : int;
   mutable recovered : int;
+  mutable skipped : int; (* corrupt snapshot entries ignored at recovery *)
 }
 
 let journal_path dir = Filename.concat dir "journal.log"
@@ -60,6 +61,10 @@ let decode_record payload =
   let xml = String.sub payload (4 + n) (String.length payload - 4 - n) in
   (name, xml)
 
+(* Replay what the manifest lists. A corrupt manifest line (or a listed
+   file that is missing or unparseable) is skipped and counted, never
+   fatal: a repository whose snapshot was damaged on disk must still
+   come up with every intact document plus the journal suffix. *)
 let replay_snapshot t =
   let manifest = manifest_path t.dir in
   if Sys.file_exists manifest then begin
@@ -67,16 +72,20 @@ let replay_snapshot t =
     Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
     try
       while true do
-        let name = Storage.decode_name (input_line ic) in
-        let path =
-          Filename.concat (snapshot_dir t.dir) (Storage.encode_name name ^ ".xml")
-        in
-        let doc =
-          try Storage.load_document ~path
-          with Storage.Storage_error m -> fail "snapshot %s: %s" path m
-        in
-        Peer.store t.peer name doc;
-        t.recovered <- t.recovered + 1
+        let line = input_line ic in
+        match Storage.decode_name line with
+        | exception Storage.Storage_error _ -> t.skipped <- t.skipped + 1
+        | name ->
+          let path =
+            Filename.concat (snapshot_dir t.dir)
+              (Storage.encode_name name ^ ".xml")
+          in
+          (match Storage.load_document ~path with
+           | doc ->
+             Peer.store t.peer name doc;
+             t.recovered <- t.recovered + 1
+           | exception Storage.Storage_error _ -> t.skipped <- t.skipped + 1
+           | exception Sys_error _ -> t.skipped <- t.skipped + 1)
       done
     with End_of_file -> ()
   end
@@ -119,6 +128,16 @@ let journal_channel t =
   | Some oc -> oc
   | None -> fail "repository %s is closed" t.dir
 
+(* Flush a directory's metadata (new names, renames) to disk; best
+   effort on filesystems that refuse fsync on directories. *)
+let fsync_dir path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+
 let snapshot_locked t =
   let snap = snapshot_dir t.dir in
   mkdir_p snap;
@@ -128,13 +147,18 @@ let snapshot_locked t =
        let path = Filename.concat snap (Storage.encode_name name ^ ".xml") in
        Storage.save_document ~path (Peer.fetch t.peer name))
     names;
-  (* The manifest is written last and renamed into place: a crash during
-     the snapshot leaves the previous manifest (and journal) intact. *)
+  (* The manifest is written last, fsynced, and renamed into place (with
+     the directory entry fsynced too): a crash — or power cut — during
+     the snapshot leaves the previous manifest (and journal) intact, and
+     a completed rename refers to data that actually reached the disk. *)
   let tmp = manifest_path t.dir ^ ".tmp" in
   let oc = open_out tmp in
   List.iter (fun name -> output_string oc (Storage.encode_name name ^ "\n")) names;
+  flush oc;
+  (try Unix.fsync (Unix.descr_of_out_channel oc) with Unix.Unix_error _ -> ());
   close_out oc;
-  Sys.rename tmp (manifest_path t.dir)
+  Sys.rename tmp (manifest_path t.dir);
+  fsync_dir snap
 
 let compact_locked t =
   snapshot_locked t;
@@ -151,7 +175,7 @@ let attach ?(auto_compact = 1024) ~dir peer =
   mkdir_p dir;
   let t =
     { dir; peer; auto_compact; lock = Mutex.create (); oc = None;
-      entries = 0; recovered = 0 }
+      entries = 0; recovered = 0; skipped = 0 }
   in
   replay_snapshot t;
   replay_journal t;
@@ -173,6 +197,7 @@ let compact t =
 
 let journal_entries t = t.entries
 let recovered t = t.recovered
+let skipped t = t.skipped
 let dir t = t.dir
 
 let close t =

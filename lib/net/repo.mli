@@ -12,9 +12,13 @@
     {!attach} replays snapshot then journal into the peer's in-memory
     repository; a torn journal tail (the record being appended when the
     process died) is detected by the framing and dropped, everything
-    before it is recovered. {!record_store} appends one frame per store
-    and compacts automatically every [auto_compact] records
-    ({!compact}: snapshot everything, truncate the journal). *)
+    before it is recovered. Corrupt snapshot state (a garbage MANIFEST
+    line, a missing or unparseable snapshot file) is skipped and counted
+    ({!skipped}), never fatal. {!record_store} appends one frame per
+    store and compacts automatically every [auto_compact] records
+    ({!compact}: snapshot everything, truncate the journal; the new
+    manifest is fsynced and renamed into place, then the directory entry
+    fsynced, so a power cut cannot leave a half-written manifest). *)
 
 exception Repo_error of string
 
@@ -40,6 +44,10 @@ val journal_entries : t -> int
 
 val recovered : t -> int
 (** Documents recovered by {!attach} (snapshot + journal). *)
+
+val skipped : t -> int
+(** Corrupt snapshot entries ignored by {!attach}: undecodable MANIFEST
+    lines, and listed documents that were missing or unparseable. *)
 
 val dir : t -> string
 

@@ -171,8 +171,9 @@ let http_exchange_id t =
       Axml_peer.Xml_schema_int.to_string
         (Axml_peer.Peer.schema (Endpoint.peer t.endpoint))
     in
-    (match Endpoint.handle t.endpoint (Wire.Open_exchange { schema_xml }) with
-     | Wire.Exchange_opened { id } ->
+    let k = (Axml_peer.Peer.current_config (Endpoint.peer t.endpoint)).k in
+    (match Endpoint.handle t.endpoint (Wire.Open_exchange { schema_xml; k }) with
+     | Wire.Exchange_opened { id; k = _ } ->
        t.http_exchange := Some id;
        Some id
      | _ -> None)

@@ -11,13 +11,16 @@ exception Wire_error of string
 
 let fail fmt = Fmt.kstr (fun m -> raise (Wire_error m)) fmt
 
-let protocol_version = 1
+(* Version 2: Open_exchange / Exchange_opened carry the rewriting depth
+   k, so sender and receiver provably agree on the enforcement bound
+   before any document flows. *)
+let protocol_version = 2
 
 type metrics_format = Prometheus | Json
 
 type request =
   | Ping
-  | Open_exchange of { schema_xml : string }
+  | Open_exchange of { schema_xml : string; k : int }
   | Exchange of { exchange : int; as_name : string; doc_xml : string }
   | Invoke of { envelope : string }
   | Get_wsdl of { service : string }
@@ -31,7 +34,7 @@ type refusal = { at : Axml_core.Document.path; context : string }
 
 type response =
   | Pong of { peer : string; protocol : int }
-  | Exchange_opened of { id : int }
+  | Exchange_opened of { id : int; k : int }
   | Accepted of { as_name : string; wire_bytes : int }
   | Refused of { refusals : refusal list }
   | Envelope of { envelope : string }
@@ -69,6 +72,7 @@ let response_op = function
 
 let pp_request ppf r =
   match r with
+  | Open_exchange { schema_xml = _; k } -> Fmt.pf ppf "open-exchange (k=%d)" k
   | Exchange { exchange; as_name; doc_xml } ->
     Fmt.pf ppf "exchange[%d] as %S (%d bytes)" exchange as_name
       (String.length doc_xml)
@@ -156,9 +160,10 @@ let encode_request (req : request) : string =
   let buf = Buffer.create 256 in
   (match req with
    | Ping -> put_u8 buf 1
-   | Open_exchange { schema_xml } ->
+   | Open_exchange { schema_xml; k } ->
      put_u8 buf 2;
-     put_str buf schema_xml
+     put_str buf schema_xml;
+     put_u32 buf k
    | Exchange { exchange; as_name; doc_xml } ->
      put_u8 buf 3;
      put_u32 buf exchange;
@@ -188,7 +193,10 @@ let decode_request (payload : string) : request =
   let req =
     match get_u8 r with
     | 1 -> Ping
-    | 2 -> Open_exchange { schema_xml = get_str r }
+    | 2 ->
+      let schema_xml = get_str r in
+      let k = get_u32 r in
+      Open_exchange { schema_xml; k }
     | 3 ->
       let exchange = get_u32 r in
       let as_name = get_str r in
@@ -225,9 +233,10 @@ let encode_response (resp : response) : string =
      put_u8 buf 1;
      put_str buf peer;
      put_u32 buf protocol
-   | Exchange_opened { id } ->
+   | Exchange_opened { id; k } ->
      put_u8 buf 2;
-     put_u32 buf id
+     put_u32 buf id;
+     put_u32 buf k
    | Accepted { as_name; wire_bytes } ->
      put_u8 buf 3;
      put_str buf as_name;
@@ -268,7 +277,10 @@ let decode_response (payload : string) : response =
       let peer = get_str r in
       let protocol = get_u32 r in
       Pong { peer; protocol }
-    | 2 -> Exchange_opened { id = get_u32 r }
+    | 2 ->
+      let id = get_u32 r in
+      let k = get_u32 r in
+      Exchange_opened { id; k }
     | 3 ->
       let as_name = get_str r in
       let wire_bytes = get_u32 r in

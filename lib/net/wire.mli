@@ -16,7 +16,10 @@ exception Wire_error of string
 
 val protocol_version : int
 (** Version of the framed binary protocol (independent of
-    {!Axml_peer.Soap.protocol_version}, which versions envelopes). *)
+    {!Axml_peer.Soap.protocol_version}, which versions envelopes).
+    Version 2 added the rewriting depth [k] to
+    {!Open_exchange}/{!Exchange_opened}, so both sides of an agreement
+    provably enforce at the same bound. *)
 
 (** {1 Messages}
 
@@ -29,11 +32,14 @@ type metrics_format = Prometheus | Json
 
 type request =
   | Ping
-  | Open_exchange of { schema_xml : string }
-      (** Declare the agreed exchange schema once; subsequent
-          {!Exchange}s reference the returned id, so the receiver
-          compiles its validation context once per agreement, not once
-          per document. *)
+  | Open_exchange of { schema_xml : string; k : int }
+      (** Declare the agreed exchange schema (and the sender's
+          rewriting depth [k]) once; subsequent {!Exchange}s reference
+          the returned id, so the receiver compiles its validation
+          context once per agreement, not once per document. The
+          receiver refuses (["k-mismatch"]) when [k] differs from its
+          own configured depth — the two ends must enforce at the same
+          bound. *)
   | Exchange of { exchange : int; as_name : string; doc_xml : string }
       (** One document crossing the wire under an opened agreement. *)
   | Invoke of { envelope : string }
@@ -53,7 +59,9 @@ type refusal = { at : Axml_core.Document.path; context : string }
 
 type response =
   | Pong of { peer : string; protocol : int }
-  | Exchange_opened of { id : int }
+  | Exchange_opened of { id : int; k : int }
+      (** The agreement id plus the depth both sides now enforce at
+          (echoes the request's [k]). *)
   | Accepted of { as_name : string; wire_bytes : int }
   | Refused of { refusals : refusal list }
   | Envelope of { envelope : string }
@@ -66,7 +74,7 @@ type response =
       (** Transport- or endpoint-level failure; stable [code]s:
           ["overloaded"], ["shutting-down"], ["unknown-exchange"],
           ["unknown-service"], ["unknown-document"], ["protocol"],
-          ["fault"]. *)
+          ["fault"], ["k-mismatch"]. *)
 
 val request_op : request -> string
 (** Stable lowercase operation name (metrics label / logging). *)

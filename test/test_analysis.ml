@@ -234,6 +234,66 @@ let test_contract_clean () =
   let ds = Lint.lint_contract (Contract.create ~s0:s ~target:s ()) in
   check "no errors" false (Diagnostic.exceeds ~deny:Diagnostic.Warning ds)
 
+(* F's declared output is b*, and a b may hold the invocable call G:
+   flattening one F result takes two rewriting levels, one more than
+   the contract's k=1 budget (AXM032). G itself is extensional-output
+   and must stay unflagged. *)
+let depth_gap_sender = parse_schema {|
+root r
+element r = a.(F | b)
+element a = #data
+element b = c.(G | a)
+element c = #data
+function F : #data -> b*
+function G : c -> a
+|}
+
+let depth_gap_target = parse_schema {|
+root r
+element r = a.b
+element a = #data
+element b = c.a
+element c = #data
+|}
+
+let test_contract_depth_gap () =
+  let about name (d : Diagnostic.t) =
+    d.Diagnostic.code = "AXM032"
+    && d.Diagnostic.loc.Diagnostic.subject = Diagnostic.Function name
+  in
+  let ds =
+    Lint.lint_contract
+      (Contract.create ~s0:depth_gap_sender ~target:depth_gap_target ())
+  in
+  check "AXM032 fires at k=1" true (has "AXM032" ds);
+  check "warning severity" true
+    (severity_of "AXM032" ds = Some Diagnostic.Warning);
+  check "blames F" true (List.exists (about "F") ds);
+  check "not G (extensional output)" false (List.exists (about "G") ds);
+  (* a k=2 budget covers the two levels: the rule is depth-aware *)
+  let ds2 =
+    Lint.lint_contract
+      (Contract.create ~k:2 ~s0:depth_gap_sender ~target:depth_gap_target ())
+  in
+  check "clean at k=2" false (has "AXM032" ds2)
+
+let test_contract_depth_unbounded () =
+  (* H's output can embed H again: the embeds-a-call relation is
+     cyclic, so no finite budget silences the rule *)
+  let sender = parse_schema {|
+root r
+element r = a | H
+element a = #data
+function H : #data -> (a | H)
+|} in
+  let target = parse_schema {|
+root r
+element r = a*
+element a = #data
+|} in
+  let ds = Lint.lint_contract (Contract.create ~k:5 ~s0:sender ~target ()) in
+  check "AXM032 fires even at k=5" true (has "AXM032" ds)
+
 (* ------------------------------------------------------------------ *)
 (* Document level: AXM030 / AXM031                                     *)
 (* ------------------------------------------------------------------ *)
@@ -471,7 +531,10 @@ let () =
       ("contract-rules",
        [ Alcotest.test_case "doomed contract" `Quick test_contract_doomed;
          Alcotest.test_case "never-safe warning" `Quick test_contract_never_safe_warning;
-         Alcotest.test_case "clean contract" `Quick test_contract_clean
+         Alcotest.test_case "clean contract" `Quick test_contract_clean;
+         Alcotest.test_case "depth gap (AXM032)" `Quick test_contract_depth_gap;
+         Alcotest.test_case "unbounded depth (AXM032)" `Quick
+           test_contract_depth_unbounded
        ]);
       ("document-rules",
        [ Alcotest.test_case "call diagnostics" `Quick test_document_rules ]);

@@ -507,6 +507,69 @@ let test_enforce_possible_fails_at_runtime () =
   | Error e -> Alcotest.failf "wrong error: %a" Enforcement.pp_error e
   | Ok _ -> Alcotest.fail "expected a run-time failure"
 
+(* A fully extensional exchange schema and a TimeOut service whose
+   exhibits embed a Get_Date call: flattening a TimeOut result needs a
+   second rewriting level. *)
+let schema_extensional =
+  parse_schema
+    {|
+root newspaper
+element newspaper = title.date.temp.exhibit*
+element title = #data
+element date = #data
+element temp = #data
+element city = #data
+element exhibit = title.date
+element performance = title.date
+|}
+
+let make_deep_registry () =
+  let reg = make_registry () in
+  Registry.register reg
+    (Service.make ~input:(R.sym Schema.A_data)
+       ~output:
+         (R.star
+            (R.alt (R.sym (Schema.A_label "exhibit"))
+               (R.sym (Schema.A_label "performance"))))
+       "TimeOut"
+       (Oracle.constant
+          [ D.elem "exhibit"
+              [ D.elem "title" [ D.data "Monet" ];
+                D.call "Get_Date" [ D.elem "title" [ D.data "Monet" ] ] ] ]));
+  reg
+
+(* The k=1 enforcement gap and its closure: at depth 1 a materialized
+   TimeOut result is spliced as-is (footnote 5), so the embedded
+   Get_Date survives enforcement and an extensional receiver would
+   refuse the document; from k=2 on, the returned forest is re-enforced
+   against the remaining budget and ships extensional. *)
+let test_enforce_deep_k_gap () =
+  let enforce ~k =
+    let reg = make_deep_registry () in
+    let config =
+      { Enforcement.default_config with
+        Enforcement.k; fallback_possible = true }
+    in
+    ( Enforcement.enforce ~config ~s0:schema_star ~exchange:schema_extensional
+        ~invoker:(Registry.invoker reg) fig2a,
+      reg )
+  in
+  (match enforce ~k:1 with
+   | Ok (doc, _), _ ->
+     check "k=1: embedded call survives (the gap)" false
+       (D.calls_with_paths doc = [])
+   | Error e, _ -> Alcotest.failf "k=1 unexpectedly refused: %a" Enforcement.pp_error e);
+  match enforce ~k:2 with
+  | Ok (doc, _), reg ->
+    check "k=2: fully extensional" true (D.calls_with_paths doc = []);
+    check_int "k=2: TimeOut, Get_Temp and the embedded Get_Date" 3
+      (Registry.invocation_count reg);
+    let env = Schema.env_of_schemas schema_star schema_extensional in
+    let ctx = Validate.ctx ~env schema_extensional in
+    check "k=2: receiver-side validation passes" true
+      (Validate.document_violations ctx doc = [])
+  | Error e, _ -> Alcotest.failf "k=2 refused: %a" Enforcement.pp_error e
+
 (* ------------------------------------------------------------------ *)
 (* Batch enforcement pipelines                                         *)
 (* ------------------------------------------------------------------ *)
@@ -592,6 +655,39 @@ let test_pipeline_outcome_counters () =
   in
   let _, batch'' = Pipeline.enforce_many p'' [ fig2a ] in
   check_int "conformed counted" 1 batch''.Pipeline.conformed
+
+let test_pipeline_min_k_stats () =
+  let reg = make_registry () in
+  (* off by default: the stats stay all-zero *)
+  let p =
+    Pipeline.create ~s0:schema_star ~exchange:schema_star2
+      ~invoker:(Registry.invoker reg) ()
+  in
+  let _, batch = Pipeline.enforce_many p [ fig2a ] in
+  check_int "off by default" 0 batch.Pipeline.min_k.Pipeline.measured;
+  check "off by default: empty distribution" true
+    (batch.Pipeline.min_k.Pipeline.distribution = []);
+  (* on: one statically-conforming doc (depth 0) and two needing one
+     materialization level each *)
+  let conformed =
+    D.elem "newspaper"
+      [ D.elem "title" [ D.data "t" ];
+        D.elem "date" [ D.data "d" ];
+        D.elem "temp" [ D.data "15" ] ]
+  in
+  let config =
+    { Enforcement.default_config with Enforcement.track_min_k = true }
+  in
+  let p' =
+    Pipeline.create ~config ~s0:schema_star ~exchange:schema_star2
+      ~invoker:(Registry.invoker reg) ()
+  in
+  let _, batch' = Pipeline.enforce_many p' [ fig2a; conformed; fig2a ] in
+  let m = batch'.Pipeline.min_k in
+  check_int "three measured" 3 m.Pipeline.measured;
+  check_int "none over budget" 0 m.Pipeline.unbounded;
+  check "distribution: one at 0, two at 1" true
+    (m.Pipeline.distribution = [ (0, 1); (1, 2) ])
 
 let test_pipeline_seq () =
   let reg = make_registry () in
@@ -1208,11 +1304,14 @@ let () =
          Alcotest.test_case "rejected" `Quick test_enforce_rejected;
          Alcotest.test_case "possible fallback" `Quick test_enforce_possible_fallback;
          Alcotest.test_case "possible run-time failure" `Quick test_enforce_possible_fails_at_runtime;
-         Alcotest.test_case "prebuilt rewriter" `Quick test_enforce_prebuilt_rewriter
+         Alcotest.test_case "prebuilt rewriter" `Quick test_enforce_prebuilt_rewriter;
+         Alcotest.test_case "deep result: k=1 gap, closed at k=2" `Quick
+           test_enforce_deep_k_gap
        ]);
       ("pipeline",
        [ Alcotest.test_case "batch stats" `Quick test_pipeline_batch;
          Alcotest.test_case "outcome counters" `Quick test_pipeline_outcome_counters;
+         Alcotest.test_case "minimal-k stats" `Quick test_pipeline_min_k_stats;
          Alcotest.test_case "lazy stream" `Quick test_pipeline_seq;
          Alcotest.test_case "from a shared contract" `Quick test_pipeline_of_contract;
          Alcotest.test_case "flaky service recovers" `Quick test_pipeline_flaky_recovers;

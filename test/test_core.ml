@@ -923,6 +923,36 @@ let prop_ltr_implies_arbitrary =
       let target_dfa = Auto.Dfa.of_regex target_regex in
       Exhaustive.safe_arbitrary ~outputs ~target_dfa ~k word)
 
+(* Monotonicity in the rewriting depth: the player's options only grow
+   with k while the adversary's are fixed, so both verdicts are
+   monotone — the soundness argument behind the linear minimal-k
+   search, which must return exactly the frontier of each verdict. *)
+let prop_k_monotone =
+  QCheck.Test.make ~count:200
+    ~name:"safe/possible are monotone in k; minimal_k is their frontier"
+    arb_mini
+    (fun (out_f, out_g, target, word, k) ->
+      let s = mini_schema out_f out_g in
+      let env = Schema.env_of_schema s in
+      let target_regex = Schema.compile_content env target in
+      let c = Contract.create ~k:3 ~s0:s ~target:s () in
+      let safe_at k = Contract.is_safe ~k c ~target_regex word in
+      let possible_at k = Contract.is_possible ~k c ~target_regex word in
+      if safe_at k && not (safe_at (k + 1)) then
+        QCheck.Test.fail_reportf "safe at k=%d but not at k=%d" k (k + 1);
+      if possible_at k && not (possible_at (k + 1)) then
+        QCheck.Test.fail_reportf "possible at k=%d but not at k=%d" k (k + 1);
+      let scan pred =
+        let rec go d = if d > 3 then None else if pred d then Some d else go (d + 1) in
+        go 0
+      in
+      let m = Contract.minimal_k ~max_k:3 c ~target_regex word in
+      if m.Contract.safe_at <> scan safe_at then
+        QCheck.Test.fail_reportf "minimal_k.safe_at disagrees with the scan";
+      if m.Contract.possible_at <> scan possible_at then
+        QCheck.Test.fail_reportf "minimal_k.possible_at disagrees with the scan";
+      true)
+
 (* ------------------------------------------------------------------ *)
 (* Cost planning (Figure 3 step 23, Figure 9 step d)                   *)
 (* ------------------------------------------------------------------ *)
@@ -1496,6 +1526,35 @@ let prop_cache_domain_safe =
           Contract.pp_stats st;
       true)
 
+(* Verdicts computed at different depths through one contract must
+   never alias in the analysis cache: f needs two levels (its output is
+   the call g, whose output is an a), so the k=1 and k=2 answers
+   differ for the same (regex, word) pair. *)
+let test_contract_k_no_alias () =
+  let s = Schema.empty in
+  let s = Schema.add_element s "a" (R.sym Schema.A_data) in
+  let s =
+    Schema.add_function s
+      (Schema.func "f" ~input:R.epsilon ~output:(R.sym (Schema.A_fun "g")))
+  in
+  let s =
+    Schema.add_function s
+      (Schema.func "g" ~input:R.epsilon ~output:(R.sym (Schema.A_label "a")))
+  in
+  let env = Schema.env_of_schema s in
+  let target_regex = Schema.compile_content env (R.sym (Schema.A_label "a")) in
+  let c = Contract.create ~k:1 ~s0:s ~target:s () in
+  let word = [ Symbol.Fun "f" ] in
+  check "unsafe at k=1" false (Contract.is_safe ~k:1 c ~target_regex word);
+  check "safe at k=2" true (Contract.is_safe ~k:2 c ~target_regex word);
+  check "still unsafe at k=1 (no aliasing)" false
+    (Contract.is_safe ~k:1 c ~target_regex word);
+  check "safe again at k=2 (cache hit, same verdict)" true
+    (Contract.is_safe ~k:2 c ~target_regex word);
+  let m = Contract.minimal_k ~max_k:4 c ~target_regex word in
+  check "minimal safe depth is 2" true (m.Contract.safe_at = Some 2);
+  check "minimal possible depth is 2" true (m.Contract.possible_at = Some 2)
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_engines_match_reference;
@@ -1503,6 +1562,7 @@ let qcheck_tests =
       prop_safe_execution_robust;
       prop_safe_worst_at_least_possible_min;
       prop_ltr_implies_arbitrary;
+      prop_k_monotone;
       prop_schema_compat_sound;
       prop_tree_materialization_sound;
       prop_contract_cache_transparent;
@@ -1578,7 +1638,8 @@ let () =
          Alcotest.test_case "word shims are cached" `Quick test_rewriter_shims_cached;
          Alcotest.test_case "unified check report" `Quick test_unified_check_report;
          Alcotest.test_case "mixed check mode" `Quick test_check_mixed_mode;
-         Alcotest.test_case "shared contract" `Quick test_shared_contract
+         Alcotest.test_case "shared contract" `Quick test_shared_contract;
+         Alcotest.test_case "no aliasing across k" `Quick test_contract_k_no_alias
        ]);
       ("properties", qcheck_tests)
     ]

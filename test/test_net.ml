@@ -46,13 +46,15 @@ element newspaper = title.date.(Get_Temp | temp)
 function Get_Temp : city -> temp
 |} ^ common)
 
-let schema_exchange =
-  parse_schema
-    ({|
+let schema_exchange_text =
+  {|
 root newspaper
 element newspaper = title.date.temp
 function Get_Temp : city -> temp
-|} ^ common)
+|}
+  ^ common
+
+let schema_exchange = parse_schema schema_exchange_text
 
 let fig2a title =
   D.elem "newspaper"
@@ -101,7 +103,8 @@ let gen_request : Wire.request QCheck.Gen.t =
   let open QCheck.Gen in
   oneof
     [ return Wire.Ping;
-      map (fun s -> Wire.Open_exchange { schema_xml = s }) gen_string;
+      map2 (fun s k -> Wire.Open_exchange { schema_xml = s; k }) gen_string
+        (int_bound 7);
       map3
         (fun exchange as_name doc_xml -> Wire.Exchange { exchange; as_name; doc_xml })
         (int_bound 0xffff) gen_string gen_string;
@@ -127,7 +130,8 @@ let gen_response : Wire.response QCheck.Gen.t =
   oneof
     [ map2 (fun peer protocol -> Wire.Pong { peer; protocol }) gen_string
         (int_bound 0xff);
-      map (fun id -> Wire.Exchange_opened { id }) (int_bound 0xffff);
+      map2 (fun id k -> Wire.Exchange_opened { id; k }) (int_bound 0xffff)
+        (int_bound 7);
       map2 (fun as_name wire_bytes -> Wire.Accepted { as_name; wire_bytes })
         gen_string (int_bound 0xffffff);
       map (fun refusals -> Wire.Refused { refusals })
@@ -216,9 +220,11 @@ let test_wire_framing () =
 (* Endpoint (in-process transport)                                      *)
 (* ------------------------------------------------------------------ *)
 
-let open_exchange handle schema =
-  match handle (Wire.Open_exchange { schema_xml = Xml_schema_int.to_string schema }) with
-  | Wire.Exchange_opened { id } -> id
+let open_exchange ?(k = 1) handle schema =
+  match
+    handle (Wire.Open_exchange { schema_xml = Xml_schema_int.to_string schema; k })
+  with
+  | Wire.Exchange_opened { id; k = _ } -> id
   | r -> Alcotest.failf "open-exchange: %a" Wire.pp_response r
 
 let test_endpoint_basics () =
@@ -256,7 +262,7 @@ let test_endpoint_basics () =
    | r -> Alcotest.failf "bad exchange: %a" Wire.pp_response r);
   check "refused not stored" false (List.mem "bad" (Peer.documents receiver));
   (* malformed schema is a protocol error, not a crash *)
-  (match handle (Wire.Open_exchange { schema_xml = "<not-a-schema" }) with
+  (match handle (Wire.Open_exchange { schema_xml = "<not-a-schema"; k = 1 }) with
    | Wire.Error { code = "protocol"; _ } -> ()
    | r -> Alcotest.failf "bad schema: %a" Wire.pp_response r);
   (match handle (Wire.Get_metrics { format = Wire.Prometheus }) with
@@ -296,6 +302,61 @@ let test_endpoint_services () =
      | Axml_peer.Soap.Response { result = [ D.Elem { label = "temp"; _ } ]; _ } -> ()
      | _ -> Alcotest.fail "unexpected invoke result")
   | r -> Alcotest.failf "invoke: %a" Wire.pp_response r
+
+(* Sender and receiver must provably agree on the rewriting depth: the
+   receiver refuses a mismatched Open_exchange with a stable error
+   code, before even parsing the schema. *)
+let test_endpoint_k_mismatch () =
+  let receiver = make_receiver () in
+  let config = { Peer.default_config with Peer.k = 2 } in
+  let handle = Endpoint.handle (Endpoint.create ~config receiver) in
+  let agreement = Xml_schema_int.to_string schema_exchange in
+  (match handle (Wire.Open_exchange { schema_xml = agreement; k = 2 }) with
+   | Wire.Exchange_opened { k = 2; _ } -> ()
+   | r -> Alcotest.failf "open at matched k: %a" Wire.pp_response r);
+  (match handle (Wire.Open_exchange { schema_xml = agreement; k = 1 }) with
+   | Wire.Error { code = "k-mismatch"; _ } -> ()
+   | r -> Alcotest.failf "open at k=1: %a" Wire.pp_response r);
+  (* the depth check precedes schema parsing: a garbage schema at the
+     wrong depth still reports the mismatch, not a parse error *)
+  match handle (Wire.Open_exchange { schema_xml = "<not-a-schema"; k = 7 }) with
+  | Wire.Error { code = "k-mismatch"; _ } -> ()
+  | r -> Alcotest.failf "mismatch before parse: %a" Wire.pp_response r
+
+(* The client's agreement cache must key on structural schema equality
+   (a re-parsed copy is the same agreement), and a stale agreement —
+   the server lost its exchange table — must be re-opened
+   transparently, once. *)
+let test_client_agreement_cache () =
+  let receiver = make_receiver () in
+  let endpoint = Endpoint.create receiver in
+  let server = Server.start endpoint in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  with_client server @@ fun client ->
+  let sender = make_sender () in
+  let send ~exchange as_name =
+    match Client.send client ~sender ~exchange ~as_name (fig2a as_name) with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "%s: %a" as_name Enforcement.pp_error e
+  in
+  send ~exchange:schema_exchange "one";
+  check_int "one exchange opened" 1 (Endpoint.open_exchanges endpoint);
+  (* a structurally equal but physically distinct schema — the caller
+     re-parsing the same .axs text for every send — re-uses it *)
+  let copy = parse_schema schema_exchange_text in
+  check "distinct value, equal structure" true
+    (copy != schema_exchange && copy = schema_exchange);
+  send ~exchange:copy "two";
+  check_int "structural equality: still one exchange" 1
+    (Endpoint.open_exchanges endpoint);
+  (* server forgot the exchange (restart): the cached id is stale, the
+     client re-opens once and the send still succeeds *)
+  Endpoint.reset_exchanges endpoint;
+  check_int "server lost the table" 0 (Endpoint.open_exchanges endpoint);
+  send ~exchange:schema_exchange "three";
+  check_int "transparently re-opened" 1 (Endpoint.open_exchanges endpoint);
+  check "all three stored" true
+    (List.sort compare (Peer.documents receiver) = [ "one"; "three"; "two" ])
 
 (* ------------------------------------------------------------------ *)
 (* Server: concurrency, parity, abuse                                   *)
@@ -534,6 +595,48 @@ let test_repo_odd_names () =
   check "odd name round-trips" true (D.equal doc (Peer.fetch reborn name));
   Repo.close repo2
 
+(* A damaged snapshot must not take recovery down with it: garbage
+   manifest lines and listed-but-missing files are skipped and counted,
+   while every intact snapshot document and the journal suffix come
+   back. *)
+let test_repo_garbage_manifest () =
+  with_temp_dir @@ fun dir ->
+  let peer = make_receiver () in
+  let repo = Repo.attach ~dir peer in
+  let doc name = D.elem "newspaper" [ D.elem "title" [ D.data name ] ] in
+  List.iter
+    (fun name ->
+      Peer.store peer name (doc name);
+      Repo.record_store repo name (doc name))
+    [ "a"; "b" ];
+  Repo.compact repo;
+  Repo.record_store repo "c" (doc "c");
+  Repo.close repo;
+  (* damage the manifest: an undecodable line, plus an entry whose
+     snapshot file does not exist *)
+  let manifest = Filename.concat dir "snapshot/MANIFEST" in
+  let oc = open_out_gen [ Open_append ] 0o644 manifest in
+  output_string oc "%zzgarbage\nghost\n";
+  close_out oc;
+  let reborn = make_receiver () in
+  let repo2 = Repo.attach ~dir reborn in
+  check_int "intact snapshot + journal suffix recovered" 3
+    (Repo.recovered repo2);
+  check_int "corrupt entries counted" 2 (Repo.skipped repo2);
+  check "snapshot doc intact" true (D.equal (doc "a") (Peer.fetch reborn "a"));
+  check "journal suffix intact" true (D.equal (doc "c") (Peer.fetch reborn "c"));
+  (* the damaged repository stays writable and compactable: the next
+     snapshot rewrites a clean manifest *)
+  Repo.record_store repo2 "d" (doc "d");
+  Peer.store reborn "d" (doc "d");
+  Repo.compact repo2;
+  Repo.close repo2;
+  let third = make_receiver () in
+  let repo3 = Repo.attach ~dir third in
+  check_int "clean manifest after recompaction" 0 (Repo.skipped repo3);
+  check_int "everything recovered" 4 (Repo.recovered repo3);
+  Repo.close repo3
+
 (* ------------------------------------------------------------------ *)
 (* HTTP front                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -588,7 +691,10 @@ let () =
       ("wire-properties", qcheck);
       ("endpoint",
        [ Alcotest.test_case "documents and metrics" `Quick test_endpoint_basics;
-         Alcotest.test_case "services over the wire" `Quick test_endpoint_services ]);
+         Alcotest.test_case "services over the wire" `Quick test_endpoint_services;
+         Alcotest.test_case "k-mismatch refused" `Quick test_endpoint_k_mismatch;
+         Alcotest.test_case "agreement cache and re-open" `Quick
+           test_client_agreement_cache ]);
       ("server",
        [ Alcotest.test_case "concurrent clients, verdict parity" `Quick
            test_server_concurrent_clients;
@@ -603,5 +709,6 @@ let () =
        [ Alcotest.test_case "journal recovery" `Quick test_repo_journal_recovery;
          Alcotest.test_case "torn tail" `Quick test_repo_torn_tail;
          Alcotest.test_case "compaction" `Quick test_repo_compaction;
-         Alcotest.test_case "odd repository names" `Quick test_repo_odd_names ]);
+         Alcotest.test_case "odd repository names" `Quick test_repo_odd_names;
+         Alcotest.test_case "garbage manifest" `Quick test_repo_garbage_manifest ]);
       ("http", [ Alcotest.test_case "routes" `Quick test_http_routes ]) ]
