@@ -587,7 +587,22 @@ let serve_cmd =
     Arg.(value & opt string "axml" & info [ "name" ] ~docv:"NAME"
            ~doc:"The peer's name (answered to pings).")
   in
-  let run name schema_path dir host port k possible engine jobs oracle =
+  let max_connections_arg =
+    Arg.(value
+         & opt int Axml_net.Server.default_config.Axml_net.Server.max_connections
+         & info [ "max-connections" ] ~docv:"N"
+             ~doc:"Concurrent connections accepted; excess are refused.")
+  in
+  let max_in_flight_arg =
+    Arg.(value
+         & opt int Axml_net.Server.default_config.Axml_net.Server.max_in_flight
+         & info [ "max-in-flight" ] ~docv:"N"
+             ~doc:"Requests served at once across all connections; excess \
+                   are answered with an $(b,overloaded) error (admission \
+                   control), never queued.")
+  in
+  let run name schema_path dir host port k possible engine jobs oracle
+      max_connections max_in_flight =
     wrap (fun () ->
         let schema = load_schema schema_path in
         let peer = Axml_peer.Peer.create ~name ~schema () in
@@ -619,7 +634,12 @@ let serve_cmd =
             Axml_peer.Peer.k; engine; fallback_possible = possible; jobs };
         let repo = Option.map (fun dir -> Axml_net.Repo.attach ~dir peer) dir in
         let endpoint = Axml_net.Endpoint.create ?repo peer in
-        let server = Axml_net.Server.start ~host ~port endpoint in
+        let config =
+          { Axml_net.Server.default_config with
+            Axml_net.Server.max_connections;
+            max_in_flight }
+        in
+        let server = Axml_net.Server.start ~config ~host ~port endpoint in
         Fmt.pr "%s: serving on %s:%d (binary + HTTP; GET /metrics, POST \
                 /exchange)@."
           name host (Axml_net.Server.port server);
@@ -647,7 +667,8 @@ let serve_cmd =
              the chosen oracle. Stops gracefully on SIGINT/SIGTERM.")
     Term.(const run $ name_srv_arg $ schema $ dir_arg $ host_arg
           $ port_arg ~default:7411 "Port to listen on (0 = ephemeral)."
-          $ k_arg $ possible_arg $ engine_arg $ jobs_arg $ oracle_arg)
+          $ k_arg $ possible_arg $ engine_arg $ jobs_arg $ oracle_arg
+          $ max_connections_arg $ max_in_flight_arg)
 
 let call_cmd =
   let method_arg =
@@ -808,6 +829,102 @@ let federation_cmd =
              crash recovery. Exits 0 only if every check passes.")
     Term.(const run $ smoke_arg $ docs_n_arg $ dir_arg $ fed_k_arg)
 
+let soak_cmd =
+  let smoke_arg =
+    Arg.(value & flag & info [ "smoke" ]
+           ~doc:"CI mode: a ~10s run with 0.5s windows and quiet \
+                 per-window output (unless $(b,--duration) / \
+                 $(b,--window) override it).")
+  in
+  let spawn_arg =
+    Arg.(value & flag & info [ "spawn" ]
+           ~doc:"Spawn the served peer as a separate process ($(b,axml \
+                 serve) on an ephemeral port, fork/exec) and tear it down \
+                 afterwards, instead of connecting to $(b,--host) / \
+                 $(b,--port).")
+  in
+  let duration_arg =
+    Arg.(value & opt (some float) None & info [ "duration" ] ~docv:"SECONDS"
+           ~doc:"Total run length (default 60, or 10 with $(b,--smoke)).")
+  in
+  let workers_arg =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
+           ~doc:"Steady-state worker concurrency; the flash crowd runs \
+                 4x$(docv) (at least 8) workers.")
+  in
+  let window_arg =
+    Arg.(value & opt (some float) None & info [ "window" ] ~docv:"SECONDS"
+           ~doc:"Observation window length (default 1, or 0.5 with \
+                 $(b,--smoke)).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 2003 & info [ "seed" ] ~docv:"N"
+           ~doc:"Seed for the document streams, the profile pickers and \
+                 the oracles: a fixed seed reproduces the traffic mix and \
+                 the structural verdict.")
+  in
+  let churn_to_arg =
+    Arg.(value & opt (some file) None & info [ "churn-to" ] ~docv:"SCHEMA"
+           ~doc:"Exchange schema the churn phase flips the agreement to \
+                 (default: the sender schema itself, so churned documents \
+                 stay shippable).")
+  in
+  let no_churn_arg =
+    Arg.(value & flag & info [ "no-churn" ]
+           ~doc:"Drop the schema-churn phase from the schedule.")
+  in
+  let out_arg =
+    Arg.(value & opt string "BENCH_SOAK.json" & info [ "o"; "out" ]
+           ~docv:"FILE"
+           ~doc:"Where to write the full time series + verdict JSON \
+                 ($(b,-) for none).")
+  in
+  let run host port sender_path exchange_path k smoke spawn duration workers
+      window seed churn_to no_churn out =
+    wrap (fun () ->
+        let s0 = load_schema sender_path in
+        let exchange = load_schema exchange_path in
+        let churn =
+          if no_churn then None
+          else
+            match churn_to with
+            | Some path -> Some (load_schema path)
+            | None -> Some s0
+        in
+        let duration_s =
+          match duration with
+          | Some d -> d
+          | None -> if smoke then 10. else 60.
+        in
+        let window_s =
+          match window with Some w -> w | None -> if smoke then 0.5 else 1.
+        in
+        let out = if out = "-" then None else Some out in
+        match
+          Soak_driver.run ~quiet:false ~spawn ~host ~port ~s0 ~exchange
+            ~exchange_path ~churn ~k ~duration_s ~workers ~window_s ~seed
+            ~out ()
+        with
+        | code -> code
+        | exception Soak_driver.Soak_failed m -> fail "%s" m)
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"Hold a seeded adversarial workload against a served peer and \
+             grade the run: phase-scheduled traffic (warm-up, steady \
+             state, schema churn, flash crowd, brownout, recovery) with \
+             fault injection driving the resilience breakers, per-window \
+             p50/p99/p999 latency, throughput, heap high-water and breaker \
+             dynamics, and a deterministic structural verdict written with \
+             the full time series to BENCH_SOAK.json (see BENCHMARKS.md). \
+             Serve the peer in another terminal ($(b,axml serve)) or let \
+             $(b,--spawn) fork one. Exits 0 only if every check passes.")
+    Term.(const run $ host_arg
+          $ port_arg ~default:7411 "Port the served peer listens on."
+          $ sender_arg $ target_arg $ k_arg $ smoke_arg $ spawn_arg
+          $ duration_arg $ workers_arg $ window_arg $ seed_arg $ churn_to_arg
+          $ no_churn_arg $ out_arg)
+
 (* ------------------------------------------------------------------ *)
 (* compat                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -885,4 +1002,5 @@ let () =
   exit (Cmd.eval' (Cmd.group info
                      [ validate_cmd; check_cmd; rewrite_cmd; batch_cmd;
                        trace_cmd; lint_cmd; compat_cmd; schema_cmd;
-                       serve_cmd; call_cmd; send_cmd; federation_cmd ]))
+                       serve_cmd; call_cmd; send_cmd; federation_cmd;
+                       soak_cmd ]))

@@ -18,12 +18,16 @@ type t = {
   call_probability : float;
     (* when a content model offers both a function and its materialized
        alternative, how often sampling keeps the function *)
+  fuel : int;
+    (* star-unrolling budget at the root, decaying with depth: the size
+       knob workload mixes turn to fatten or thin documents *)
 }
 
 let create ?(seed = 0x5eed) ?(max_depth = 24) ?(call_probability = 0.5)
-    ?env schema =
+    ?(fuel = 4) ?env schema =
   let env = match env with Some e -> e | None -> Schema.env_of_schema schema in
-  { env; schema; rng = Random.State.make [| seed |]; max_depth; call_probability }
+  { env; schema; rng = Random.State.make [| seed |]; max_depth;
+    call_probability; fuel }
 
 let rand_int g n = if n <= 0 then 0 else Random.State.int g.rng n
 
@@ -50,7 +54,7 @@ let rec tree_for_symbol g depth (sym : Symbol.t) : Document.t =
        raise (Generation_failed (Fmt.str "no declaration for element %S" label))
      | Some content ->
        let regex = Schema.compile_content g.env content in
-       let word = sample_word g ~fuel:(max 0 (4 - depth / 4)) regex in
+       let word = sample_word g ~fuel:(max 0 (g.fuel - depth / 4)) regex in
        Document.elem label (List.map (tree_for_symbol g (depth + 1)) word))
   | Symbol.Fun fname ->
     (match Schema.String_map.find_opt fname g.env.Schema.env_functions with
@@ -58,7 +62,7 @@ let rec tree_for_symbol g depth (sym : Symbol.t) : Document.t =
        raise (Generation_failed (Fmt.str "no declaration for function %S" fname))
      | Some f ->
        let regex = Schema.compile_content g.env f.Schema.f_input in
-       let word = sample_word g ~fuel:(max 0 (3 - depth / 4)) regex in
+       let word = sample_word g ~fuel:(max 0 (g.fuel - 1 - depth / 4)) regex in
        Document.call fname (List.map (tree_for_symbol g (depth + 1)) word))
 
 (* A random instance of element type [label]. *)

@@ -201,6 +201,49 @@ let histogram_snapshot h =
   in
   { buckets; count = Atomic.get h.h_count; sum = Afloat.get h.h_sum }
 
+(* Windowed views: a histogram child accumulates forever, so a window is
+   the pointwise difference of two snapshots of the same child. *)
+let diff_histogram_snapshot ~before after =
+  if List.length before.buckets <> List.length after.buckets then
+    invalid_arg "Metrics.diff_histogram_snapshot: different bucket layouts";
+  let buckets =
+    List.map2
+      (fun (b0, c0) (b1, c1) ->
+        if b0 <> b1 then
+          invalid_arg "Metrics.diff_histogram_snapshot: different bucket layouts";
+        (b1, max 0 (c1 - c0)))
+      before.buckets after.buckets
+  in
+  { buckets;
+    count = max 0 (after.count - before.count);
+    sum = after.sum -. before.sum }
+
+let snapshot_quantile snap q =
+  if not (q >= 0. && q <= 1.) then
+    invalid_arg "Metrics.snapshot_quantile: q must be in [0, 1]";
+  if snap.count = 0 then Float.nan
+  else begin
+    let rank = q *. float_of_int snap.count in
+    (* walk the cumulative buckets; interpolate linearly inside the
+       first bucket whose cumulative count reaches the rank. A rank that
+       lands in the +Inf overflow bucket reports the last finite bound:
+       the histogram carries no upper estimate beyond it. *)
+    let rec interp lower_bound lower_cum = function
+      | [] -> lower_bound
+      | (bound, cum) :: rest ->
+        if float_of_int cum >= rank then
+          if cum = lower_cum then bound
+          else
+            let frac =
+              (rank -. float_of_int lower_cum)
+              /. float_of_int (cum - lower_cum)
+            in
+            lower_bound +. ((bound -. lower_bound) *. max 0. (min 1. frac))
+        else interp bound cum rest
+    in
+    interp 0. 0 snap.buckets
+  end
+
 let reset t =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) @@ fun () ->

@@ -141,6 +141,31 @@ val histogram_snapshot : histogram -> histogram_snapshot
 (** A consistent-enough snapshot of a histogram child (buckets, count
     and sum are read independently; see the module preamble). *)
 
+(** {2 Windowed views}
+
+    A histogram child accumulates forever; a {e window} is the pointwise
+    difference of two snapshots of the same child, taken at the window's
+    edges. The soak harness ([Axml_workload.Soak]) builds its per-window
+    latency distributions this way. *)
+
+val diff_histogram_snapshot :
+  before:histogram_snapshot -> histogram_snapshot -> histogram_snapshot
+(** [diff_histogram_snapshot ~before after] is the window of
+    observations recorded between the two snapshots: per-bucket
+    cumulative counts, total count and sum are subtracted pointwise
+    (clamped at zero, in case the reads raced an in-flight update).
+    @raise Invalid_argument when the snapshots have different bucket
+    layouts — they must come from the same family. *)
+
+val snapshot_quantile : histogram_snapshot -> float -> float
+(** [snapshot_quantile snap q] estimates the [q]-quantile (e.g. [0.5],
+    [0.99], [0.999]) of the observations in [snap] by linear
+    interpolation inside the first bucket whose cumulative count reaches
+    [q * count]. The estimate is bounded by the declared bucket bounds: a
+    rank landing in the implicit [+Inf] bucket reports the last finite
+    bound. [nan] on an empty snapshot.
+    @raise Invalid_argument unless [0 <= q <= 1]. *)
+
 (** {1 Export} *)
 
 val to_prometheus : t -> string

@@ -59,6 +59,35 @@ let timing_out ?(clock = Resilience.wall_clock) ~delay_s (inner : Service.behavi
     clock.Resilience.sleep delay_s;
     inner params
 
+(* A behaviour that follows a timeline: entries [(offset_s, b)] switch
+   the active behaviour as the clock passes [origin + offset_s]. This is
+   what the soak harness uses to drive brownouts and recoveries — the
+   service itself degrades on schedule, and the resilience guard's
+   breaker is expected to react. Reading the clock and picking the
+   active entry is pure w.r.t. the oracle's own state, so no lock is
+   needed; the inner behaviours keep their own thread-safety story. *)
+let scheduled ?(clock = Resilience.wall_clock) ?origin entries :
+    Service.behaviour =
+  if entries = [] then invalid_arg "Oracle.scheduled: empty timeline";
+  let entries =
+    List.stable_sort (fun (a, _) (b, _) -> compare a b) entries
+  in
+  (match entries with
+   | (t0, _) :: _ when t0 > 0. ->
+     invalid_arg "Oracle.scheduled: the timeline must start at offset 0"
+   | _ -> ());
+  let origin =
+    match origin with Some t -> t | None -> clock.Resilience.now ()
+  in
+  fun params ->
+    let elapsed = clock.Resilience.now () -. origin in
+    let rec active current = function
+      | (t, b) :: rest when t <= elapsed -> active b rest
+      | _ -> current
+    in
+    let b = active (snd (List.hd entries)) (List.tl entries) in
+    b params
+
 (* Fails every [period]-th call, otherwise behaves like [inner]. *)
 let flaky ~period (inner : Service.behaviour) : Service.behaviour =
   let count = Atomic.make 0 in

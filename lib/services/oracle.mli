@@ -43,5 +43,20 @@ val timing_out :
     budgets; pair with {!Resilience.manual_clock} to avoid real
     sleeps. *)
 
+val scheduled :
+  ?clock:Resilience.clock -> ?origin:float ->
+  (float * Service.behaviour) list -> Service.behaviour
+(** [scheduled entries] follows a fault-injection timeline: each entry
+    [(offset_s, b)] makes [b] the active behaviour once the clock passes
+    [origin +. offset_s] (sorted internally; [origin] defaults to the
+    clock's value at creation). This is how a soak run drives the
+    adversarial environment — a service that is honest during warm-up,
+    slow during a brownout, dead at its bottom, and honest again for
+    recovery — while the {!Resilience} breaker reacts on its own
+    schedule.
+    @raise Invalid_argument on an empty timeline or one whose earliest
+    entry is after offset [0] (the behaviour before the first switch
+    point would be undefined). *)
+
 val counting : Service.behaviour -> Service.behaviour * (unit -> int)
 (** Count the calls that reach the inner behaviour. *)

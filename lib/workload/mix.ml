@@ -1,0 +1,91 @@
+(* Seeded traffic mixes: weighted document-shape profiles over a schema,
+   drawn as a deterministic stream. Each profile owns its own seeded
+   generator and the profile picker is its own seeded PRNG, so the i-th
+   item of a stream depends only on (seed, schema, mix) — never on
+   timing or on which thread draws it. *)
+
+module Schema = Axml_schema.Schema
+module Generate = Axml_core.Generate
+
+type profile = {
+  name : string;
+  weight : int;
+  call_probability : float;
+  fuel : int;
+  max_depth : int;
+}
+
+let profile ?(weight = 1) ?(call_probability = 0.5) ?(fuel = 4)
+    ?(max_depth = 24) name =
+  if weight < 1 then invalid_arg "Mix.profile: weight must be >= 1";
+  { name; weight; call_probability; fuel; max_depth }
+
+type t = { profiles : profile list }
+
+let v profiles =
+  if profiles = [] then invalid_arg "Mix.v: a mix needs at least one profile";
+  { profiles }
+
+let profiles t = t.profiles
+
+let steady =
+  v
+    [ profile ~weight:3 ~call_probability:0.5 ~fuel:3 "regular";
+      profile ~weight:1 ~call_probability:0.8 ~fuel:4 "chatty" ]
+
+let flash_crowd =
+  v
+    [ profile ~weight:1 ~call_probability:0.6 ~fuel:5 "fat";
+      profile ~weight:1 ~call_probability:0.9 ~fuel:6 "fat-chatty" ]
+
+type item = {
+  seq : int;
+  doc_name : string;
+  profile_name : string;
+  doc : Axml_core.Document.t;
+}
+
+type stream = {
+  picker : Random.State.t;
+  gens : (profile * Generate.t) array;
+  total_weight : int;
+  mutable seq : int;
+  lock : Mutex.t;
+}
+
+let stream ?(seed = 2003) ?env ~schema mix =
+  let gens =
+    Array.of_list
+      (List.mapi
+         (fun i p ->
+           ( p,
+             Generate.create
+               ~seed:(seed + (31 * (i + 1)))
+               ~max_depth:p.max_depth ~call_probability:p.call_probability
+               ~fuel:p.fuel ?env schema ))
+         mix.profiles)
+  in
+  { picker = Random.State.make [| seed; 0x6d17 |];
+    gens;
+    total_weight =
+      Array.fold_left (fun acc (p, _) -> acc + p.weight) 0 gens;
+    seq = 0;
+    lock = Mutex.create () }
+
+let next s =
+  Mutex.protect s.lock @@ fun () ->
+  let seq = s.seq in
+  s.seq <- seq + 1;
+  let r = Random.State.int s.picker s.total_weight in
+  let rec pick i acc =
+    let p, g = s.gens.(i) in
+    if r < acc + p.weight || i = Array.length s.gens - 1 then (p, g)
+    else pick (i + 1) (acc + p.weight)
+  in
+  let p, g = pick 0 0 in
+  { seq;
+    doc_name = Printf.sprintf "w-%06d" seq;
+    profile_name = p.name;
+    doc = Generate.document g }
+
+let drawn s = Mutex.protect s.lock (fun () -> s.seq)

@@ -1,0 +1,78 @@
+(** Seeded traffic mixes: deterministic streams of generated documents
+    whose size, depth and call density follow a weighted profile
+    distribution over a schema.
+
+    A {e profile} names one shape of document (how fat, how deep, how
+    intensional); a {e mix} weights several profiles against each other;
+    a {e stream} draws documents from a mix with one seeded PRNG per
+    profile plus a seeded profile picker, so the [i]-th item of a stream
+    is a pure function of [(seed, schema, mix)] — the reproducibility
+    the soak harness and its tests rely on. *)
+
+(** {1 Profiles} *)
+
+type profile = private {
+  name : string;          (** label carried into stream items and stats *)
+  weight : int;           (** relative pick weight within a mix *)
+  call_probability : float;
+      (** call density: how often generation keeps a function symbol
+          when the content model also offers its materialized
+          alternative (see {!Axml_core.Generate.create}) *)
+  fuel : int;             (** star-unrolling budget — the size knob *)
+  max_depth : int;        (** hard recursion cutoff for generation *)
+}
+
+val profile :
+  ?weight:int -> ?call_probability:float -> ?fuel:int -> ?max_depth:int ->
+  string -> profile
+(** [profile name] with defaults [weight = 1], [call_probability = 0.5],
+    [fuel = 4], [max_depth = 24].
+    @raise Invalid_argument when [weight < 1]. *)
+
+(** {1 Mixes} *)
+
+type t
+(** A weighted set of profiles. *)
+
+val v : profile list -> t
+(** @raise Invalid_argument on an empty profile list. *)
+
+val profiles : t -> profile list
+
+val steady : t
+(** The everyday mix: mostly regular documents ([fuel = 3]), a quarter
+    chatty ones with higher call density. *)
+
+val flash_crowd : t
+(** The flash-crowd mix: call-dense documents with a raised size budget
+    ([fuel] 5–6 — schemas whose stars are reachable without calls also
+    fatten). Each request costs more than a steady one; combined with
+    the schedule's worker multiplier this is what makes a flash crowd
+    move the p99 of a served peer. *)
+
+(** {1 Streams} *)
+
+type item = {
+  seq : int;           (** 0-based position in the stream *)
+  doc_name : string;   (** a stable per-item name, e.g. ["w-000042"] *)
+  profile_name : string;
+  doc : Axml_core.Document.t;
+}
+
+type stream
+
+val stream :
+  ?seed:int -> ?env:Axml_schema.Schema.env -> schema:Axml_schema.Schema.t ->
+  t -> stream
+(** A fresh stream over [schema]. Equal [(seed, schema, mix)] yield
+    item-for-item identical streams (default seed [2003]). *)
+
+val next : stream -> item
+(** Draw the next item. Thread-safe: concurrent callers each receive a
+    distinct item, and the {e sequence} of items handed out is the same
+    deterministic stream regardless of which thread draws which.
+    @raise Axml_core.Generate.Generation_failed if the schema cannot be
+    sampled (no root, empty content model, unbounded recursion). *)
+
+val drawn : stream -> int
+(** Items handed out so far. *)

@@ -451,6 +451,33 @@ let test_bad_inputs () =
   let code, _ = run [ "validate"; "-s"; path "sender.axs"; "/nonexistent.xml" ] in
   check "missing file fails" true (code <> 0)
 
+(* A very short spawned soak: too brief for the verdict to be
+   meaningful (the breaker cooldown outlives the recovery phase), so we
+   assert the harness mechanics — exit code 0/1, a parseable
+   BENCH_SOAK.json with the documented fields — not the verdict. The
+   @ci alias runs the full --smoke soak with a passing verdict. *)
+let test_soak_shape () =
+  setup ();
+  let json_file = path "soak.json" in
+  let code, out =
+    run [ "soak"; "--spawn"; "-f"; path "sender.axs"; "-t"; path "exchange.axs";
+          "-k"; "2"; "--duration"; "2.4"; "--window"; "0.4"; "--workers"; "1";
+          "-o"; json_file ]
+  in
+  check "exit 0 or 1 (verdict), never a usage/transport error" true
+    (code = 0 || code = 1);
+  check "printed per-window lines" true (contains out "steady");
+  check "printed the verdict" true (contains out "soak ");
+  let json = read_file json_file in
+  (match Jsonv.explain json with
+   | None -> ()
+   | Some why -> Alcotest.failf "BENCH_SOAK.json does not parse: %s" why);
+  List.iter
+    (fun key -> check (key ^ " present") true (contains json key))
+    [ "\"schema_version\""; "\"seed\""; "\"windows\""; "\"phases\"";
+      "\"verdict\""; "\"resilience\""; "\"heap_high_water_words\"";
+      "\"p50\""; "\"p99\""; "\"p999\""; "\"breakers\"" ]
+
 let () =
   Alcotest.run "cli"
     [ ("cli",
@@ -469,6 +496,7 @@ let () =
          Alcotest.test_case "lint contract json" `Quick test_lint_contract_json;
          Alcotest.test_case "lint deny thresholds" `Quick test_lint_deny_thresholds;
          Alcotest.test_case "schema convert" `Quick test_schema_convert;
+         Alcotest.test_case "soak shape" `Quick test_soak_shape;
          Alcotest.test_case "bad inputs" `Quick test_bad_inputs
        ])
     ]

@@ -95,6 +95,66 @@ let test_histogram_time_uses_clock () =
   check_int "one observation" 1 s.Metrics.count;
   Alcotest.(check (float 1e-9)) "observed the clock delta" 0.25 s.Metrics.sum
 
+let test_histogram_window_diff () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r ~buckets:[ 1.0; 2.0 ] "w_seconds" in
+  List.iter (Metrics.observe h) [ 0.5; 1.5 ];
+  let before = Metrics.histogram_snapshot h in
+  List.iter (Metrics.observe h) [ 0.5; 0.5; 5.0 ];
+  let after = Metrics.histogram_snapshot h in
+  let w = Metrics.diff_histogram_snapshot ~before after in
+  check_int "window count" 3 w.Metrics.count;
+  Alcotest.(check (float 1e-9)) "window sum" 6.0 w.Metrics.sum;
+  (match w.Metrics.buckets with
+   | [ (_, c1); (_, c2) ] ->
+     check_int "le 1.0 in window" 2 c1;
+     check_int "le 2.0 in window" 2 c2
+   | _ -> Alcotest.fail "bucket layout preserved");
+  (* same-snapshot diff is the empty window *)
+  let z = Metrics.diff_histogram_snapshot ~before:after after in
+  check_int "empty window" 0 z.Metrics.count;
+  (* layouts must match *)
+  let other = Metrics.histogram ~registry:r ~buckets:[ 9.0 ] "other_seconds" in
+  check "different layouts rejected" true
+    (match
+       Metrics.diff_histogram_snapshot
+         ~before:(Metrics.histogram_snapshot other) after
+     with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
+let test_snapshot_quantile () =
+  let r = Metrics.create () in
+  let h =
+    Metrics.histogram ~registry:r ~buckets:[ 0.1; 0.2; 0.4; 1.0 ] "q_seconds"
+  in
+  (* 100 observations spread evenly across the 0.1 and 0.2 buckets *)
+  for _ = 1 to 50 do Metrics.observe h 0.05 done;
+  for _ = 1 to 50 do Metrics.observe h 0.15 done;
+  let s = Metrics.histogram_snapshot h in
+  check "p50 at the first bucket bound" true
+    (abs_float (Metrics.snapshot_quantile s 0.5 -. 0.1) < 1e-9);
+  let p75 = Metrics.snapshot_quantile s 0.75 in
+  check "p75 interpolates inside the second bucket" true
+    (p75 > 0.1 && p75 <= 0.2);
+  check "p100 is the last occupied bound" true
+    (abs_float (Metrics.snapshot_quantile s 1.0 -. 0.2) < 1e-9);
+  (* ranks past the last finite bound clamp to it *)
+  Metrics.observe h 99.0;
+  let s = Metrics.histogram_snapshot h in
+  check "overflow rank reports the last finite bound" true
+    (abs_float (Metrics.snapshot_quantile s 1.0 -. 1.0) < 1e-9);
+  check "empty snapshot is nan" true
+    (Float.is_nan
+       (Metrics.snapshot_quantile
+          (Metrics.histogram_snapshot
+             (Metrics.histogram ~registry:r ~buckets:[ 1.0 ] "q2_seconds"))
+          0.5));
+  check "quantile out of range rejected" true
+    (match Metrics.snapshot_quantile s 1.5 with
+     | _ -> false
+     | exception Invalid_argument _ -> true)
+
 (* ---------------- exporters ---------------- *)
 
 let populated_registry () =
@@ -308,7 +368,11 @@ let () =
           Alcotest.test_case "histogram le buckets" `Quick
             test_histogram_le_semantics;
           Alcotest.test_case "histogram time + clock" `Quick
-            test_histogram_time_uses_clock ] );
+            test_histogram_time_uses_clock;
+          Alcotest.test_case "histogram window diff" `Quick
+            test_histogram_window_diff;
+          Alcotest.test_case "snapshot quantile" `Quick
+            test_snapshot_quantile ] );
       ( "export",
         [ Alcotest.test_case "prometheus text format" `Quick
             test_prometheus_format;
