@@ -1626,6 +1626,171 @@ let e23 () =
   Fmt.pr "machine-readable results written to BENCH_E23.json@."
 
 (* ------------------------------------------------------------------ *)
+(* E24: schema evolution — diff and corpus-migration throughput        *)
+(* ------------------------------------------------------------------ *)
+
+module Evolution = Axml_analysis.Evolution
+
+(* Evolve a synthetic schema into a plausible v2: rebuild it element by
+   element keeping most content models, widening some and replacing a
+   few outright, so the diff has all four classifications to do and the
+   verdict lift finds genuine regressions. Functions and root carry
+   over verbatim (a signature conflict would skip the lift). *)
+let evolve rng (v1 : Schema.t) =
+  let widen r =
+    match Random.State.int rng 3 with
+    | 0 -> R.opt r
+    | 1 -> R.star r
+    | _ -> R.alt r (R.sym (Schema.A_label "e0"))
+  in
+  let mutate r =
+    let roll = Random.State.int rng 100 in
+    if roll < 60 then r
+    else if roll < 85 then widen r
+    else R.sym Schema.A_data
+  in
+  let s =
+    List.fold_left
+      (fun s l ->
+        match Schema.find_element v1 l with
+        | None -> s
+        | Some c -> Schema.add_element s l (mutate c))
+      Schema.empty (Schema.element_names v1)
+  in
+  let s =
+    List.fold_left
+      (fun s f ->
+        match Schema.find_function v1 f with
+        | None -> s
+        | Some fn -> Schema.add_function s fn)
+      s (Schema.function_names v1)
+  in
+  match v1.Schema.root with Some r -> Schema.with_root s r | None -> s
+
+let e24 () =
+  section "e24" "schema evolution: diff and corpus-migration throughput";
+  expectation
+    "per-label classification is DFA inclusion over already-small \
+     Glushkov automata and the verdict lift builds one merged contract \
+     for the whole pair (the Section 6 g_l reduction, batched), so a \
+     full diff should stay in the milliseconds and grow roughly \
+     linearly with the declaration count; migration advice is one \
+     validation plus two bounded rewriting checks per document, so a \
+     corpus moves at thousands of documents per second";
+  let sizes = [ 10; 40; 160 ] in
+  let diff_rows =
+    List.map
+      (fun n ->
+        let rng = Random.State.make [| 0xE24; n |] in
+        let v1 = synthetic_schema rng n in
+        let v2 = evolve rng v1 in
+        let ns =
+          measure_ns
+            (Fmt.str "diff %d elements" n)
+            (fun () -> Evolution.diff ~v1 ~v2 ())
+        in
+        let r = Evolution.diff ~v1 ~v2 () in
+        let count c =
+          List.length
+            (List.filter
+               (fun (l : Evolution.label_diff) ->
+                 l.Evolution.l_presence = Evolution.Both c)
+               r.Evolution.r_labels)
+        in
+        let id = count Evolution.Identical
+        and wi = count Evolution.Widened
+        and na = count Evolution.Narrowed
+        and inc = count Evolution.Incompatible in
+        let ds = List.length r.Evolution.r_diagnostics in
+        Fmt.pr
+          "%4d elements: %a per diff  (%7.0f diffs/s)  %d identical %d \
+           widened %d narrowed %d incompatible, %d finding(s)@."
+          n pp_ns ns (1e9 /. ns) id wi na inc ds;
+        (n, ns, id, wi, na, inc, ds))
+      sizes
+  in
+  (* corpus migration: archived sender-schema issues moving to the
+     checked-in exchange v2 (one widened label, one narrowed label, one
+     invocability flip — the examples/ pair, inlined) *)
+  let v1 =
+    Schema_parser.parse
+      "root newspaper\n\
+       element newspaper = title.date.(Get_Temp | temp).(TimeOut | exhibit*)\n\
+       element title = #data\n\
+       element date = #data\n\
+       element temp = #data\n\
+       element exhibit = title.(Get_Date | date)\n\
+       function Get_Temp : #data -> temp\n\
+       function Get_Date : title -> date\n\
+       function TimeOut : #data -> exhibit*\n"
+  in
+  let v2 =
+    Schema_parser.parse
+      "root newspaper\n\
+       element newspaper = title.date.temp.exhibit.exhibit*\n\
+       element title = #data\n\
+       element date = #data\n\
+       element temp = #data\n\
+       element exhibit = title.(Get_Date | date)\n\
+       noninvocable function Get_Date : title -> date\n"
+  in
+  let n_docs = 200 in
+  let g = Generate.create ~seed:2400 v1 in
+  let corpus =
+    List.init n_docs (fun i ->
+        (Printf.sprintf "doc%03d.xml" i, Generate.document g))
+  in
+  let migrate_ns =
+    measure_ns ~quota:0.5 "migrate corpus" (fun () ->
+        Evolution.migrate ~k:2 ~v1 ~v2 corpus)
+  in
+  let m = Evolution.migrate ~k:2 ~v1 ~v2 corpus in
+  let mix a =
+    List.length
+      (List.filter
+         (fun (d : Evolution.doc_advisory) ->
+           match (d.Evolution.a_advisory, a) with
+           | Evolution.Conforms, `Conforms
+           | Evolution.Materialize, `Materialize
+           | Evolution.Possible, `Possible
+           | Evolution.Doomed _, `Doomed -> true
+           | _ -> false)
+         m.Evolution.g_advisories)
+  in
+  let conforms = mix `Conforms
+  and materialize = mix `Materialize
+  and possible = mix `Possible
+  and doomed = mix `Doomed in
+  let docs_per_s = float_of_int n_docs /. (migrate_ns /. 1e9) in
+  Fmt.pr
+    "%4d documents: %a per corpus  (%7.0f docs/s)  %d conform %d \
+     materialize %d possible %d doomed — %s@."
+    n_docs pp_ns migrate_ns docs_per_s conforms materialize possible doomed
+    (if m.Evolution.g_migratable then "migratable" else "NOT migratable");
+  let oc = open_out "BENCH_E24.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"e24\",\n\
+    \  \"diffs\": [\n%s\n  ],\n\
+    \  \"migration\": {\"docs\": %d, \"migrate_ns\": %.0f, \
+     \"docs_per_s\": %.1f, \"conforms\": %d, \"materialize\": %d, \
+     \"possible\": %d, \"doomed\": %d, \"migratable\": %b}\n\
+     }\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (n, ns, id, wi, na, inc, ds) ->
+            Printf.sprintf
+              "    {\"elements\": %d, \"diff_ns\": %.0f, \
+               \"diffs_per_s\": %.1f, \"identical\": %d, \"widened\": %d, \
+               \"narrowed\": %d, \"incompatible\": %d, \"diagnostics\": %d}"
+              n ns (1e9 /. ns) id wi na inc ds)
+          diff_rows))
+    n_docs migrate_ns docs_per_s conforms materialize possible doomed
+    m.Evolution.g_migratable;
+  close_out oc;
+  Fmt.pr "machine-readable results written to BENCH_E24.json@."
+
+(* ------------------------------------------------------------------ *)
 (* SOAK — the adversarial workload engine, in process                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -1767,7 +1932,7 @@ let experiments =
     ("e7", e7); ("e8", e8); ("e9", e9); ("e10", e10); ("e11", e11);
     ("e12", e12); ("e13", e13); ("e14", e14); ("e15", e15); ("e16", e16);
     ("e17", e17); ("e18", e18); ("e19", e19); ("e20", e20); ("e21", e21);
-    ("e22", e22); ("e23", e23); ("soak", esoak) ]
+    ("e22", e22); ("e23", e23); ("e24", e24); ("soak", esoak) ]
 
 let () =
   let selected =

@@ -16,6 +16,10 @@
      axml lint      -s schema.axs | -f sender.axs -t exchange.axs [doc.xml...]
                     [--format text|json] [--deny error|warning|hint]
                     [-k N] [--metrics-out FILE]
+     axml diff      -f v1.axs -t v2.axs [-k N] [--format text|json]
+                    [--deny error|warning|hint] [--metrics-out FILE]
+     axml migrate   -f v1.axs -t v2.axs doc1.xml doc2.xml ...
+                    [-k N] [--format text|json] [--metrics-out FILE]
 
    Schema files may use the compact textual syntax (see README) or the
    XML Schema_int syntax; the format is auto-detected. Documents are
@@ -27,7 +31,11 @@
    costs one document, not the batch. [trace] replays one enforcement
    with the decision tracer attached and prints every recorded step —
    validation, cache queries, fork choices, invocation attempts,
-   retries, breaker transitions, the final verdict. --metrics-out dumps
+   retries, breaker transitions, the final verdict. [diff] classifies a
+   schema evolution label by label (identical / widened / narrowed /
+   incompatible) and lifts the verdicts to contract level; [migrate]
+   advises an archived corpus on moving to the new version, naming the
+   calls each document must materialize. --metrics-out dumps
    the process-wide metrics registry (Prometheus text format, or JSON
    when FILE ends in .json); see OBSERVABILITY.md for the catalog. *)
 
@@ -120,6 +128,25 @@ let engine_arg =
   in
   Arg.(value & opt engine_conv Rewriter.Lazy & info [ "engine" ] ~docv:"ENGINE"
          ~doc:"Analysis engine: $(b,lazy) (Section 7) or $(b,eager) (Figure 3).")
+
+(* Shared by lint, diff and migrate, so the report surface stays one. *)
+let format_arg =
+  Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+       & info [ "format" ] ~docv:"FORMAT"
+           ~doc:"Report format: $(b,text) or $(b,json).")
+
+let deny_arg =
+  let sev =
+    Arg.enum
+      [ ("error", Axml_analysis.Diagnostic.Error);
+        ("warning", Axml_analysis.Diagnostic.Warning);
+        ("hint", Axml_analysis.Diagnostic.Hint) ]
+  in
+  Arg.(value & opt sev Axml_analysis.Diagnostic.Error
+       & info [ "deny" ] ~docv:"SEVERITY"
+           ~doc:"Exit non-zero when any diagnostic reaches $(docv) \
+                 ($(b,error), $(b,warning) or $(b,hint); default \
+                 $(b,error)).")
 
 (* ------------------------------------------------------------------ *)
 (* validate                                                            *)
@@ -491,24 +518,6 @@ let lint_cmd =
            ~doc:"Intensional XML documents to lint against the exchange \
                  contract (requires $(b,-f)/$(b,-t)).")
   in
-  let format_arg =
-    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
-         & info [ "format" ] ~docv:"FORMAT"
-             ~doc:"Report format: $(b,text) or $(b,json).")
-  in
-  let deny_arg =
-    let sev =
-      Arg.enum
-        [ ("error", Axml_analysis.Diagnostic.Error);
-          ("warning", Axml_analysis.Diagnostic.Warning);
-          ("hint", Axml_analysis.Diagnostic.Hint) ]
-    in
-    Arg.(value & opt sev Axml_analysis.Diagnostic.Error
-         & info [ "deny" ] ~docv:"SEVERITY"
-             ~doc:"Exit non-zero when any diagnostic reaches $(docv) \
-                   ($(b,error), $(b,warning) or $(b,hint); default \
-                   $(b,error)).")
-  in
   let run schema_opt sender_opt target_opt k engine format deny metrics_out
       doc_paths =
     wrap (fun () ->
@@ -561,6 +570,69 @@ let lint_cmd =
     Term.(const run $ schema_opt_arg $ sender_opt_arg $ target_opt_arg
           $ k_arg $ engine_arg $ format_arg $ deny_arg $ metrics_out_arg
           $ docs_arg)
+
+(* ------------------------------------------------------------------ *)
+(* diff / migrate (schema evolution)                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Evolution = Axml_analysis.Evolution
+
+let diff_cmd =
+  let run sender target k engine format deny metrics_out =
+    wrap (fun () ->
+        let v1, from_positions = load_schema_positions sender in
+        let v2, to_positions = load_schema_positions target in
+        let report =
+          Evolution.diff ~k ~engine ~from_file:sender ?from_positions
+            ~to_file:target ?to_positions ~v1 ~v2 ()
+        in
+        Report.print_diff ~format ~from_file:sender ~to_file:target report;
+        Option.iter Report.write_metrics metrics_out;
+        if
+          Axml_analysis.Diagnostic.exceeds ~deny
+            report.Evolution.r_diagnostics
+        then 1
+        else 0)
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Diff two versions of an exchange schema: classify each label \
+             and function as identical, widened, narrowed or incompatible \
+             (Glushkov-DFA inclusion), lift the per-label changes to \
+             contract-level verdicts (Section 6 against the pair), and \
+             report AXM04x diagnostics with source positions.")
+    Term.(const run $ sender_arg $ target_arg $ k_arg $ engine_arg
+          $ format_arg $ deny_arg $ metrics_out_arg)
+
+let migrate_cmd =
+  let docs_arg =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"DOC.xml"
+           ~doc:"Archived documents of the old version to advise.")
+  in
+  let run sender target k engine format metrics_out doc_paths =
+    wrap (fun () ->
+        let v1 = load_schema sender in
+        let v2 = load_schema target in
+        let docs = List.map (fun p -> (p, load_document p)) doc_paths in
+        let migration =
+          try Evolution.migrate ~k ~engine ~v1 ~v2 docs
+          with Schema.Schema_error e ->
+            fail "%s" (Fmt.str "schema pair: %a" Schema.pp_error e)
+        in
+        Report.print_migration ~format ~from_file:sender ~to_file:target
+          migration;
+        Option.iter Report.write_metrics metrics_out;
+        if migration.Evolution.g_migratable then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "migrate"
+       ~doc:"Advise an archived corpus on moving to a new schema version: \
+             per document, whether it conforms as-is, rewrites safely after \
+             materializing a named set of calls, rewrites only possibly, or \
+             cannot migrate (AXM042). Exits 0 only when every document \
+             conforms or materializes safely.")
+    Term.(const run $ sender_arg $ target_arg $ k_arg $ engine_arg
+          $ format_arg $ metrics_out_arg $ docs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve / call / send / federation (the networked peer)               *)
@@ -934,7 +1006,7 @@ let compat_cmd =
     Arg.(value & opt (some string) None & info [ "r"; "root" ] ~docv:"LABEL"
            ~doc:"Root label (defaults to the sender schema's declared root).")
   in
-  let run sender target k engine root =
+  let run sender target k engine format root =
     wrap (fun () ->
         let s0 = load_schema sender in
         let exchange = load_schema target in
@@ -945,29 +1017,32 @@ let compat_cmd =
           | None, None -> fail "no root label: pass --root or declare one in the schema"
         in
         let result = Schema_rewrite.check ~k ~engine ~s0 ~root ~target:exchange () in
-        List.iter
-          (fun (v : Schema_rewrite.label_verdict) ->
-            Fmt.pr "%-24s %s%s@." v.Schema_rewrite.label
-              (if v.Schema_rewrite.safe then "ok" else "FAIL")
-              (match v.Schema_rewrite.reason with
-               | Some r when not v.Schema_rewrite.safe -> ": " ^ r
-               | _ -> ""))
-          result.Schema_rewrite.verdicts;
-        if result.Schema_rewrite.compatible then begin
-          Fmt.pr "COMPATIBLE: every document of the sender schema safely \
-                  rewrites into the exchange schema@.";
-          0
-        end
-        else begin
-          Fmt.pr "INCOMPATIBLE@.";
-          1
-        end)
+        (match format with
+         | `Json ->
+           Fmt.pr "%s@."
+             (Evolution.compat_to_json ~from_file:sender ~to_file:target ~k
+                result)
+         | `Text ->
+           List.iter
+             (fun (v : Schema_rewrite.label_verdict) ->
+               Fmt.pr "%-24s %s%s@." v.Schema_rewrite.label
+                 (if v.Schema_rewrite.safe then "ok" else "FAIL")
+                 (match v.Schema_rewrite.reason with
+                  | Some r when not v.Schema_rewrite.safe -> ": " ^ r
+                  | _ -> ""))
+             result.Schema_rewrite.verdicts;
+           if result.Schema_rewrite.compatible then
+             Fmt.pr "COMPATIBLE: every document of the sender schema safely \
+                     rewrites into the exchange schema@."
+           else Fmt.pr "INCOMPATIBLE@.");
+        if result.Schema_rewrite.compatible then 0 else 1)
   in
   Cmd.v
     (Cmd.info "compat"
        ~doc:"Schema-level safe rewriting (Section 6): can every document of \
              one schema be safely rewritten into another?")
-    Term.(const run $ sender_arg $ target_arg $ k_arg $ engine_arg $ root_arg)
+    Term.(const run $ sender_arg $ target_arg $ k_arg $ engine_arg
+          $ format_arg $ root_arg)
 
 (* ------------------------------------------------------------------ *)
 (* schema (convert / pretty-print)                                     *)
@@ -1001,6 +1076,6 @@ let () =
   in
   exit (Cmd.eval' (Cmd.group info
                      [ validate_cmd; check_cmd; rewrite_cmd; batch_cmd;
-                       trace_cmd; lint_cmd; compat_cmd; schema_cmd;
-                       serve_cmd; call_cmd; send_cmd; federation_cmd;
-                       soak_cmd ]))
+                       trace_cmd; lint_cmd; diff_cmd; migrate_cmd;
+                       compat_cmd; schema_cmd; serve_cmd; call_cmd;
+                       send_cmd; federation_cmd; soak_cmd ]))

@@ -118,3 +118,95 @@ let print_diagnostics ?(ppf = Fmt.stdout) ~format ds =
       (Diagnostic.count Diagnostic.Error ds)
       (Diagnostic.count Diagnostic.Warning ds)
       (Diagnostic.count Diagnostic.Hint ds)
+
+(* Schema-evolution reports (axml diff / axml migrate). Text mode shows
+   only what changed, then the diagnostics; JSON is the shared envelope
+   from Evolution. *)
+
+module Evolution = Axml_analysis.Evolution
+
+let change_of_presence = function
+  | Evolution.Both c -> Evolution.change_to_string c
+  | Evolution.Only_v1 -> "removed"
+  | Evolution.Only_v2 -> "added"
+
+let verdict_string = function
+  | Axml_core.Contract.Safe -> "safe"
+  | Axml_core.Contract.Possible_only -> "possible"
+  | Axml_core.Contract.Impossible -> "impossible"
+
+let print_diff ?(ppf = Fmt.stdout) ~format ?from_file ?to_file
+    (r : Evolution.report) =
+  match format with
+  | `Json -> Fmt.pf ppf "%s@." (Evolution.report_to_json ?from_file ?to_file r)
+  | `Text ->
+    let changed = function
+      | Evolution.Both Evolution.Identical -> false
+      | _ -> true
+    in
+    List.iter
+      (fun (ld : Evolution.label_diff) ->
+        if changed ld.Evolution.l_presence then
+          Fmt.pf ppf "element  %-20s %s%s@." ld.Evolution.l_label
+            (change_of_presence ld.Evolution.l_presence)
+            (match ld.Evolution.l_new_calls with
+             | [] -> ""
+             | cs -> Fmt.str " (new calls: %s)" (String.concat ", " cs)))
+      r.Evolution.r_labels;
+    List.iter
+      (fun (fd : Evolution.func_diff) ->
+        if
+          changed fd.Evolution.f_presence
+          || fd.Evolution.f_invocable_v1 <> fd.Evolution.f_invocable_v2
+        then
+          Fmt.pf ppf "function %-20s %s@." fd.Evolution.f_func
+            (change_of_presence fd.Evolution.f_presence))
+      r.Evolution.r_functions;
+    List.iter
+      (fun (v : Evolution.verdict_lift) ->
+        Fmt.pf ppf "verdict  %-20s %s@." v.Evolution.v_label
+          (verdict_string v.Evolution.v_verdict))
+      r.Evolution.r_verdicts;
+    print_diagnostics ~ppf ~format:`Text r.Evolution.r_diagnostics
+
+let print_migration ?(ppf = Fmt.stdout) ~format ?from_file ?to_file
+    (g : Evolution.migration) =
+  match format with
+  | `Json ->
+    Fmt.pf ppf "%s@." (Evolution.migration_to_json ?from_file ?to_file g)
+  | `Text ->
+    List.iter
+      (fun (a : Evolution.doc_advisory) ->
+        let calls =
+          match a.Evolution.a_calls with
+          | [] -> ""
+          | cs ->
+            Fmt.str " — materialize %s"
+              (String.concat ", "
+                 (List.map
+                    (fun (path, name) ->
+                      Fmt.str "%s (at /%s)" name
+                        (String.concat "/" (List.map string_of_int path)))
+                    cs))
+        in
+        match a.Evolution.a_advisory with
+        | Evolution.Conforms ->
+          Fmt.pf ppf "%s: conforms — already an instance of the new schema@."
+            a.Evolution.a_doc
+        | Evolution.Materialize ->
+          Fmt.pf ppf "%s: materialize%s@." a.Evolution.a_doc calls
+        | Evolution.Possible ->
+          Fmt.pf ppf
+            "%s: possible%s (some service answers land outside the new \
+             schema)@."
+            a.Evolution.a_doc calls
+        | Evolution.Doomed reason ->
+          Fmt.pf ppf "%s: DOOMED — %s@." a.Evolution.a_doc reason)
+      g.Evolution.g_advisories;
+    Fmt.pf ppf "%s@."
+      (if g.Evolution.g_migratable then
+         "MIGRATABLE: every document conforms or rewrites safely after \
+          materialization"
+       else
+         "NOT MIGRATABLE: some documents only possibly rewrite, or cannot \
+          move at all")

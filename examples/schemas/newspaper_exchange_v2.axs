@@ -1,0 +1,15 @@
+# Version 2 of the agreed exchange schema — the evolution the diff /
+# migrate walkthrough analyzes against v1 (newspaper_exchange.axs):
+#   - newspaper NARROWS: at least one exhibit is now required (v1
+#     accepted title.date.temp with no exhibit at all)        -> AXM040
+#   - exhibit WIDENS: the date may stay an embedded Get_Date call,
+#     so receivers must be ready to invoke it themselves       -> AXM043
+#   - Get_Date changes signature versus the sender's declaration: it
+#     is noninvocable here, a receiver-side contract change    -> AXM044
+root newspaper
+element newspaper = title.date.temp.exhibit.exhibit*
+element title = #data
+element date = #data
+element temp = #data
+element exhibit = title.(Get_Date | date)
+noninvocable function Get_Date : title -> date

@@ -154,4 +154,17 @@ let rules =
       Warning,
       "declared output can embed invocable calls deeper than the configured \
        rewriting depth k" );
+    ( "AXM040",
+      Warning,
+      "schema evolution narrowed (or removed) a label's content model" );
+    ( "AXM041",
+      Warning,
+      "schema evolution regressed a label's contract-level verdict" );
+    ("AXM042", Error, "archived document cannot migrate to the new schema");
+    ( "AXM043",
+      Warning,
+      "widened content model silently accepts previously-refused calls" );
+    ( "AXM044",
+      Warning,
+      "schema evolution changed a function's signature or invocability" );
   ]

@@ -633,9 +633,11 @@ module Make (Sym : SYMBOL) = struct
       { size; start = cls.(dfa.start); finals = !finals; delta = !delta;
         alphabet = dfa.alphabet }
 
-    (* Language equivalence via emptiness of both differences. *)
-    let equal_language dfa1 dfa2 =
-      is_empty (difference dfa1 dfa2) && is_empty (difference dfa2 dfa1)
+    (* Language inclusion via emptiness of the difference. *)
+    let subset dfa1 dfa2 = is_empty (difference dfa1 dfa2)
+
+    (* Language equivalence via inclusion both ways. *)
+    let equal_language dfa1 dfa2 = subset dfa1 dfa2 && subset dfa2 dfa1
 
     (* A word accepted by [dfa1] but not [dfa2], if any. *)
     let separating_word dfa1 dfa2 =

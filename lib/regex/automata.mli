@@ -126,6 +126,11 @@ module Make (Sym : SYMBOL) : sig
     (** Moore partition refinement; the result is complete over the
         input's alphabet and minimal. *)
 
+    val subset : t -> t -> bool
+    (** Language inclusion: is every word of the first language accepted
+        by the second? Emptiness of {!difference} — the primitive the
+        schema-evolution classifier is built on. *)
+
     val equal_language : t -> t -> bool
     val separating_word : t -> t -> Sym.t list option
     (** A word accepted by the first but not the second, if any. *)

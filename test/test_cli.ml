@@ -439,6 +439,179 @@ let test_lint_deny_thresholds () =
   let code, _ = run [ "lint" ] in
   check_int "no schemas: exit 2" 2 code
 
+(* --- schema evolution: diff / migrate / compat --format json ------- *)
+
+(* Mirrors the checked-in newspaper example: v2 narrows newspaper
+   (at least one exhibit), widens exhibit (embedded Get_Date survives)
+   and flips Get_Date's invocability. *)
+let evo_v1_schema = {|
+root newspaper
+element newspaper = title.date.temp.exhibit*
+element title = #data
+element date = #data
+element temp = #data
+element exhibit = title.date
+|}
+
+let evo_v2_schema = {|
+root newspaper
+element newspaper = title.date.temp.exhibit.exhibit*
+element title = #data
+element date = #data
+element temp = #data
+element exhibit = title.(Get_Date | date)
+noninvocable function Get_Date : title -> date
+|}
+
+let evo_sender_schema = {|
+root newspaper
+element newspaper = title.date.(Get_Temp | temp).(TimeOut | exhibit*)
+element title = #data
+element date = #data
+element temp = #data
+element exhibit = title.(Get_Date | date)
+function Get_Temp : #data -> temp
+function Get_Date : title -> date
+function TimeOut : #data -> exhibit*
+|}
+
+let evo_sun_xml = {|<newspaper xmlns:int="http://www.activexml.com/ns/int">
+  <title>The Sun</title><date>04/10/2002</date>
+  <int:fun methodName="Get_Temp"><int:params><int:param>Paris</int:param></int:params></int:fun>
+  <int:fun methodName="TimeOut"><int:params><int:param>exhibits</int:param></int:params></int:fun>
+</newspaper>
+|}
+
+let evo_tribune_xml = {|<newspaper xmlns:int="http://www.activexml.com/ns/int">
+  <title>The Tribune</title><date>06/10/2002</date>
+  <int:fun methodName="Get_Temp"><int:params><int:param>Paris</int:param></int:params></int:fun>
+  <exhibit><title>Sculpture</title><date>20/10/2002</date></exhibit>
+</newspaper>
+|}
+
+let evo_gazette_xml = {|<newspaper xmlns:int="http://www.activexml.com/ns/int">
+  <title>The Gazette</title><date>07/10/2002</date><temp>15C</temp>
+</newspaper>
+|}
+
+let setup_evolution () =
+  write_file (path "evo_v1.axs") evo_v1_schema;
+  write_file (path "evo_v2.axs") evo_v2_schema;
+  write_file (path "evo_sender.axs") evo_sender_schema;
+  write_file (path "evo_sun.xml") evo_sun_xml;
+  write_file (path "evo_tribune.xml") evo_tribune_xml;
+  write_file (path "evo_gazette.xml") evo_gazette_xml
+
+let test_diff_cli () =
+  setup_evolution ();
+  let code, out =
+    run [ "diff"; "-f"; path "evo_v1.axs"; "-t"; path "evo_v2.axs" ]
+  in
+  check_int "warnings alone: exit 0" 0 code;
+  (* the planted changes, with stable codes and file:line:col *)
+  List.iter
+    (fun c -> check (c ^ " reported") true (contains out c))
+    [ "AXM040"; "AXM041"; "AXM043" ];
+  check "narrowing located at newspaper's declaration" true
+    (contains out (path "evo_v2.axs" ^ ":3:"));
+  check "widening located at exhibit's declaration" true
+    (contains out (path "evo_v2.axs" ^ ":7:"));
+  check "narrowing classified" true (contains out "narrowed");
+  check "lost word named" true (contains out "title.date.temp");
+  let code, _ =
+    run [ "diff"; "--deny"; "warning"; "-f"; path "evo_v1.axs";
+          "-t"; path "evo_v2.axs" ]
+  in
+  check_int "deny warning: exit 1" 1 code;
+  (* an unchanged schema diffs clean under the strictest threshold *)
+  let code, _ =
+    run [ "diff"; "--deny"; "hint"; "-f"; path "evo_v1.axs";
+          "-t"; path "evo_v1.axs" ]
+  in
+  check_int "identity: exit 0" 0 code;
+  (* the invocability flip against the sender's declaration *)
+  let _, out =
+    run [ "diff"; "-f"; path "evo_sender.axs"; "-t"; path "evo_v2.axs" ]
+  in
+  check "AXM044 reported" true (contains out "AXM044")
+
+let test_diff_cli_json () =
+  setup_evolution ();
+  let code, out =
+    run [ "diff"; "--format"; "json"; "-f"; path "evo_v1.axs";
+          "-t"; path "evo_v2.axs" ]
+  in
+  check_int "exit 0" 0 code;
+  (match Jsonv.explain out with
+   | None -> ()
+   | Some why -> Alcotest.failf "diff JSON does not parse: %s" why);
+  List.iter
+    (fun needle -> check (needle ^ " present") true (contains out needle))
+    [ {|"command":"diff"|}; {|"change":"narrowed"|}; {|"change":"widened"|};
+      {|"new_calls":["Get_Date"]|}; {|"witness":"title.date.temp"|};
+      {|"verdict":"possible"|}; {|"code":"AXM040"|}; {|"summary"|} ]
+
+let test_migrate_cli () =
+  setup_evolution ();
+  let code, out =
+    run [ "migrate"; "-f"; path "evo_sender.axs"; "-t"; path "evo_v2.axs";
+          path "evo_sun.xml"; path "evo_tribune.xml"; path "evo_gazette.xml" ]
+  in
+  check_int "doomed corpus: exit 1" 1 code;
+  (* each document gets its advisory, with the exact calls named *)
+  check "sun is possible-only" true (contains out "possible");
+  check "sun names Get_Temp" true (contains out "Get_Temp (at /2)");
+  check "sun names TimeOut" true (contains out "TimeOut (at /3)");
+  check "tribune materializes" true (contains out "materialize");
+  check "gazette is doomed" true (contains out "DOOMED");
+  check "verdict line" true (contains out "NOT MIGRATABLE");
+  (* a corpus of safe documents migrates: exit by advisory *)
+  let code, out =
+    run [ "migrate"; "-f"; path "evo_sender.axs"; "-t"; path "evo_v2.axs";
+          path "evo_tribune.xml" ]
+  in
+  check_int "clean corpus: exit 0" 0 code;
+  check "migratable" true (contains out "MIGRATABLE")
+
+let test_migrate_cli_json () =
+  setup_evolution ();
+  let code, out =
+    run [ "migrate"; "--format"; "json"; "-f"; path "evo_sender.axs";
+          "-t"; path "evo_v2.axs";
+          path "evo_sun.xml"; path "evo_tribune.xml"; path "evo_gazette.xml" ]
+  in
+  check_int "exit 1" 1 code;
+  (match Jsonv.explain out with
+   | None -> ()
+   | Some why -> Alcotest.failf "migrate JSON does not parse: %s" why);
+  List.iter
+    (fun needle -> check (needle ^ " present") true (contains out needle))
+    [ {|"command":"migrate"|}; {|"advisory":"possible"|};
+      {|"advisory":"materialize"|}; {|"advisory":"doomed"|};
+      {|"migratable":false|}; {|"code":"AXM042"|}; {|"summary"|} ]
+
+let test_compat_json () =
+  setup_evolution ();
+  setup ();
+  let code, out =
+    run [ "compat"; "--format"; "json"; "-k"; "2"; "-f"; path "sender.axs";
+          "-t"; path "exchange.axs" ]
+  in
+  check_int "compatible pair: exit 0" 0 code;
+  (match Jsonv.explain out with
+   | None -> ()
+   | Some why -> Alcotest.failf "compat JSON does not parse: %s" why);
+  check "command tagged" true (contains out {|"command":"compat"|});
+  check "compatible" true (contains out {|"compatible":true|});
+  check "depth recorded" true (contains out {|"k":2|});
+  (* the evolved pair is not whole-schema compatible *)
+  let code, out =
+    run [ "compat"; "--format"; "json"; "-f"; path "evo_sender.axs";
+          "-t"; path "evo_v2.axs" ]
+  in
+  check_int "evolved pair: exit 1" 1 code;
+  check "incompatible" true (contains out {|"compatible":false|})
+
 let test_bad_inputs () =
   setup ();
   write_file (path "broken.axs") "element = nonsense";
@@ -495,6 +668,11 @@ let () =
          Alcotest.test_case "lint schema" `Quick test_lint_schema;
          Alcotest.test_case "lint contract json" `Quick test_lint_contract_json;
          Alcotest.test_case "lint deny thresholds" `Quick test_lint_deny_thresholds;
+         Alcotest.test_case "diff" `Quick test_diff_cli;
+         Alcotest.test_case "diff json" `Quick test_diff_cli_json;
+         Alcotest.test_case "migrate" `Quick test_migrate_cli;
+         Alcotest.test_case "migrate json" `Quick test_migrate_cli_json;
+         Alcotest.test_case "compat json" `Quick test_compat_json;
          Alcotest.test_case "schema convert" `Quick test_schema_convert;
          Alcotest.test_case "soak shape" `Quick test_soak_shape;
          Alcotest.test_case "bad inputs" `Quick test_bad_inputs
