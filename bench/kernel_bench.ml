@@ -1,0 +1,305 @@
+(* E25: the automata-kernel micro-benchmark (see BENCHMARKS.md).
+
+   Measures the three inner loops the dense kernel rebuilt — DFA
+   membership, the marking game, and language inclusion — on small /
+   medium / large automata, so a kernel regression is caught here
+   per-PR instead of showing up end-to-end in E17.
+
+   Membership pits the functional-map DFA (`Auto.Dfa.accepts`, string
+   labels, balanced-tree dispatch) against the compiled dense tables
+   (`Auto.Dfa.Dense.accepts_ids`, int-array rows indexed by interned
+   symbol ids); the two are property-tested equal in test_regex.ml, so
+   this file only measures. Marking runs the full Section 7 lazy game
+   (Fork_automaton.build + Product.create + Marking.analyze_lazy) on the
+   paper's newspaper example at growing depth k; subset runs the
+   map-side simulation check that lint and evolution depend on.
+
+   Run with:  dune exec bench/kernel_bench.exe            (full, ~10 s)
+              dune exec bench/kernel_bench.exe -- --smoke (CI, ~2 s)
+              ... [-o FILE]   write the JSON report (default
+                              BENCH_E25.json; "-" for stdout only)     *)
+
+open Bechamel
+open Toolkit
+
+module R = Axml_regex.Regex
+module Schema = Axml_schema.Schema
+module Schema_parser = Axml_schema.Schema_parser
+module Symbol = Axml_schema.Symbol
+module Sym_id = Axml_schema.Sym_id
+module Auto = Axml_schema.Auto
+module D = Axml_core.Document
+module Fork_automaton = Axml_core.Fork_automaton
+module Product = Axml_core.Product
+module Marking = Axml_core.Marking
+
+let measure_ns ?(quota = 0.25) name (f : unit -> 'a) : float =
+  let test =
+    Test.make ~name (Staged.stage (fun () -> ignore (Sys.opaque_identity (f ()))))
+  in
+  let elt = List.hd (Test.elements test) in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second quota) () in
+  let b = Benchmark.run cfg Instance.[ monotonic_clock ] elt in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let est = Analyze.one ols Instance.monotonic_clock b in
+  match Analyze.OLS.estimates est with
+  | Some (v :: _) -> v
+  | Some [] | None -> Float.nan
+
+let pp_ns ppf ns =
+  if Float.is_nan ns then Fmt.string ppf "n/a"
+  else if ns < 1e3 then Fmt.pf ppf "%.0f ns" ns
+  else if ns < 1e6 then Fmt.pf ppf "%.1f us" (ns /. 1e3)
+  else if ns < 1e9 then Fmt.pf ppf "%.2f ms" (ns /. 1e6)
+  else Fmt.pf ppf "%.2f s" (ns /. 1e9)
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Membership: a chain of n blocks  (a_i | b_i) . c_i*  over 3n distinct
+   labels. The Glushkov DFA has ~2n+1 states and a 3n-symbol alphabet,
+   so growing n stresses exactly what the dense tables flatten: state
+   count and per-state dispatch width. *)
+
+let lbl i = R.sym (Symbol.Label (Printf.sprintf "s%03d" i))
+
+let block i =
+  R.seq (R.alt (lbl (3 * i)) (lbl ((3 * i) + 1))) (R.star (lbl ((3 * i) + 2)))
+
+let chain n =
+  List.init n block |> List.fold_left (fun acc b -> R.seq acc b) R.epsilon
+
+(* An in-language word: pick a_i, then two repeats of c_i — 3n symbols,
+   visiting every block. *)
+let chain_word n =
+  List.concat_map
+    (fun i ->
+      [ Symbol.Label (Printf.sprintf "s%03d" (3 * i));
+        Symbol.Label (Printf.sprintf "s%03d" ((3 * i) + 2));
+        Symbol.Label (Printf.sprintf "s%03d" ((3 * i) + 2)) ])
+    (List.init n (fun i -> i))
+
+(* Marking: small = the paper's running example (Figure 2) at k = 1,
+   the exact Section 4 instance.  Medium and large use a feed schema
+   whose function output mentions the function itself, so each extra
+   rewriting round re-splices copies (the geometric growth measured in
+   E8) — that is where the game actually earns its keep. *)
+
+let parse_schema text =
+  match Schema_parser.parse_result text with
+  | Ok s -> s
+  | Error e -> Fmt.failwith "schema error: %s" e
+
+let common = {|
+element title = #data
+element date = #data
+element temp = #data
+element city = #data
+element exhibit = title.(Get_Date | date)
+element performance = title.date
+function Get_Temp : city -> temp
+function TimeOut : #data -> (exhibit | performance)*
+function Get_Date : title -> date
+|}
+
+let schema_sender =
+  parse_schema
+    ({|
+root newspaper
+element newspaper = title.date.(Get_Temp | temp).(TimeOut | exhibit*)
+|} ^ common)
+
+let schema_target =
+  parse_schema
+    ({|
+root newspaper
+element newspaper = title.date.temp.exhibit*
+|} ^ common)
+
+let newspaper_word =
+  [ Symbol.Label "title"; Symbol.Label "date"; Symbol.Fun "Get_Temp";
+    Symbol.Fun "TimeOut" ]
+
+let feed_decls = {|
+element item = #data
+function Feed : #data -> (Feed | item)*
+|}
+
+let schema_feed_sender =
+  parse_schema ({|
+root doc
+element doc = Feed*
+|} ^ feed_decls)
+
+let schema_feed_target =
+  parse_schema ({|
+root doc
+element doc = item*
+|} ^ feed_decls)
+
+let env_of sender target root =
+  let env = Schema.env_of_schemas sender target in
+  let content =
+    match Schema.find_element target root with
+    | Some c -> c
+    | None -> Fmt.failwith "fixture schema lost its root element"
+  in
+  (env, Auto.Nfa.glushkov (Schema.compile_content env content))
+
+let newspaper_env = env_of schema_sender schema_target "newspaper"
+let feed_env = env_of schema_feed_sender schema_feed_target "doc"
+
+(* ------------------------------------------------------------------ *)
+(* The three loops                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type row = { label : string; meta : (string * float) list }
+
+let json_of_rows rows =
+  rows
+  |> List.map (fun { label; meta } ->
+         meta
+         |> List.map (fun (k, v) ->
+                if Float.is_integer v && Float.abs v < 1e15 then
+                  Printf.sprintf "\"%s\": %.0f" k v
+                else Printf.sprintf "\"%s\": %.2f" k v)
+         |> String.concat ", "
+         |> Printf.sprintf "    \"%s\": { %s }" label)
+  |> String.concat ",\n"
+
+let membership ~quota =
+  Fmt.pr "-- membership: map DFA vs dense tables (ns / word)@.";
+  Fmt.pr "%8s %7s %6s %5s %12s %12s %9s@." "size" "states" "width" "|w|"
+    "map" "dense" "speedup";
+  List.map
+    (fun (label, n) ->
+      let dfa = Auto.Dfa.of_regex (chain n) in
+      let dense = Auto.Dfa.Dense.compile ~sym_id:Sym_id.of_symbol dfa in
+      let word = chain_word n in
+      let ids = Sym_id.of_word word in
+      assert (Auto.Dfa.accepts dfa word);
+      assert (Auto.Dfa.Dense.accepts_ids dense ids);
+      let map_ns =
+        measure_ns ~quota (Fmt.str "e25-mem-map-%s" label) (fun () ->
+            Auto.Dfa.accepts dfa word)
+      in
+      let dense_ns =
+        measure_ns ~quota (Fmt.str "e25-mem-dense-%s" label) (fun () ->
+            Auto.Dfa.Dense.accepts_ids dense ids)
+      in
+      let states = float_of_int (Auto.Dfa.Dense.size dense) in
+      let width = float_of_int (Auto.Dfa.Dense.width dense) in
+      Fmt.pr "%8s %7.0f %6.0f %5d %a  %a  %.1fx@." label states width
+        (List.length word) pp_ns map_ns pp_ns dense_ns (map_ns /. dense_ns);
+      { label;
+        meta =
+          [ ("states", states); ("width", width);
+            ("word_len", float_of_int (List.length word)); ("map_ns", map_ns);
+            ("dense_ns", dense_ns); ("speedup", map_ns /. dense_ns) ] })
+    [ ("small", 4); ("medium", 16); ("large", 64) ]
+
+let marking ~quota ~smoke =
+  Fmt.pr "-- marking: lazy game over A_w^k x target (ns / decision)@.";
+  Fmt.pr "%8s %3s %4s %8s %7s %12s %12s@." "size" "k" "|w|" "states" "forks"
+    "lazy" "eager";
+  List.map
+    (fun (label, (env, target_nfa), k, word) ->
+      let build () =
+        let fork = Fork_automaton.build ~env ~k word in
+        Product.create ~fork ~target:target_nfa
+      in
+      let fork = Fork_automaton.build ~env ~k word in
+      let s = Fork_automaton.stats fork in
+      let lazy_ns =
+        measure_ns ~quota (Fmt.str "e25-mark-lazy-%s" label) (fun () ->
+            Marking.analyze_lazy (build ()))
+      in
+      let eager_ns =
+        if smoke then Float.nan
+        else
+          measure_ns ~quota (Fmt.str "e25-mark-eager-%s" label) (fun () ->
+              Marking.analyze_eager (build ()))
+      in
+      Fmt.pr "%8s %3d %4d %8d %7d %a  %a@." label k (List.length word)
+        s.Fork_automaton.states s.Fork_automaton.forks pp_ns lazy_ns pp_ns
+        eager_ns;
+      { label;
+        meta =
+          ([ ("k", float_of_int k);
+             ("word_len", float_of_int (List.length word));
+             ("fork_states", float_of_int s.Fork_automaton.states);
+             ("forks", float_of_int s.Fork_automaton.forks);
+             ("lazy_ns", lazy_ns) ]
+          @ if smoke then [] else [ ("eager_ns", eager_ns) ]) })
+    [ ("small", newspaper_env, 1, newspaper_word);
+      ("medium", feed_env, 2, [ Symbol.Fun "Feed"; Symbol.Fun "Feed" ]);
+      ("large", feed_env, 3,
+       [ Symbol.Fun "Feed"; Symbol.Fun "Feed"; Symbol.Fun "Feed" ]) ]
+
+let subset ~quota =
+  Fmt.pr "-- subset: map-side language inclusion (ns / check)@.";
+  Fmt.pr "%8s %7s %12s@." "size" "states" "ns";
+  List.map
+    (fun (label, n) ->
+      let d = Auto.Dfa.of_regex (chain n) in
+      let wide = Auto.Dfa.of_regex (R.star (chain n)) in
+      assert (Auto.Dfa.subset d wide);
+      let ns =
+        measure_ns ~quota (Fmt.str "e25-subset-%s" label) (fun () ->
+            Auto.Dfa.subset d wide)
+      in
+      let states = float_of_int (Auto.Dfa.Dense.size
+          (Auto.Dfa.Dense.compile ~sym_id:Sym_id.of_symbol d)) in
+      Fmt.pr "%8s %7.0f %a@." label states pp_ns ns;
+      { label; meta = [ ("states", states); ("ns", ns) ] })
+    [ ("small", 4); ("medium", 16); ("large", 64) ]
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let smoke = ref false in
+  let out = ref "BENCH_E25.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest -> smoke := true; parse rest
+    | "-o" :: file :: rest -> out := file; parse rest
+    | arg :: _ -> Fmt.failwith "unknown argument %s" arg
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let quota = if !smoke then 0.05 else 0.25 in
+  Fmt.pr "E25  automata kernel: membership / marking / subset%s@."
+    (if !smoke then " (smoke)" else "");
+  let mem = membership ~quota in
+  let mark = marking ~quota ~smoke:!smoke in
+  let sub = subset ~quota in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"experiment\": \"e25\",\n\
+      \  \"smoke\": %b,\n\
+      \  \"membership\": {\n%s\n  },\n\
+      \  \"marking\": {\n%s\n  },\n\
+      \  \"subset\": {\n%s\n  }\n\
+       }\n"
+      !smoke (json_of_rows mem) (json_of_rows mark) (json_of_rows sub)
+  in
+  if !out <> "-" then begin
+    let oc = open_out_bin !out in
+    output_string oc json;
+    close_out oc;
+    Fmt.pr "wrote %s@." !out
+  end;
+  (* the CI smoke also sanity-gates the kernel's reason to exist: dense
+     membership must never lose to the map representation it replaced *)
+  List.iter
+    (fun { label; meta } ->
+      let speedup = List.assoc "speedup" meta in
+      if speedup < 1.0 then
+        Fmt.failwith "dense membership slower than map on %s (%.2fx)" label
+          speedup)
+    mem

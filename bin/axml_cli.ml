@@ -9,7 +9,8 @@
      axml batch     -f sender.axs -t exchange.axs doc1.xml doc2.xml ...
                     [-k N] [--possible] [--oracle random|fail|flaky]
                     [--retries N] [--timeout-ms N] [--breaker-threshold N]
-                    [--stats-json FILE] [--metrics-out FILE]
+                    [--format text|json] [--stats-json FILE]
+                    [--metrics-out FILE]
      axml trace     -f sender.axs -t exchange.axs doc.xml [-k N] [--possible]
                     [--oracle random|fail|flaky] [--retries N]
                     [--buffer N] [--jsonl FILE] [--metrics-out FILE]
@@ -90,15 +91,23 @@ let write_output out text =
     output_string oc text;
     close_out oc
 
-let wrap f =
+(* Usage and input errors exit 2 with the message on stderr. Commands
+   run with [--format json] pass the format along so stdout still
+   carries one valid JSON envelope (the error as an AXM000 diagnostic)
+   — a consumer parsing the output never sees an empty or truncated
+   stream. *)
+let wrap ?(format = `Text) f =
+  let input_error m =
+    (match format with
+     | `Json -> Fmt.pr "%s@." (Report.error_envelope m)
+     | `Text -> ());
+    Fmt.epr "error: %s@." m;
+    2
+  in
   match f () with
   | code -> code
-  | exception Cli_error m ->
-    Fmt.epr "error: %s@." m;
-    2
-  | exception Sys_error m ->
-    Fmt.epr "error: %s@." m;
-    2
+  | exception Cli_error m -> input_error m
+  | exception Sys_error m -> input_error m
 
 (* ------------------------------------------------------------------ *)
 (* Common arguments                                                    *)
@@ -129,7 +138,9 @@ let engine_arg =
   Arg.(value & opt engine_conv Rewriter.Lazy & info [ "engine" ] ~docv:"ENGINE"
          ~doc:"Analysis engine: $(b,lazy) (Section 7) or $(b,eager) (Figure 3).")
 
-(* Shared by lint, diff and migrate, so the report surface stays one. *)
+(* Shared by lint, diff, migrate, batch and compat, so the report
+   surface stays one: JSON mode always prints a single envelope on
+   stdout, even on usage/input errors (see [wrap]). *)
 let format_arg =
   Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
        & info [ "format" ] ~docv:"FORMAT"
@@ -315,8 +326,8 @@ let batch_cmd =
                  $(b,axml_enforce_min_k_total) metric.")
   in
   let run sender target k possible engine oracle retries timeout_ms
-      breaker_threshold jobs min_k stats_out metrics_out doc_paths =
-    wrap (fun () ->
+      breaker_threshold jobs min_k format stats_out metrics_out doc_paths =
+    wrap ~format (fun () ->
         let s0 = load_schema sender in
         let exchange = load_schema target in
         let env = Schema.env_of_schemas s0 exchange in
@@ -340,27 +351,38 @@ let batch_cmd =
         in
         let pipeline = Enforcement.Pipeline.create ~config ~s0 ~exchange ~invoker () in
         let failed = ref 0 in
+        (* JSON mode owes stdout a single envelope, so per-document
+           outcome lines move to stderr and the records accumulate *)
+        let outcomes = ref [] in
+        let report path result =
+          if Result.is_error result then incr failed;
+          match format with
+          | `Text -> Report.print_outcome ~label:path result
+          | `Json ->
+            outcomes := (path, result) :: !outcomes;
+            Report.print_outcome ~ppf:Fmt.stderr ~label:path result
+        in
         (match executor with
          | Enforcement.Sequential ->
            (* stream: enforce and report one document at a time *)
            List.iter
              (fun path ->
                let doc = load_document path in
-               let result = Enforcement.Pipeline.enforce pipeline doc in
-               if Result.is_error result then incr failed;
-               Report.print_outcome ~label:path result)
+               report path (Enforcement.Pipeline.enforce pipeline doc))
              doc_paths
          | Enforcement.Parallel _ ->
            (* batch: results come back in input order, so the report
               reads exactly like the sequential one *)
            let docs = List.map load_document doc_paths in
            let results, _batch = Enforcement.Pipeline.enforce_many pipeline docs in
-           List.iter2
-             (fun path result ->
-               if Result.is_error result then incr failed;
-               Report.print_outcome ~label:path result)
-             doc_paths results);
+           List.iter2 report doc_paths results);
         let stats = Enforcement.Pipeline.stats pipeline in
+        (match format with
+         | `Text -> ()
+         | `Json ->
+           Fmt.pr "%s@."
+             (Report.batch_json ~sender ~exchange:target
+                ~outcomes:(List.rev !outcomes) stats));
         Report.print_run_stats stats;
         Option.iter
           (fun file ->
@@ -379,8 +401,8 @@ let batch_cmd =
              is sharded across N domains.")
     Term.(const run $ sender_arg $ target_arg $ k_arg $ possible_arg
           $ engine_arg $ oracle_arg $ retries_arg $ timeout_ms_arg
-          $ breaker_arg $ jobs_arg $ min_k_arg $ stats_json_arg
-          $ metrics_out_arg $ docs_arg)
+          $ breaker_arg $ jobs_arg $ min_k_arg $ format_arg
+          $ stats_json_arg $ metrics_out_arg $ docs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* trace                                                               *)
@@ -520,7 +542,7 @@ let lint_cmd =
   in
   let run schema_opt sender_opt target_opt k engine format deny metrics_out
       doc_paths =
-    wrap (fun () ->
+    wrap ~format (fun () ->
         let module Lint = Axml_analysis.Lint in
         let module Diagnostic = Axml_analysis.Diagnostic in
         let lint_schema_file path =
@@ -579,7 +601,7 @@ module Evolution = Axml_analysis.Evolution
 
 let diff_cmd =
   let run sender target k engine format deny metrics_out =
-    wrap (fun () ->
+    wrap ~format (fun () ->
         let v1, from_positions = load_schema_positions sender in
         let v2, to_positions = load_schema_positions target in
         let report =
@@ -610,7 +632,7 @@ let migrate_cmd =
            ~doc:"Archived documents of the old version to advise.")
   in
   let run sender target k engine format metrics_out doc_paths =
-    wrap (fun () ->
+    wrap ~format (fun () ->
         let v1 = load_schema sender in
         let v2 = load_schema target in
         let docs = List.map (fun p -> (p, load_document p)) doc_paths in
@@ -1007,7 +1029,7 @@ let compat_cmd =
            ~doc:"Root label (defaults to the sender schema's declared root).")
   in
   let run sender target k engine format root =
-    wrap (fun () ->
+    wrap ~format (fun () ->
         let s0 = load_schema sender in
         let exchange = load_schema target in
         let root =

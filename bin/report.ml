@@ -106,6 +106,52 @@ let stats_json ~sender ~exchange (s : Enforcement.Pipeline.stats) =
     r.Resilience.trips r.Resilience.short_circuited
     (min_k_json s.Enforcement.Pipeline.min_k)
 
+(* A usage/input error as a one-diagnostic report: commands running
+   under --format json still owe stdout a single valid envelope when
+   they die before producing their real report (LINTING.md exit code
+   2); the human-readable message goes to stderr as usual. *)
+let error_envelope message =
+  Diagnostic.report_to_json
+    [ Diagnostic.make ~code:"AXM000" ~severity:Diagnostic.Error
+        Diagnostic.Root message ]
+
+(* Per-document outcomes and run statistics as the shared JSON envelope
+   (diagnostics + summary + the command's payload), for batch --format
+   json. Failures double as diagnostics so the summary counts them. *)
+let outcome_json ~label result =
+  let js = Metrics.json_string in
+  match result with
+  | Ok (_, report) ->
+    Printf.sprintf {|{"doc":%s,"ok":true,"action":%s,"invocations":%d}|}
+      (js label)
+      (js (action_string report.Enforcement.action))
+      (List.length report.Enforcement.invocations)
+  | Error e ->
+    Printf.sprintf {|{"doc":%s,"ok":false,"error":%s,"detail":%s}|} (js label)
+      (js (error_tag e))
+      (js (Fmt.str "%a" Enforcement.pp_error e))
+
+let batch_json ~sender ~exchange ~outcomes stats =
+  let diagnostics =
+    List.filter_map
+      (fun (label, result) ->
+        match result with
+        | Ok _ -> None
+        | Error e ->
+          Some
+            (Diagnostic.make ~file:label ~code:"AXM033"
+               ~severity:Diagnostic.Error Diagnostic.Root
+               (Fmt.str "%a" Enforcement.pp_error e)))
+      outcomes
+  in
+  let summary_head = Diagnostic.report_to_json diagnostics in
+  (* splice the payload fields into the envelope object *)
+  let head = String.sub summary_head 0 (String.length summary_head - 1) in
+  Printf.sprintf "%s,\"outcomes\":[%s],\"stats\":%s}" head
+    (String.concat ","
+       (List.map (fun (label, r) -> outcome_json ~label r) outcomes))
+    (String.trim (stats_json ~sender ~exchange stats))
+
 (* Lint diagnostics: one line (plus hint) per finding in text mode with
    a trailing severity summary, or the stable JSON report. *)
 let print_diagnostics ?(ppf = Fmt.stdout) ~format ds =

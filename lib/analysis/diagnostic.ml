@@ -137,6 +137,7 @@ let report_to_json ds =
 
 let rules =
   [
+    ("AXM000", Error, "usage or input error (bad file, unparsable schema or document)");
     ("AXM001", Error, "content model or signature is the empty language");
     ("AXM002", Warning, "content model is not 1-unambiguous");
     ("AXM003", Warning, "alternative branch is subsumed by earlier branches");
@@ -154,6 +155,7 @@ let rules =
       Warning,
       "declared output can embed invocable calls deeper than the configured \
        rewriting depth k" );
+    ("AXM033", Error, "document failed enforcement (rejected, faulted or precluded)");
     ( "AXM040",
       Warning,
       "schema evolution narrowed (or removed) a label's content model" );

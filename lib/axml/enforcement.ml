@@ -209,36 +209,22 @@ let enforce_steps ~config ~compiled ~(invoker : Execute.invoker)
   match if config.lint_gate then gate_errors ~compiled doc else None with
   | Some ds -> Error (Precluded ds)
   | None ->
-  (* step (i): validation *)
-  let violations = Validate.document_violations compiled.c_validate doc in
-  if Trace.enabled Trace.default then
-    Trace.emit
-      (Validation
-         { subject = subject_of doc; violations = List.length violations });
-  if violations = [] then
-    Ok (doc, { action = Conformed; invocations = [] })
-  else begin
-    (* step (ii): rewriting *)
-    let rw = compiled.c_rewriter in
-    let invoker =
-      match config.resilience with
-      | Some r -> Resilience.wrap_invoker r invoker
-      | None -> invoker
-    in
-    let pre =
-      match config.eager_calls with
-      | Some eager ->
-        (match Rewriter.pre_materialize rw ~eager_calls:eager ~invoker doc with
-         | Ok (doc', invs) -> Ok (doc', invs)
-         | Error f -> Error (classify [ f ]))
-      | None -> Ok (doc, [])
-    in
-    match pre with
-    | Error e -> Error e
-    | Ok (doc, pre_invocations) ->
+  let rw = compiled.c_rewriter in
+  let invoker =
+    match config.resilience with
+    | Some r -> Resilience.wrap_invoker r invoker
+    | None -> invoker
+  in
+  (* step (ii) driver, shared by both walks below. The materializer's
+     subtree-sharing walk returns a conforming document physically
+     unchanged, which is how the fused path classifies [Conformed]. *)
+  let rewrite doc pre_invocations =
     match Rewriter.materialize ~mode:Rewriter.Safe rw ~invoker doc with
     | Ok (doc', invs) ->
-      Ok (doc', { action = Rewritten; invocations = pre_invocations @ invs })
+      if doc' == doc && pre_invocations = [] && invs = [] then
+        Ok (doc, { action = Conformed; invocations = [] })
+      else
+        Ok (doc', { action = Rewritten; invocations = pre_invocations @ invs })
     | Error safe_failures ->
       let faulty = List.exists Rewriter.failure_is_fault safe_failures in
       if faulty then
@@ -266,6 +252,42 @@ let enforce_steps ~config ~compiled ~(invoker : Execute.invoker)
             in
             if runtime then Error (Attempt_failed fs) else Error (Rejected fs)
       end
+  in
+  if (not (Trace.enabled Trace.default)) && config.eager_calls = None then
+    (* fused fast path: one walk — the materializer validates each
+       children word through the dense tables as it goes, so step (i)
+       needs no separate traversal *)
+    rewrite doc []
+  else begin
+    (* step (i): validation, kept as its own walk so tracers see the
+       violation count and eager pre-materialization only runs on
+       non-instances *)
+    let conforming =
+      if Trace.enabled Trace.default then begin
+        let violations = Validate.document_violations compiled.c_validate doc in
+        Trace.emit
+          (Validation
+             { subject = subject_of doc; violations = List.length violations });
+        violations = []
+      end
+      else Validate.document_conforms compiled.c_validate doc
+    in
+    if conforming then
+      Ok (doc, { action = Conformed; invocations = [] })
+    else begin
+      (* step (ii): rewriting *)
+      let pre =
+        match config.eager_calls with
+        | Some eager ->
+          (match Rewriter.pre_materialize rw ~eager_calls:eager ~invoker doc with
+           | Ok (doc', invs) -> Ok (doc', invs)
+           | Error f -> Error (classify [ f ]))
+        | None -> Ok (doc, [])
+      in
+      match pre with
+      | Error e -> Error e
+      | Ok (doc, pre_invocations) -> rewrite doc pre_invocations
+    end
   end
 
 let enforce_compiled ~config ~compiled ~(invoker : Execute.invoker)

@@ -49,22 +49,38 @@ let h_possible = h_analysis "possible"
 
 type engine = Eager | Lazy
 
+module Sym_id = Axml_schema.Sym_id
+module Dense = Auto.Dfa.Dense
+
 (* Analyses are memoized by (content-model regex, word, depth): the
    same word can be unsafe at k=1 and safe at k=2, so verdicts at
-   different depths must never alias. Regexes are pure symbol trees,
-   so structural equality is exact; [Hashtbl.hash] only inspects a
-   bounded prefix of the structure, which is fine — collisions fall
-   back to full structural equality. *)
+   different depths must never alias.
+
+   The cache-hit path is the hottest line of warm enforcement, so the
+   key avoids touching the regex tree entirely: content-model regexes
+   are interned to small per-contract ids (physical equality first —
+   [element_regex]/[input_regex] memoize, so the same regex value comes
+   back on every call — structural equality as the slow fallback), and
+   the word goes through the polymorphic hash (one C-level traversal,
+   much cheaper than per-symbol table lookups). A probe therefore costs
+   one hash of the word plus a handful of int compares. *)
 module Key = struct
-  type t = Symbol.t R.t * Symbol.t list * int
+  type t = { rid : int; k : int; h : int; word : Symbol.t list }
 
-  let equal (r1, w1, k1) (r2, w2, k2) =
-    k1 = k2
-    && (try List.for_all2 Symbol.equal w1 w2 with Invalid_argument _ -> false)
-    && R.equal Symbol.equal r1 r2
+  let equal a b =
+    a.h = b.h && a.rid = b.rid && a.k = b.k
+    && (try List.for_all2 Symbol.equal a.word b.word
+        with Invalid_argument _ -> false)
 
-  let hash = Hashtbl.hash
+  let hash a = a.h
 end
+
+let make_key ~rid ~k word =
+  let h =
+    (Hashtbl.hash word lxor (rid * 0x9e3779b1) lxor (k * 0x85ebca6b))
+    land max_int
+  in
+  { Key.rid; k; h; word }
 
 module Tbl = Hashtbl.Make (Key)
 
@@ -86,6 +102,8 @@ type t = {
   lock : Mutex.t;  (* guards every mutable field below *)
   element_regexes : (string, Symbol.t R.t option) Hashtbl.t;
   input_regexes : (string, Symbol.t R.t option) Hashtbl.t;
+  mutable regexes : Symbol.t R.t array;  (* interned cache-key regexes *)
+  dense : (int, Dense.dense) Hashtbl.t;  (* regex id -> membership tables *)
   cache : entry Tbl.t;
   order : Key.t Queue.t;  (* insertion order, for FIFO eviction *)
   mutable hits : int;
@@ -101,6 +119,8 @@ let create ?(k = 1) ?(engine = Lazy) ?predicate ?(cache_capacity = 4096)
     lock = Mutex.create ();
     element_regexes = Hashtbl.create 16;
     input_regexes = Hashtbl.create 16;
+    regexes = [||];
+    dense = Hashtbl.create 16;
     cache = Tbl.create 64;
     order = Queue.create ();
     hits = 0; misses = 0; evictions = 0 }
@@ -117,6 +137,7 @@ let clone (t : t) =
         lock = Mutex.create ();
         element_regexes = Hashtbl.copy t.element_regexes;
         input_regexes = Hashtbl.copy t.input_regexes;
+        dense = Hashtbl.copy t.dense;
         cache = Tbl.create 64;
         order = Queue.create ();
         hits = 0; misses = 0; evictions = 0 })
@@ -172,12 +193,37 @@ let product ?k t ~target_regex word =
   let nfa = Auto.Nfa.glushkov target_regex in
   Product.create ~fork ~target:nfa
 
+(* The id of a content-model regex in the interned key registry. The
+   registry is append-only and tiny (one slot per distinct content
+   model), and growth replaces the array rather than mutating it, so a
+   clone sharing the parent's array never observes a write. Caller
+   holds [t.lock]. *)
+let regex_id t r =
+  let arr = t.regexes in
+  let n = Array.length arr in
+  let rec phys i = if i >= n then -1 else if arr.(i) == r then i else phys (i + 1) in
+  match phys 0 with
+  | id when id >= 0 -> id
+  | _ ->
+    let rec structural i =
+      if i >= n then -1
+      else if R.equal Symbol.equal arr.(i) r then i
+      else structural (i + 1)
+    in
+    (match structural 0 with
+     | id when id >= 0 -> id
+     | _ ->
+       let bigger = Array.make (n + 1) r in
+       Array.blit arr 0 bigger 0 n;
+       t.regexes <- bigger;
+       n)
+
 (* The queue mirrors the table exactly (keys are enqueued once, on
    entry creation, and leave only through eviction or [clear]), so the
    queue front is always the oldest resident entry. Caller holds
    [t.lock]. *)
 let entry t ~target_regex ~k word =
-  let key = (target_regex, word, k) in
+  let key = make_key ~rid:(regex_id t target_regex) ~k word in
   match Tbl.find_opt t.cache key with
   | Some e -> e
   | None ->
@@ -192,6 +238,38 @@ let entry t ~target_regex ~k word =
     Queue.push key t.order;
     e
 
+(* Dense id of one child without building a Symbol.t. *)
+let child_sym_id = function
+  | Document.Elem { label; _ } -> Sym_id.of_label label
+  | Document.Data _ -> Sym_id.data
+  | Document.Call { name; _ } -> Sym_id.of_fun name
+
+(* Membership of a children forest in [target_regex], stepped through
+   compiled dense tables memoized per interned regex id. Acceptance
+   means the identity rewriting (keep every child, invoke nothing)
+   already lands in the target language: the word is trivially both
+   safely and possibly rewritable at every depth, and the keep-first
+   executor returns it unchanged. Hot paths use this to bypass the game
+   analyses entirely for already-conforming words. *)
+let children_accepted t ~target_regex (children : Document.forest) =
+  Mutex.protect t.lock @@ fun () ->
+  let rid = regex_id t target_regex in
+  let d =
+    match Hashtbl.find_opt t.dense rid with
+    | Some d -> d
+    | None ->
+      let d =
+        Dense.compile ~sym_id:Sym_id.of_symbol (Auto.Dfa.of_regex target_regex)
+      in
+      Hashtbl.add t.dense rid d;
+      d
+  in
+  let rec run s = function
+    | [] -> Dense.is_final d s
+    | c :: rest -> s >= 0 && run (Dense.step_id d s (child_sym_id c)) rest
+  in
+  run (Dense.start d) children
+
 (* Uncached analyses are computed while still holding [t.lock]: slower
    under contention than a compute-outside-retry scheme, but it keeps
    the counters exact (each (word, kind) is computed at most once
@@ -205,12 +283,14 @@ let safe_analysis ?k t ~target_regex word =
   | Some a ->
     t.hits <- t.hits + 1;
     Metrics.inc m_safe_hit;
-    Trace.emit (Cache_query { cache = "safe"; hit = true });
+    if Trace.enabled Trace.default then
+      Trace.emit (Cache_query { cache = "safe"; hit = true });
     a
   | None ->
     t.misses <- t.misses + 1;
     Metrics.inc m_safe_miss;
-    Trace.emit (Cache_query { cache = "safe"; hit = false });
+    if Trace.enabled Trace.default then
+      Trace.emit (Cache_query { cache = "safe"; hit = false });
     let a =
       Metrics.time h_safe (fun () ->
           let p = product ~k t ~target_regex word in
@@ -229,12 +309,14 @@ let possible_analysis ?k t ~target_regex word =
   | Some a ->
     t.hits <- t.hits + 1;
     Metrics.inc m_possible_hit;
-    Trace.emit (Cache_query { cache = "possible"; hit = true });
+    if Trace.enabled Trace.default then
+      Trace.emit (Cache_query { cache = "possible"; hit = true });
     a
   | None ->
     t.misses <- t.misses + 1;
     Metrics.inc m_possible_miss;
-    Trace.emit (Cache_query { cache = "possible"; hit = false });
+    if Trace.enabled Trace.default then
+      Trace.emit (Cache_query { cache = "possible"; hit = false });
     let a =
       Metrics.time h_possible (fun () ->
           Possible.analyze (product ~k t ~target_regex word))

@@ -145,6 +145,16 @@ val is_possible :
     of [w] land in the target language? The verdict of
     {!possible_analysis}, cached alike. *)
 
+val children_accepted :
+  t -> target_regex:Axml_schema.Symbol.t Axml_regex.Regex.t ->
+  Document.forest -> bool
+(** [children_accepted c ~target_regex children]: is the children word
+    already in the target language as it stands? Stepped through
+    compiled dense tables (memoized per content model), allocating
+    nothing. Acceptance implies the word is safely and possibly
+    rewritable at every depth — the identity rewriting wins — so hot
+    paths use this to skip the game analyses for conforming words. *)
+
 (** {1 Verdicts} *)
 
 type verdict =

@@ -148,9 +148,15 @@ let run ?plan ?(fee = fun _ -> 0.) ?validate ?reenforce strategy invoker
     List.map (fun d -> incr counter; (!counter, d)) forest
   in
   let step nid eid =
-    match List.assoc_opt eid (Product.succ p nid) with
-    | Some tgt -> tgt
-    | None -> assert false
+    let succs = Product.succ p nid in
+    let n = Array.length succs in
+    let rec find i =
+      if i >= n then assert false
+      else
+        let e, tgt = succs.(i) in
+        if e = eid then tgt else find (i + 1)
+    in
+    find 0
   in
   let record_error fname attempts cause =
     if !service_error = None then

@@ -33,6 +33,14 @@ type t = {
   final : int;
   edges : edge array;
   out : int list array;             (* outgoing edge ids, by source node *)
+  (* CSR twin of [out]: edge ids of node q are
+     out_edge.(out_off.(q) .. out_off.(q+1) - 1), same order. The
+     product's expansion loop walks these flat arrays together with
+     [edge_dst]/[edge_label_id] and allocates nothing per edge. *)
+  out_off : int array;              (* nstates + 1 offsets *)
+  out_edge : int array;
+  edge_dst : int array;             (* edge id -> destination node *)
+  edge_label_id : int array;        (* edge id -> dense symbol id, -1 = eps *)
   forks : fork array;
   forks_at : int list array;        (* fork indices, by fork node *)
   fork_of_edge : int array;         (* edge id -> fork index, or -1 *)
@@ -145,6 +153,31 @@ let build ~(env : Schema.env) ~k (w : Symbol.t list) =
   let out = Array.make nstates [] in
   Array.iteri (fun eid e -> out.(e.src) <- eid :: out.(e.src)) edges;
   Array.iteri (fun s lst -> out.(s) <- List.rev lst) out;
+  (* flatten [out] into CSR form and precompute per-edge dense data *)
+  let nedges = Array.length edges in
+  let out_off = Array.make (nstates + 1) 0 in
+  Array.iter (fun e -> out_off.(e.src + 1) <- out_off.(e.src + 1) + 1) edges;
+  for s = 1 to nstates do out_off.(s) <- out_off.(s) + out_off.(s - 1) done;
+  let out_edge = Array.make (max 1 nedges) 0 in
+  let cursor = Array.copy out_off in
+  Array.iteri
+    (fun s lst ->
+      List.iter
+        (fun eid ->
+          out_edge.(cursor.(s)) <- eid;
+          cursor.(s) <- cursor.(s) + 1)
+        lst)
+    out;
+  let edge_dst = Array.make (max 1 nedges) 0 in
+  let edge_label_id = Array.make (max 1 nedges) (-1) in
+  Array.iteri
+    (fun eid e ->
+      edge_dst.(eid) <- e.dst;
+      edge_label_id.(eid) <-
+        (match e.label with
+         | None -> -1
+         | Some sym -> Axml_schema.Sym_id.of_symbol sym))
+    edges;
   let forks = Array.init (Vec.length forks) (Vec.get forks) in
   let forks_at = Array.make nstates [] in
   let fork_of_edge = Array.make (Array.length edges) (-1) in
@@ -154,7 +187,8 @@ let build ~(env : Schema.env) ~k (w : Symbol.t list) =
       fork_of_edge.(f.keep_edge) <- fid;
       fork_of_edge.(f.invoke_edge) <- fid)
     forks;
-  { nstates; start; final; edges; out; forks; forks_at; fork_of_edge;
+  { nstates; start; final; edges; out; out_off; out_edge; edge_dst;
+    edge_label_id; forks; forks_at; fork_of_edge;
     word_length = List.length w }
 
 (* Edge ids leaving [node]. *)

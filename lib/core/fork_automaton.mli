@@ -30,6 +30,12 @@ type t = {
   final : int;
   edges : edge array;
   out : int list array;
+  out_off : int array;
+    (** CSR offsets: node [q]'s edge ids are
+        [out_edge.(out_off.(q) .. out_off.(q+1) - 1)], in [out] order *)
+  out_edge : int array;
+  edge_dst : int array;       (** edge id -> destination node *)
+  edge_label_id : int array;  (** edge id -> dense symbol id, [-1] = epsilon *)
   forks : fork array;
   forks_at : int list array;
   fork_of_edge : int array;  (** edge id -> fork index, or -1 *)

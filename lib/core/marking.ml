@@ -21,12 +21,15 @@
        (empty subsets), never expand nodes already known marked, and stop
        as soon as the initial node is marked. *)
 
-type kind =
-  | Plain                       (* adversary edge *)
-  | Keep_half of int            (* rewriter fork, "do not invoke" option; pair id *)
-  | Invoke_half of int          (* rewriter fork, "invoke" option; pair id *)
-
-type pair = { owner : int; mutable keep_marked : bool; mutable invoke_marked : bool }
+(* Game kinds are packed into ints (tag in the low two bits, pair id
+   above) so a reverse edge costs two int-vector slots instead of a
+   list cell and a boxed constructor:
+     0                 — Plain (adversary edge)
+     (pid lsl 2) lor 1 — Keep half of fork pair pid ("do not invoke")
+     (pid lsl 2) lor 2 — Invoke half of fork pair pid *)
+let k_plain = 0
+let k_keep pid = (pid lsl 2) lor 1
+let k_invoke pid = (pid lsl 2) lor 2
 
 type stats = {
   explored_nodes : int;         (* product nodes whose successors were computed *)
@@ -44,33 +47,43 @@ type t = {
 
 let is_marked t nid = Bitvec.get t.marked nid
 
+(* The reverse product graph and the fork pairs live in flat parallel
+   int vectors and bit vectors (array-of-struct -> struct-of-arrays):
+   reverse edge j is (rev_pred.(j), rev_kind.(j)), and rev_next.(j)
+   chains to the next edge of the same target, headed by rev_head. The
+   propagation loop therefore touches only int arrays and bytes — no
+   per-edge or per-pair heap blocks. *)
 type builder = {
   p : Product.t;
   marks : Bitvec.t;
-  rev : (int, (int * kind) list ref) Hashtbl.t;
-  pairs : pair Vec.t;
-  pair_ids : (int * int, int) Hashtbl.t;  (* (node, fork id) -> pair id *)
-  work : int Queue.t;                     (* freshly marked nodes to propagate *)
+  rev_head : int Vec.t;    (* node id -> newest incoming edge, -1 = none *)
+  rev_next : int Vec.t;
+  rev_pred : int Vec.t;
+  rev_kind : int Vec.t;    (* packed game kind, see [k_plain] etc. *)
+  pair_owner : int Vec.t;  (* pair id -> owning (fork) node *)
+  pair_keep : Bitvec.t;    (* keep half marked? *)
+  pair_invoke : Bitvec.t;  (* invoke half marked? *)
+  pair_ids : (int, int) Hashtbl.t;  (* node * nforks + fork id -> pair id *)
+  nforks : int;
+  work : int Queue.t;      (* freshly marked nodes to propagate *)
   mutable nmarked : int;
 }
 
 let new_builder p = {
   p;
   marks = Bitvec.create ();
-  rev = Hashtbl.create 256;
-  pairs = Vec.create ~dummy:{ owner = 0; keep_marked = false; invoke_marked = false };
+  rev_head = Vec.create ~dummy:(-1);
+  rev_next = Vec.create ~dummy:(-1);
+  rev_pred = Vec.create ~dummy:(-1);
+  rev_kind = Vec.create ~dummy:0;
+  pair_owner = Vec.create ~dummy:(-1);
+  pair_keep = Bitvec.create ();
+  pair_invoke = Bitvec.create ();
   pair_ids = Hashtbl.create 64;
+  nforks = Array.length (Product.fork p).Fork_automaton.forks;
   work = Queue.create ();
   nmarked = 0;
 }
-
-let rev_list b nid =
-  match Hashtbl.find_opt b.rev nid with
-  | Some l -> l
-  | None ->
-    let l = ref [] in
-    Hashtbl.add b.rev nid l;
-    l
 
 let rec mark b nid =
   if not (Bitvec.get b.marks nid) then begin
@@ -81,64 +94,68 @@ let rec mark b nid =
   end
 
 (* Apply the game rule for one incoming edge of a marked node. *)
-and apply_rule b (pred, kind) =
-  match kind with
-  | Plain -> mark b pred
-  | Keep_half pid ->
-    let pair = Vec.get b.pairs pid in
-    if not pair.keep_marked then begin
-      pair.keep_marked <- true;
-      if pair.invoke_marked then mark b pair.owner
+and apply_rule b pred kind =
+  match kind land 3 with
+  | 0 -> mark b pred
+  | 1 ->
+    let pid = kind lsr 2 in
+    if not (Bitvec.get b.pair_keep pid) then begin
+      Bitvec.set b.pair_keep pid;
+      if Bitvec.get b.pair_invoke pid then mark b (Vec.get b.pair_owner pid)
     end
-  | Invoke_half pid ->
-    let pair = Vec.get b.pairs pid in
-    if not pair.invoke_marked then begin
-      pair.invoke_marked <- true;
-      if pair.keep_marked then mark b pair.owner
+  | _ ->
+    let pid = kind lsr 2 in
+    if not (Bitvec.get b.pair_invoke pid) then begin
+      Bitvec.set b.pair_invoke pid;
+      if Bitvec.get b.pair_keep pid then mark b (Vec.get b.pair_owner pid)
     end
 
 and drain b =
   while not (Queue.is_empty b.work) do
     let nid = Queue.take b.work in
-    match Hashtbl.find_opt b.rev nid with
-    | None -> ()
-    | Some preds -> List.iter (apply_rule b) !preds
+    if nid < Vec.length b.rev_head then begin
+      let j = ref (Vec.get b.rev_head nid) in
+      while !j >= 0 do
+        apply_rule b (Vec.get b.rev_pred !j) (Vec.get b.rev_kind !j);
+        j := Vec.get b.rev_next !j
+      done
+    end
   done
 
 (* Register the product edge [pred --kind--> tgt]; if the target is
    already marked the rule fires immediately. *)
 let register_edge b pred kind tgt =
-  let l = rev_list b tgt in
-  l := (pred, kind) :: !l;
-  if Bitvec.get b.marks tgt then apply_rule b (pred, kind)
+  Vec.ensure b.rev_head (tgt + 1);
+  let j = Vec.push b.rev_pred pred in
+  ignore (Vec.push b.rev_kind kind);
+  ignore (Vec.push b.rev_next (Vec.get b.rev_head tgt));
+  Vec.set b.rev_head tgt j;
+  if Bitvec.get b.marks tgt then apply_rule b pred kind
 
 let pair_id b nid fid =
-  match Hashtbl.find_opt b.pair_ids (nid, fid) with
+  let key = (nid * b.nforks) + fid in
+  match Hashtbl.find_opt b.pair_ids key with
   | Some pid -> pid
   | None ->
-    let pid =
-      Vec.push b.pairs { owner = nid; keep_marked = false; invoke_marked = false }
-    in
-    Hashtbl.add b.pair_ids (nid, fid) pid;
+    let pid = Vec.push b.pair_owner nid in
+    Hashtbl.add b.pair_ids key pid;
     pid
 
 (* Expand one node: compute successors and register reverse edges with
    their game kinds. *)
 let expand b nid =
   let fork = Product.fork b.p in
-  List.iter
+  Array.iter
     (fun (eid, tgt) ->
+      let fid = fork.Fork_automaton.fork_of_edge.(eid) in
       let kind =
-        match Fork_automaton.fork_of_edge fork eid with
-        | None -> Plain
-        | Some f ->
-          let fid =
-            (* recover the fork index from the edge tables *)
-            fork.Fork_automaton.fork_of_edge.(eid)
-          in
+        if fid < 0 then k_plain
+        else begin
           let pid = pair_id b nid fid in
-          if eid = f.Fork_automaton.keep_edge then Keep_half pid
-          else Invoke_half pid
+          if eid = fork.Fork_automaton.forks.(fid).Fork_automaton.keep_edge
+          then k_keep pid
+          else k_invoke pid
+        end
       in
       register_edge b nid kind tgt)
     (Product.succ b.p nid)
@@ -172,7 +189,7 @@ let analyze_eager p =
     let nid = Queue.take frontier in
     incr explored;
     expand b nid;
-    List.iter (fun (_, tgt) -> discover tgt) (Product.succ p nid)
+    Array.iter (fun (_, tgt) -> discover tgt) (Product.succ p nid)
   done;
   finish b ~explored:!explored ~pruned:0
 
@@ -208,7 +225,7 @@ let analyze_lazy p =
        else begin
          incr explored;
          expand b nid;
-         List.iter (fun (_, tgt) -> discover tgt) (Product.succ p nid)
+         Array.iter (fun (_, tgt) -> discover tgt) (Product.succ p nid)
        end
      done
    with Exit -> ());

@@ -23,9 +23,13 @@ type t = {
 let is_live t nid = Bitvec.get t.live nid
 
 let analyze p =
-  (* forward exploration of the full reachable product *)
+  (* forward exploration of the full reachable product; the reverse
+     graph goes into flat int vectors (head/next/pred chains) instead
+     of per-node list refs, so discovery allocates nothing per edge *)
   let seen = Bitvec.create () in
-  let rev : (int, int list ref) Hashtbl.t = Hashtbl.create 256 in
+  let rev_head = Vec.create ~dummy:(-1) in
+  let rev_next = Vec.create ~dummy:(-1) in
+  let rev_pred = Vec.create ~dummy:(-1) in
   let accepting = ref [] in
   let frontier = Queue.create () in
   let discover nid =
@@ -40,17 +44,12 @@ let analyze p =
     let nid = Queue.take frontier in
     (* skip expanding dead subsets: nothing reachable from them accepts *)
     if not (Product.subset_is_dead p nid) then
-      List.iter
+      Array.iter
         (fun (_, tgt) ->
-          let l =
-            match Hashtbl.find_opt rev tgt with
-            | Some l -> l
-            | None ->
-              let l = ref [] in
-              Hashtbl.add rev tgt l;
-              l
-          in
-          l := nid :: !l;
+          Vec.ensure rev_head (tgt + 1);
+          let j = Vec.push rev_pred nid in
+          ignore (Vec.push rev_next (Vec.get rev_head tgt));
+          Vec.set rev_head tgt j;
           discover tgt)
         (Product.succ p nid)
   done;
@@ -68,9 +67,13 @@ let analyze p =
   List.iter mark_live !accepting;
   while not (Queue.is_empty back) do
     let nid = Queue.take back in
-    match Hashtbl.find_opt rev nid with
-    | None -> ()
-    | Some preds -> List.iter mark_live !preds
+    if nid < Vec.length rev_head then begin
+      let j = ref (Vec.get rev_head nid) in
+      while !j >= 0 do
+        mark_live (Vec.get rev_pred !j);
+        j := Vec.get rev_next !j
+      done
+    end
   done;
   { product = p;
     live;

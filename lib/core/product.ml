@@ -35,11 +35,15 @@ type t = {
   (* interned subsets of target states *)
   subsets : Auto.Int_set.t Vec.t;
   mutable subset_ids : int Subset_map.t;
-  subset_steps : (int * Symbol.t, int) Hashtbl.t;  (* memoized moves *)
+  (* memoized moves, keyed by sid * sym_base + dense symbol id: an int
+     key hashes in a few ns, where the old (int, Symbol.t) pair key
+     re-hashed the label string on every probe *)
+  subset_steps : (int, int) Hashtbl.t;
+  sym_base : int;  (* strictly above every dense symbol id in the fork *)
   (* interned product nodes *)
   nodes : node Vec.t;
   mutable node_ids : int Node_map.t;
-  succs : (int, (int * int) list) Hashtbl.t;  (* nid -> (edge id, target nid) *)
+  succs : (int, (int * int) array) Hashtbl.t;  (* nid -> (edge id, target nid) *)
   initial : int;
 }
 
@@ -60,11 +64,15 @@ let intern_node t q subset =
     id
 
 let create ~fork ~target =
+  let sym_base =
+    1 + Array.fold_left max 0 fork.Fork_automaton.edge_label_id
+  in
   let t =
     { fork; target;
       subsets = Vec.create ~dummy:Auto.Int_set.empty;
       subset_ids = Subset_map.empty;
       subset_steps = Hashtbl.create 64;
+      sym_base;
       nodes = Vec.create ~dummy:{ q = 0; subset = 0 };
       node_ids = Node_map.empty;
       succs = Hashtbl.create 64;
@@ -80,35 +88,43 @@ let initial t = t.initial
 let node t nid = Vec.get t.nodes nid
 let node_count t = Vec.length t.nodes
 
-let subset_step t sid sym =
-  match Hashtbl.find_opt t.subset_steps (sid, sym) with
+let subset_step t sid sym lid =
+  let key = (sid * t.sym_base) + lid in
+  match Hashtbl.find_opt t.subset_steps key with
   | Some id -> id
   | None ->
     let set = Vec.get t.subsets sid in
     let next = Auto.Nfa.step_set t.target set sym in
     let id = intern_subset t next in
-    Hashtbl.add t.subset_steps (sid, sym) id;
+    Hashtbl.add t.subset_steps key id;
     id
 
 (* Successors of a product node: one per A_w^k edge leaving its q.
-   Epsilon edges leave the subset untouched. Memoized. *)
+   Epsilon edges leave the subset untouched. Memoized; the expansion
+   walks the fork automaton's CSR arrays and allocates only the result
+   array. *)
 let succ t nid =
   match Hashtbl.find_opt t.succs nid with
   | Some s -> s
   | None ->
     let { q; subset } = Vec.get t.nodes nid in
-    let s =
-      List.map
-        (fun eid ->
-          let e = Fork_automaton.edge t.fork eid in
-          let subset' =
-            match e.Fork_automaton.label with
-            | None -> subset
-            | Some sym -> subset_step t subset sym
-          in
-          (eid, intern_node t e.Fork_automaton.dst subset'))
-        (Fork_automaton.out_edges t.fork q)
-    in
+    let fork = t.fork in
+    let lo = fork.Fork_automaton.out_off.(q) in
+    let hi = fork.Fork_automaton.out_off.(q + 1) in
+    let s = Array.make (hi - lo) (0, 0) in
+    for i = lo to hi - 1 do
+      let eid = fork.Fork_automaton.out_edge.(i) in
+      let lid = fork.Fork_automaton.edge_label_id.(eid) in
+      let subset' =
+        if lid < 0 then subset
+        else
+          match fork.Fork_automaton.edges.(eid).Fork_automaton.label with
+          | Some sym -> subset_step t subset sym lid
+          | None -> assert false
+      in
+      s.(i - lo) <-
+        (eid, intern_node t fork.Fork_automaton.edge_dst.(eid) subset')
+    done;
     Hashtbl.add t.succs nid s;
     s
 

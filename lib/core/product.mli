@@ -27,9 +27,10 @@ val node : t -> int -> node
 val node_count : t -> int
 (** Product nodes discovered so far (the structure is lazy). *)
 
-val succ : t -> int -> (int * int) list
+val succ : t -> int -> (int * int) array
 (** Successors of a node: [(A_w^k edge id, target node id)] pairs, one
-    per edge leaving its [q]. Memoized; discovers new nodes. *)
+    per edge leaving its [q], in out-edge order. Memoized; discovers new
+    nodes. The array is owned by the product — do not mutate. *)
 
 val word_done : t -> int -> bool
 (** Is [q] the final state of A_w^k (word complete)? *)

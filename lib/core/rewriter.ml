@@ -31,6 +31,9 @@
 module R = Axml_regex.Regex
 module Schema = Axml_schema.Schema
 module Symbol = Axml_schema.Symbol
+module Auto = Axml_schema.Auto
+module Sym_id = Axml_schema.Sym_id
+module Dense = Auto.Dfa.Dense
 
 type engine = Contract.engine = Eager | Lazy
 
@@ -40,12 +43,21 @@ type t = {
      which cached service result broke its declared output type when a
      safe walk fails (see [Execute.run]'s [validate]) *)
   output_ctx : Validate.ctx Lazy.t;
+  (* rewriter-local twins of the contract's content-model memos, each
+     entry pairing the regex with its dense membership tables. A
+     rewriter is single-domain by construction (parallel pipelines give
+     every worker domain its own clone), so these tables need no lock —
+     the per-node lookups of the tree walks stay mutex-free. *)
+  element_entries : (string, (Symbol.t R.t * Dense.dense) option) Hashtbl.t;
+  input_entries : (string, (Symbol.t R.t * Dense.dense) option) Hashtbl.t;
 }
 
 let of_contract contract =
   { contract;
     output_ctx =
-      lazy (Validate.ctx ~env:(Contract.env contract) (Contract.target contract)) }
+      lazy (Validate.ctx ~env:(Contract.env contract) (Contract.target contract));
+    element_entries = Hashtbl.create 16;
+    input_entries = Hashtbl.create 16 }
 
 let create ?(k = 1) ?(engine = Lazy) ?predicate ~s0 ~target () =
   of_contract (Contract.create ~k ~engine ?predicate ~s0 ~target ())
@@ -58,6 +70,27 @@ let output_ok t fname forest =
 let env t = Contract.env t.contract
 let element_regex t label = Contract.element_regex t.contract label
 let input_regex t fname = Contract.input_regex t.contract fname
+
+(* (regex, dense tables) of a content model, memoized locally: one
+   unlocked string lookup on the hot path. *)
+let memo_entry table fetch key =
+  match Hashtbl.find_opt table key with
+  | Some e -> e
+  | None ->
+    let e =
+      Option.map
+        (fun r ->
+          (r, Dense.compile ~sym_id:Sym_id.of_symbol (Auto.Dfa.of_regex r)))
+        (fetch key)
+    in
+    Hashtbl.add table key e;
+    e
+
+let element_entry t label =
+  memo_entry t.element_entries (Contract.element_regex t.contract) label
+
+let input_entry t fname =
+  memo_entry t.input_entries (Contract.input_regex t.contract) fname
 
 (* ------------------------------------------------------------------ *)
 (* Word-level interface (views over the contract)                      *)
@@ -164,23 +197,29 @@ let collect_failures ?k mode t (doc : Document.t) : failure list =
     (match node with
      | Document.Data _ -> ()
      | Document.Elem { label; children } ->
-       (match element_regex t label with
+       (match element_entry t label with
         | None -> push (List.rev path) (Unknown_element label)
-        | Some regex -> check_word path ("<" ^ label ^ ">") regex children)
+        | Some (regex, dense) -> check_word path ~fn:false label regex dense children)
      | Document.Call { name; params } ->
-       (match input_regex t name with
+       (match input_entry t name with
         | None -> push (List.rev path) (Unknown_function name)
-        | Some regex -> check_word path (name ^ "()") regex params));
+        | Some (regex, dense) -> check_word path ~fn:true name regex dense params));
     List.iteri (fun i child -> visit (i :: path) child) (Document.children node)
-  and check_word path context regex forest =
-    let word = Document.word forest in
-    match mode with
-    | Safe ->
-      if not (Contract.is_safe ?k t.contract ~target_regex:regex word) then
-        push (List.rev path) (Unsafe_word { context; word })
-    | Possible_mode ->
-      if not (Contract.is_possible ?k t.contract ~target_regex:regex word) then
-        push (List.rev path) (Impossible_word { context; word })
+  and check_word path ~fn name regex dense forest =
+    (* already-conforming words are trivially rewritable (identity): the
+       dense membership test skips the analysis cache round-trip, and
+       the context string only materializes for an actual failure *)
+    if not (Validate.forest_accepted dense forest) then begin
+      let context = if fn then name ^ "()" else "<" ^ name ^ ">" in
+      let word = Document.word forest in
+      match mode with
+      | Safe ->
+        if not (Contract.is_safe ?k t.contract ~target_regex:regex word) then
+          push (List.rev path) (Unsafe_word { context; word })
+      | Possible_mode ->
+        if not (Contract.is_possible ?k t.contract ~target_regex:regex word)
+        then push (List.rev path) (Impossible_word { context; word })
+    end
   in
   visit [] doc;
   root_failures t doc @ List.rev !acc
@@ -220,23 +259,39 @@ let materialize ?(mode = Safe) ?k t ~(invoker : Execute.invoker) (doc : Document
   let invocations = ref [] in
   let rec interior depth path (node : Document.t) : Document.t =
     match node with
-    | Document.Data v -> Document.Data v
+    | Document.Data _ -> node
     | Document.Elem { label; children } ->
-      (match element_regex t label with
+      (match element_entry t label with
        | None -> raise (Failed { at = List.rev path; reason = Unknown_element label })
-       | Some regex ->
-         Document.elem label
-           (forest depth path ("<" ^ label ^ ">") regex children))
+       | Some (regex, dense) ->
+         let children' = forest depth path ~fn:false label regex dense children in
+         if children' == children then node else Document.elem label children')
     | Document.Call { name; params } ->
-      (match input_regex t name with
+      (match input_entry t name with
        | None -> raise (Failed { at = List.rev path; reason = Unknown_function name })
-       | Some regex ->
-         Document.call name (forest depth path (name ^ "()") regex params))
-  and forest depth path context regex (children : Document.forest) :
+       | Some (regex, dense) ->
+         let params' = forest depth path ~fn:true name regex dense params in
+         if params' == params then node else Document.call name params')
+  (* materialize each child in place, preserving physical identity when
+     nothing underneath changed so untouched subtrees are not rebuilt *)
+  and interiors depth path i (children : Document.forest) : Document.forest =
+    match children with
+    | [] -> children
+    | c :: rest ->
+      let c' = interior depth (i :: path) c in
+      let rest' = interiors depth path (i + 1) rest in
+      if c' == c && rest' == rest then children else c' :: rest'
+  and forest depth path ~fn name regex dense (children : Document.forest) :
       Document.forest =
     (* deepest-first: materialize interiors (and hence parameters of
        function children) before rewriting this children word *)
-    let children = List.mapi (fun i c -> interior depth (i :: path) c) children in
+    let children = interiors depth path 0 children in
+    (* fast path: a children word already in the target language needs
+       no game and no walk — the keep-first executor would return it
+       unchanged with zero invocations, so return it directly *)
+    if Validate.forest_accepted dense children then children
+    else begin
+    let context = if fn then name ^ "()" else "<" ^ name ^ ">" in
     let word = Document.word children in
     let strategy =
       match mode with
@@ -295,6 +350,7 @@ let materialize ?(mode = Safe) ?k t ~(invoker : Execute.invoker) (doc : Document
           Invariant_failure { context; detail }
       in
       raise (Failed { at; reason })
+    end
   in
   match interior top_k [] doc with
   | doc' -> Ok (doc', List.rev !invocations)

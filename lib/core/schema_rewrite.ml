@@ -92,6 +92,10 @@ let fresh_name env base =
 
 let check ?(k = 1) ?(engine = Rewriter.Lazy) ?predicate ~(s0 : Schema.t)
     ~root ~(target : Schema.t) () : result =
+  (* one merged environment for the whole check: [verdict_of_label] only
+     needs it for fresh-name collision avoidance, so recompiling it per
+     label (as each verdict used to) was pure waste *)
+  let env = Schema.env_of_schemas ?predicate s0 target in
   let verdict_of_label label =
     match Schema.find_element s0 label with
     | None ->
@@ -105,8 +109,7 @@ let check ?(k = 1) ?(engine = Rewriter.Lazy) ?predicate ~(s0 : Schema.t)
              Some (Fmt.str "label %S is not part of the exchange schema" label) }
        | Some _ ->
          (* extend s0 with the representative function g_label *)
-         let env0 = Schema.env_of_schemas ?predicate s0 target in
-         let gname = fresh_name env0 ("g_" ^ label) in
+         let gname = fresh_name env ("g_" ^ label) in
          let g = Schema.func gname ~input:Axml_regex.Regex.epsilon ~output:content0 in
          let s0' = Schema.add_function s0 g in
          let rewriter =
@@ -128,7 +131,6 @@ let check ?(k = 1) ?(engine = Rewriter.Lazy) ?predicate ~(s0 : Schema.t)
                        "some children word of <%s> allowed by the sender schema \
                         cannot be safely rewritten" label) }))
   in
-  let env = Schema.env_of_schemas ?predicate s0 target in
   let labels = reachable_labels env s0 root in
   let verdicts = List.map verdict_of_label labels in
   { compatible = List.for_all (fun v -> v.safe) verdicts; verdicts }

@@ -36,12 +36,19 @@ let pp_violation_kind ppf = function
 let pp_violation ppf v =
   Fmt.pf ppf "%a: %a" Document.pp_path v.at pp_violation_kind v.kind
 
+module Dense = Auto.Dfa.Dense
+module Sym_id = Axml_schema.Sym_id
+
 type ctx = {
   env : Schema.env;
   schema : Schema.t;
   element_dfas : (string, Auto.Dfa.t option) Hashtbl.t;
   input_dfas : (string, Auto.Dfa.t option) Hashtbl.t;
   output_dfas : (string, Auto.Dfa.t option) Hashtbl.t;
+  (* dense twins of the tables above, compiled on first use: the inner
+     validation loop steps these and allocates nothing per node *)
+  element_dense : (string, Dense.dense option) Hashtbl.t;
+  input_dense : (string, Dense.dense option) Hashtbl.t;
 }
 
 let ctx ?env schema =
@@ -49,7 +56,9 @@ let ctx ?env schema =
   { env; schema;
     element_dfas = Hashtbl.create 16;
     input_dfas = Hashtbl.create 16;
-    output_dfas = Hashtbl.create 16 }
+    output_dfas = Hashtbl.create 16;
+    element_dense = Hashtbl.create 16;
+    input_dense = Hashtbl.create 16 }
 
 let memo table key compute =
   match Hashtbl.find_opt table key with
@@ -82,6 +91,30 @@ let output_dfa ctx fname =
           Auto.Dfa.of_regex (Schema.compile_content ctx.env f.Schema.f_output))
         (Schema.String_map.find_opt fname ctx.env.Schema.env_functions))
 
+let element_dense ctx label =
+  memo ctx.element_dense label (fun () ->
+      Option.map (Dense.compile ~sym_id:Sym_id.of_symbol) (element_dfa ctx label))
+
+let input_dense ctx fname =
+  memo ctx.input_dense fname (fun () ->
+      Option.map (Dense.compile ~sym_id:Sym_id.of_symbol) (input_dfa ctx fname))
+
+(* Dense id of one child, without building a Symbol.t. *)
+let child_id = function
+  | Document.Elem { label; _ } -> Sym_id.of_label label
+  | Document.Data _ -> Sym_id.data
+  | Document.Call { name; _ } -> Sym_id.of_fun name
+
+(* Membership of a children forest in a dense content model: steps the
+   flat tables directly over the children, no word list, no allocation.
+   The reject state (-1) is absorbing, so the loop can stop early. *)
+let forest_accepted dense children =
+  let rec run s = function
+    | [] -> Dense.is_final dense s
+    | child :: rest -> s >= 0 && run (Dense.step_id dense s (child_id child)) rest
+  in
+  run (Dense.start dense) children
+
 (* Collect the violations of [doc] against the schema, prefix order. *)
 let violations ctx (doc : Document.t) : violation list =
   let acc = ref [] in
@@ -90,18 +123,18 @@ let violations ctx (doc : Document.t) : violation list =
     (match node with
      | Document.Data _ -> ()
      | Document.Elem { label; children } ->
-       (match element_dfa ctx label with
+       (match element_dense ctx label with
         | None -> push (List.rev path) (Unknown_label label)
-        | Some dfa ->
-          let word = Document.word children in
-          if not (Auto.Dfa.accepts dfa word) then
+        | Some dense ->
+          if not (forest_accepted dense children) then
+            let word = Document.word children in
             push (List.rev path) (Content_mismatch { label; word }))
      | Document.Call { name; params } ->
-       (match input_dfa ctx name with
+       (match input_dense ctx name with
         | None -> push (List.rev path) (Unknown_function name)
-        | Some dfa ->
-          let word = Document.word params in
-          if not (Auto.Dfa.accepts dfa word) then
+        | Some dense ->
+          if not (forest_accepted dense params) then
+            let word = Document.word params in
             push (List.rev path) (Input_mismatch { fname = name; word })));
     List.iteri (fun i child -> visit (i :: path) child) (Document.children node)
   in
@@ -109,6 +142,21 @@ let violations ctx (doc : Document.t) : violation list =
   List.rev !acc
 
 let instance_of ctx doc = violations ctx doc = []
+
+(* Boolean twin of [violations]: no paths, no lists, early exit on the
+   first offence — the per-document gate of warm enforcement. *)
+let rec conforms ctx (node : Document.t) =
+  (match node with
+   | Document.Data _ -> true
+   | Document.Elem { label; children } ->
+     (match element_dense ctx label with
+      | None -> false
+      | Some dense -> forest_accepted dense children)
+   | Document.Call { name; params } ->
+     (match input_dense ctx name with
+      | None -> false
+      | Some dense -> forest_accepted dense params))
+  && List.for_all (conforms ctx) (Document.children node)
 
 (* As [violations], additionally requiring the schema's distinguished
    root label (Definition 6 context). *)
@@ -122,6 +170,14 @@ let document_violations ctx doc =
     | _ -> []
   in
   root_violations @ violations ctx doc
+
+(* Boolean twin of [document_violations]. *)
+let document_conforms ctx (doc : Document.t) =
+  (match ctx.schema.Schema.root, doc with
+   | Some expected, Document.Elem { label; _ } -> String.equal label expected
+   | Some _, (Document.Data _ | Document.Call _) -> false
+   | None, _ -> true)
+  && conforms ctx doc
 
 (* Output-instance check (Definition 3, second part): the forest a
    service returned, against its declared output type. *)

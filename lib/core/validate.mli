@@ -31,6 +31,12 @@ val element_dfa : ctx -> string -> Axml_schema.Auto.Dfa.t option
 val input_dfa : ctx -> string -> Axml_schema.Auto.Dfa.t option
 val output_dfa : ctx -> string -> Axml_schema.Auto.Dfa.t option
 
+val forest_accepted :
+  Axml_schema.Auto.Dfa.Dense.dense -> Document.forest -> bool
+(** Membership of a children forest in a dense-compiled content model:
+    steps the flat tables directly over the children — no word list, no
+    allocation, early exit through the absorbing reject state. *)
+
 val violations : ctx -> Document.t -> violation list
 (** All violations, prefix order; [[]] means instance. *)
 
@@ -39,6 +45,11 @@ val instance_of : ctx -> Document.t -> bool
 val document_violations : ctx -> Document.t -> violation list
 (** As {!violations}, additionally requiring the schema's distinguished
     root label. *)
+
+val document_conforms : ctx -> Document.t -> bool
+(** Boolean twin of {!document_violations}: same verdict as
+    [document_violations ctx doc = []], but walks the dense tables with
+    no path or list allocation and stops at the first offence. *)
 
 val output_instance : ctx -> string -> Document.forest -> violation list
 (** Is the forest an output instance of the function (Definition 3)? *)

@@ -30,6 +30,21 @@ let push v x =
   v.len <- v.len + 1;
   v.len - 1
 
+(* Grow to at least [n] elements, filling new slots with the dummy —
+   for vectors indexed by externally-allocated dense ids. *)
+let ensure v n =
+  if n > Array.length v.data then begin
+    let cap = ref (Array.length v.data) in
+    while !cap < n do cap := 2 * !cap done;
+    let bigger = Array.make !cap v.dummy in
+    Array.blit v.data 0 bigger 0 v.len;
+    v.data <- bigger
+  end;
+  if n > v.len then begin
+    Array.fill v.data v.len (n - v.len) v.dummy;
+    v.len <- n
+  end
+
 let iteri f v =
   for i = 0 to v.len - 1 do f i v.data.(i) done
 

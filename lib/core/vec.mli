@@ -11,6 +11,10 @@ val set : 'a t -> int -> 'a -> unit
 val push : 'a t -> 'a -> int
 (** Append and return the index of the new element. *)
 
+val ensure : 'a t -> int -> unit
+(** Grow the vector to at least the given length, filling fresh slots
+    with the dummy. No-op if already long enough. *)
+
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
 val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
 val to_list : 'a t -> 'a list

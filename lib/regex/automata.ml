@@ -643,6 +643,89 @@ module Make (Sym : SYMBOL) = struct
     let separating_word dfa1 dfa2 =
       shortest_word (difference dfa1 dfa2)
 
+    (* Flat transition tables for the hot membership loop. Functional
+       maps remain the construction representation (everything above is
+       untouched); [Dense.compile] freezes a finished DFA into int
+       arrays indexed by an external dense symbol coding [sym_id], and
+       stepping then costs two array loads and no allocation. A missing
+       transition and an unknown symbol both step to the reject state
+       [-1], which is absorbing. *)
+    module Dense = struct
+      type dense = {
+        size : int;
+        width : int;          (* columns: distinct alphabet symbols *)
+        start : int;
+        cols : int array;     (* dense symbol id -> column, -1 = not in alphabet *)
+        trans : int array;    (* state * width + column -> state, -1 = reject *)
+        accept : Bytes.t;     (* bit per state *)
+        syms : Sym.t array;   (* column -> symbol (diagnostics, inverse of cols) *)
+      }
+
+      let compile ~sym_id (dfa : t) =
+        let syms = Array.of_list (Sym_set.elements dfa.alphabet) in
+        let width = Array.length syms in
+        let max_id =
+          Array.fold_left (fun m s -> max m (sym_id s)) (-1) syms
+        in
+        let cols = Array.make (max_id + 1) (-1) in
+        Array.iteri
+          (fun col s ->
+            let id = sym_id s in
+            if id < 0 then invalid_arg "Dense.compile: negative symbol id";
+            cols.(id) <- col)
+          syms;
+        let trans = Array.make (max 1 (dfa.size * width)) (-1) in
+        Int_map.iter
+          (fun s row ->
+            Sym_map.iter
+              (fun sym d -> trans.((s * width) + cols.(sym_id sym)) <- d)
+              row)
+          dfa.delta;
+        let accept = Bytes.make ((dfa.size / 8) + 1) '\000' in
+        Int_set.iter
+          (fun s ->
+            let b = s / 8 in
+            Bytes.set accept b
+              (Char.chr (Char.code (Bytes.get accept b) lor (1 lsl (s mod 8)))))
+          dfa.finals;
+        { size = dfa.size; width; start = dfa.start; cols; trans; accept; syms }
+
+      let start d = d.start
+      let size d = d.size
+      let width d = d.width
+
+      let is_final d s =
+        s >= 0
+        && Char.code (Bytes.get d.accept (s / 8)) land (1 lsl (s mod 8)) <> 0
+
+      (* One step by dense symbol id; [-1] (reject) is absorbing. *)
+      let step_id d s id =
+        if s < 0 then -1
+        else
+          let cols = d.cols in
+          let col = if id >= 0 && id < Array.length cols then cols.(id) else -1 in
+          if col < 0 then -1 else d.trans.((s * d.width) + col)
+
+      let step ~sym_id d s sym = step_id d s (sym_id sym)
+
+      let accepts_ids d (ids : int array) =
+        let s = ref d.start in
+        let n = Array.length ids in
+        let i = ref 0 in
+        while !s >= 0 && !i < n do
+          s := step_id d !s ids.(!i);
+          incr i
+        done;
+        is_final d !s
+
+      let accepts ~sym_id d word =
+        let rec run s = function
+          | [] -> is_final d s
+          | sym :: rest -> if s < 0 then false else run (step ~sym_id d s sym) rest
+        in
+        run d.start word
+    end
+
     let pp ppf dfa =
       Fmt.pf ppf "@[<v>DFA: %d states, start %d, finals {%a}@,"
         dfa.size dfa.start

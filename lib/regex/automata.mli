@@ -135,6 +135,36 @@ module Make (Sym : SYMBOL) : sig
     val separating_word : t -> t -> Sym.t list option
     (** A word accepted by the first but not the second, if any. *)
 
+    (** Flat [int array] transition tables for the hot membership loop.
+        Functional maps stay the construction representation; a finished
+        DFA is frozen into dense tables indexed by an external dense
+        symbol coding (see {!Axml_schema.Sym_id}), and stepping then
+        costs two array loads and no allocation. State [-1] is the
+        absorbing reject state. *)
+    module Dense : sig
+      type dense
+
+      val compile : sym_id:(Sym.t -> int) -> t -> dense
+      (** Freeze a DFA. [sym_id] must be injective and non-negative on
+          the DFA's alphabet (interner-backed codings are). *)
+
+      val start : dense -> int
+      val size : dense -> int
+      val width : dense -> int
+      val is_final : dense -> int -> bool
+
+      val step_id : dense -> int -> int -> int
+      (** [step_id d state id]: one transition by dense symbol id.
+          Unknown symbols and missing transitions yield [-1]. *)
+
+      val step : sym_id:(Sym.t -> int) -> dense -> int -> Sym.t -> int
+
+      val accepts_ids : dense -> int array -> bool
+      (** Membership of a word of dense symbol ids — allocation-free. *)
+
+      val accepts : sym_id:(Sym.t -> int) -> dense -> Sym.t list -> bool
+    end
+
     val pp : t Fmt.t
   end
 

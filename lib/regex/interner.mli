@@ -1,0 +1,33 @@
+(** A thread-safe string interner (string <-> dense int).
+
+    Lookups are lock-free: the mapping is published as an immutable
+    snapshot through an atomic, so the hot paths of the dense automata
+    kernel never take a lock on a hit. Inserts are serialized behind a
+    mutex and publish a fresh snapshot (copy-on-write) — cheap because
+    the vocabulary is the label/function namespace of the loaded
+    schemas, which stabilizes almost immediately. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> string -> int
+(** [intern t s] returns the id of [s], allocating the next dense id on
+    first sight. Ids are stable for the lifetime of [t] and start at 0. *)
+
+val find_opt : t -> string -> int option
+(** The id of an already-interned string, without inserting. *)
+
+val mem : t -> string -> bool
+
+val to_string : t -> int -> string
+(** Inverse of {!intern}.
+    @raise Invalid_argument on an id never handed out. *)
+
+val size : t -> int
+(** Number of distinct strings interned so far. *)
+
+val global : t
+(** The process-wide instance: every [Contract] and its per-domain
+    clones code symbols through this one interner, so dense symbol ids
+    agree across domains by construction. *)

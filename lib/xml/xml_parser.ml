@@ -174,7 +174,17 @@ let skip_doctype cur =
     advance cur
   done
 
-let rec read_node cur : Xml_tree.t option =
+(* A leaf token at the cursor: comment, CDATA section(s), processing
+   instruction or character data. [None] when the cursor sits on a tag
+   (open or close), a DOCTYPE, or at end of input.
+
+   Adjacent CDATA sections coalesce into one node: the printer splits
+   "]]>" across two sections (the only way to say it in CDATA), so
+   reading them back as a single node is what makes print-then-parse
+   the identity. Character data undergoes the spec's line-end
+   normalization ("\r\n" and bare "\r" become "\n"); a literal U+000D
+   survives only as "&#13;", which the printer emits. *)
+let try_leaf cur : Xml_tree.t option =
   if eof cur then None
   else if looking_at cur "<!--" then begin
     advance_n cur 4;
@@ -182,14 +192,14 @@ let rec read_node cur : Xml_tree.t option =
     Some (Xml_tree.comment body)
   end
   else if looking_at cur "<![CDATA[" then begin
-    advance_n cur 9;
-    let body = read_until cur "]]>" "CDATA section" in
-    Some (Xml_tree.cdata body)
-  end
-  else if looking_at cur "<!DOCTYPE" then begin
-    advance_n cur 9;
-    skip_doctype cur;
-    read_node cur
+    let buf = Buffer.create 32 in
+    let rec sections () =
+      advance_n cur 9;
+      Buffer.add_string buf (read_until cur "]]>" "CDATA section");
+      if looking_at cur "<![CDATA[" then sections ()
+    in
+    sections ();
+    Some (Xml_tree.cdata (Buffer.contents buf))
   end
   else if looking_at cur "<?" then begin
     advance_n cur 2;
@@ -198,53 +208,106 @@ let rec read_node cur : Xml_tree.t option =
     let content = read_until cur "?>" "processing instruction" in
     Some (Xml_tree.pi target (String.trim content))
   end
-  else if looking_at cur "</" then None (* caller handles the close tag *)
-  else if peek cur = '<' then Some (read_element cur)
+  else if peek cur = '<' then None
   else begin
     (* character data *)
     let buf = Buffer.create 32 in
     while (not (eof cur)) && peek cur <> '<' do
-      if peek cur = '&' then Buffer.add_string buf (read_entity cur)
-      else begin
-        Buffer.add_char buf (peek cur);
+      match peek cur with
+      | '&' -> Buffer.add_string buf (read_entity cur)
+      | '\r' ->
+        advance cur;
+        if peek cur = '\n' then advance cur;
+        Buffer.add_char buf '\n'
+      | c ->
+        Buffer.add_char buf c;
         advance cur
-      end
     done;
     Some (Xml_tree.text (Buffer.contents buf))
   end
 
-and read_element cur : Xml_tree.t =
-  advance cur; (* '<' *)
-  let name = read_name cur in
-  let attrs = read_attributes cur in
-  skip_whitespace cur;
-  if peek cur = '/' && peek2 cur = '>' then begin
-    advance_n cur 2;
-    Xml_tree.element ~attrs name []
-  end
-  else if peek cur = '>' then begin
-    advance cur;
-    let children = ref [] in
-    let rec loop () =
-      if eof cur then fail cur (Fmt.str "unterminated element <%s>" name)
+(* Parse one element, iteratively: an explicit stack of open elements
+   replaces the call-stack recursion, so nesting depth is bounded by the
+   heap — a 100k-deep document parses without exhausting the stack. *)
+let read_element cur : Xml_tree.t =
+  (* each frame: (name, attrs, children collected so far, reversed) *)
+  let stack : (string * Xml_tree.attribute list * Xml_tree.t list ref) list ref
+    = ref []
+  in
+  let result = ref None in
+  let emit node =
+    match !stack with
+    | (_, _, kids) :: _ -> kids := node :: !kids
+    | [] -> result := Some node
+  in
+  let rec loop () =
+    match !result with
+    | Some _ -> ()
+    | None ->
+      if eof cur then begin
+        match !stack with
+        | (name, _, _) :: _ -> fail cur (Fmt.str "unterminated element <%s>" name)
+        | [] -> fail cur "expected an element"
+      end
+      else if looking_at cur "<!DOCTYPE" then begin
+        advance_n cur 9;
+        skip_doctype cur;
+        loop ()
+      end
       else if looking_at cur "</" then begin
         advance_n cur 2;
         let close = read_name cur in
         skip_whitespace cur;
         if peek cur <> '>' then fail cur "malformed close tag";
         advance cur;
-        if not (String.equal close name) then
-          fail cur (Fmt.str "mismatched close tag </%s> for <%s>" close name)
+        (match !stack with
+         | (name, attrs, kids) :: rest ->
+           if not (String.equal close name) then
+             fail cur (Fmt.str "mismatched close tag </%s> for <%s>" close name);
+           stack := rest;
+           emit (Xml_tree.element ~attrs name (List.rev !kids))
+         | [] -> fail cur (Fmt.str "unexpected close tag </%s>" close));
+        loop ()
       end
       else
-        match read_node cur with
-        | Some node -> children := node :: !children; loop ()
-        | None -> loop ()
-    in
-    loop ();
-    Xml_tree.element ~attrs name (List.rev !children)
+        match try_leaf cur with
+        | Some node ->
+          emit node;
+          loop ()
+        | None ->
+          (* an open tag *)
+          advance cur; (* '<' *)
+          let name = read_name cur in
+          let attrs = read_attributes cur in
+          skip_whitespace cur;
+          if peek cur = '/' && peek2 cur = '>' then begin
+            advance_n cur 2;
+            emit (Xml_tree.element ~attrs name [])
+          end
+          else if peek cur = '>' then begin
+            advance cur;
+            stack := (name, attrs, ref []) :: !stack
+          end
+          else fail cur (Fmt.str "malformed start tag <%s>" name);
+          loop ()
+  in
+  loop ();
+  match !result with
+  | Some node -> node
+  | None -> fail cur "expected an element"
+
+let rec read_node cur : Xml_tree.t option =
+  if eof cur then None
+  else if looking_at cur "<!DOCTYPE" then begin
+    advance_n cur 9;
+    skip_doctype cur;
+    read_node cur
   end
-  else fail cur (Fmt.str "malformed start tag <%s>" name)
+  else if looking_at cur "</" then None (* caller handles the close tag *)
+  else
+    match try_leaf cur with
+    | Some node -> Some node
+    | None -> Some (read_element cur)
 
 (* [parse input] parses a whole document and returns its root element.
    Leading/trailing comments, PIs and whitespace are allowed. *)

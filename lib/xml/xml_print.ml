@@ -1,4 +1,18 @@
-(* Serialization of XML trees, compact or indented. *)
+(* Serialization of XML trees, compact or indented.
+
+   The printer is the inverse of [Xml_parser.parse] on parsed trees:
+   every string a node can carry serializes to markup that reads back as
+   the same node. Three cases need care:
+
+   - "]]>" cannot appear inside one CDATA section; it is split across
+     two adjacent sections (the parser coalesces them back).
+   - A literal U+000D in character data would be normalized to "\n" by
+     any conforming parser, so it is emitted as "&#13;" (likewise the
+     other C0 controls, which are not legal literally).
+   - In attribute values, tab/newline/CR would be normalized to spaces;
+     they are emitted as numeric character references. *)
+
+let add_char_ref buf c = Buffer.add_string buf (Fmt.str "&#%d;" (Char.code c))
 
 let escape_text s =
   let buf = Buffer.create (String.length s) in
@@ -8,6 +22,8 @@ let escape_text s =
       | '&' -> Buffer.add_string buf "&amp;"
       | '<' -> Buffer.add_string buf "&lt;"
       | '>' -> Buffer.add_string buf "&gt;"
+      | '\t' | '\n' -> Buffer.add_char buf c
+      | '\000' .. '\031' -> add_char_ref buf c
       | c -> Buffer.add_char buf c)
     s;
   Buffer.contents buf
@@ -20,9 +36,31 @@ let escape_attr s =
       | '&' -> Buffer.add_string buf "&amp;"
       | '<' -> Buffer.add_string buf "&lt;"
       | '"' -> Buffer.add_string buf "&quot;"
+      | '\000' .. '\031' -> add_char_ref buf c
       | c -> Buffer.add_char buf c)
     s;
   Buffer.contents buf
+
+(* Emit [s] as CDATA, splitting every "]]>" across a section boundary:
+   "a]]>b" becomes "<![CDATA[a]]]]><![CDATA[>b]]>". *)
+let add_cdata buf s =
+  Buffer.add_string buf "<![CDATA[";
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    if
+      !i + 2 < n
+      && s.[!i] = ']' && s.[!i + 1] = ']' && s.[!i + 2] = '>'
+    then begin
+      Buffer.add_string buf "]]]]><![CDATA[>";
+      i := !i + 3
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.add_string buf "]]>"
 
 let add_attrs buf attrs =
   List.iter
@@ -34,13 +72,10 @@ let add_attrs buf attrs =
       Buffer.add_char buf '"')
     attrs
 
-let rec add_compact buf (node : Xml_tree.t) =
+let add_leaf buf (node : Xml_tree.t) =
   match node with
   | Text s -> Buffer.add_string buf (escape_text s)
-  | Cdata s ->
-    Buffer.add_string buf "<![CDATA[";
-    Buffer.add_string buf s;
-    Buffer.add_string buf "]]>"
+  | Cdata s -> add_cdata buf s
   | Comment s ->
     Buffer.add_string buf "<!--";
     Buffer.add_string buf s;
@@ -53,18 +88,40 @@ let rec add_compact buf (node : Xml_tree.t) =
       Buffer.add_string buf content
     end;
     Buffer.add_string buf "?>"
-  | Element e ->
-    Buffer.add_char buf '<';
-    Buffer.add_string buf e.name;
-    add_attrs buf e.attrs;
-    if e.children = [] then Buffer.add_string buf "/>"
-    else begin
-      Buffer.add_char buf '>';
-      List.iter (add_compact buf) e.children;
-      Buffer.add_string buf "</";
+  | Element _ -> invalid_arg "add_leaf"
+
+(* Work items for the iterative tree walks: a node still to print, or
+   literal text (a close tag, indentation) to append after its subtree.
+   An explicit work list instead of recursion keeps printing of very
+   deep documents off the call stack. *)
+type item = Node of Xml_tree.t | Lit of string
+
+let push_children children tail =
+  List.rev_append (List.rev_map (fun c -> Node c) children) tail
+
+let add_compact buf (node : Xml_tree.t) =
+  let rec go = function
+    | [] -> ()
+    | Lit s :: rest ->
+      Buffer.add_string buf s;
+      go rest
+    | Node (Element e) :: rest ->
+      Buffer.add_char buf '<';
       Buffer.add_string buf e.name;
-      Buffer.add_char buf '>'
-    end
+      add_attrs buf e.attrs;
+      if e.children = [] then begin
+        Buffer.add_string buf "/>";
+        go rest
+      end
+      else begin
+        Buffer.add_char buf '>';
+        go (push_children e.children (Lit ("</" ^ e.name ^ ">") :: rest))
+      end
+    | Node leaf :: rest ->
+      add_leaf buf leaf;
+      go rest
+  in
+  go [ Node node ]
 
 let to_string node =
   let buf = Buffer.create 256 in
@@ -73,42 +130,54 @@ let to_string node =
 
 (* Indented output: safe only for "data-oriented" XML where surrounding
    whitespace is not significant (always true for this system's trees). *)
-let rec add_pretty buf indent (node : Xml_tree.t) =
-  let pad () = Buffer.add_string buf (String.make (2 * indent) ' ') in
-  match node with
-  | Text s ->
-    pad ();
-    Buffer.add_string buf (escape_text s);
-    Buffer.add_char buf '\n'
-  | Cdata _ | Comment _ | Pi _ ->
-    pad ();
-    add_compact buf node;
-    Buffer.add_char buf '\n'
-  | Element e ->
-    pad ();
-    Buffer.add_char buf '<';
-    Buffer.add_string buf e.name;
-    add_attrs buf e.attrs;
-    (match e.children with
-     | [] -> Buffer.add_string buf "/>\n"
-     | [ Text s ] ->
-       Buffer.add_char buf '>';
-       Buffer.add_string buf (escape_text s);
-       Buffer.add_string buf "</";
-       Buffer.add_string buf e.name;
-       Buffer.add_string buf ">\n"
-     | children ->
-       Buffer.add_string buf ">\n";
-       List.iter (add_pretty buf (indent + 1)) children;
-       pad ();
-       Buffer.add_string buf "</";
-       Buffer.add_string buf e.name;
-       Buffer.add_string buf ">\n")
+type pretty_item = Pnode of int * Xml_tree.t | Plit of string
+
+let add_pretty buf (node : Xml_tree.t) =
+  let pad indent = String.make (2 * indent) ' ' in
+  let rec go = function
+    | [] -> ()
+    | Plit s :: rest ->
+      Buffer.add_string buf s;
+      go rest
+    | Pnode (indent, Element e) :: rest ->
+      Buffer.add_string buf (pad indent);
+      Buffer.add_char buf '<';
+      Buffer.add_string buf e.name;
+      add_attrs buf e.attrs;
+      (match e.children with
+       | [] ->
+         Buffer.add_string buf "/>\n";
+         go rest
+       | [ Text s ] ->
+         Buffer.add_char buf '>';
+         Buffer.add_string buf (escape_text s);
+         Buffer.add_string buf "</";
+         Buffer.add_string buf e.name;
+         Buffer.add_string buf ">\n";
+         go rest
+       | children ->
+         Buffer.add_string buf ">\n";
+         let close = Plit (pad indent ^ "</" ^ e.name ^ ">\n") in
+         let items =
+           List.rev_append
+             (List.rev_map (fun c -> Pnode (indent + 1, c)) children)
+             (close :: rest)
+         in
+         go items)
+    | Pnode (indent, leaf) :: rest ->
+      Buffer.add_string buf (pad indent);
+      (match leaf with
+       | Text s -> Buffer.add_string buf (escape_text s)
+       | _ -> add_leaf buf leaf);
+      Buffer.add_char buf '\n';
+      go rest
+  in
+  go [ Pnode (0, node) ]
 
 let to_pretty_string ?(xml_decl = false) node =
   let buf = Buffer.create 256 in
   if xml_decl then Buffer.add_string buf "<?xml version=\"1.0\"?>\n";
-  add_pretty buf 0 node;
+  add_pretty buf node;
   Buffer.contents buf
 
 let pp ppf node = Fmt.string ppf (to_string node)

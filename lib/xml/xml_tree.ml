@@ -49,51 +49,99 @@ let text_content element =
 
 let is_whitespace s = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s
 
+(* The traversals below all use explicit work lists rather than
+   recursion: intensional documents can nest arbitrarily deep (a chain
+   of singleton elements 100k levels down is a legitimate stress input)
+   and one stack frame per level overflows long before the heap runs
+   out. *)
+
+let keep_in_layout = function
+  | Text s -> not (is_whitespace s)
+  | Comment _ | Pi _ -> false
+  | Element _ | Cdata _ -> true
+
 (* Remove whitespace-only text nodes and comments/PIs, recursively;
    documents compare structurally after this normalization. *)
-let rec strip_layout node =
-  match node with
-  | Element e ->
-    let children =
-      e.children
-      |> List.filter (function
-           | Text s -> not (is_whitespace s)
-           | Comment _ | Pi _ -> false
-           | Element _ | Cdata _ -> true)
-      |> List.map strip_layout
-    in
-    Element { e with children }
-  | Text _ | Cdata _ | Comment _ | Pi _ -> node
+let strip_layout node =
+  (* a frame is an element whose kept children are being rebuilt;
+     [todo] are children still to process, [built] the processed ones
+     in reverse *)
+  let rec go stack todo built =
+    match todo with
+    | node :: todo -> (
+      match node with
+      | Element e ->
+        let kept = List.filter keep_in_layout e.children in
+        go ((e, todo, built) :: stack) kept []
+      | Text _ | Cdata _ | Comment _ | Pi _ ->
+        go stack todo (node :: built))
+    | [] -> (
+      match stack with
+      | (e, todo', built') :: stack ->
+        let rebuilt = Element { e with children = List.rev built } in
+        go stack todo' (rebuilt :: built')
+      | [] -> (
+        match built with
+        | [ node ] -> node
+        | _ -> assert false))
+  in
+  go [] [ node ] []
 
-let rec equal n1 n2 =
-  match n1, n2 with
-  | Element e1, Element e2 ->
-    String.equal e1.name e2.name
-    && List.length e1.attrs = List.length e2.attrs
-    && List.for_all
-         (fun (a : attribute) ->
-           match attr_value e2 a.name with
-           | Some v -> String.equal v a.value
-           | None -> false)
-         e1.attrs
-    && List.length e1.children = List.length e2.children
-    && List.for_all2 equal e1.children e2.children
-  | Text s1, Text s2 | Cdata s1, Cdata s2 | Comment s1, Comment s2 ->
-    String.equal s1 s2
-  | Pi p1, Pi p2 -> String.equal p1.target p2.target && String.equal p1.content p2.content
-  | (Element _ | Text _ | Cdata _ | Comment _ | Pi _), _ -> false
+let equal n1 n2 =
+  let shallow_equal n1 n2 =
+    match n1, n2 with
+    | Element e1, Element e2 ->
+      String.equal e1.name e2.name
+      && List.length e1.attrs = List.length e2.attrs
+      && List.for_all
+           (fun (a : attribute) ->
+             match attr_value e2 a.name with
+             | Some v -> String.equal v a.value
+             | None -> false)
+           e1.attrs
+      && List.length e1.children = List.length e2.children
+    | Text s1, Text s2 | Cdata s1, Cdata s2 | Comment s1, Comment s2 ->
+      String.equal s1 s2
+    | Pi p1, Pi p2 ->
+      String.equal p1.target p2.target && String.equal p1.content p2.content
+    | (Element _ | Text _ | Cdata _ | Comment _ | Pi _), _ -> false
+  in
+  let rec go = function
+    | [] -> true
+    | (n1, n2) :: rest ->
+      shallow_equal n1 n2
+      && (match n1, n2 with
+          | Element e1, Element e2 ->
+            go (List.rev_append (List.combine e1.children e2.children) rest)
+          | _ -> go rest)
+  in
+  go [ (n1, n2) ]
 
-let rec count_nodes = function
-  | Element e -> 1 + List.fold_left (fun acc c -> acc + count_nodes c) 0 e.children
-  | Text _ | Cdata _ | Comment _ | Pi _ -> 1
+let count_nodes node =
+  let rec go acc = function
+    | [] -> acc
+    | Element e :: rest -> go (acc + 1) (List.rev_append e.children rest)
+    | (Text _ | Cdata _ | Comment _ | Pi _) :: rest -> go (acc + 1) rest
+  in
+  go 0 [ node ]
 
-let rec depth = function
-  | Element e -> 1 + List.fold_left (fun acc c -> max acc (depth c)) 0 e.children
-  | Text _ | Cdata _ | Comment _ | Pi _ -> 1
+let depth node =
+  let rec go acc = function
+    | [] -> acc
+    | (d, Element e) :: rest ->
+      go (max acc (d + 1)) (List.rev_append (List.map (fun c -> (d + 1, c)) e.children) rest)
+    | (d, (Text _ | Cdata _ | Comment _ | Pi _)) :: rest -> go (max acc (d + 1)) rest
+  in
+  go 0 [ (0, node) ]
 
 (* Fold over every node of the tree, prefix order. *)
-let rec fold f acc node =
-  let acc = f acc node in
-  match node with
-  | Element e -> List.fold_left (fold f) acc e.children
-  | Text _ | Cdata _ | Comment _ | Pi _ -> acc
+let fold f acc node =
+  let rec go acc = function
+    | [] -> acc
+    | node :: rest ->
+      let acc = f acc node in
+      (match node with
+       | Element e -> go acc (e.children @ rest)
+       | Text _ | Cdata _ | Comment _ | Pi _ -> go acc rest)
+  in
+  go acc [ node ]

@@ -37,6 +37,29 @@ let run args =
   Sys.remove out;
   (code, output)
 
+(* As [run], but with stdout and stderr captured separately — the JSON
+   envelope tests assert that stdout alone is one valid JSON value. *)
+let run_split args =
+  let out = Filename.temp_file "axml_cli" ".out" in
+  let err = Filename.temp_file "axml_cli" ".err" in
+  let cmd =
+    Fmt.str "%s %s > %s 2> %s" (Filename.quote cli)
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out) (Filename.quote err)
+  in
+  let code = Sys.command cmd in
+  let stdout = read_file out and stderr = read_file err in
+  Sys.remove out;
+  Sys.remove err;
+  (code, stdout, stderr)
+
+let check_json_envelope label s =
+  (match Jsonv.explain s with
+   | None -> ()
+   | Some why -> Alcotest.failf "%s: stdout is not valid JSON: %s" label why);
+  check (label ^ ": has diagnostics") true (contains s "\"diagnostics\"");
+  check (label ^ ": has summary") true (contains s "\"summary\"")
+
 let dir = Filename.get_temp_dir_name ()
 let path name = Filename.concat dir ("axml_test_" ^ name)
 
@@ -612,6 +635,54 @@ let test_compat_json () =
   check_int "evolved pair: exit 1" 1 code;
   check "incompatible" true (contains out {|"compatible":false|})
 
+(* Error paths under --format json: stdout must still carry exactly one
+   valid envelope (the error as an AXM000 diagnostic), the human
+   message goes to stderr, and the exit code is 2 per LINTING.md. *)
+let test_json_error_envelopes () =
+  setup ();
+  write_file (path "broken.axs") "element = nonsense";
+  let check_error_envelope label args =
+    let code, stdout, stderr = run_split args in
+    check_int (label ^ ": exit 2") 2 code;
+    check_json_envelope label stdout;
+    check (label ^ ": AXM000 diagnostic") true (contains stdout "AXM000");
+    check (label ^ ": message on stderr") true (contains stderr "error:")
+  in
+  check_error_envelope "diff"
+    [ "diff"; "--format"; "json"; "-f"; path "broken.axs";
+      "-t"; path "exchange.axs" ];
+  check_error_envelope "migrate"
+    [ "migrate"; "--format"; "json"; "-f"; path "broken.axs";
+      "-t"; path "exchange.axs"; path "doc.xml" ];
+  check_error_envelope "lint"
+    [ "lint"; "--format"; "json"; "-s"; path "broken.axs" ];
+  write_file (path "broken.xml") "<a><b></a>";
+  check_error_envelope "batch"
+    [ "batch"; "--format"; "json"; "-f"; path "sender.axs";
+      "-t"; path "exchange.axs"; path "broken.xml" ]
+
+let test_batch_json () =
+  setup ();
+  let code, stdout, stderr =
+    run_split [ "batch"; "--format"; "json"; "-f"; path "sender.axs";
+                "-t"; path "exchange.axs"; path "doc.xml"; path "doc.xml" ]
+  in
+  check_int "exit 0" 0 code;
+  check_json_envelope "batch ok" stdout;
+  check "outcomes present" true (contains stdout "\"outcomes\"");
+  check "action recorded" true (contains stdout {|"action":"rewritten"|});
+  check "stats embedded" true (contains stdout "\"docs\": 2");
+  check "outcome lines on stderr" true (contains stderr "rewritten");
+  (* an enforcement failure becomes an AXM033 diagnostic and exit 1 *)
+  let code, stdout, _ =
+    run_split [ "batch"; "--format"; "json"; "-f"; path "sender.axs";
+                "-t"; path "strict.axs"; path "doc.xml" ]
+  in
+  check_int "rejection: exit 1" 1 code;
+  check_json_envelope "batch rejected" stdout;
+  check "AXM033 diagnostic" true (contains stdout "AXM033");
+  check "failed outcome" true (contains stdout {|"ok":false|})
+
 let test_bad_inputs () =
   setup ();
   write_file (path "broken.axs") "element = nonsense";
@@ -675,6 +746,8 @@ let () =
          Alcotest.test_case "compat json" `Quick test_compat_json;
          Alcotest.test_case "schema convert" `Quick test_schema_convert;
          Alcotest.test_case "soak shape" `Quick test_soak_shape;
+         Alcotest.test_case "json error envelopes" `Quick test_json_error_envelopes;
+         Alcotest.test_case "batch json" `Quick test_batch_json;
          Alcotest.test_case "bad inputs" `Quick test_bad_inputs
        ])
     ]

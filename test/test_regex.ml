@@ -270,6 +270,90 @@ let prop_parser_print_roundtrip =
       | Ok r' ->
         A.Dfa.accepts (A.Dfa.of_regex r) w = A.Dfa.accepts (A.Dfa.of_regex r') w)
 
+(* ------------------------------------------------------------------ *)
+(* Dense kernel parity: the flat int-array tables behind Auto.Dfa.Dense
+   must agree with the functional-map DFA on every verdict.            *)
+(* ------------------------------------------------------------------ *)
+
+module Interner = Axml_regex.Interner
+
+(* one interner per run: dense codings only need injectivity *)
+let test_interner = Interner.create ()
+let sym_id s = Interner.intern test_interner s
+let dense_of r = A.Dfa.Dense.compile ~sym_id (A.Dfa.of_regex r)
+
+let prop_dense_membership_parity =
+  QCheck.Test.make ~count:500 ~name:"dense tables agree with the map DFA"
+    QCheck.(pair gen_regex gen_word)
+    (fun (r, w) ->
+      A.Dfa.accepts (A.Dfa.of_regex r) w
+      = A.Dfa.Dense.accepts ~sym_id (dense_of r) w)
+
+let prop_dense_subset_parity =
+  QCheck.Test.make ~count:300
+    ~name:"subset, separating_word and dense membership cohere"
+    QCheck.(pair gen_regex gen_regex)
+    (fun (r1, r2) ->
+      let d1 = A.Dfa.of_regex r1 and d2 = A.Dfa.of_regex r2 in
+      match A.Dfa.separating_word d1 d2 with
+      | None -> A.Dfa.subset d1 d2
+      | Some w ->
+        (not (A.Dfa.subset d1 d2))
+        && A.Dfa.Dense.accepts ~sym_id (dense_of r1) w
+        && not (A.Dfa.Dense.accepts ~sym_id (dense_of r2) w))
+
+let prop_dense_batch_identical =
+  QCheck.Test.make ~count:100
+    ~name:"dense verdicts are identical across a word batch"
+    QCheck.(pair gen_regex (list_of_size Gen.(int_bound 20) gen_word))
+    (fun (r, words) ->
+      let d = A.Dfa.of_regex r in
+      let dense = dense_of r in
+      List.for_all
+        (fun w -> A.Dfa.accepts d w = A.Dfa.Dense.accepts ~sym_id dense w)
+        words)
+
+(* The interner must hand out consistent ids under concurrent access
+   from several domains: same string -> same id everywhere, and
+   [to_string] stays the exact inverse. *)
+let test_interner_concurrent () =
+  let itn = Interner.create () in
+  let domains = 4 and per_domain = 250 in
+  let shared = List.init 100 (fun i -> Fmt.str "shared-%d" i) in
+  let results =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            (* interleave shared vocabulary with domain-private strings
+               so insert races and pure lookups both happen *)
+            let mine = List.init per_domain (fun i -> Fmt.str "d%d-%d" d i) in
+            let all = List.concat [ shared; mine; shared ] in
+            List.map (fun s -> (s, Interner.intern itn s)) all))
+    |> List.map Domain.join
+  in
+  (* round-trip: every id maps back to its string *)
+  List.iter
+    (List.iter (fun (s, id) ->
+         Alcotest.(check string) "to_string inverse" s
+           (Interner.to_string itn id)))
+    results;
+  (* agreement: the shared vocabulary got one id per string, across all
+     domains *)
+  List.iter
+    (fun s ->
+      let ids =
+        List.concat_map
+          (List.filter_map (fun (s', id) -> if s = s' then Some id else None))
+          results
+        |> List.sort_uniq compare
+      in
+      check_int ("one id for " ^ s) 1 (List.length ids))
+    shared;
+  check_int "size counts distinct strings"
+    (100 + (domains * per_domain))
+    (Interner.size itn);
+  (* find_opt never invents entries *)
+  check "absent string" true (Interner.find_opt itn "never-interned" = None)
+
 let qcheck_tests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_thompson_glushkov_agree;
@@ -281,7 +365,10 @@ let qcheck_tests =
       prop_nullable_agrees;
       prop_sample_word_in_language;
       prop_shortest_word_accepted;
-      prop_parser_print_roundtrip
+      prop_parser_print_roundtrip;
+      prop_dense_membership_parity;
+      prop_dense_subset_parity;
+      prop_dense_batch_identical
     ]
 
 let () =
@@ -307,6 +394,10 @@ let () =
          Alcotest.test_case "minimize" `Quick test_minimize;
          Alcotest.test_case "language equality" `Quick test_equal_language;
          Alcotest.test_case "nfa shortest word" `Quick test_nfa_shortest
+       ]);
+      ("kernel",
+       [ Alcotest.test_case "interner under 4 domains" `Quick
+           test_interner_concurrent
        ]);
       ("properties", qcheck_tests)
     ]

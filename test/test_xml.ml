@@ -63,6 +63,26 @@ let test_parse_nested_deep () =
   let t = parse doc in
   check_int "depth" (depth + 1) (T.depth t)
 
+(* Regression: the parser, printer and tree traversals must all survive
+   documents nested far beyond the call-stack budget (they use explicit
+   work lists, one heap cell per level). *)
+let test_deep_100k () =
+  let depth = 100_000 in
+  let doc =
+    String.concat "" (List.init depth (fun _ -> "<d>"))
+    ^ "x"
+    ^ String.concat "" (List.init depth (fun _ -> "</d>"))
+  in
+  let t = parse doc in
+  check_int "depth" (depth + 1) (T.depth t);
+  check_int "count" (depth + 1) (T.count_nodes t);
+  let printed = Pr.to_string t in
+  let t2 = parse printed in
+  check "reparse equal" true (T.equal t t2);
+  check "strip_layout is total" true (T.equal t (T.strip_layout t));
+  let nodes = T.fold (fun acc _ -> acc + 1) 0 t in
+  check_int "fold visits all" (depth + 1) nodes
+
 let test_parse_errors () =
   let bad =
     [ "<a>"; "<a></b>"; "<a x=1></a>"; "text only"; "<a></a><b></b>";
@@ -105,6 +125,56 @@ let test_pretty_roundtrip () =
 let test_escaping () =
   let t = T.element ~attrs:[ T.attr "k" "a\"b<c" ] "x" [ T.text "1<2&3" ] in
   check_str "escaped" "<x k=\"a&quot;b&lt;c\">1&lt;2&amp;3</x>" (Pr.to_string t)
+
+(* "]]>" cannot appear inside one CDATA section: the printer must split
+   it across two adjacent sections and the parser must coalesce them
+   back into a single node. *)
+let test_cdata_split () =
+  let t = T.element "x" [ T.cdata "a]]>b" ] in
+  let printed = Pr.to_string t in
+  check_str "split form" "<x><![CDATA[a]]]]><![CDATA[>b]]></x>" printed;
+  (match parse printed with
+   | T.Element { children = [ T.Cdata s ]; _ } -> check_str "coalesced" "a]]>b" s
+   | _ -> Alcotest.fail "expected a single CDATA child");
+  (* pathological shapes: terminators at the edges, stacked brackets *)
+  List.iter
+    (fun s ->
+      let printed = Pr.to_string (T.element "x" [ T.cdata s ]) in
+      match parse printed with
+      | T.Element { children = [ T.Cdata s' ]; _ } -> check_str s s s'
+      | T.Element { children = []; _ } when s = "" -> ()
+      | _ -> Alcotest.failf "no single CDATA child for %S" s)
+    [ "]]>"; "]]>]]>"; "]]"; "]"; "x]]"; "]]>x"; "a]b]>c" ]
+
+(* A literal U+000D would be normalized away by any conforming parser,
+   so the printer must say it as "&#13;" (and the other C0 controls as
+   their numeric references). *)
+let test_cr_roundtrip () =
+  let t = T.element "x" [ T.text "a\rb\r\nc" ] in
+  let printed = Pr.to_string t in
+  check_str "cr escaped" "<x>a&#13;b&#13;\nc</x>" printed;
+  (match parse printed with
+   | T.Element { children = [ T.Text s ]; _ } -> check_str "cr preserved" "a\rb\r\nc" s
+   | _ -> Alcotest.fail "expected one text child");
+  (* literal CR in the input is line-end normalization fodder *)
+  (match parse "<x>a\rb\r\nc</x>" with
+   | T.Element { children = [ T.Text s ]; _ } -> check_str "normalized" "a\nb\nc" s
+   | _ -> Alcotest.fail "expected one text child")
+
+let test_control_chars_roundtrip () =
+  let s = "a\001b\x1fc\td" in
+  let t = T.element "x" [ T.text s ] in
+  (match parse (Pr.to_string t) with
+   | T.Element { children = [ T.Text s' ]; _ } -> check_str "controls" s s'
+   | _ -> Alcotest.fail "expected one text child")
+
+let test_attr_whitespace_roundtrip () =
+  let v = "a\tb\nc\rd\"e" in
+  let t = T.element ~attrs:[ T.attr "k" v ] "x" [] in
+  let printed = Pr.to_string t in
+  check_str "attr refs" "<x k=\"a&#9;b&#10;c&#13;d&quot;e\"/>" printed;
+  let e = elem_of (parse printed) in
+  Alcotest.(check (option string)) "attr back" (Some v) (T.attr_value e "k")
 
 (* ------------------------------------------------------------------ *)
 (* Namespaces                                                          *)
@@ -267,6 +337,102 @@ let prop_count_nodes_positive =
     gen_tree
     (fun t -> T.count_nodes t >= 1 && T.depth t >= 1 && T.depth t <= T.count_nodes t)
 
+(* Adversarial content: CDATA terminators, carriage returns, C0
+   controls, quotes — everything the escaping rules exist for. Adjacent
+   CDATA children are separated by an empty element because the parser
+   (correctly) coalesces adjacent sections into one node. *)
+let gen_adversarial : T.t QCheck.arbitrary =
+  let open QCheck.Gen in
+  let nasty =
+    oneofl
+      [ "]]>"; "]]"; "]"; "a]]>b"; "]]>]]>"; "\r"; "\r\n"; "a\rb";
+        "\001"; "\x1f"; "a\tb\nc"; "&"; "<"; ">"; "\""; "'"; "&amp;";
+        "&#13;"; "plain"; "" ]
+  in
+  let attr_gen = map (fun v -> T.attr "k" v) nasty in
+  let leaf =
+    frequency [ (2, map T.text nasty); (2, map T.cdata nasty) ]
+  in
+  let separate_cdata children =
+    (* an empty text node prints to nothing, so it must not be allowed
+       to "separate" two CDATA nodes (the printed sections would be
+       adjacent and coalesce on reparse) *)
+    let children = List.filter (function T.Text "" -> false | _ -> true) children in
+    let rec fix = function
+      | (T.Cdata _ as a) :: (T.Cdata _ :: _ as rest) ->
+        a :: T.element "sep" [] :: fix rest
+      | n :: rest -> n :: fix rest
+      | [] -> []
+    in
+    fix children
+  in
+  let rec gen n =
+    if n <= 0 then leaf
+    else
+      frequency
+        [ (2, leaf);
+          (3,
+           map2
+             (fun attrs children ->
+               T.element ~attrs "e" (separate_cdata children))
+             (list_size (int_bound 1) attr_gen)
+             (list_size (int_bound 3) (gen (n / 2))))
+        ]
+  in
+  let root =
+    map
+      (fun children -> T.element "root" (separate_cdata children))
+      (list_size (int_bound 4) (gen 3))
+  in
+  QCheck.make ~print:Pr.to_string root
+
+let prop_adversarial_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"adversarial print/parse roundtrip"
+    gen_adversarial
+    (fun t ->
+      match P.parse_result (Pr.to_string t) with
+      | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e
+      | Ok t' ->
+        (* adjacent/empty text nodes merge on reparse; compare the
+           serialized forms, which are invariant under that merge *)
+        String.equal (Pr.to_string t) (Pr.to_string t'))
+
+(* Schema-driven documents (the workload generator's output) must
+   survive the full Document -> XML -> string -> XML -> Document trip. *)
+let roundtrip_schema =
+  match
+    Axml_schema.Schema_parser.parse_result
+      {|
+root newspaper
+element newspaper = title.date.(Get_Temp | temp).(TimeOut | exhibit*)
+element title = #data
+element date = #data
+element temp = #data
+element exhibit = title.(Get_Date | date)
+function Get_Temp : #data -> temp
+function Get_Date : title -> date
+function TimeOut : #data -> exhibit*
+|}
+  with
+  | Ok s -> s
+  | Error e -> failwith e
+
+let prop_generated_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"generated documents roundtrip via XML"
+    QCheck.small_int
+    (fun seed ->
+      let stream =
+        Axml_workload.Mix.stream ~seed ~schema:roundtrip_schema
+          Axml_workload.Mix.steady
+      in
+      List.for_all
+        (fun (item : Axml_workload.Mix.item) ->
+          let doc = item.doc in
+          let xml = Axml_peer.Syntax.to_xml doc in
+          let doc' = Axml_peer.Syntax.of_xml_string (Pr.to_string xml) in
+          Axml_core.Document.equal doc doc')
+        (List.init 3 (fun _ -> Axml_workload.Mix.next stream)))
+
 let () =
   Alcotest.run "xml"
     [ ("parser",
@@ -276,13 +442,18 @@ let () =
          Alcotest.test_case "cdata" `Quick test_parse_cdata;
          Alcotest.test_case "doctype skipped" `Quick test_parse_doctype;
          Alcotest.test_case "deep nesting" `Quick test_parse_nested_deep;
+         Alcotest.test_case "100k-deep regression" `Quick test_deep_100k;
          Alcotest.test_case "errors" `Quick test_parse_errors;
          Alcotest.test_case "error positions" `Quick test_error_position
        ]);
       ("printing",
        [ Alcotest.test_case "roundtrip" `Quick test_roundtrip;
          Alcotest.test_case "pretty roundtrip" `Quick test_pretty_roundtrip;
-         Alcotest.test_case "escaping" `Quick test_escaping
+         Alcotest.test_case "escaping" `Quick test_escaping;
+         Alcotest.test_case "cdata ]]> split" `Quick test_cdata_split;
+         Alcotest.test_case "carriage returns" `Quick test_cr_roundtrip;
+         Alcotest.test_case "control characters" `Quick test_control_chars_roundtrip;
+         Alcotest.test_case "attribute whitespace" `Quick test_attr_whitespace_roundtrip
        ]);
       ("namespaces",
        [ Alcotest.test_case "int:fun detection" `Quick test_namespaces;
@@ -302,5 +473,6 @@ let () =
        ]);
       ("properties",
        List.map QCheck_alcotest.to_alcotest
-         [ prop_print_parse_roundtrip; prop_count_nodes_positive ])
+         [ prop_print_parse_roundtrip; prop_count_nodes_positive;
+           prop_adversarial_roundtrip; prop_generated_roundtrip ])
     ]
